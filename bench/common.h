@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper:
+ * it prints the paper-style rows first (the reproduction artifact) and
+ * then runs google-benchmark timings of the underlying compile/simulate
+ * machinery.
+ */
+
+#ifndef WMSTREAM_BENCH_COMMON_H
+#define WMSTREAM_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "driver/compiler.h"
+#include "wmsim/sim.h"
+
+namespace wsbench {
+
+/** Compile for WM and run on the cycle simulator; panics on error. */
+inline wmstream::wmsim::SimResult
+runWm(const std::string &source, const wmstream::driver::CompileOptions &opts,
+      wmstream::wmsim::SimConfig cfg = {})
+{
+    auto cr = wmstream::driver::compileSource(source, opts);
+    if (!cr.ok) {
+        std::fprintf(stderr, "compile failed:\n%s\n",
+                     cr.diagnostics.c_str());
+        std::abort();
+    }
+    cfg.maxCycles = 4'000'000'000ull;
+    auto res = wmstream::wmsim::simulate(*cr.program, cfg);
+    if (!res.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n", res.error.c_str());
+        std::abort();
+    }
+    return res;
+}
+
+/** Percentage reduction from @p base to @p opt. */
+inline double
+pctReduction(double base, double opt)
+{
+    return 100.0 * (base - opt) / base;
+}
+
+} // namespace wsbench
+
+#endif // WMSTREAM_BENCH_COMMON_H

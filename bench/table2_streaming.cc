@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table II: execution performance improvements by streaming.
+ *
+ * The paper compiled nine programs with and without streaming and
+ * measured the percent reduction in cycles executed on an exact-cycle
+ * WM simulator (including memory delays):
+ *
+ *     banner 5, bubblesort 18, cal 17, dhrystone 39, dot-product 43,
+ *     iir 13, quicksort 1, sieve 18, whetstone 3.
+ *
+ * This harness runs the mini-C reproductions of those programs (see
+ * src/programs) through the same pipeline and the WM cycle simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "programs/programs.h"
+
+using namespace wmstream;
+
+namespace {
+
+const int kPaperNumbers[] = {5, 18, 17, 39, 43, 13, 1, 18, 3};
+
+void
+printTable()
+{
+    std::printf("Table II. Execution Performance improvements by "
+                "streaming.\n\n");
+    std::printf("%-14s %14s %14s %12s %10s\n", "Program", "base cycles",
+                "stream cycles", "measured %", "paper %");
+    const auto &programs = programs::tableIIPrograms();
+    for (size_t i = 0; i < programs.size(); ++i) {
+        uint64_t cyc[2];
+        int64_t ret[2];
+        for (int s = 0; s < 2; ++s) {
+            driver::CompileOptions opts;
+            opts.streaming = s != 0;
+            auto res = wsbench::runWm(programs[i].source, opts);
+            cyc[s] = res.stats.cycles;
+            ret[s] = res.returnValue;
+        }
+        if (ret[0] != ret[1]) {
+            std::fprintf(stderr, "checksum mismatch for %s!\n",
+                         programs[i].name.c_str());
+            std::abort();
+        }
+        std::printf("%-14s %14llu %14llu %12.1f %10d\n",
+                    programs[i].name.c_str(),
+                    static_cast<unsigned long long>(cyc[0]),
+                    static_cast<unsigned long long>(cyc[1]),
+                    wsbench::pctReduction(static_cast<double>(cyc[0]),
+                                          static_cast<double>(cyc[1])),
+                    kPaperNumbers[i]);
+    }
+    std::printf("\n");
+}
+
+void
+BM_CompileAndSimulateDotProduct(benchmark::State &state)
+{
+    std::string src = programs::dotProductSource(512);
+    for (auto _ : state) {
+        driver::CompileOptions opts;
+        auto res = wsbench::runWm(src, opts);
+        benchmark::DoNotOptimize(res.stats.cycles);
+    }
+}
+BENCHMARK(BM_CompileAndSimulateDotProduct);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Retargetability (the paper's Figure 6): the recurrence optimization
+ * is machine-independent — "the algorithm is largely machine-
+ * independent. The routine that replaces memory references with
+ * register references is machine-specific."
+ *
+ * This example compiles an IIR filter for the scalar target, prints
+ * the Motorola 68020 assembly (auto-increment addressing from strength
+ * reduction), and times it under two of the Table-I machine models.
+ *
+ *   $ ./build/examples/retarget_68020
+ */
+
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "m68k/printer.h"
+#include "timing/scalar_sim.h"
+
+using namespace wmstream;
+
+int
+main()
+{
+    const char *source = R"(
+int n = 512;
+double x[512];
+double y[512];
+
+int main(void)
+{
+    int i;
+    double acc;
+    for (i = 0; i < n; i++)
+        x[i] = ((i * 13) & 31) * 0.25 - 3.0;
+    y[0] = 0.5 * x[0];
+    for (i = 1; i < n; i++)
+        y[i] = 0.5 * x[i] + 0.25 * x[i - 1] + 0.2 * y[i - 1];
+    acc = 0.0;
+    for (i = 0; i < n; i++)
+        acc = acc + y[i];
+    return acc;
+}
+)";
+
+    for (bool recurrence : {false, true}) {
+        driver::CompileOptions options;
+        options.target = rtl::MachineKind::Scalar;
+        options.recurrence = recurrence;
+        auto result = driver::compileSource(source, options);
+        if (!result.ok) {
+            std::fprintf(stderr, "compile failed\n");
+            return 1;
+        }
+        if (recurrence) {
+            std::printf("---- 68020 assembly (recurrence optimized) "
+                        "----\n%s\n",
+                        m68k::printFunction(
+                            *result.program->findFunction("main"))
+                            .c_str());
+        }
+        for (const auto &model :
+                 {timing::sun3_280Model(), timing::m88100Model()}) {
+            auto run = timing::runScalar(*result.program, model);
+            if (!run.ok) {
+                std::fprintf(stderr, "run failed: %s\n",
+                             run.error.c_str());
+                return 1;
+            }
+            std::printf("%-28s recurrence=%-3s  result=%lld  "
+                        "cycles=%.0f  memrefs=%llu\n",
+                        model.name.c_str(), recurrence ? "on" : "off",
+                        static_cast<long long>(run.returnValue),
+                        run.cycles,
+                        static_cast<unsigned long long>(run.memoryRefs));
+        }
+    }
+    std::printf("\nThe y[i-1] recurrence is carried in a register on "
+                "both machines; the\nmemory-reference count drops "
+                "accordingly (paper Table I's effect).\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The vector execution unit: fully-streamed element-wise loops
+ * collapse into single VEU instructions ("conceptually the iterations
+ * of the loop are performed simultaneously by the vector execution
+ * unit"), while recurrences — the paper's motivating case — stay on
+ * the streamed scalar pipeline.
+ *
+ *   $ ./build/examples/vector_kernels
+ */
+
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "wm/printer.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+int
+main()
+{
+    const char *source = R"(
+int n = 1000;
+double a[1000];
+double b[1000];
+double c[1000];
+double w[1000];
+
+int main(void)
+{
+    int i;
+    double s;
+    for (i = 0; i < n; i++) {
+        a[i] = 0.25 + (i & 15) * 0.125;
+        b[i] = 3.0 - (i & 7) * 0.25;
+    }
+    /* element-wise: vectorizable */
+    for (i = 0; i < n; i++)
+        c[i] = a[i] * b[i];
+    /* first-order recurrence: NOT vectorizable (paper: "difficult
+       and often impossible to vectorize") — handled by recurrence
+       registers + streams instead */
+    w[0] = c[0];
+    for (i = 1; i < n; i++)
+        w[i] = c[i] - 0.5 * w[i - 1];
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + w[i];
+    return s;
+}
+)";
+
+    for (bool vectorize : {false, true}) {
+        driver::CompileOptions options;
+        options.vectorize = vectorize;
+        auto compiled = driver::compileSource(source, options);
+        if (!compiled.ok) {
+            std::fprintf(stderr, "compile failed:\n%s\n",
+                         compiled.diagnostics.c_str());
+            return 1;
+        }
+        int vecLoops = 0;
+        for (const auto &r : compiled.vectorizeReports)
+            vecLoops += r.loopsVectorized;
+
+        wmsim::SimConfig config;
+        config.memPorts = 8;
+        config.scuBurst = 4;
+        config.dataFifoDepth = 32;
+        auto run = wmsim::simulate(*compiled.program, config);
+        if (!run.ok) {
+            std::fprintf(stderr, "simulation failed: %s\n",
+                         run.error.c_str());
+            return 1;
+        }
+        std::printf("vectorize=%-3s  loops vectorized=%d  result=%lld  "
+                    "cycles=%llu  vector elements=%llu\n",
+                    vectorize ? "on" : "off", vecLoops,
+                    static_cast<long long>(run.returnValue),
+                    static_cast<unsigned long long>(run.stats.cycles),
+                    static_cast<unsigned long long>(
+                        run.stats.vectorElements));
+        if (vectorize) {
+            std::printf("\n---- generated code (note the Vop where the "
+                        "c[i]=a[i]*b[i] loop was,\n     and the streamed "
+                        "scalar loop that carries the w recurrence) "
+                        "----\n%s\n",
+                        wm::printFunction(
+                            *compiled.program->findFunction("main"))
+                            .c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+#include "cfg/dominators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/diag.h"
+
+namespace wmstream::cfg {
+
+using rtl::Block;
+
+DominatorTree::DominatorTree(rtl::Function &fn)
+{
+    Block *entry = fn.entry();
+    WS_ASSERT(entry, "dominators of empty function");
+
+    // Depth-first post-order, then reverse.
+    std::unordered_set<const Block *> visited;
+    std::vector<Block *> post;
+    std::vector<std::pair<Block *, size_t>> stack;
+    stack.emplace_back(entry, 0);
+    visited.insert(entry);
+    while (!stack.empty()) {
+        auto &[b, i] = stack.back();
+        if (i < b->succs.size()) {
+            Block *s = b->succs[i++];
+            if (visited.insert(s).second)
+                stack.emplace_back(s, 0);
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpoNum_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy iteration.
+    idom_[entry] = entry;
+    auto intersect = [&](Block *a, Block *b) {
+        while (a != b) {
+            while (rpoNum_.at(a) > rpoNum_.at(b))
+                a = idom_.at(a);
+            while (rpoNum_.at(b) > rpoNum_.at(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (Block *b : rpo_) {
+            if (b == entry)
+                continue;
+            Block *newIdom = nullptr;
+            for (Block *p : b->preds) {
+                if (!rpoNum_.count(p) || !idom_.count(p))
+                    continue; // unreachable or not yet processed
+                newIdom = newIdom ? intersect(newIdom, p) : p;
+            }
+            if (newIdom && (!idom_.count(b) || idom_[b] != newIdom)) {
+                idom_[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+}
+
+Block *
+DominatorTree::idom(const Block *b) const
+{
+    auto it = idom_.find(b);
+    if (it == idom_.end())
+        return nullptr;
+    return it->second == b ? nullptr : it->second;
+}
+
+bool
+DominatorTree::dominates(const Block *a, const Block *b) const
+{
+    const Block *x = b;
+    for (;;) {
+        if (x == a)
+            return true;
+        auto it = idom_.find(x);
+        if (it == idom_.end() || it->second == x)
+            return false;
+        x = it->second;
+    }
+}
+
+} // namespace wmstream::cfg

@@ -1,0 +1,104 @@
+#include "cfg/liveness.h"
+
+namespace wmstream::cfg {
+
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+using rtl::UnitSide;
+
+std::vector<RegKey>
+instUseKeys(const Inst &inst)
+{
+    std::vector<RegKey> keys;
+    for (const auto &r : rtl::instUses(inst))
+        keys.push_back({r->regFile(), r->regIndex()});
+    if (inst.kind == InstKind::CondJump)
+        keys.push_back({RegFile::CC,
+                        inst.side == UnitSide::Int ? 0 : 1});
+    return keys;
+}
+
+std::vector<RegKey>
+instDefKeys(const Inst &inst, const rtl::MachineTraits &traits)
+{
+    std::vector<RegKey> keys;
+    if (auto d = rtl::instDef(inst))
+        keys.push_back({d->regFile(), d->regIndex()});
+    if (inst.kind == InstKind::Call) {
+        // Calls clobber every caller-saved register and both CC cells.
+        for (int i = traits.firstAllocatable; i < traits.firstCalleeSaved;
+                 ++i) {
+            keys.push_back({RegFile::Int, i});
+            keys.push_back({RegFile::Flt, i});
+        }
+        keys.push_back({RegFile::CC, 0});
+        keys.push_back({RegFile::CC, 1});
+    }
+    return keys;
+}
+
+bool
+isZeroReg(const RegKey &key, const rtl::MachineTraits &traits)
+{
+    return (key.file == RegFile::Int || key.file == RegFile::Flt) &&
+           key.index == traits.zeroReg;
+}
+
+Liveness::Liveness(rtl::Function &fn, const rtl::MachineTraits &traits)
+    : traits_(traits)
+{
+    for (auto &b : fn.blocks()) {
+        in_[b.get()];
+        out_[b.get()];
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Backward over layout order (order only affects iteration
+        // count, not the fixed point).
+        auto &blocks = fn.blocks();
+        for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+            rtl::Block *b = it->get();
+            RegSet out;
+            for (rtl::Block *s : b->succs)
+                for (const RegKey &k : in_[s])
+                    out.insert(k);
+            RegSet live = out;
+            for (auto ii = b->insts.rbegin(); ii != b->insts.rend(); ++ii) {
+                for (const RegKey &k : instDefKeys(*ii, traits_))
+                    live.erase(k);
+                for (const RegKey &k : instUseKeys(*ii))
+                    if (!isZeroReg(k, traits_))
+                        live.insert(k);
+            }
+            if (out != out_[b]) {
+                out_[b] = std::move(out);
+                changed = true;
+            }
+            if (live != in_[b]) {
+                in_[b] = std::move(live);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Liveness::liveAfter(const rtl::Block *b, size_t idx, const RegKey &key) const
+{
+    // Scan forward from idx+1 within the block.
+    for (size_t i = idx + 1; i < b->insts.size(); ++i) {
+        const Inst &inst = b->insts[i];
+        for (const RegKey &k : instUseKeys(inst))
+            if (k == key)
+                return true;
+        for (const RegKey &k : instDefKeys(inst, traits_))
+            if (k == key)
+                return false;
+    }
+    return out_.at(b).count(key) != 0;
+}
+
+} // namespace wmstream::cfg

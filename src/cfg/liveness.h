@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Live-variable analysis over registers (virtual, physical, and CC).
+ *
+ * The classic backward may-analysis. Used by dead-code elimination,
+ * the streaming pass's dead-induction-variable deletion (paper Step 2j),
+ * and register assignment.
+ */
+
+#ifndef WMSTREAM_CFG_LIVENESS_H
+#define WMSTREAM_CFG_LIVENESS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rtl/inst.h"
+#include "rtl/machine.h"
+
+namespace wmstream::cfg {
+
+/** A register identity: file plus index, hashable. */
+struct RegKey
+{
+    rtl::RegFile file;
+    int index;
+
+    bool operator==(const RegKey &o) const
+    {
+        return file == o.file && index == o.index;
+    }
+};
+
+struct RegKeyHash
+{
+    size_t operator()(const RegKey &k) const
+    {
+        return static_cast<size_t>(k.file) * 1000003u +
+               static_cast<size_t>(k.index);
+    }
+};
+
+using RegSet = std::unordered_set<RegKey, RegKeyHash>;
+
+/** Register keys read by @p inst (includes CC for conditional jumps). */
+std::vector<RegKey> instUseKeys(const rtl::Inst &inst);
+
+/**
+ * Register keys written by @p inst. A Call clobbers all caller-saved
+ * registers of both files plus both CC cells per @p traits.
+ */
+std::vector<RegKey> instDefKeys(const rtl::Inst &inst,
+                                const rtl::MachineTraits &traits);
+
+/** True if @p key is a hardwired zero register per @p traits. */
+bool isZeroReg(const RegKey &key, const rtl::MachineTraits &traits);
+
+/** Per-block liveness sets for one function. */
+class Liveness
+{
+  public:
+    Liveness(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+    const RegSet &liveIn(const rtl::Block *b) const
+    {
+        return in_.at(b);
+    }
+    const RegSet &liveOut(const rtl::Block *b) const
+    {
+        return out_.at(b);
+    }
+
+    /**
+     * True if @p key is live immediately after instruction @p idx of
+     * block @p b (i.e. some later use may read the value present there).
+     */
+    bool liveAfter(const rtl::Block *b, size_t idx, const RegKey &key) const;
+
+  private:
+    const rtl::MachineTraits traits_;
+    std::unordered_map<const rtl::Block *, RegSet> in_;
+    std::unordered_map<const rtl::Block *, RegSet> out_;
+};
+
+} // namespace wmstream::cfg
+
+#endif // WMSTREAM_CFG_LIVENESS_H

@@ -1,0 +1,146 @@
+#include "cfg/loops.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace wmstream::cfg {
+
+using rtl::Block;
+using rtl::Inst;
+using rtl::InstKind;
+
+bool
+Loop::contains(const Loop &other) const
+{
+    if (other.blocks.size() >= blocks.size())
+        return false;
+    for (Block *b : other.blocks)
+        if (!blocks.count(b))
+            return false;
+    return true;
+}
+
+LoopInfo::LoopInfo(rtl::Function &fn, const DominatorTree &dt)
+{
+    // Find back edges and build the natural loop of each.
+    for (auto &bp : fn.blocks()) {
+        Block *tail = bp.get();
+        for (Block *head : tail->succs) {
+            if (!dt.dominates(head, tail))
+                continue;
+            // Natural loop: head plus all blocks that reach tail
+            // without passing through head.
+            Loop *loop = nullptr;
+            for (auto &l : loops_)
+                if (l.header == head)
+                    loop = &l;
+            if (!loop) {
+                loops_.emplace_back();
+                loop = &loops_.back();
+                loop->header = head;
+                loop->blocks.insert(head);
+            }
+            std::vector<Block *> work;
+            if (loop->blocks.insert(tail).second)
+                work.push_back(tail);
+            else if (tail != head)
+                work.push_back(tail); // revisit preds anyway
+            while (!work.empty()) {
+                Block *b = work.back();
+                work.pop_back();
+                for (Block *p : b->preds)
+                    if (loop->blocks.insert(p).second)
+                        work.push_back(p);
+            }
+        }
+    }
+
+    // Latches and exits.
+    for (auto &loop : loops_) {
+        for (Block *p : loop.header->preds)
+            if (loop.contains(p))
+                loop.latches.push_back(p);
+        for (Block *b : loop.blocks) {
+            for (Block *s : b->succs) {
+                if (!loop.contains(s)) {
+                    loop.exiting.push_back(b);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Innermost first: fewer blocks first, and containment as a tie
+    // breaker for robustness.
+    std::sort(loops_.begin(), loops_.end(),
+              [](const Loop &a, const Loop &b) {
+                  if (a.blocks.size() != b.blocks.size())
+                      return a.blocks.size() < b.blocks.size();
+                  return a.header->label() < b.header->label();
+              });
+}
+
+rtl::Block *
+ensurePreheader(rtl::Function &fn, Loop &loop)
+{
+    Block *header = loop.header;
+
+    // Existing preheader?
+    Block *outPred = nullptr;
+    int numOut = 0;
+    for (Block *p : header->preds) {
+        if (!loop.contains(p)) {
+            outPred = p;
+            ++numOut;
+        }
+    }
+    if (numOut == 1 && outPred->succs.size() == 1 &&
+            outPred->succs[0] == header) {
+        return outPred;
+    }
+
+    // Layout-predecessor handling: if the block laid out just before the
+    // header falls through into it and is *inside* the loop, give it an
+    // explicit jump (via a stub block) so the new preheader does not
+    // capture the back edge.
+    auto &blocks = fn.blocks();
+    size_t hIdx = 0;
+    for (size_t i = 0; i < blocks.size(); ++i)
+        if (blocks[i].get() == header)
+            hIdx = i;
+    if (hIdx > 0) {
+        Block *prev = blocks[hIdx - 1].get();
+        bool fallsThrough = true;
+        if (const Inst *t = prev->terminator())
+            fallsThrough = t->kind != InstKind::Jump &&
+                           t->kind != InstKind::Return;
+        if (fallsThrough && loop.contains(prev)) {
+            if (!prev->terminator()) {
+                prev->insts.push_back(rtl::makeJump(header->label()));
+            } else {
+                // Conditional fallthrough: route it through a stub.
+                Block *stub = fn.insertBlockBefore(header);
+                stub->insts.push_back(rtl::makeJump(header->label()));
+                ++hIdx;
+            }
+        }
+    }
+
+    Block *pre = fn.insertBlockBefore(header);
+
+    // Redirect out-of-loop branches aimed at the header.
+    for (auto &bp : fn.blocks()) {
+        Block *b = bp.get();
+        if (b == pre || loop.contains(b))
+            continue;
+        for (auto &inst : b->insts)
+            if (inst.isBranch() && inst.target == header->label())
+                inst.target = pre->label();
+    }
+
+    fn.recomputeCfg();
+    return pre;
+}
+
+} // namespace wmstream::cfg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Natural loop detection.
+ *
+ * Finds back edges (tail -> header where the header dominates the
+ * tail), builds the natural loop of each back edge, and merges loops
+ * sharing a header. Provides the loop preheader (creating one when
+ * needed), latch and exit sets — the scaffolding both the recurrence
+ * and streaming passes operate on.
+ */
+
+#ifndef WMSTREAM_CFG_LOOPS_H
+#define WMSTREAM_CFG_LOOPS_H
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/dominators.h"
+#include "rtl/inst.h"
+
+namespace wmstream::cfg {
+
+/** One natural loop. */
+struct Loop
+{
+    rtl::Block *header = nullptr;
+    /** Blocks in the loop, header included. */
+    std::unordered_set<rtl::Block *> blocks;
+    /** In-loop predecessors of the header (sources of back edges). */
+    std::vector<rtl::Block *> latches;
+    /** In-loop blocks with a successor outside the loop. */
+    std::vector<rtl::Block *> exiting;
+
+    bool contains(const rtl::Block *b) const
+    {
+        return blocks.count(const_cast<rtl::Block *>(b)) != 0;
+    }
+    /** Strict containment of another loop (for innermost-first order). */
+    bool contains(const Loop &other) const;
+};
+
+/** All natural loops of a function, innermost first. */
+class LoopInfo
+{
+  public:
+    /** Analyze @p fn using @p dt (CFG must be current). */
+    LoopInfo(rtl::Function &fn, const DominatorTree &dt);
+
+    std::vector<Loop> &loops() { return loops_; }
+    const std::vector<Loop> &loops() const { return loops_; }
+
+  private:
+    std::vector<Loop> loops_;
+};
+
+/**
+ * Return the preheader of @p loop: the unique out-of-loop predecessor
+ * of the header whose only successor is the header. Creates one (and
+ * fixes up CFG edges) when it does not exist.
+ */
+rtl::Block *ensurePreheader(rtl::Function &fn, Loop &loop);
+
+} // namespace wmstream::cfg
+
+#endif // WMSTREAM_CFG_LOOPS_H

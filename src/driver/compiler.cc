@@ -1,0 +1,104 @@
+#include "driver/compiler.h"
+
+#include "expand/expander.h"
+#include "frontend/parser.h"
+#include "opt/passes.h"
+#include "wm/lowering.h"
+
+namespace wmstream::driver {
+
+int
+CompileResult::totalRecurrences() const
+{
+    int n = 0;
+    for (const auto &r : recurrenceReports)
+        n += r.recurrencesOptimized;
+    return n;
+}
+
+int
+CompileResult::totalStreams() const
+{
+    int n = 0;
+    for (const auto &r : streamingReports)
+        n += r.streamsIn + r.streamsOut;
+    return n;
+}
+
+CompileResult
+compileSource(const std::string &source, const CompileOptions &options)
+{
+    CompileResult res;
+    res.traits = options.target == rtl::MachineKind::WM
+                     ? rtl::wmTraits()
+                     : rtl::scalarTraits();
+
+    DiagEngine diag;
+    auto unit = frontend::parseAndCheck(source, diag);
+    if (!unit) {
+        res.diagnostics = diag.str();
+        return res;
+    }
+
+    res.program = std::make_unique<rtl::Program>();
+    expand::expandUnit(*unit, res.traits, *res.program);
+
+    for (auto &fn : res.program->functions()) {
+        if (options.optimize)
+            opt::runCleanupPipeline(*fn, res.traits, res.program.get());
+        else
+            opt::runLegalize(*fn, res.traits);
+
+        if (options.recurrence) {
+            res.recurrenceReports.push_back(recurrence::runRecurrenceOpt(
+                *fn, res.traits, options.maxRecurrenceDegree));
+            // The paper: "after performing the recurrence
+            // transformations, the optimizer invokes other phases" —
+            // copy propagation removes the chain shift when possible.
+            if (options.optimize) {
+                opt::runCopyPropagate(*fn, res.traits);
+                opt::runDeadCodeElim(*fn, res.traits);
+            }
+        }
+
+        if (options.streaming && res.traits.hasStreams) {
+            res.streamingReports.push_back(streaming::runStreaming(
+                *fn, res.traits, options.minStreamTripCount));
+            if (options.optimize) {
+                opt::runCombine(*fn, res.traits);
+                opt::runCopyPropagate(*fn, res.traits);
+                opt::runDeadCodeElim(*fn, res.traits);
+                opt::runBranchOpt(*fn);
+            }
+            // Vectorization recognizes the post-cleanup single-
+            // instruction loop bodies.
+            if (options.vectorize)
+                res.vectorizeReports.push_back(
+                    streaming::runVectorize(*fn, res.traits));
+        }
+
+        if (res.traits.isWM() && options.optimize)
+            opt::runBranchAnticipate(*fn, res.traits);
+
+        if (options.strengthReduce && !res.traits.isWM()) {
+            opt::runStrengthReduce(*fn, res.traits);
+            if (options.optimize) {
+                opt::runCombine(*fn, res.traits);
+                opt::runCopyPropagate(*fn, res.traits);
+                opt::runDeadCodeElim(*fn, res.traits);
+            }
+        }
+
+        opt::runRegAlloc(*fn, res.traits);
+    }
+
+    if (res.traits.isWM() && options.lowerFifo)
+        wm::lowerProgram(*res.program, res.traits);
+
+    res.program->layout();
+    res.ok = true;
+    res.diagnostics = diag.str();
+    return res;
+}
+
+} // namespace wmstream::driver

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The compiler driver: source to optimized target program.
+ *
+ * Mirrors the paper's Figure 3 pipeline: front end -> code expander ->
+ * optimizer phases (cleanup, loop analysis, recurrence optimization,
+ * streaming, strength reduction) -> register assignment -> (WM only)
+ * FIFO-form lowering. Every knob an experiment needs is a
+ * CompileOptions field, so the benchmark harnesses can compile the same
+ * source with/without recurrence detection or streaming, exactly like
+ * the paper's measurements.
+ */
+
+#ifndef WMSTREAM_DRIVER_COMPILER_H
+#define WMSTREAM_DRIVER_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recurrence/recurrence.h"
+#include "rtl/machine.h"
+#include "rtl/program.h"
+#include "streaming/streaming.h"
+#include "streaming/vectorize.h"
+#include "support/diag.h"
+
+namespace wmstream::driver {
+
+/** Per-compilation switches. */
+struct CompileOptions
+{
+    rtl::MachineKind target = rtl::MachineKind::WM;
+    bool optimize = true;        ///< classic cleanup phases
+    bool recurrence = true;      ///< recurrence detection/optimization
+    bool streaming = true;       ///< streaming (WM only)
+    bool vectorize = false;      ///< VEU vectorization of streamed loops
+    bool strengthReduce = true;  ///< address strength reduction (scalar)
+    bool lowerFifo = true;       ///< WM FIFO-form lowering
+    int minStreamTripCount = 4;  ///< paper Step 1 threshold
+    int maxRecurrenceDegree = 4;
+};
+
+/** Compilation output plus per-pass reports for the harnesses. */
+struct CompileResult
+{
+    bool ok = false;
+    std::unique_ptr<rtl::Program> program;
+    rtl::MachineTraits traits;
+    std::string diagnostics;
+    std::vector<recurrence::RecurrenceReport> recurrenceReports;
+    std::vector<streaming::StreamingReport> streamingReports;
+    std::vector<streaming::VectorizeReport> vectorizeReports;
+
+    int totalRecurrences() const;
+    int totalStreams() const;
+};
+
+/** Compile mini-C @p source with @p options. Lays the program out. */
+CompileResult compileSource(const std::string &source,
+                            const CompileOptions &options);
+
+} // namespace wmstream::driver
+
+#endif // WMSTREAM_DRIVER_COMPILER_H

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Abstract syntax tree for the mini-C front end.
+ *
+ * Nodes carry a Kind tag and consumers dispatch with switch statements;
+ * the tree is produced by the Parser, typed and resolved by Sema, and
+ * then consumed by both the AST interpreter (the differential-testing
+ * oracle) and the code expander.
+ */
+
+#ifndef WMSTREAM_FRONTEND_AST_H
+#define WMSTREAM_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/type.h"
+#include "support/diag.h"
+
+namespace wmstream::frontend {
+
+/** Binary operators (logical && / || lower to control flow later). */
+enum class BinOp : uint8_t {
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr, BitAnd, BitOr, BitXor,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+    None, ///< plain '=' in AssignExpr
+};
+
+/** Unary operators, including the four inc/dec forms. */
+enum class UnOp : uint8_t {
+    Neg, LogNot, BitNot, Deref, AddrOf,
+    PreInc, PreDec, PostInc, PostDec,
+};
+
+class Decl;
+class FuncDecl;
+
+/** Node kind tags for switch dispatch. */
+enum class NodeKind : uint8_t {
+    // expressions
+    IntLit, FloatLit, StrLit, Ident, Unary, Binary, Assign, Cond,
+    Index, Call, Cast,
+    // statements
+    ExprStmt, IfStmt, WhileStmt, DoWhileStmt, ForStmt, ReturnStmt,
+    BreakStmt, ContinueStmt, BlockStmt, DeclStmt,
+    // declarations
+    VarDecl, ParamDecl, FuncDecl,
+};
+
+/** Base of every AST node. */
+class Node
+{
+  public:
+    explicit Node(NodeKind k, SourcePos p) : kind_(k), pos_(p) {}
+    virtual ~Node() = default;
+
+    NodeKind kind() const { return kind_; }
+    SourcePos pos() const { return pos_; }
+
+  private:
+    NodeKind kind_;
+    SourcePos pos_;
+};
+
+/** Base of expressions; `type` is filled in by Sema. */
+class Expr : public Node
+{
+  public:
+    using Node::Node;
+    TypePtr type;
+};
+
+using ExprUP = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr
+{
+  public:
+    IntLitExpr(SourcePos p, int64_t v)
+        : Expr(NodeKind::IntLit, p), value(v) {}
+    int64_t value;
+};
+
+class FloatLitExpr : public Expr
+{
+  public:
+    FloatLitExpr(SourcePos p, double v)
+        : Expr(NodeKind::FloatLit, p), value(v) {}
+    double value;
+};
+
+/** A string literal; Sema assigns it a constant-pool symbol name. */
+class StrLitExpr : public Expr
+{
+  public:
+    StrLitExpr(SourcePos p, std::string v)
+        : Expr(NodeKind::StrLit, p), value(std::move(v)) {}
+    std::string value;
+    std::string poolName;
+};
+
+/** A name use; Sema links it to its declaration. */
+class IdentExpr : public Expr
+{
+  public:
+    IdentExpr(SourcePos p, std::string n)
+        : Expr(NodeKind::Ident, p), name(std::move(n)) {}
+    std::string name;
+    Decl *decl = nullptr;
+};
+
+class UnaryExpr : public Expr
+{
+  public:
+    UnaryExpr(SourcePos p, UnOp o, ExprUP x)
+        : Expr(NodeKind::Unary, p), op(o), operand(std::move(x)) {}
+    UnOp op;
+    ExprUP operand;
+};
+
+class BinaryExpr : public Expr
+{
+  public:
+    BinaryExpr(SourcePos p, BinOp o, ExprUP l, ExprUP r)
+        : Expr(NodeKind::Binary, p), op(o), lhs(std::move(l)),
+          rhs(std::move(r)) {}
+    BinOp op;
+    ExprUP lhs;
+    ExprUP rhs;
+};
+
+/** `lhs = rhs` or compound `lhs op= rhs` (op != None). */
+class AssignExpr : public Expr
+{
+  public:
+    AssignExpr(SourcePos p, BinOp o, ExprUP l, ExprUP r)
+        : Expr(NodeKind::Assign, p), op(o), lhs(std::move(l)),
+          rhs(std::move(r)) {}
+    BinOp op;
+    ExprUP lhs;
+    ExprUP rhs;
+};
+
+class CondExpr : public Expr
+{
+  public:
+    CondExpr(SourcePos p, ExprUP c, ExprUP t, ExprUP e)
+        : Expr(NodeKind::Cond, p), cond(std::move(c)),
+          thenExpr(std::move(t)), elseExpr(std::move(e)) {}
+    ExprUP cond;
+    ExprUP thenExpr;
+    ExprUP elseExpr;
+};
+
+class IndexExpr : public Expr
+{
+  public:
+    IndexExpr(SourcePos p, ExprUP b, ExprUP i)
+        : Expr(NodeKind::Index, p), base(std::move(b)),
+          index(std::move(i)) {}
+    ExprUP base;
+    ExprUP index;
+};
+
+class CallExpr : public Expr
+{
+  public:
+    CallExpr(SourcePos p, std::string c, std::vector<ExprUP> a)
+        : Expr(NodeKind::Call, p), callee(std::move(c)),
+          args(std::move(a)) {}
+    std::string callee;
+    std::vector<ExprUP> args;
+    FuncDecl *decl = nullptr;
+};
+
+/** Implicit conversion inserted by Sema (int<->double, array decay). */
+class CastExpr : public Expr
+{
+  public:
+    CastExpr(SourcePos p, TypePtr to, ExprUP x)
+        : Expr(NodeKind::Cast, p), operand(std::move(x))
+    {
+        type = std::move(to);
+    }
+    ExprUP operand;
+};
+
+/** Base of statements. */
+class Stmt : public Node
+{
+  public:
+    using Node::Node;
+};
+
+using StmtUP = std::unique_ptr<Stmt>;
+
+class ExprStmt : public Stmt
+{
+  public:
+    ExprStmt(SourcePos p, ExprUP e)
+        : Stmt(NodeKind::ExprStmt, p), expr(std::move(e)) {}
+    ExprUP expr;
+};
+
+class IfStmt : public Stmt
+{
+  public:
+    IfStmt(SourcePos p, ExprUP c, StmtUP t, StmtUP e)
+        : Stmt(NodeKind::IfStmt, p), cond(std::move(c)),
+          thenStmt(std::move(t)), elseStmt(std::move(e)) {}
+    ExprUP cond;
+    StmtUP thenStmt;
+    StmtUP elseStmt; ///< may be null
+};
+
+class WhileStmt : public Stmt
+{
+  public:
+    WhileStmt(SourcePos p, ExprUP c, StmtUP b)
+        : Stmt(NodeKind::WhileStmt, p), cond(std::move(c)),
+          body(std::move(b)) {}
+    ExprUP cond;
+    StmtUP body;
+};
+
+class DoWhileStmt : public Stmt
+{
+  public:
+    DoWhileStmt(SourcePos p, StmtUP b, ExprUP c)
+        : Stmt(NodeKind::DoWhileStmt, p), body(std::move(b)),
+          cond(std::move(c)) {}
+    StmtUP body;
+    ExprUP cond;
+};
+
+class ForStmt : public Stmt
+{
+  public:
+    ForStmt(SourcePos p, ExprUP i, ExprUP c, ExprUP s, StmtUP b)
+        : Stmt(NodeKind::ForStmt, p), init(std::move(i)),
+          cond(std::move(c)), step(std::move(s)), body(std::move(b)) {}
+    ExprUP init; ///< may be null
+    ExprUP cond; ///< may be null (infinite)
+    ExprUP step; ///< may be null
+    StmtUP body;
+};
+
+class ReturnStmt : public Stmt
+{
+  public:
+    ReturnStmt(SourcePos p, ExprUP v)
+        : Stmt(NodeKind::ReturnStmt, p), value(std::move(v)) {}
+    ExprUP value; ///< may be null
+};
+
+class BreakStmt : public Stmt
+{
+  public:
+    explicit BreakStmt(SourcePos p) : Stmt(NodeKind::BreakStmt, p) {}
+};
+
+class ContinueStmt : public Stmt
+{
+  public:
+    explicit ContinueStmt(SourcePos p) : Stmt(NodeKind::ContinueStmt, p) {}
+};
+
+class BlockStmt : public Stmt
+{
+  public:
+    explicit BlockStmt(SourcePos p) : Stmt(NodeKind::BlockStmt, p) {}
+    std::vector<StmtUP> stmts;
+};
+
+/** Base of declarations. */
+class Decl : public Node
+{
+  public:
+    Decl(NodeKind k, SourcePos p, std::string n, TypePtr t)
+        : Node(k, p), name(std::move(n)), type(std::move(t)) {}
+    std::string name;
+    TypePtr type;
+};
+
+using DeclUP = std::unique_ptr<Decl>;
+
+/** An array initializer list or a single scalar initializer. */
+struct Initializer
+{
+    ExprUP scalar;                 ///< non-null for scalar init
+    std::vector<ExprUP> list;      ///< non-empty for {..} init
+    std::string stringInit;        ///< for char arrays from "..."
+    bool isString = false;
+    bool empty() const
+    {
+        return !scalar && list.empty() && !isString;
+    }
+};
+
+class VarDecl : public Decl
+{
+  public:
+    VarDecl(SourcePos p, std::string n, TypePtr t, bool global)
+        : Decl(NodeKind::VarDecl, p, std::move(n), std::move(t)),
+          isGlobal(global) {}
+    bool isGlobal;
+    Initializer init;
+    /**
+     * True when the variable's address is taken or it is an array; such
+     * locals live in the stack frame, the rest live in virtual registers.
+     */
+    bool addressTaken = false;
+};
+
+/** A statement that introduces local variables. */
+class DeclStmt : public Stmt
+{
+  public:
+    explicit DeclStmt(SourcePos p) : Stmt(NodeKind::DeclStmt, p) {}
+    std::vector<std::unique_ptr<VarDecl>> vars;
+};
+
+class ParamDecl : public Decl
+{
+  public:
+    ParamDecl(SourcePos p, std::string n, TypePtr t, int idx)
+        : Decl(NodeKind::ParamDecl, p, std::move(n), std::move(t)),
+          index(idx) {}
+    int index;
+    bool addressTaken = false;
+};
+
+class FuncDecl : public Decl
+{
+  public:
+    FuncDecl(SourcePos p, std::string n, TypePtr t)
+        : Decl(NodeKind::FuncDecl, p, std::move(n), std::move(t)) {}
+    std::vector<std::unique_ptr<ParamDecl>> params;
+    std::unique_ptr<BlockStmt> body; ///< null for a prototype
+    TypePtr returnType() const { return type->base(); }
+};
+
+/** A parsed compilation unit. */
+struct TranslationUnit
+{
+    std::vector<std::unique_ptr<VarDecl>> globals;
+    std::vector<std::unique_ptr<FuncDecl>> functions;
+    /** String literals collected by Sema: pool name -> bytes (w/ NUL). */
+    std::vector<std::pair<std::string, std::string>> stringPool;
+
+    FuncDecl *findFunction(const std::string &name) const
+    {
+        for (const auto &f : functions)
+            if (f->name == name)
+                return f.get();
+        return nullptr;
+    }
+};
+
+} // namespace wmstream::frontend
+
+#endif // WMSTREAM_FRONTEND_AST_H

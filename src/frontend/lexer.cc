@@ -1,0 +1,361 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace wmstream::frontend {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "floating literal";
+      case Tok::CharLit: return "character literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwChar: return "'char'";
+      case Tok::KwDouble: return "'double'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::SlashAssign: return "'/='";
+      case Tok::PercentAssign: return "'%='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+      case Tok::Amp: return "'&'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string source, DiagEngine &diag)
+    : src_(std::move(source)), diag_(diag)
+{
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t i = pos_ + ahead;
+    return i < src_.size() ? src_[i] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = peek();
+    if (c == '\0')
+        return c;
+    ++pos_;
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char c)
+{
+    if (peek() == c) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourcePos start = here();
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0') {
+                    diag_.error(start, "unterminated comment");
+                    return;
+                }
+                advance();
+            }
+            advance();
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::make(Tok kind)
+{
+    Token t;
+    t.kind = kind;
+    t.pos = tokStart_;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token t = make(Tok::IntLit);
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        text.push_back(advance());
+        text.push_back(advance());
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+            text.push_back(advance());
+        t.ival = std::strtoll(text.c_str(), nullptr, 16);
+        return t;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        text.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        char sign = peek(1);
+        if (std::isdigit(static_cast<unsigned char>(sign)) ||
+                ((sign == '+' || sign == '-') &&
+                 std::isdigit(static_cast<unsigned char>(peek(2))))) {
+            is_float = true;
+            text.push_back(advance());
+            if (peek() == '+' || peek() == '-')
+                text.push_back(advance());
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text.push_back(advance());
+        }
+    }
+    if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.fval = std::strtod(text.c_str(), nullptr);
+    } else {
+        t.ival = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return t;
+}
+
+Token
+Lexer::lexIdent()
+{
+    static const std::unordered_map<std::string, Tok> keywords = {
+        {"int", Tok::KwInt},       {"char", Tok::KwChar},
+        {"double", Tok::KwDouble}, {"void", Tok::KwVoid},
+        {"if", Tok::KwIf},         {"else", Tok::KwElse},
+        {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+        {"do", Tok::KwDo},         {"return", Tok::KwReturn},
+        {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+    };
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        text.push_back(advance());
+    auto it = keywords.find(text);
+    if (it != keywords.end())
+        return make(it->second);
+    Token t = make(Tok::Ident);
+    t.text = std::move(text);
+    return t;
+}
+
+int64_t
+Lexer::lexEscape()
+{
+    char c = advance();
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        diag_.error(here(), std::string("unknown escape '\\") + c + "'");
+        return c;
+    }
+}
+
+Token
+Lexer::lexCharLit()
+{
+    Token t = make(Tok::CharLit);
+    advance(); // opening quote
+    char c = peek();
+    if (c == '\\') {
+        advance();
+        t.ival = lexEscape();
+    } else {
+        t.ival = static_cast<unsigned char>(advance());
+    }
+    if (!match('\''))
+        diag_.error(tokStart_, "unterminated character literal");
+    return t;
+}
+
+Token
+Lexer::lexStrLit()
+{
+    Token t = make(Tok::StrLit);
+    advance(); // opening quote
+    std::string text;
+    for (;;) {
+        char c = peek();
+        if (c == '"' || c == '\0')
+            break;
+        if (c == '\\') {
+            advance();
+            text.push_back(static_cast<char>(lexEscape()));
+        } else {
+            text.push_back(advance());
+        }
+    }
+    if (!match('"'))
+        diag_.error(tokStart_, "unterminated string literal");
+    t.text = std::move(text);
+    return t;
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> out;
+    for (;;) {
+        skipWhitespaceAndComments();
+        tokStart_ = here();
+        char c = peek();
+        if (c == '\0') {
+            out.push_back(make(Tok::End));
+            return out;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            out.push_back(lexNumber());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            out.push_back(lexIdent());
+            continue;
+        }
+        if (c == '\'') {
+            out.push_back(lexCharLit());
+            continue;
+        }
+        if (c == '"') {
+            out.push_back(lexStrLit());
+            continue;
+        }
+        advance();
+        switch (c) {
+          case '(': out.push_back(make(Tok::LParen)); break;
+          case ')': out.push_back(make(Tok::RParen)); break;
+          case '{': out.push_back(make(Tok::LBrace)); break;
+          case '}': out.push_back(make(Tok::RBrace)); break;
+          case '[': out.push_back(make(Tok::LBracket)); break;
+          case ']': out.push_back(make(Tok::RBracket)); break;
+          case ',': out.push_back(make(Tok::Comma)); break;
+          case ';': out.push_back(make(Tok::Semi)); break;
+          case '?': out.push_back(make(Tok::Question)); break;
+          case ':': out.push_back(make(Tok::Colon)); break;
+          case '~': out.push_back(make(Tok::Tilde)); break;
+          case '^': out.push_back(make(Tok::Caret)); break;
+          case '+':
+            out.push_back(make(match('+') ? Tok::PlusPlus
+                               : match('=') ? Tok::PlusAssign : Tok::Plus));
+            break;
+          case '-':
+            out.push_back(make(match('-') ? Tok::MinusMinus
+                               : match('=') ? Tok::MinusAssign : Tok::Minus));
+            break;
+          case '*':
+            out.push_back(make(match('=') ? Tok::StarAssign : Tok::Star));
+            break;
+          case '/':
+            out.push_back(make(match('=') ? Tok::SlashAssign : Tok::Slash));
+            break;
+          case '%':
+            out.push_back(make(match('=') ? Tok::PercentAssign
+                                          : Tok::Percent));
+            break;
+          case '&':
+            out.push_back(make(match('&') ? Tok::AmpAmp : Tok::Amp));
+            break;
+          case '|':
+            out.push_back(make(match('|') ? Tok::PipePipe : Tok::Pipe));
+            break;
+          case '!':
+            out.push_back(make(match('=') ? Tok::Ne : Tok::Bang));
+            break;
+          case '=':
+            out.push_back(make(match('=') ? Tok::Eq : Tok::Assign));
+            break;
+          case '<':
+            out.push_back(make(match('<') ? Tok::Shl
+                               : match('=') ? Tok::Le : Tok::Lt));
+            break;
+          case '>':
+            out.push_back(make(match('>') ? Tok::Shr
+                               : match('=') ? Tok::Ge : Tok::Gt));
+            break;
+          default:
+            diag_.error(tokStart_,
+                        std::string("unexpected character '") + c + "'");
+            break;
+        }
+    }
+}
+
+} // namespace wmstream::frontend

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tokenizer for the mini-C front end.
+ */
+
+#ifndef WMSTREAM_FRONTEND_LEXER_H
+#define WMSTREAM_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace wmstream::frontend {
+
+/** Token kinds; single-character punctuators use their own entries. */
+enum class Tok : uint8_t {
+    End, Ident, IntLit, FloatLit, CharLit, StrLit,
+    // keywords
+    KwInt, KwChar, KwDouble, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwDo,
+    KwReturn, KwBreak, KwContinue,
+    // punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Question, Colon,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, AmpAmp, Pipe, PipePipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** Printable token-kind name for diagnostics. */
+const char *tokName(Tok t);
+
+/** One lexed token with its source position and literal payload. */
+struct Token
+{
+    Tok kind = Tok::End;
+    SourcePos pos;
+    std::string text;   ///< identifier or string literal contents
+    int64_t ival = 0;   ///< IntLit / CharLit value
+    double fval = 0.0;  ///< FloatLit value
+};
+
+/**
+ * Lexes a whole buffer up front; the parser indexes the token vector.
+ *
+ * Supports decimal and hexadecimal integers, floating literals with
+ * optional exponent, character literals with the usual escapes, string
+ * literals, and both comment styles.
+ */
+class Lexer
+{
+  public:
+    Lexer(std::string source, DiagEngine &diag);
+
+    /** Lex everything; the result always ends with a Tok::End token. */
+    std::vector<Token> lexAll();
+
+  private:
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char c);
+    void skipWhitespaceAndComments();
+    Token lexNumber();
+    Token lexIdent();
+    Token lexCharLit();
+    Token lexStrLit();
+    int64_t lexEscape();
+    Token make(Tok kind);
+    SourcePos here() const { return {line_, col_}; }
+
+    std::string src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    SourcePos tokStart_;
+    DiagEngine &diag_;
+};
+
+} // namespace wmstream::frontend
+
+#endif // WMSTREAM_FRONTEND_LEXER_H

@@ -1,0 +1,661 @@
+#include "frontend/parser.h"
+
+#include <stdexcept>
+
+#include "frontend/sema.h"
+
+namespace wmstream::frontend {
+
+namespace {
+
+/** Internal unwinding exception; never escapes parseUnit(). */
+struct ParseError : std::runtime_error
+{
+    ParseError() : std::runtime_error("parse error") {}
+};
+
+} // anonymous namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagEngine &diag)
+    : toks_(std::move(tokens)), diag_(diag)
+{
+    WS_ASSERT(!toks_.empty() && toks_.back().kind == Tok::End,
+              "token stream must end with End");
+}
+
+const Token &
+Parser::peek(int ahead) const
+{
+    size_t i = pos_ + ahead;
+    if (i >= toks_.size())
+        i = toks_.size() - 1;
+    return toks_[i];
+}
+
+const Token &
+Parser::advance()
+{
+    const Token &t = toks_[pos_];
+    if (pos_ + 1 < toks_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::accept(Tok t)
+{
+    if (check(t)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+const Token &
+Parser::expect(Tok t, const char *what)
+{
+    if (!check(t)) {
+        fail(std::string("expected ") + tokName(t) + " " + what +
+             ", found " + tokName(peek().kind));
+    }
+    return advance();
+}
+
+void
+Parser::fail(const std::string &msg)
+{
+    diag_.error(peek().pos, msg);
+    throw ParseError();
+}
+
+bool
+Parser::atTypeSpec() const
+{
+    switch (peek().kind) {
+      case Tok::KwInt:
+      case Tok::KwChar:
+      case Tok::KwDouble:
+      case Tok::KwVoid:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TypePtr
+Parser::parseTypeSpec()
+{
+    switch (advance().kind) {
+      case Tok::KwInt: return Type::intTy();
+      case Tok::KwChar: return Type::charTy();
+      case Tok::KwDouble: return Type::doubleTy();
+      case Tok::KwVoid: return Type::voidTy();
+      default:
+        fail("expected type specifier");
+    }
+}
+
+std::unique_ptr<TranslationUnit>
+Parser::parseUnit()
+{
+    auto unit = std::make_unique<TranslationUnit>();
+    try {
+        while (!check(Tok::End))
+            parseTopLevel(*unit);
+    } catch (const ParseError &) {
+        // diagnostics already recorded
+    }
+    return unit;
+}
+
+void
+Parser::parseTopLevel(TranslationUnit &unit)
+{
+    SourcePos pos = peek().pos;
+    if (!atTypeSpec())
+        fail("expected declaration at top level");
+    TypePtr base = parseTypeSpec();
+
+    // Peek past pointer stars to see if this is a function.
+    size_t save = pos_;
+    while (accept(Tok::Star)) {
+    }
+    bool isFunc = check(Tok::Ident) && peek(1).kind == Tok::LParen;
+    pos_ = save;
+
+    if (isFunc) {
+        unit.functions.push_back(parseFunctionRest(base, pos));
+        return;
+    }
+
+    // Global variable declaration list.
+    do {
+        unit.globals.push_back(parseVarRest(base, /*global=*/true));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "after global declaration");
+}
+
+std::unique_ptr<FuncDecl>
+Parser::parseFunctionRest(TypePtr retBase, SourcePos pos)
+{
+    TypePtr ret = retBase;
+    while (accept(Tok::Star))
+        ret = Type::pointerTo(ret);
+    std::string name = expect(Tok::Ident, "in function definition").text;
+    expect(Tok::LParen, "after function name");
+
+    std::vector<std::unique_ptr<ParamDecl>> params;
+    std::vector<TypePtr> paramTypes;
+    if (!check(Tok::RParen)) {
+        if (check(Tok::KwVoid) && peek(1).kind == Tok::RParen) {
+            advance();
+        } else {
+            do {
+                SourcePos ppos = peek().pos;
+                if (!atTypeSpec())
+                    fail("expected parameter type");
+                TypePtr pt = parseTypeSpec();
+                while (accept(Tok::Star))
+                    pt = Type::pointerTo(pt);
+                std::string pname =
+                    expect(Tok::Ident, "in parameter list").text;
+                if (accept(Tok::LBracket)) {
+                    // Array parameter decays to pointer.
+                    expect(Tok::RBracket, "in array parameter");
+                    pt = Type::pointerTo(pt);
+                }
+                paramTypes.push_back(pt);
+                params.push_back(std::make_unique<ParamDecl>(
+                    ppos, pname, pt, static_cast<int>(params.size())));
+            } while (accept(Tok::Comma));
+        }
+    }
+    expect(Tok::RParen, "after parameter list");
+
+    auto fn = std::make_unique<FuncDecl>(
+        pos, name, Type::function(ret, std::move(paramTypes)));
+    fn->params = std::move(params);
+    if (accept(Tok::Semi))
+        return fn; // prototype
+    fn->body = parseBlock();
+    return fn;
+}
+
+std::unique_ptr<VarDecl>
+Parser::parseVarRest(TypePtr base, bool global)
+{
+    SourcePos pos = peek().pos;
+    TypePtr ty = base;
+    while (accept(Tok::Star))
+        ty = Type::pointerTo(ty);
+    std::string name = expect(Tok::Ident, "in variable declaration").text;
+
+    // Array dimensions, innermost last.
+    std::vector<int64_t> dims;
+    while (accept(Tok::LBracket)) {
+        const Token &n = expect(Tok::IntLit, "as array dimension");
+        dims.push_back(n.ival);
+        expect(Tok::RBracket, "after array dimension");
+    }
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it)
+        ty = Type::arrayOf(ty, *it);
+
+    auto var = std::make_unique<VarDecl>(pos, name, ty, global);
+    if (accept(Tok::Assign))
+        var->init = parseInitializer();
+    return var;
+}
+
+Initializer
+Parser::parseInitializer()
+{
+    Initializer init;
+    if (check(Tok::StrLit)) {
+        init.isString = true;
+        init.stringInit = advance().text;
+        return init;
+    }
+    if (accept(Tok::LBrace)) {
+        if (!check(Tok::RBrace)) {
+            do {
+                init.list.push_back(parseConditional());
+            } while (accept(Tok::Comma) && !check(Tok::RBrace));
+        }
+        expect(Tok::RBrace, "after initializer list");
+        return init;
+    }
+    init.scalar = parseExpr();
+    return init;
+}
+
+std::unique_ptr<BlockStmt>
+Parser::parseBlock()
+{
+    SourcePos pos = peek().pos;
+    expect(Tok::LBrace, "to open block");
+    auto block = std::make_unique<BlockStmt>(pos);
+    while (!check(Tok::RBrace) && !check(Tok::End)) {
+        if (atTypeSpec())
+            block->stmts.push_back(parseDeclStmt());
+        else
+            block->stmts.push_back(parseStmt());
+    }
+    expect(Tok::RBrace, "to close block");
+    return block;
+}
+
+std::unique_ptr<DeclStmt>
+Parser::parseDeclStmt()
+{
+    SourcePos pos = peek().pos;
+    TypePtr base = parseTypeSpec();
+    auto ds = std::make_unique<DeclStmt>(pos);
+    do {
+        ds->vars.push_back(parseVarRest(base, /*global=*/false));
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "after declaration");
+    return ds;
+}
+
+StmtUP
+Parser::parseStmt()
+{
+    SourcePos pos = peek().pos;
+    switch (peek().kind) {
+      case Tok::LBrace:
+        return parseBlock();
+      case Tok::KwIf: {
+        advance();
+        expect(Tok::LParen, "after 'if'");
+        ExprUP cond = parseExpr();
+        expect(Tok::RParen, "after if condition");
+        StmtUP thenS = parseStmt();
+        StmtUP elseS;
+        if (accept(Tok::KwElse))
+            elseS = parseStmt();
+        return std::make_unique<IfStmt>(pos, std::move(cond),
+                                        std::move(thenS), std::move(elseS));
+      }
+      case Tok::KwWhile: {
+        advance();
+        expect(Tok::LParen, "after 'while'");
+        ExprUP cond = parseExpr();
+        expect(Tok::RParen, "after while condition");
+        StmtUP body = parseStmt();
+        return std::make_unique<WhileStmt>(pos, std::move(cond),
+                                           std::move(body));
+      }
+      case Tok::KwDo: {
+        advance();
+        StmtUP body = parseStmt();
+        expect(Tok::KwWhile, "after do body");
+        expect(Tok::LParen, "after 'while'");
+        ExprUP cond = parseExpr();
+        expect(Tok::RParen, "after do-while condition");
+        expect(Tok::Semi, "after do-while");
+        return std::make_unique<DoWhileStmt>(pos, std::move(body),
+                                             std::move(cond));
+      }
+      case Tok::KwFor: {
+        advance();
+        expect(Tok::LParen, "after 'for'");
+        ExprUP init, cond, step;
+        if (!check(Tok::Semi))
+            init = parseExpr();
+        expect(Tok::Semi, "after for initializer");
+        if (!check(Tok::Semi))
+            cond = parseExpr();
+        expect(Tok::Semi, "after for condition");
+        if (!check(Tok::RParen))
+            step = parseExpr();
+        expect(Tok::RParen, "after for step");
+        StmtUP body = parseStmt();
+        return std::make_unique<ForStmt>(pos, std::move(init),
+                                         std::move(cond), std::move(step),
+                                         std::move(body));
+      }
+      case Tok::KwReturn: {
+        advance();
+        ExprUP value;
+        if (!check(Tok::Semi))
+            value = parseExpr();
+        expect(Tok::Semi, "after return");
+        return std::make_unique<ReturnStmt>(pos, std::move(value));
+      }
+      case Tok::KwBreak:
+        advance();
+        expect(Tok::Semi, "after break");
+        return std::make_unique<BreakStmt>(pos);
+      case Tok::KwContinue:
+        advance();
+        expect(Tok::Semi, "after continue");
+        return std::make_unique<ContinueStmt>(pos);
+      case Tok::Semi:
+        advance();
+        return std::make_unique<BlockStmt>(pos); // empty statement
+      default: {
+        ExprUP e = parseExpr();
+        expect(Tok::Semi, "after expression statement");
+        return std::make_unique<ExprStmt>(pos, std::move(e));
+      }
+    }
+}
+
+ExprUP
+Parser::parseExpr()
+{
+    ExprUP lhs = parseConditional();
+    SourcePos pos = peek().pos;
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Assign: op = BinOp::None; break;
+      case Tok::PlusAssign: op = BinOp::Add; break;
+      case Tok::MinusAssign: op = BinOp::Sub; break;
+      case Tok::StarAssign: op = BinOp::Mul; break;
+      case Tok::SlashAssign: op = BinOp::Div; break;
+      case Tok::PercentAssign: op = BinOp::Rem; break;
+      default:
+        return lhs;
+    }
+    advance();
+    ExprUP rhs = parseExpr(); // right associative
+    return std::make_unique<AssignExpr>(pos, op, std::move(lhs),
+                                        std::move(rhs));
+}
+
+ExprUP
+Parser::parseConditional()
+{
+    ExprUP cond = parseLogicalOr();
+    if (!check(Tok::Question))
+        return cond;
+    SourcePos pos = advance().pos;
+    ExprUP thenE = parseExpr();
+    expect(Tok::Colon, "in conditional expression");
+    ExprUP elseE = parseConditional();
+    return std::make_unique<CondExpr>(pos, std::move(cond),
+                                      std::move(thenE), std::move(elseE));
+}
+
+namespace {
+
+/** Helper to build left-associative binary chains. */
+template <typename Sub, typename Match>
+ExprUP
+leftAssoc(Sub sub, Match match)
+{
+    ExprUP lhs = sub();
+    for (;;) {
+        BinOp op;
+        SourcePos pos;
+        if (!match(op, pos))
+            return lhs;
+        ExprUP rhs = sub();
+        lhs = std::make_unique<BinaryExpr>(pos, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+}
+
+} // anonymous namespace
+
+ExprUP
+Parser::parseLogicalOr()
+{
+    return leftAssoc([&] { return parseLogicalAnd(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (!check(Tok::PipePipe))
+                             return false;
+                         pos = advance().pos;
+                         op = BinOp::LogOr;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseLogicalAnd()
+{
+    return leftAssoc([&] { return parseBitOr(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (!check(Tok::AmpAmp))
+                             return false;
+                         pos = advance().pos;
+                         op = BinOp::LogAnd;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseBitOr()
+{
+    return leftAssoc([&] { return parseBitXor(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (!check(Tok::Pipe))
+                             return false;
+                         pos = advance().pos;
+                         op = BinOp::BitOr;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseBitXor()
+{
+    return leftAssoc([&] { return parseBitAnd(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (!check(Tok::Caret))
+                             return false;
+                         pos = advance().pos;
+                         op = BinOp::BitXor;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseBitAnd()
+{
+    return leftAssoc([&] { return parseEquality(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (!check(Tok::Amp))
+                             return false;
+                         pos = advance().pos;
+                         op = BinOp::BitAnd;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseEquality()
+{
+    return leftAssoc([&] { return parseRelational(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (check(Tok::Eq))
+                             op = BinOp::Eq;
+                         else if (check(Tok::Ne))
+                             op = BinOp::Ne;
+                         else
+                             return false;
+                         pos = advance().pos;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseRelational()
+{
+    return leftAssoc([&] { return parseShift(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         switch (peek().kind) {
+                           case Tok::Lt: op = BinOp::Lt; break;
+                           case Tok::Le: op = BinOp::Le; break;
+                           case Tok::Gt: op = BinOp::Gt; break;
+                           case Tok::Ge: op = BinOp::Ge; break;
+                           default: return false;
+                         }
+                         pos = advance().pos;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseShift()
+{
+    return leftAssoc([&] { return parseAdditive(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (check(Tok::Shl))
+                             op = BinOp::Shl;
+                         else if (check(Tok::Shr))
+                             op = BinOp::Shr;
+                         else
+                             return false;
+                         pos = advance().pos;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseAdditive()
+{
+    return leftAssoc([&] { return parseMultiplicative(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         if (check(Tok::Plus))
+                             op = BinOp::Add;
+                         else if (check(Tok::Minus))
+                             op = BinOp::Sub;
+                         else
+                             return false;
+                         pos = advance().pos;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseMultiplicative()
+{
+    return leftAssoc([&] { return parseUnary(); },
+                     [&](BinOp &op, SourcePos &pos) {
+                         switch (peek().kind) {
+                           case Tok::Star: op = BinOp::Mul; break;
+                           case Tok::Slash: op = BinOp::Div; break;
+                           case Tok::Percent: op = BinOp::Rem; break;
+                           default: return false;
+                         }
+                         pos = advance().pos;
+                         return true;
+                     });
+}
+
+ExprUP
+Parser::parseUnary()
+{
+    SourcePos pos = peek().pos;
+    switch (peek().kind) {
+      case Tok::Minus:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::Neg, parseUnary());
+      case Tok::Bang:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::LogNot, parseUnary());
+      case Tok::Tilde:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::BitNot, parseUnary());
+      case Tok::Star:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::Deref, parseUnary());
+      case Tok::Amp:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::AddrOf, parseUnary());
+      case Tok::PlusPlus:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::PreInc, parseUnary());
+      case Tok::MinusMinus:
+        advance();
+        return std::make_unique<UnaryExpr>(pos, UnOp::PreDec, parseUnary());
+      default:
+        return parsePostfix();
+    }
+}
+
+ExprUP
+Parser::parsePostfix()
+{
+    ExprUP e = parsePrimary();
+    for (;;) {
+        SourcePos pos = peek().pos;
+        if (accept(Tok::LBracket)) {
+            ExprUP idx = parseExpr();
+            expect(Tok::RBracket, "after array index");
+            e = std::make_unique<IndexExpr>(pos, std::move(e),
+                                            std::move(idx));
+        } else if (check(Tok::PlusPlus)) {
+            advance();
+            e = std::make_unique<UnaryExpr>(pos, UnOp::PostInc,
+                                            std::move(e));
+        } else if (check(Tok::MinusMinus)) {
+            advance();
+            e = std::make_unique<UnaryExpr>(pos, UnOp::PostDec,
+                                            std::move(e));
+        } else {
+            return e;
+        }
+    }
+}
+
+ExprUP
+Parser::parsePrimary()
+{
+    SourcePos pos = peek().pos;
+    switch (peek().kind) {
+      case Tok::IntLit:
+        return std::make_unique<IntLitExpr>(pos, advance().ival);
+      case Tok::CharLit:
+        return std::make_unique<IntLitExpr>(pos, advance().ival);
+      case Tok::FloatLit:
+        return std::make_unique<FloatLitExpr>(pos, advance().fval);
+      case Tok::StrLit:
+        return std::make_unique<StrLitExpr>(pos, advance().text);
+      case Tok::LParen: {
+        advance();
+        ExprUP e = parseExpr();
+        expect(Tok::RParen, "after parenthesized expression");
+        return e;
+      }
+      case Tok::Ident: {
+        std::string name = advance().text;
+        if (accept(Tok::LParen)) {
+            std::vector<ExprUP> args;
+            if (!check(Tok::RParen)) {
+                do {
+                    args.push_back(parseConditional());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RParen, "after call arguments");
+            return std::make_unique<CallExpr>(pos, std::move(name),
+                                              std::move(args));
+        }
+        return std::make_unique<IdentExpr>(pos, std::move(name));
+      }
+      default:
+        fail(std::string("expected expression, found ") +
+             tokName(peek().kind));
+    }
+}
+
+std::unique_ptr<TranslationUnit>
+parseAndCheck(const std::string &source, DiagEngine &diag)
+{
+    Lexer lexer(source, diag);
+    auto tokens = lexer.lexAll();
+    if (diag.hasErrors())
+        return nullptr;
+    Parser parser(std::move(tokens), diag);
+    auto unit = parser.parseUnit();
+    if (diag.hasErrors())
+        return nullptr;
+    Sema sema(diag);
+    sema.check(*unit);
+    if (diag.hasErrors())
+        return nullptr;
+    return unit;
+}
+
+} // namespace wmstream::frontend

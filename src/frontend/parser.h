@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Recursive-descent parser for mini-C.
+ */
+
+#ifndef WMSTREAM_FRONTEND_PARSER_H
+#define WMSTREAM_FRONTEND_PARSER_H
+
+#include <memory>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace wmstream::frontend {
+
+/**
+ * Parses a token stream into a TranslationUnit.
+ *
+ * The grammar is the obvious C subset: global variables with constant
+ * initializers, function definitions, the statement forms in ast.h, and
+ * expressions with standard C precedence (assignment right-associative,
+ * `?:`, `||`, `&&`, bitwise, equality, relational, shift, additive,
+ * multiplicative, unary, postfix).
+ */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, DiagEngine &diag);
+
+    /** Parse everything; check diag.hasErrors() afterwards. */
+    std::unique_ptr<TranslationUnit> parseUnit();
+
+  private:
+    const Token &peek(int ahead = 0) const;
+    const Token &advance();
+    bool check(Tok t) const { return peek().kind == t; }
+    bool accept(Tok t);
+    const Token &expect(Tok t, const char *what);
+    [[noreturn]] void fail(const std::string &msg);
+
+    bool atTypeSpec() const;
+    TypePtr parseTypeSpec();
+
+    void parseTopLevel(TranslationUnit &unit);
+    std::unique_ptr<FuncDecl> parseFunctionRest(TypePtr retBase,
+                                                SourcePos pos);
+    std::unique_ptr<VarDecl> parseVarRest(TypePtr base, bool global);
+    Initializer parseInitializer();
+
+    std::unique_ptr<BlockStmt> parseBlock();
+    StmtUP parseStmt();
+    std::unique_ptr<DeclStmt> parseDeclStmt();
+
+    ExprUP parseExpr();           // assignment level
+    ExprUP parseConditional();
+    ExprUP parseLogicalOr();
+    ExprUP parseLogicalAnd();
+    ExprUP parseBitOr();
+    ExprUP parseBitXor();
+    ExprUP parseBitAnd();
+    ExprUP parseEquality();
+    ExprUP parseRelational();
+    ExprUP parseShift();
+    ExprUP parseAdditive();
+    ExprUP parseMultiplicative();
+    ExprUP parseUnary();
+    ExprUP parsePostfix();
+    ExprUP parsePrimary();
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    DiagEngine &diag_;
+};
+
+/**
+ * Convenience: lex + parse + run Sema over @p source.
+ * Returns null if any phase reported errors.
+ */
+std::unique_ptr<TranslationUnit> parseAndCheck(const std::string &source,
+                                               DiagEngine &diag);
+
+} // namespace wmstream::frontend
+
+#endif // WMSTREAM_FRONTEND_PARSER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Semantic analysis for mini-C.
+ *
+ * Sema resolves identifiers to declarations, types every expression,
+ * inserts explicit CastExpr nodes for int<->double conversions and
+ * array-to-pointer decay, marks address-taken variables (which forces
+ * them into the stack frame instead of registers), verifies lvalue-ness
+ * and global initializer constness, and moves string literals into the
+ * translation unit's string pool.
+ */
+
+#ifndef WMSTREAM_FRONTEND_SEMA_H
+#define WMSTREAM_FRONTEND_SEMA_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace wmstream::frontend {
+
+/** See file comment. */
+class Sema
+{
+  public:
+    explicit Sema(DiagEngine &diag) : diag_(diag) {}
+
+    /** Check a whole unit in place. */
+    void check(TranslationUnit &unit);
+
+  private:
+    // Scope management: a stack of name -> Decl maps.
+    void pushScope();
+    void popScope();
+    void declare(Decl *d);
+    Decl *lookup(const std::string &name);
+
+    void checkFunction(FuncDecl &fn);
+    void checkStmt(Stmt &s);
+    void checkVarDecl(VarDecl &v);
+
+    /** Type-check @p e (owned by @p owner, replaced if casts wrap it). */
+    void checkExpr(ExprUP &e);
+    void checkCondition(ExprUP &e);
+
+    /** Wrap @p e in a CastExpr to @p to if types differ. */
+    void convertTo(ExprUP &e, const TypePtr &to);
+    /** Apply array-to-pointer decay if @p e has array type. */
+    void decay(ExprUP &e);
+    /** Usual arithmetic conversions over a binary op's operands. */
+    TypePtr arithConvert(ExprUP &l, ExprUP &r, SourcePos pos);
+
+    bool isLValue(const Expr &e) const;
+    bool isConstInit(const Expr &e) const;
+
+    std::string internString(const std::string &value);
+
+    DiagEngine &diag_;
+    TranslationUnit *unit_ = nullptr;
+    FuncDecl *currentFn_ = nullptr;
+    std::vector<std::unordered_map<std::string, Decl *>> scopes_;
+    std::unordered_map<std::string, FuncDecl *> functions_;
+    int nextString_ = 0;
+};
+
+} // namespace wmstream::frontend
+
+#endif // WMSTREAM_FRONTEND_SEMA_H

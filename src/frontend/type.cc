@@ -1,0 +1,147 @@
+#include "frontend/type.h"
+
+#include <sstream>
+
+namespace wmstream::frontend {
+
+int64_t
+Type::size() const
+{
+    switch (kind_) {
+      case Kind::Void: return 0;
+      case Kind::Char: return 1;
+      case Kind::Int: return 8;
+      case Kind::Double: return 8;
+      case Kind::Pointer: return 8;
+      case Kind::Array: return arraySize_ * base_->size();
+      case Kind::Function: return 0;
+    }
+    return 0;
+}
+
+int64_t
+Type::align() const
+{
+    switch (kind_) {
+      case Kind::Char: return 1;
+      case Kind::Array: return base_->align();
+      case Kind::Void:
+      case Kind::Function: return 1;
+      default: return 8;
+    }
+}
+
+std::string
+Type::str() const
+{
+    std::ostringstream os;
+    switch (kind_) {
+      case Kind::Void: os << "void"; break;
+      case Kind::Char: os << "char"; break;
+      case Kind::Int: os << "int"; break;
+      case Kind::Double: os << "double"; break;
+      case Kind::Pointer: os << base_->str() << "*"; break;
+      case Kind::Array:
+        os << base_->str() << "[" << arraySize_ << "]";
+        break;
+      case Kind::Function: {
+        os << base_->str() << "(";
+        for (size_t i = 0; i < params_.size(); ++i) {
+            if (i)
+                os << ",";
+            os << params_[i]->str();
+        }
+        os << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+bool
+Type::equal(const TypePtr &a, const TypePtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b || a->kind() != b->kind())
+        return false;
+    switch (a->kind()) {
+      case Kind::Void:
+      case Kind::Char:
+      case Kind::Int:
+      case Kind::Double:
+        return true;
+      case Kind::Pointer:
+        return equal(a->base(), b->base());
+      case Kind::Array:
+        return a->arraySize() == b->arraySize() &&
+               equal(a->base(), b->base());
+      case Kind::Function: {
+        if (!equal(a->base(), b->base()) ||
+                a->params().size() != b->params().size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a->params().size(); ++i)
+            if (!equal(a->params()[i], b->params()[i]))
+                return false;
+        return true;
+      }
+    }
+    return false;
+}
+
+TypePtr
+Type::voidTy()
+{
+    static TypePtr t(new Type(Kind::Void));
+    return t;
+}
+
+TypePtr
+Type::charTy()
+{
+    static TypePtr t(new Type(Kind::Char));
+    return t;
+}
+
+TypePtr
+Type::intTy()
+{
+    static TypePtr t(new Type(Kind::Int));
+    return t;
+}
+
+TypePtr
+Type::doubleTy()
+{
+    static TypePtr t(new Type(Kind::Double));
+    return t;
+}
+
+TypePtr
+Type::pointerTo(TypePtr base)
+{
+    auto t = new Type(Kind::Pointer);
+    t->base_ = std::move(base);
+    return TypePtr(t);
+}
+
+TypePtr
+Type::arrayOf(TypePtr elem, int64_t n)
+{
+    auto t = new Type(Kind::Array);
+    t->base_ = std::move(elem);
+    t->arraySize_ = n;
+    return TypePtr(t);
+}
+
+TypePtr
+Type::function(TypePtr ret, std::vector<TypePtr> params)
+{
+    auto t = new Type(Kind::Function);
+    t->base_ = std::move(ret);
+    t->params_ = std::move(params);
+    return TypePtr(t);
+}
+
+} // namespace wmstream::frontend

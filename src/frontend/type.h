@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The mini-C type system.
+ *
+ * The language implemented here covers what the paper's evaluation
+ * programs need: `int` (64-bit signed in this implementation — the WM
+ * register width; array indexing therefore scales by 8 exactly as the
+ * paper's figures show for doubles), `char` (8-bit, unsigned load
+ * semantics), `double` (IEEE 64-bit), `void`, pointers, sized arrays,
+ * and functions. Types are immutable and shared.
+ */
+
+#ifndef WMSTREAM_FRONTEND_TYPE_H
+#define WMSTREAM_FRONTEND_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wmstream::frontend {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/** One mini-C type. */
+class Type
+{
+  public:
+    enum class Kind : uint8_t { Void, Char, Int, Double, Pointer, Array,
+                                Function };
+
+    Kind kind() const { return kind_; }
+
+    bool isVoid() const { return kind_ == Kind::Void; }
+    bool isChar() const { return kind_ == Kind::Char; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isPointer() const { return kind_ == Kind::Pointer; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isFunction() const { return kind_ == Kind::Function; }
+    /** char or int. */
+    bool isIntegral() const { return isChar() || isInt(); }
+    /** Anything usable in arithmetic. */
+    bool isArithmetic() const { return isIntegral() || isDouble(); }
+    /** Usable as a scalar condition or value. */
+    bool isScalar() const { return isArithmetic() || isPointer(); }
+
+    /** Pointee / element / return type. */
+    const TypePtr &base() const { return base_; }
+    /** Array element count. */
+    int64_t arraySize() const { return arraySize_; }
+    /** Function parameter types. */
+    const std::vector<TypePtr> &params() const { return params_; }
+
+    /** Storage size in bytes (arrays fully, functions 0). */
+    int64_t size() const;
+    /** Alignment in bytes. */
+    int64_t align() const;
+
+    /** Human-readable spelling, e.g. "double[100]", "int*". */
+    std::string str() const;
+
+    /** Structural equality. */
+    static bool equal(const TypePtr &a, const TypePtr &b);
+
+    /** @name Singleton/base constructors */
+    /// @{
+    static TypePtr voidTy();
+    static TypePtr charTy();
+    static TypePtr intTy();
+    static TypePtr doubleTy();
+    static TypePtr pointerTo(TypePtr base);
+    static TypePtr arrayOf(TypePtr elem, int64_t n);
+    static TypePtr function(TypePtr ret, std::vector<TypePtr> params);
+    /// @}
+
+  private:
+    explicit Type(Kind k) : kind_(k) {}
+
+    Kind kind_;
+    TypePtr base_;
+    int64_t arraySize_ = 0;
+    std::vector<TypePtr> params_;
+};
+
+} // namespace wmstream::frontend
+
+#endif // WMSTREAM_FRONTEND_TYPE_H

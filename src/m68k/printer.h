@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Motorola 68020 assembly printer (paper Figure 6).
+ *
+ * Demonstrates the retargetability claim: the recurrence optimization
+ * is machine-independent, and on the 68020 the instruction-selection
+ * peepholes turn strength-reduced pointer walks into auto-increment
+ * addressing (`a0@+`), exactly as the paper's Figure 6 shows.
+ *
+ * The printer consumes register-assigned scalar-target RTL. It is a
+ * listing generator (the scalar timing simulator executes the RTL
+ * itself), so it focuses on faithful instruction selection rather than
+ * encodings.
+ */
+
+#ifndef WMSTREAM_M68K_PRINTER_H
+#define WMSTREAM_M68K_PRINTER_H
+
+#include <string>
+
+#include "rtl/program.h"
+
+namespace wmstream::m68k {
+
+/** 68020 listing for one function. */
+std::string printFunction(const rtl::Function &fn);
+
+/** 68020 listing for a whole program. */
+std::string printProgram(const rtl::Program &prog);
+
+} // namespace wmstream::m68k
+
+#endif // WMSTREAM_M68K_PRINTER_H

@@ -1,0 +1,138 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include "opt/passes.h"
+#include "support/diag.h"
+
+namespace wmstream::opt {
+
+using rtl::Block;
+using rtl::Inst;
+using rtl::InstKind;
+
+namespace {
+
+/**
+ * Resolve @p label through empty blocks and trivial jump blocks to the
+ * label ultimately reached.
+ */
+std::string
+threadTarget(rtl::Function &fn, const std::string &label)
+{
+    std::string cur = label;
+    std::unordered_set<std::string> seen;
+    for (;;) {
+        if (!seen.insert(cur).second)
+            return cur; // cycle (e.g. empty infinite loop)
+        Block *b = fn.findBlock(cur);
+        if (!b)
+            return cur;
+        if (b->insts.empty()) {
+            // Falls through: effective target is the next block.
+            auto &blocks = fn.blocks();
+            for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+                if (blocks[i].get() == b) {
+                    cur = blocks[i + 1]->label();
+                    goto next;
+                }
+            }
+            return cur;
+        }
+        if (b->insts.size() == 1 && b->insts[0].kind == InstKind::Jump) {
+            cur = b->insts[0].target;
+            continue;
+        }
+        return cur;
+      next:;
+    }
+}
+
+} // anonymous namespace
+
+int
+runBranchOpt(rtl::Function &fn)
+{
+    int changes = 0;
+
+    // 1. Thread branches through empty/jump-only blocks.
+    for (auto &bp : fn.blocks()) {
+        for (Inst &inst : bp->insts) {
+            if (!inst.isBranch())
+                continue;
+            std::string t = threadTarget(fn, inst.target);
+            if (t != inst.target) {
+                inst.target = t;
+                ++changes;
+            }
+        }
+    }
+
+    // 2. Delete jumps (conditional or not) to the next block in layout.
+    auto &blocks = fn.blocks();
+    for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+        Block *b = blocks[i].get();
+        if (b->insts.empty())
+            continue;
+        Inst &last = b->insts.back();
+        if ((last.kind == InstKind::Jump ||
+             last.kind == InstKind::CondJump) &&
+                last.target == blocks[i + 1]->label()) {
+            // Removing a CondJump leaves its compare unconsumed; dead
+            // code elimination deletes the compare afterwards.
+            b->insts.pop_back();
+            ++changes;
+        }
+    }
+
+    fn.removeUnreachable();
+
+    // 3. Merge single-predecessor fallthrough/jump chains.
+    bool merged = true;
+    while (merged) {
+        merged = false;
+        fn.recomputeCfg();
+        auto &bs = fn.blocks();
+        for (size_t i = 0; i < bs.size(); ++i) {
+            Block *b = bs[i].get();
+            if (b->succs.size() != 1)
+                continue;
+            Block *s = b->succs[0];
+            if (s == b || s->preds.size() != 1)
+                continue;
+            if (s == fn.entry())
+                continue;
+            // b's terminator must be nothing or a jump straight to s.
+            const Inst *term = b->terminator();
+            if (term && term->kind != InstKind::Jump)
+                continue;
+            // If s falls through, the merge is only safe when s sits
+            // directly after b in layout (the fallthrough target would
+            // change otherwise).
+            bool sFalls = !s->terminator() ||
+                          s->terminator()->kind == InstKind::CondJump ||
+                          s->terminator()->kind == InstKind::JumpStream;
+            if (sFalls && !(i + 1 < bs.size() && bs[i + 1].get() == s))
+                continue;
+            if (term)
+                b->insts.pop_back();
+            for (Inst &inst : s->insts)
+                b->insts.push_back(std::move(inst));
+            s->insts.clear();
+            // Remove s from layout.
+            for (size_t j = 0; j < bs.size(); ++j) {
+                if (bs[j].get() == s) {
+                    bs.erase(bs.begin() + static_cast<ptrdiff_t>(j));
+                    break;
+                }
+            }
+            ++changes;
+            merged = true;
+            break; // restart: structures invalidated
+        }
+    }
+
+    fn.recomputeCfg();
+    return changes;
+}
+
+} // namespace wmstream::opt

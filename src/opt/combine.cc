@@ -1,0 +1,186 @@
+#include <unordered_map>
+
+#include "cfg/liveness.h"
+#include "opt/legal.h"
+#include "opt/passes.h"
+#include "support/diag.h"
+
+namespace wmstream::opt {
+
+using cfg::RegKey;
+using cfg::RegKeyHash;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+/** True if @p e reads a data-FIFO register (volatile on WM). */
+bool
+readsFifo(const ExprPtr &e)
+{
+    bool found = false;
+    rtl::forEachNode(e, [&](const Expr &n) {
+        if (n.kind() == Expr::Kind::Reg &&
+                (n.regFile() == RegFile::Int ||
+                 n.regFile() == RegFile::Flt) &&
+                (n.regIndex() == 0 || n.regIndex() == 1)) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+struct UseDefCounts
+{
+    std::unordered_map<RegKey, int, RegKeyHash> uses;
+    std::unordered_map<RegKey, int, RegKeyHash> defs;
+};
+
+UseDefCounts
+countUseDefs(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    UseDefCounts c;
+    for (auto &bp : fn.blocks()) {
+        for (auto &inst : bp->insts) {
+            for (const RegKey &k : cfg::instUseKeys(inst))
+                ++c.uses[k];
+            for (const RegKey &k : cfg::instDefKeys(inst, traits))
+                ++c.defs[k];
+        }
+    }
+    return c;
+}
+
+/** Try to fold the definition at @p defIdx into a later use in @p b. */
+bool
+tryCombineAt(rtl::Block *b, size_t defIdx, const UseDefCounts &counts,
+             const rtl::MachineTraits &traits)
+{
+    Inst &def = b->insts[defIdx];
+    if (def.kind != InstKind::Assign)
+        return false;
+    const ExprPtr &dst = def.dst;
+    if (!rtl::isVirtualFile(dst->regFile()))
+        return false;
+    RegKey dkey{dst->regFile(), dst->regIndex()};
+    auto dit = counts.defs.find(dkey);
+    auto uit = counts.uses.find(dkey);
+    if (!dit->second || dit->second != 1 || uit == counts.uses.end() ||
+            uit->second != 1) {
+        return false;
+    }
+    // A source that dequeues a data FIFO may only move to the
+    // immediately following instruction, and only when that instruction
+    // reads none of the same queues (so no per-queue read reorders).
+    bool fifoSrc = readsFifo(def.src);
+
+    // Registers the source depends on; the fold is blocked if any is
+    // redefined between the definition and the use.
+    std::vector<RegKey> srcRegs;
+    for (const auto &r : rtl::collectRegs(def.src))
+        srcRegs.push_back({r->regFile(), r->regIndex()});
+
+    for (size_t j = defIdx + 1; j < b->insts.size(); ++j) {
+        Inst &use = b->insts[j];
+        bool usesD = false;
+        for (const RegKey &k : cfg::instUseKeys(use))
+            if (k == dkey)
+                usesD = true;
+
+        if (usesD) {
+            if (fifoSrc) {
+                if (j != defIdx + 1)
+                    return false;
+                // The use must not touch any queue the source reads.
+                for (const auto &r : rtl::instUses(use)) {
+                    if ((r->regFile() == RegFile::Int ||
+                         r->regFile() == RegFile::Flt) &&
+                            (r->regIndex() == 0 || r->regIndex() == 1) &&
+                            rtl::usesReg(def.src, r->regFile(),
+                                         r->regIndex())) {
+                        return false;
+                    }
+                }
+            }
+            ExprPtr merged;
+            switch (use.kind) {
+              case InstKind::Assign: {
+                merged = rtl::substReg(use.src, dkey.file, dkey.index,
+                                       def.src);
+                bool legal = use.dst->regFile() == RegFile::CC
+                                 ? fitsCompareSrc(merged, traits)
+                                 : fitsAssignSrc(merged, traits);
+                if (!legal)
+                    return false;
+                use.src = merged;
+                break;
+              }
+              case InstKind::Load:
+              case InstKind::Store: {
+                // Only address folds; store data must stay a register.
+                if (use.kind == InstKind::Store &&
+                        rtl::usesReg(use.src, dkey.file, dkey.index)) {
+                    return false;
+                }
+                merged = rtl::substReg(use.addr, dkey.file, dkey.index,
+                                       def.src);
+                if (!fitsAddr(merged, traits))
+                    return false;
+                use.addr = merged;
+                break;
+              }
+              default:
+                return false;
+            }
+            b->insts.erase(b->insts.begin() +
+                           static_cast<ptrdiff_t>(defIdx));
+            return true;
+        }
+
+        if (fifoSrc)
+            return false; // FIFO reads cannot move past anything
+
+        // Stop when an instruction between the def and the use
+        // redefines an input of the source (or the destination).
+        for (const RegKey &k : cfg::instDefKeys(use, traits)) {
+            if (k == dkey)
+                return false;
+            for (const RegKey &s : srcRegs)
+                if (k == s)
+                    return false;
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+int
+runCombine(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    int total = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        UseDefCounts counts = countUseDefs(fn, traits);
+        for (auto &bp : fn.blocks()) {
+            rtl::Block *b = bp.get();
+            for (size_t i = 0; i < b->insts.size(); ++i) {
+                if (tryCombineAt(b, i, counts, traits)) {
+                    ++total;
+                    changed = true;
+                    // Counts are stale after a fold; rebuild.
+                    counts = countUseDefs(fn, traits);
+                    if (i > 0)
+                        --i;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace wmstream::opt

@@ -1,0 +1,174 @@
+#include <unordered_map>
+
+#include "cfg/liveness.h"
+#include "opt/legal.h"
+#include "opt/passes.h"
+
+namespace wmstream::opt {
+
+using cfg::RegKey;
+using cfg::RegKeyHash;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+bool
+isFifoReg(const ExprPtr &e)
+{
+    return e->isReg() &&
+           (e->regFile() == RegFile::Int || e->regFile() == RegFile::Flt) &&
+           (e->regIndex() == 0 || e->regIndex() == 1);
+}
+
+/** A forward, block-local map from register to an equivalent leaf. */
+class CopyTable
+{
+  public:
+    void clear() { map_.clear(); }
+
+    void
+    invalidate(const RegKey &k)
+    {
+        map_.erase(k);
+        for (auto it = map_.begin(); it != map_.end();) {
+            const ExprPtr &v = it->second;
+            if (v->isReg() && v->regFile() == k.file &&
+                    v->regIndex() == k.index) {
+                it = map_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    void
+    record(const ExprPtr &dst, const ExprPtr &src)
+    {
+        map_[RegKey{dst->regFile(), dst->regIndex()}] = src;
+    }
+
+    ExprPtr
+    apply(const ExprPtr &e) const
+    {
+        switch (e->kind()) {
+          case Expr::Kind::Reg: {
+            auto it = map_.find(RegKey{e->regFile(), e->regIndex()});
+            return it != map_.end() ? it->second : e;
+          }
+          case Expr::Kind::Bin: {
+            ExprPtr l = apply(e->lhs());
+            ExprPtr r = apply(e->rhs());
+            if (l == e->lhs() && r == e->rhs())
+                return e;
+            return rtl::makeBin(e->op(), l, r);
+          }
+          case Expr::Kind::Un: {
+            ExprPtr x = apply(e->lhs());
+            return x == e->lhs() ? e : rtl::makeUn(e->op(), x, e->type());
+          }
+          case Expr::Kind::Mem: {
+            ExprPtr a = apply(e->addr());
+            return a == e->addr() ? e : rtl::makeMem(a, e->type());
+          }
+          default:
+            return e;
+        }
+    }
+
+  private:
+    std::unordered_map<RegKey, ExprPtr, RegKeyHash> map_;
+};
+
+} // anonymous namespace
+
+int
+runCopyPropagate(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    int changes = 0;
+    CopyTable table;
+
+    for (auto &bp : fn.blocks()) {
+        table.clear();
+        for (Inst &inst : bp->insts) {
+            // Substitute into operand positions when still legal.
+            switch (inst.kind) {
+              case InstKind::Assign: {
+                ExprPtr ns = table.apply(inst.src);
+                bool legal = inst.dst->regFile() == RegFile::CC
+                                 ? fitsCompareSrc(ns, traits)
+                                 : fitsAssignSrc(ns, traits);
+                if (ns != inst.src && legal) {
+                    inst.src = ns;
+                    ++changes;
+                }
+                break;
+              }
+              case InstKind::Load: {
+                ExprPtr na = table.apply(inst.addr);
+                if (na != inst.addr && fitsAddr(na, traits)) {
+                    inst.addr = na;
+                    ++changes;
+                }
+                break;
+              }
+              case InstKind::Store: {
+                ExprPtr na = table.apply(inst.addr);
+                if (na != inst.addr && fitsAddr(na, traits)) {
+                    inst.addr = na;
+                    ++changes;
+                }
+                ExprPtr nsrc = table.apply(inst.src);
+                if (nsrc != inst.src && nsrc->isReg()) {
+                    inst.src = nsrc;
+                    ++changes;
+                }
+                break;
+              }
+              case InstKind::StreamIn:
+              case InstKind::StreamOut: {
+                ExprPtr na = table.apply(inst.addr);
+                if (na != inst.addr && na->isReg()) {
+                    inst.addr = na;
+                    ++changes;
+                }
+                if (inst.count) { // null count = unbounded stream
+                    ExprPtr nc = table.apply(inst.count);
+                    if (nc != inst.count && nc->isReg()) {
+                        inst.count = nc;
+                        ++changes;
+                    }
+                }
+                break;
+              }
+              default:
+                break;
+            }
+
+            // Update the table with this instruction's effect.
+            for (const RegKey &k : cfg::instDefKeys(inst, traits))
+                table.invalidate(k);
+            if (inst.kind == InstKind::Assign &&
+                    inst.dst->regFile() != RegFile::CC &&
+                    !isFifoReg(inst.dst)) {
+                const ExprPtr &s = inst.src;
+                bool leaf = (s->isReg() && !isFifoReg(s) &&
+                             s->regFile() != RegFile::CC) ||
+                            (s->isConst() && !rtl::isFloatType(s->type()));
+                // Only same-file copies propagate (no int<->float).
+                if (leaf &&
+                        (!s->isReg() ||
+                         rtl::isFloatType(s->type()) ==
+                             rtl::isFloatType(inst.dst->type()))) {
+                    table.record(inst.dst, s);
+                }
+            }
+        }
+    }
+    return changes;
+}
+
+} // namespace wmstream::opt

@@ -1,0 +1,89 @@
+#include "cfg/liveness.h"
+#include "opt/passes.h"
+
+namespace wmstream::opt {
+
+using cfg::RegKey;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+/** Instructions reading the data FIFOs must never be deleted: each
+ *  read consumes one element of a hardware queue. */
+bool
+consumesFifo(const Inst &inst)
+{
+    for (const auto &r : rtl::instUses(inst)) {
+        if ((r->regFile() == RegFile::Int ||
+             r->regFile() == RegFile::Flt) &&
+                (r->regIndex() == 0 || r->regIndex() == 1)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** A FIFO-register destination is an enqueue: also a side effect. */
+bool
+producesFifo(const Inst &inst)
+{
+    auto d = rtl::instDef(inst);
+    return d &&
+           (d->regFile() == RegFile::Int || d->regFile() == RegFile::Flt) &&
+           (d->regIndex() == 0 || d->regIndex() == 1);
+}
+
+} // anonymous namespace
+
+int
+runDeadCodeElim(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    int deleted = 0;
+    for (int round = 0; round < 20; ++round) {
+        cfg::Liveness live(fn, traits);
+        int before = deleted;
+        for (auto &bp : fn.blocks()) {
+            rtl::Block *b = bp.get();
+            cfg::RegSet liveSet = live.liveOut(b);
+            // Backward scan with a precise local live set; collect
+            // indexes to delete, then erase.
+            std::vector<size_t> dead;
+            for (size_t n = b->insts.size(); n-- > 0;) {
+                const Inst &inst = b->insts[n];
+                bool removable = (inst.kind == InstKind::Assign ||
+                                  inst.kind == InstKind::Load) &&
+                                 !consumesFifo(inst) &&
+                                 !producesFifo(inst);
+                if (removable) {
+                    RegKey d{inst.dst->regFile(), inst.dst->regIndex()};
+                    bool selfCopy =
+                        inst.kind == InstKind::Assign &&
+                        inst.src->isReg(d.file, d.index);
+                    bool needed = liveSet.count(d) &&
+                                  !cfg::isZeroReg(d, traits) && !selfCopy;
+                    if (!needed) {
+                        dead.push_back(n);
+                        continue; // do not account its uses
+                    }
+                }
+                for (const RegKey &k : cfg::instDefKeys(inst, traits))
+                    liveSet.erase(k);
+                for (const RegKey &k : cfg::instUseKeys(inst))
+                    if (!cfg::isZeroReg(k, traits))
+                        liveSet.insert(k);
+            }
+            for (size_t idx : dead) {
+                b->insts.erase(b->insts.begin() +
+                               static_cast<ptrdiff_t>(idx));
+                ++deleted;
+            }
+        }
+        if (deleted == before)
+            break;
+    }
+    return deleted;
+}
+
+} // namespace wmstream::opt

@@ -1,0 +1,169 @@
+#include "opt/legal.h"
+
+namespace wmstream::opt {
+
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::MachineTraits;
+using rtl::Op;
+
+namespace {
+
+bool
+isAluOp(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr: case Op::Sar:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Simple (non-relational) two-leaf binary. */
+bool
+isSimpleBin(const ExprPtr &e, const MachineTraits &t)
+{
+    return e->kind() == Expr::Kind::Bin && isAluOp(e->op()) &&
+           fitsOperand(e->lhs(), t) && fitsOperand(e->rhs(), t);
+}
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Mul: case Op::And:
+      case Op::Or: case Op::Xor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Dual-operation shape: inner op on the left, or commuted right. */
+bool
+isDualShape(const ExprPtr &e, const MachineTraits &t)
+{
+    if (e->kind() != Expr::Kind::Bin)
+        return false;
+    if (isSimpleBin(e->lhs(), t) && fitsOperand(e->rhs(), t))
+        return true;
+    // The encoding swaps the operands of a commutative outer operator.
+    return isCommutative(e->op()) && fitsOperand(e->lhs(), t) &&
+           isSimpleBin(e->rhs(), t);
+}
+
+} // anonymous namespace
+
+bool
+fitsOperand(const ExprPtr &e, const MachineTraits &traits)
+{
+    switch (e->kind()) {
+      case Expr::Kind::Reg:
+        return e->regFile() != rtl::RegFile::CC;
+      case Expr::Kind::Const:
+        if (rtl::isFloatType(e->type()))
+            return false; // float immediates come from the pool
+        return e->ival() >= -traits.maxImmediate &&
+               e->ival() < traits.maxImmediate;
+      default:
+        return false;
+    }
+}
+
+bool
+fitsAssignSrc(const ExprPtr &e, const MachineTraits &traits)
+{
+    // Leaves: registers and immediates; whole-source Sym/Const of any
+    // size is a materialization (the llh/sll pair on WM).
+    if (e->isSym())
+        return true;
+    if (e->isConst())
+        return !rtl::isFloatType(e->type());
+    if (fitsOperand(e, traits))
+        return true;
+    if (e->kind() == Expr::Kind::Un) {
+        switch (e->op()) {
+          case Op::CvtIF:
+          case Op::CvtFI:
+            return fitsOperand(e->lhs(), traits);
+          default:
+            return false;
+        }
+    }
+    if (e->kind() != Expr::Kind::Bin || !isAluOp(e->op()))
+        return false;
+    // Single operation.
+    if (fitsOperand(e->lhs(), traits) && fitsOperand(e->rhs(), traits))
+        return true;
+    if (!traits.hasDualOp)
+        return false;
+    return isDualShape(e, traits);
+}
+
+bool
+fitsCompareSrc(const ExprPtr &e, const MachineTraits &traits)
+{
+    if (e->kind() != Expr::Kind::Bin || !rtl::isRelationalOp(e->op()))
+        return false;
+    if (!fitsOperand(e->rhs(), traits))
+        return false;
+    if (fitsOperand(e->lhs(), traits))
+        return true;
+    // WM allows a dual op with a relational outer operator, e.g.
+    // r31 := (r21-1) <= 0 (paper Figure 7, line 1).
+    return traits.hasDualOp && isSimpleBin(e->lhs(), traits);
+}
+
+bool
+fitsAddr(const ExprPtr &e, const MachineTraits &traits)
+{
+    if (traits.isWM()) {
+        // Addresses are computed by the ALU pair: same shapes as an
+        // Assign source, but symbols must already be in registers.
+        if (fitsOperand(e, traits))
+            return true;
+        if (e->kind() != Expr::Kind::Bin || !isAluOp(e->op()))
+            return false;
+        if (fitsOperand(e->lhs(), traits) && fitsOperand(e->rhs(), traits))
+            return true;
+        return isDualShape(e, traits);
+    }
+
+    // Scalar target: 68020-style modes.
+    //   (reg), (d16,reg), abs, (reg,reg), (d8,reg,reg*scale)
+    if (e->isSym() || fitsOperand(e, traits))
+        return true;
+    if (e->kind() != Expr::Kind::Bin || e->op() != Op::Add)
+        return false;
+    const ExprPtr &l = e->lhs();
+    const ExprPtr &r = e->rhs();
+    auto isBase = [&](const ExprPtr &x) {
+        return x->isReg() || x->isSym();
+    };
+    auto isIndex = [&](const ExprPtr &x) {
+        if (x->isReg())
+            return true;
+        // reg << k, k in 0..3 (scale 1,2,4,8)
+        return x->kind() == Expr::Kind::Bin && x->op() == Op::Shl &&
+               x->lhs()->isReg() && x->rhs()->isConst() &&
+               x->rhs()->ival() >= 0 && x->rhs()->ival() <= 3;
+    };
+    if (isBase(r) && (isIndex(l) || l->isConst()))
+        return true;
+    if (isBase(l) && (isIndex(r) || r->isConst()))
+        return true;
+    // (index + base) + displacement
+    if (r->isConst() && l->kind() == Expr::Kind::Bin &&
+            l->op() == Op::Add) {
+        const ExprPtr &ll = l->lhs();
+        const ExprPtr &lr = l->rhs();
+        if ((isBase(lr) && isIndex(ll)) || (isBase(ll) && isIndex(lr)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace wmstream::opt

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Target-legality predicates for RTL shapes.
+ *
+ * The combine phase merges RTLs only when the result is a real
+ * instruction of the target: on WM a dual-operation
+ * (R1 op1 R2) op2 R3 with register/immediate leaves; on the scalar
+ * target a single three-address operation, with the richer 68020-style
+ * addressing shapes allowed in load/store address fields.
+ */
+
+#ifndef WMSTREAM_OPT_LEGAL_H
+#define WMSTREAM_OPT_LEGAL_H
+
+#include "rtl/expr.h"
+#include "rtl/machine.h"
+
+namespace wmstream::opt {
+
+/** True if @p e can sit in a register/immediate operand position. */
+bool fitsOperand(const rtl::ExprPtr &e, const rtl::MachineTraits &traits);
+
+/** True if @p e is a legal source for an Assign instruction. */
+bool fitsAssignSrc(const rtl::ExprPtr &e, const rtl::MachineTraits &traits);
+
+/** True if @p e is a legal compare source (Assign to a CC cell). */
+bool fitsCompareSrc(const rtl::ExprPtr &e,
+                    const rtl::MachineTraits &traits);
+
+/** True if @p e is a legal load/store address expression. */
+bool fitsAddr(const rtl::ExprPtr &e, const rtl::MachineTraits &traits);
+
+} // namespace wmstream::opt
+
+#endif // WMSTREAM_OPT_LEGAL_H

@@ -1,0 +1,190 @@
+#include "opt/legal.h"
+#include "opt/passes.h"
+#include "support/diag.h"
+
+namespace wmstream::opt {
+
+using rtl::DataType;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+/** Emits materialization instructions while reshaping expressions. */
+class Legalizer
+{
+  public:
+    Legalizer(rtl::Function &fn, const rtl::MachineTraits &traits)
+        : fn_(fn), traits_(traits)
+    {
+    }
+
+    int
+    run()
+    {
+        int changes = 0;
+        for (auto &bp : fn_.blocks()) {
+            rtl::Block *b = bp.get();
+            for (size_t i = 0; i < b->insts.size(); ++i) {
+                pre_.clear();
+                Inst &inst = b->insts[i];
+                switch (inst.kind) {
+                  case InstKind::Assign: {
+                    bool cmp = inst.dst->regFile() == RegFile::CC;
+                    if (cmp ? !fitsCompareSrc(inst.src, traits_)
+                            : !fitsAssignSrc(inst.src, traits_)) {
+                        inst.src = legalSrc(inst.src, cmp);
+                    }
+                    break;
+                  }
+                  case InstKind::Load:
+                  case InstKind::Store:
+                    if (!fitsAddr(inst.addr, traits_))
+                        inst.addr = legalAddr(inst.addr);
+                    if (inst.kind == InstKind::Store &&
+                            !inst.src->isReg()) {
+                        inst.src = materialize(inst.src);
+                    }
+                    break;
+                  case InstKind::StreamIn:
+                  case InstKind::StreamOut:
+                    if (!inst.addr->isReg())
+                        inst.addr = materialize(inst.addr);
+                    if (inst.count && !inst.count->isReg())
+                        inst.count = materialize(inst.count);
+                    break;
+                  default:
+                    break;
+                }
+                if (!pre_.empty()) {
+                    b->insts.insert(b->insts.begin() +
+                                    static_cast<ptrdiff_t>(i),
+                                    pre_.begin(), pre_.end());
+                    i += pre_.size();
+                    changes += static_cast<int>(pre_.size());
+                }
+            }
+        }
+        return changes;
+    }
+
+  private:
+    /** Emit `t := e` (legalizing e first) and return t. */
+    ExprPtr
+    materialize(const ExprPtr &e)
+    {
+        ExprPtr legal = fitsAssignSrc(e, traits_) ? e
+                                                  : legalSrc(e, false);
+        ExprPtr t = fn_.newVReg(rtl::isFloatType(e->type())
+                                    ? DataType::F64
+                                    : DataType::I64);
+        pre_.push_back(rtl::makeAssign(t, legal));
+        return t;
+    }
+
+    /** Make @p e a legal instruction operand (register/immediate). */
+    ExprPtr
+    legalOperand(const ExprPtr &e)
+    {
+        if (fitsOperand(e, traits_))
+            return e;
+        return materialize(e);
+    }
+
+    /** Reshape @p e into a legal Assign (or compare) source. */
+    ExprPtr
+    legalSrc(const ExprPtr &e, bool isCompare)
+    {
+        switch (e->kind()) {
+          case Expr::Kind::Const:
+          case Expr::Kind::Sym:
+            return e; // whole-source materialization is one RTL
+          case Expr::Kind::Reg:
+            return e;
+          case Expr::Kind::Mem:
+            // Should not appear in Assign sources (loads are explicit),
+            // but handle defensively by splitting out a load.
+            WS_PANIC("Mem inside Assign source");
+          case Expr::Kind::Un: {
+            ExprPtr x = legalOperand(e->lhs());
+            return x == e->lhs() ? e : rtl::makeUnRaw(e->op(), x,
+                                                      e->type());
+          }
+          case Expr::Kind::Bin: {
+            ExprPtr l = e->lhs();
+            ExprPtr r = legalOperand(e->rhs());
+            (void)isCompare; // dual inner is legal for compares too
+            bool dualOk = traits_.hasDualOp &&
+                          l->kind() == Expr::Kind::Bin &&
+                          !rtl::isRelationalOp(l->op());
+            if (dualOk) {
+                ExprPtr il = legalOperand(l->lhs());
+                ExprPtr ir = legalOperand(l->rhs());
+                ExprPtr inner =
+                    il == l->lhs() && ir == l->rhs()
+                        ? l
+                        : rtl::makeBinRaw(l->op(), il, ir, l->type());
+                return rtl::makeBinRaw(e->op(), inner, r, e->type());
+            }
+            ExprPtr ll = legalOperand(l);
+            return rtl::makeBinRaw(e->op(), ll, r, e->type());
+          }
+        }
+        return e;
+    }
+
+    /** Reshape @p e into a legal load/store address. */
+    ExprPtr
+    legalAddr(const ExprPtr &e)
+    {
+        // Try cheap repairs first: replace offending leaves, then fall
+        // back to computing the whole address into a register.
+        if (e->kind() == Expr::Kind::Bin) {
+            ExprPtr cand;
+            if (traits_.isWM()) {
+                cand = legalSrc(e, false);
+                // A whole-source Sym/Const is not an address.
+                if (!cand->isSym() && fitsAddr(cand, traits_))
+                    return cand;
+            } else {
+                // Scalar: legalize the operands and retest the mode.
+                ExprPtr l = e->lhs();
+                ExprPtr r = e->rhs();
+                auto fix = [&](const ExprPtr &x) -> ExprPtr {
+                    if (x->isReg() || x->isSym() || x->isConst())
+                        return x;
+                    if (x->kind() == Expr::Kind::Bin &&
+                            x->op() == rtl::Op::Shl && x->lhs()->isReg() &&
+                            x->rhs()->isConst()) {
+                        return x;
+                    }
+                    return materialize(x);
+                };
+                cand = rtl::makeBinRaw(e->op(), fix(l), fix(r), e->type());
+                if (fitsAddr(cand, traits_))
+                    return cand;
+            }
+        }
+        return materialize(e);
+    }
+
+    rtl::Function &fn_;
+    const rtl::MachineTraits traits_;
+    std::vector<Inst> pre_;
+};
+
+} // anonymous namespace
+
+int
+runLegalize(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    Legalizer lg(fn, traits);
+    int n = lg.run();
+    fn.recomputeCfg();
+    return n;
+}
+
+} // namespace wmstream::opt

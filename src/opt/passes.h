@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The classic optimizer phases.
+ *
+ * Mirrors the paper's Figure 3 phase structure: every phase consumes
+ * and produces the same RTL representation, so the driver may invoke
+ * any phase at any time ("this largely eliminates phase ordering
+ * problems"). All phases keep the CFG edges current on exit.
+ */
+
+#ifndef WMSTREAM_OPT_PASSES_H
+#define WMSTREAM_OPT_PASSES_H
+
+#include "rtl/machine.h"
+#include "rtl/program.h"
+
+namespace wmstream::opt {
+
+/**
+ * Instruction combination: fold a single-use register definition into
+ * its use when the merged RTL is a legal target instruction. This is
+ * what forms WM dual-operation instructions and 68020 addressing modes
+ * out of the expander's naive code.
+ * @return number of instructions eliminated.
+ */
+int runCombine(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Reshape expander output into legal target instructions: materialize
+ * symbol/large-constant operands into registers and split expression
+ * trees deeper than the target's instruction shapes (dual-operation on
+ * WM, single-operation on the scalar target).
+ * @return number of materialization instructions inserted.
+ */
+int runLegalize(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Block-local copy and constant propagation over register copies
+ * (a := b) and immediates (a := c). Deleting the then-dead copies is
+ * left to dead-code elimination.
+ * @return number of operand replacements.
+ */
+int runCopyPropagate(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Global dead-code elimination of assignments and loads whose result
+ * is never used (including unconsumed compares).
+ * @return number of instructions deleted.
+ */
+int runDeadCodeElim(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Branch minimization: thread jumps to jumps, delete jumps to the next
+ * block, merge single-predecessor fallthrough chains, drop unreachable
+ * blocks.
+ * @return number of simplifications.
+ */
+int runBranchOpt(rtl::Function &fn);
+
+/**
+ * Block-local common-subexpression elimination over pure assignments
+ * and loads (loads are invalidated by stores, streams, and calls).
+ * @return number of rewrites.
+ */
+int runLocalCSE(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Loop-invariant code motion of pure assignments into loop preheaders
+ * (the paper performs "loop detection and code motion" before the
+ * recurrence algorithm; this is what moves the _x/_y/_z address
+ * materializations of Figure 4 out of the loop).
+ * @return number of instructions hoisted.
+ */
+int runLoopInvariantCodeMotion(rtl::Function &fn,
+                               const rtl::MachineTraits &traits,
+                               const rtl::Program *prog = nullptr);
+
+/**
+ * Strength reduction of address computations (paper Step 3): rewrite
+ * coeff*iv + base addresses into an incremented pointer register.
+ * Applied on scalar targets, where it enables the 68020 auto-increment
+ * addressing of Figure 6.
+ * @return number of references rewritten.
+ */
+int runStrengthReduce(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Branch anticipation (WM): move each block's compare as early as its
+ * operands allow, fusing a trailing induction-variable increment into
+ * it (cc := (i+1) < n). The paper: "It is also the compiler's job to
+ * arrange the code so that the computation of the condition code
+ * occurs well before the result is needed. When this is done properly,
+ * conditional jumps, like unconditional jumps, essentially have zero
+ * cost."
+ * @return number of compares moved.
+ */
+int runBranchAnticipate(rtl::Function &fn,
+                        const rtl::MachineTraits &traits);
+
+/**
+ * Register assignment: map virtual registers onto the architectural
+ * files, inserting spill code when needed, and emit prologue/epilogue
+ * (stack-pointer adjustment plus callee-saved save/restore).
+ * Panics if coloring fails after the spill-iteration cap.
+ */
+void runRegAlloc(rtl::Function &fn, const rtl::MachineTraits &traits);
+
+/**
+ * Run the standard pre-loop-optimization cleanup pipeline. When @p prog
+ * is given, loop-invariant loads of unaliased globals (the classic
+ * "loop bound lives in memory" case) are hoisted too.
+ */
+void runCleanupPipeline(rtl::Function &fn,
+                        const rtl::MachineTraits &traits,
+                        const rtl::Program *prog = nullptr);
+
+} // namespace wmstream::opt
+
+#endif // WMSTREAM_OPT_PASSES_H

@@ -1,0 +1,36 @@
+#include "opt/passes.h"
+
+namespace wmstream::opt {
+
+void
+runCleanupPipeline(rtl::Function &fn, const rtl::MachineTraits &traits,
+                   const rtl::Program *prog)
+{
+    runLegalize(fn, traits);
+    // The paper's optimizer reinvokes phases freely; this is the
+    // standard cleanup round run between the structural phases.
+    for (int round = 0; round < 4; ++round) {
+        int changes = 0;
+        changes += runBranchOpt(fn);
+        changes += runCombine(fn, traits);
+        changes += runCopyPropagate(fn, traits);
+        changes += runLocalCSE(fn, traits);
+        changes += runDeadCodeElim(fn, traits);
+        if (!changes)
+            break;
+    }
+    runLoopInvariantCodeMotion(fn, traits, prog);
+    for (int round = 0; round < 4; ++round) {
+        int changes = 0;
+        changes += runCombine(fn, traits);
+        changes += runCopyPropagate(fn, traits);
+        changes += runLocalCSE(fn, traits);
+        changes += runDeadCodeElim(fn, traits);
+        changes += runBranchOpt(fn);
+        if (!changes)
+            break;
+    }
+    fn.renumber();
+}
+
+} // namespace wmstream::opt

@@ -1,0 +1,590 @@
+#include "programs/programs.h"
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace wmstream::programs {
+
+namespace {
+
+// ---------------------------------------------------------------- banner
+// Renders a message into a 8x120 character banner from a 5-glyph font,
+// like Unix banner(1): short row-segment copies dominate.
+const char *kBanner = R"(
+char font[40];
+char msg[16] = "HELLOWORLD";
+char out[8][120];
+int width = 0;
+
+void render(void)
+{
+    int c, r, k, col, g, bits, mask;
+    col = 0;
+    c = 0;
+    while (msg[c]) {
+        g = (msg[c] - 'A') % 5;
+        for (r = 0; r < 8; r++) {
+            bits = font[g * 8 + r % 5];
+            mask = 1;
+            for (k = 0; k < 8; k++) {
+                /* bit test dominates: conditional writes do not
+                   stream */
+                if (bits & mask)
+                    out[r][col + k] = '#';
+                else
+                    out[r][col + k] = ' ';
+                mask = mask + mask;
+                if (mask > 255)
+                    mask = 1;
+            }
+        }
+        col = col + 10;
+        c = c + 1;
+    }
+    width = col;
+}
+
+int main(void)
+{
+    int i, r, k, sum, iter;
+    for (i = 0; i < 40; i++)
+        font[i] = (i * 73 + 29) % 256;
+    for (iter = 0; iter < 20; iter++) {
+        if ((iter & 7) == 0)
+            for (r = 0; r < 8; r++)
+                for (k = 0; k < 120; k++)
+                    out[r][k] = ' ';
+        render();
+    }
+    sum = 0;
+    for (r = 0; r < 8; r++)
+        for (k = 0; k < width; k++)
+            sum = sum + out[r][k] * (k + 1);
+    return sum & 65535;
+}
+)";
+
+// ------------------------------------------------------------ bubblesort
+// Bubble sort written as repeated "carry the maximum" passes: the
+// carried element lives in a register, the array is read once and
+// written once per step — the streaming-friendly formulation.
+const char *kBubblesort = R"(
+int n = 150;
+int a[150];
+
+int main(void)
+{
+    int i, j, carry, x, lo, hi, sum;
+    for (i = 0; i < n; i++)
+        a[i] = (i * 37 + 11) % 101;
+    for (i = 0; i < n - 1; i++) {
+        carry = a[0];
+        for (j = 1; j < n; j++) {
+            x = a[j];
+            lo = x;
+            hi = carry;
+            if (carry <= x) {
+                lo = carry;
+                hi = x;
+            }
+            a[j - 1] = lo;
+            carry = hi;
+        }
+        a[n - 1] = carry;
+    }
+    sum = 0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * (i + 1);
+    return sum & 65535;
+}
+)";
+
+// ------------------------------------------------------------------- cal
+// Calendar formatter like Unix cal(1): blank-fills a page buffer,
+// computes the weekday layout, and deposits day numbers.
+const char *kCal = R"(
+char page[7][21];
+int mdays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+int weekday(int year, int month, int day)
+{
+    int a, y, m;
+    a = (14 - month) / 12;
+    y = year - a;
+    m = month + 12 * a - 2;
+    return (day + y + y / 4 - y / 100 + y / 400 + (31 * m) / 12) % 7;
+}
+
+void putnum(int row, int col, int v)
+{
+    if (v >= 10)
+        page[row][col] = '0' + v / 10;
+    else
+        page[row][col] = ' ';
+    page[row][col + 1] = '0' + v % 10;
+}
+
+int main(void)
+{
+    int month, r, c, wd, day, row, sum, year;
+    year = 1991;
+    sum = 0;
+    for (month = 1; month <= 12; month++) {
+        /* blank the month grid: the streaming opportunity cal shows */
+        for (r = 0; r < 7; r++)
+            for (c = 0; c < 21; c++)
+                page[r][c] = ' ';
+        wd = weekday(year, month, 1);
+        row = 1;
+        /* weekday header */
+        for (c = 0; c < 7; c++)
+            page[0][c * 3] = 'S' + c;
+        for (day = 1; day <= mdays[month - 1]; day++) {
+            int v, digits;
+            putnum(row, wd * 3, day);
+            /* per-day formatting arithmetic (scalar) */
+            v = day + month * 100 + year * 10000;
+            digits = 0;
+            while (v) {
+                digits = digits + v % 10;
+                v = v / 10;
+            }
+            sum = sum + digits;
+            wd = wd + 1;
+            if (wd == 7) {
+                wd = 0;
+                row = row + 1;
+            }
+        }
+        for (r = 0; r < 7; r++)
+            for (c = 0; c < 21; c++)
+                sum = sum + page[r][c];
+    }
+    return sum & 65535;
+}
+)";
+
+// ------------------------------------------------------------- dhrystone
+// Dhrystone-flavored mix without structs: parallel arrays play the
+// records, and the characteristic 30-character string copies and
+// comparisons dominate, exactly the loops the paper says stream.
+const char *kDhrystone = R"(
+char str1[32] = "DHRYSTONE PROGRAM, 1ST STRING";
+char str2[32] = "DHRYSTONE PROGRAM, 2ND STRING";
+char buf1[32];
+char buf2[32];
+int recIntComp[50];
+int recDiscr[50];
+int arr1[50];
+int arr2[50];
+
+void strcopy(char *d, char *s)
+{
+    while (*s) {
+        *d = *s;
+        d = d + 1;
+        s = s + 1;
+    }
+    *d = 0;
+}
+
+int strcomp(char *a, char *b)
+{
+    while (*a && *a == *b) {
+        a = a + 1;
+        b = b + 1;
+    }
+    return *a - *b;
+}
+
+int func2(int i)
+{
+    return (i + 3) % 7;
+}
+
+int func3(int v)
+{
+    int k, acc;
+    acc = v;
+    for (k = 0; k < 8; k++) {
+        if (acc & 1)
+            acc = acc * 3 + 1;
+        else
+            acc = acc / 2;
+        if (acc > 4096)
+            acc = acc - 4095;
+    }
+    return acc;
+}
+
+void proc8(int idx, int val)
+{
+    int i;
+    arr1[idx] = val;
+    arr1[idx + 1] = arr1[idx];
+    for (i = idx; i <= idx + 5; i++)
+        arr2[i] = i;
+    arr2[idx + 5] = arr2[idx + 5] + 1;
+}
+
+int main(void)
+{
+    int run, i, intLoc1, intLoc2, intLoc3, sum;
+    sum = 0;
+    for (i = 0; i < 50; i++) {
+        recIntComp[i] = 0;
+        recDiscr[i] = i % 3;
+        arr1[i] = 0;
+        arr2[i] = 0;
+    }
+    for (run = 0; run < 100; run++) {
+        intLoc1 = 2;
+        intLoc2 = 3;
+        strcopy(buf1, str1);
+        strcopy(buf2, str2);
+        intLoc3 = intLoc2 * intLoc1 + func2(run);
+        intLoc3 = intLoc3 + func3(run) % 5;
+        recIntComp[run % 50] = intLoc3;
+        recDiscr[run % 50] = recIntComp[run % 50] % 3;
+        proc8(run % 40, intLoc3);
+        if (strcomp(buf1, buf2) < 0)
+            sum = sum + 1;
+        sum = sum + intLoc3;
+    }
+    for (i = 0; i < 50; i++)
+        sum = sum + recIntComp[i] + arr1[i] + arr2[i] * 3;
+    i = 0;
+    while (buf1[i]) {
+        sum = sum + buf1[i];
+        i = i + 1;
+    }
+    return sum & 65535;
+}
+)";
+
+// --------------------------------------------------------------- iir
+// Direct-form IIR filter: y[i] = b0*x[i] + b1*x[i-1] - a1*y[i-1].
+// The y[i-1] term is the recurrence; x streams in twice, y streams out.
+const char *kIir = R"(
+int n = 4000;
+double x[4000];
+double y[4000];
+
+int main(void)
+{
+    int i;
+    double b0, b1, b2, b3, a1, a2, a3, acc;
+    double xn, xn1, xn2, xn3, yn, yn1, yn2, yn3;
+    b0 = 0.2569;
+    b1 = 0.1003;
+    b2 = 0.1003;
+    b3 = 0.2569;
+    a1 = -0.577;
+    a2 = 0.4218;
+    a3 = -0.0563;
+    for (i = 0; i < n; i++)
+        x[i] = ((i * 17) & 63) * 0.125 - 3.5;
+    /* 3rd-order direct-form IIR: the x/y histories are carried in
+       registers; x streams in, y streams out */
+    xn1 = 0.0;
+    xn2 = 0.0;
+    xn3 = 0.0;
+    yn1 = 0.0;
+    yn2 = 0.0;
+    yn3 = 0.0;
+    for (i = 0; i < n; i++) {
+        xn = x[i];
+        yn = b0 * xn + b1 * xn1 + b2 * xn2 + b3 * xn3 - a1 * yn1 -
+             a2 * yn2 - a3 * yn3;
+        y[i] = yn;
+        xn3 = xn2;
+        xn2 = xn1;
+        xn1 = xn;
+        yn3 = yn2;
+        yn2 = yn1;
+        yn1 = yn;
+    }
+    acc = 0.0;
+    for (i = 0; i < n; i++)
+        acc = acc + y[i];
+    return acc;
+}
+)";
+
+// ------------------------------------------------------------- quicksort
+// Recursive quicksort; the pointer-walking partition scans are the
+// only streaming opportunity (the paper measured just 1 percent).
+const char *kQuicksort = R"(
+int n = 300;
+int a[300];
+
+void sort(int lo, int hi)
+{
+    int i, j, p, t;
+    if (lo >= hi)
+        return;
+    p = a[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (a[i] < p)
+            i = i + 1;
+        while (a[j] > p)
+            j = j - 1;
+        if (i <= j) {
+            t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    sort(lo, j);
+    sort(i, hi);
+}
+
+int main(void)
+{
+    int i, sum;
+    for (i = 0; i < n; i++)
+        a[i] = (i * 193 + 71) % 997;
+    sort(0, n - 1);
+    sum = 0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * (i % 7 + 1);
+    return sum & 65535;
+}
+)";
+
+// ----------------------------------------------------------------- sieve
+// The classic Byte sieve: the flag initialization is a byte stream,
+// the scan reads the flags as a stream.
+const char *kSieve = R"(
+int n = 4000;
+char flags[4000];
+
+int main(void)
+{
+    int i, k, count, iter, prime;
+    count = 0;
+    for (iter = 0; iter < 5; iter++) {
+        for (i = 0; i < n; i++)
+            flags[i] = 1;
+        count = 0;
+        for (i = 0; i < n; i++) {
+            if (flags[i]) {
+                prime = i + i + 3;
+                for (k = i + prime; k < n; k = k + prime)
+                    flags[k] = 0;
+                count = count + 1;
+            }
+        }
+    }
+    return count;
+}
+)";
+
+// ------------------------------------------------------------- whetstone
+// Whetstone-flavored floating mix: the N1/N2/N3 module shapes with
+// polynomial kernels standing in for the libm calls (no transcendental
+// library exists on the simulated machine). Mostly scalar floating
+// arithmetic: streaming finds little, as in the paper.
+const char *kWhetstone = R"(
+double e1[4];
+double e2[8];
+double t, t1, t2;
+
+double poly(double v)
+{
+    return ((0.0059 * v - 0.0457) * v + 0.998) * v - 0.0000341;
+}
+
+void pa(double *e)
+{
+    int j;
+    for (j = 0; j < 6; j++) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (0.0 - e[0] + e[1] + e[2] + e[3]) / t2;
+    }
+}
+
+int main(void)
+{
+    int i, iter;
+    double x1, x2, x3, x4, x, y, z, sum;
+    t = 0.499975;
+    t1 = 0.50025;
+    t2 = 2.0;
+    sum = 0.0;
+    for (iter = 0; iter < 120; iter++) {
+        /* module 1: simple identifiers (fresh start each pass, as the
+           original N1 module re-establishes its fixpoint) */
+        x1 = 1.0;
+        x2 = -1.0;
+        x3 = -1.0;
+        x4 = -1.0;
+        for (i = 0; i < 5; i++) {
+            x1 = (x1 + x2 + x3 - x4) * t;
+            x2 = (x1 + x2 - x3 + x4) * t;
+            x3 = (x1 - x2 + x3 + x4) * t;
+            x4 = (0.0 - x1 + x2 + x3 + x4) * t;
+        }
+        /* module 2: array elements */
+        e1[0] = 1.0;
+        e1[1] = -1.0;
+        e1[2] = -1.0;
+        e1[3] = -1.0;
+        for (i = 0; i < 6; i++) {
+            e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+            e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+            e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+            e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+        }
+        /* module 3: procedure call with array parameter */
+        pa(e1);
+        /* module 6: array stores (the original's array-element
+           housekeeping; a small bounded stream, every other pass) */
+        if ((iter & 1) == 0)
+            for (i = 0; i < 8; i++)
+                e2[i] = t * i;
+        /* module 7: polynomial "trig" (bounded fixpoint iteration) */
+        x = 0.5;
+        y = 0.5;
+        for (i = 0; i < 4; i++) {
+            x = t * (poly(x) + poly(y));
+            y = t * (poly(x) + poly(y));
+        }
+        /* module 11: polynomial "exp/log" */
+        z = 0.75;
+        for (i = 0; i < 4; i++)
+            z = poly(z + t1) / t2 + 0.5;
+        sum = sum + x + y + z + x1 + x4 + e1[0] + e1[3] + e2[7];
+    }
+    return sum * 100.0;
+}
+)";
+
+std::vector<BenchmarkProgram>
+makePrograms()
+{
+    return {
+        {"banner", kBanner},
+        {"bubblesort", kBubblesort},
+        {"cal", kCal},
+        {"dhrystone", kDhrystone},
+        {"dot-product", dotProductSource(8000)},
+        {"iir", kIir},
+        {"quicksort", kQuicksort},
+        {"sieve", kSieve},
+        {"whetstone", kWhetstone},
+    };
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkProgram> &
+tableIIPrograms()
+{
+    static const std::vector<BenchmarkProgram> programs = makePrograms();
+    return programs;
+}
+
+const std::string &
+programSource(const std::string &name)
+{
+    for (const auto &p : tableIIPrograms())
+        if (p.name == name)
+            return p.source;
+    WS_PANIC("unknown benchmark program " + name);
+}
+
+std::string
+livermore5Source(int n, int reps)
+{
+    return strFormat(R"(
+int n = %d;
+int reps = %d;
+double x[%d];
+double y[%d];
+double z[%d];
+
+int main(void)
+{
+    int i, rep;
+    double s;
+    for (i = 0; i < n; i++) {
+        x[i] = 0.5 + (i & 7) * 0.125;
+        y[i] = 2.5 + (i & 15) * 0.0625;
+        z[i] = 0.5;
+    }
+    /* the 5th Livermore loop: tri-diagonal elimination below the
+       diagonal, x[i] defined in terms of x[i-1] */
+    for (rep = 0; rep < reps; rep++)
+        for (i = 2; i < n; i++)
+            x[i] = z[i] * (y[i] - x[i - 1]);
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + x[i];
+    return s * 16.0;
+}
+)",
+                     n, reps, n + 1, n + 1, n + 1);
+}
+
+std::string
+dotProductSource(int n)
+{
+    return strFormat(R"(
+int n = %d;
+double a[%d];
+double b[%d];
+
+int main(void)
+{
+    int i;
+    double s;
+    for (i = 0; i < n; i++) {
+        a[i] = 0.25 + (i & 31) * 0.03125;
+        b[i] = 1.5 - (i & 7) * 0.125;
+    }
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + a[i] * b[i];
+    return s;
+}
+)",
+                     n, n, n);
+}
+
+std::string
+recurrenceDegreeSource(int n, int degree)
+{
+    return strFormat(R"(
+int n = %d;
+double x[%d];
+double y[%d];
+double z[%d];
+
+int main(void)
+{
+    int i;
+    double s;
+    for (i = 0; i < n; i++) {
+        x[i] = 0.5 + (i & 7) * 0.125;
+        y[i] = 2.5 + (i & 15) * 0.0625;
+        z[i] = 0.5;
+    }
+    for (i = %d; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i - %d]);
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + x[i];
+    return s * 16.0;
+}
+)",
+                     n, n + 1, n + 1, n + 1, degree + 1, degree);
+}
+
+} // namespace wmstream::programs

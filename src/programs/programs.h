@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The evaluation programs, written in mini-C.
+ *
+ * Table II of the paper measures nine programs: banner, bubblesort,
+ * cal, dhrystone, dot-product, iir, quicksort, sieve, and whetstone.
+ * The original sources are 1980s Unix/benchmark code we reproduce as
+ * faithful mini-C kernels (see DESIGN.md for the substitution notes):
+ * each program computes a checksum instead of doing terminal I/O, and
+ * dhrystone/whetstone are reduced to their characteristic operation
+ * mixes (string copies and record-ish assignments; floating modules
+ * with polynomial kernels in place of libm calls).
+ *
+ * Every program returns a checksum from main(); the differential tests
+ * verify the checksum against the AST interpreter for every compiler
+ * configuration.
+ */
+
+#ifndef WMSTREAM_PROGRAMS_PROGRAMS_H
+#define WMSTREAM_PROGRAMS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace wmstream::programs {
+
+/** A named benchmark program. */
+struct BenchmarkProgram
+{
+    std::string name;
+    std::string source;
+};
+
+/** The nine Table-II programs, in the paper's order. */
+const std::vector<BenchmarkProgram> &tableIIPrograms();
+
+/** Source of a named program (panics if unknown). */
+const std::string &programSource(const std::string &name);
+
+/**
+ * The 5th Livermore loop with array size @p n (paper: 100,000).
+ * @p reps repeats the kernel so it dominates over initialization and
+ * checksum code (the paper timed the loop itself).
+ */
+std::string livermore5Source(int n, int reps = 1);
+
+/** A dot product of length @p n (the paper's Section 2 example). */
+std::string dotProductSource(int n);
+
+/**
+ * A loop with a recurrence of configurable degree:
+ * x[i] = z[i] * (y[i] - x[i-degree]). Used by the ablation benches.
+ */
+std::string recurrenceDegreeSource(int n, int degree);
+
+} // namespace wmstream::programs
+
+#endif // WMSTREAM_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,374 @@
+#include "recurrence/recurrence.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace wmstream::recurrence {
+
+using opt::BasicIV;
+using opt::LinForm;
+using rtl::DataType;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::Op;
+
+namespace {
+
+/** Materialize `cee*iv + base + disp` at the end of @p pre. */
+ExprPtr
+materializeAddress(rtl::Function &fn, rtl::Block *pre, const BasicIV &iv,
+                   int64_t cee, const LinForm &base, int64_t disp)
+{
+    size_t at = pre->insts.size();
+    if (pre->terminator())
+        --at;
+    auto insert = [&](Inst inst) {
+        pre->insts.insert(pre->insts.begin() + static_cast<ptrdiff_t>(at++),
+                          std::move(inst));
+    };
+
+    ExprPtr scaled;
+    if (cee == 0) {
+        scaled = nullptr;
+    } else if (cee == 1) {
+        scaled = iv.reg;
+    } else {
+        int sh = -1;
+        for (int k = 1; k < 32; ++k)
+            if (cee == (int64_t{1} << k))
+                sh = k;
+        ExprPtr t = fn.newVReg(DataType::I64);
+        insert(rtl::makeAssign(
+            t, sh > 0 ? rtl::makeBin(Op::Shl, iv.reg, rtl::makeConst(sh))
+                      : rtl::makeBin(Op::Mul, iv.reg, rtl::makeConst(cee)),
+            "recurrence initial address"));
+        scaled = t;
+    }
+
+    ExprPtr baseVal;
+    switch (base.baseKind) {
+      case LinForm::Base::Sym: {
+        ExprPtr t = fn.newVReg(DataType::I64);
+        insert(rtl::makeAssign(t, rtl::makeSym(base.sym),
+                               "address of recurrence array"));
+        baseVal = t;
+        break;
+      }
+      case LinForm::Base::Reg:
+        baseVal = base.baseReg;
+        break;
+      default:
+        baseVal = nullptr;
+        break;
+    }
+
+    ExprPtr sum = scaled;
+    if (baseVal) {
+        if (sum) {
+            ExprPtr t = fn.newVReg(DataType::I64);
+            insert(rtl::makeAssign(t, rtl::makeBin(Op::Add, sum, baseVal)));
+            sum = t;
+        } else {
+            sum = baseVal;
+        }
+    }
+    if (!sum)
+        return rtl::makeConst(disp);
+    if (disp == 0)
+        return sum;
+    ExprPtr t = fn.newVReg(DataType::I64);
+    insert(rtl::makeAssign(t, rtl::makeBin(Op::Add, sum,
+                                           rtl::makeConst(disp))));
+    return t;
+}
+
+/** Count textual uses of a register in the whole function. */
+int
+countUses(rtl::Function &fn, const ExprPtr &reg)
+{
+    int n = 0;
+    for (auto &bp : fn.blocks())
+        for (auto &inst : bp->insts)
+            for (const auto &u : rtl::instUses(inst))
+                if (u->isReg(reg->regFile(), reg->regIndex()))
+                    ++n;
+    return n;
+}
+
+struct PairInfo
+{
+    MemRef *read;
+    int distance; ///< iterations between write and read
+};
+
+bool
+optimizePartition(rtl::Function &fn, cfg::Loop &loop,
+                  const cfg::DominatorTree &dt, Partition &part,
+                  int maxDegree, RecurrenceReport &report)
+{
+    if (!part.safe || !part.hasWrite() || !part.hasRead())
+        return false;
+
+    // Single write, one or more reads; all same element type and a
+    // moving (cee != 0) access pattern.
+    MemRef *write = nullptr;
+    std::vector<MemRef *> reads;
+    for (MemRef &r : part.refs) {
+        if (r.isWrite) {
+            if (write)
+                return false; // multiple writes: skip
+            write = &r;
+        } else {
+            reads.push_back(&r);
+        }
+    }
+    if (!write || !write->iv || write->cee == 0)
+        return false;
+
+    int64_t stride = write->cee * write->iv->step;
+    WS_ASSERT(stride != 0, "zero stride with nonzero cee");
+
+    // Step 4a: identify read/write pairs and the recurrence degree.
+    std::vector<PairInfo> pairs;
+    for (MemRef *r : reads) {
+        if (r->type != write->type)
+            return false;
+        int64_t delta = write->roffset - r->roffset;
+        if (delta == 0)
+            return false; // same-cell read+write: ordering-sensitive
+        if (delta % stride != 0)
+            continue; // interleaved, never the same cell
+        int64_t dist = delta / stride;
+        if (dist < 0)
+            return false; // read runs ahead of the write: a true
+                          // dependence we must not break
+        pairs.push_back({r, static_cast<int>(dist)});
+    }
+    if (pairs.empty())
+        return false;
+
+    int degree = 0;
+    for (const PairInfo &p : pairs)
+        degree = std::max(degree, p.distance);
+    if (degree > maxDegree)
+        return false; // not enough registers (paper Step 2a remark)
+
+    // Every participating reference must execute on every iteration.
+    auto everyIteration = [&](const MemRef &r) {
+        for (rtl::Block *latch : loop.latches)
+            if (!dt.dominates(r.block, latch))
+                return false;
+        return true;
+    };
+    if (!everyIteration(*write))
+        return false;
+    for (const PairInfo &p : pairs)
+        if (!everyIteration(*p.read))
+            return false;
+
+    // The loaded registers must be replaceable: virtual, and defined
+    // only by the load.
+    for (const PairInfo &p : pairs) {
+        const Inst &load = p.read->block->insts[p.read->index];
+        if (!rtl::isVirtualFile(load.dst->regFile()))
+            return false;
+    }
+
+    // ---- rewrite ----
+    bool flt = rtl::isFloatType(write->type);
+    DataType dt2 = flt ? DataType::F64 : DataType::I64;
+    std::vector<ExprPtr> chain; // chain[k] holds the value of k iterations ago
+    for (int k = 0; k <= degree; ++k)
+        chain.push_back(fn.newVReg(dt2));
+
+    // Step 4b (write side): retain the stored value in chain[0].
+    // Preferred form (the paper's): retarget the instruction computing
+    // the stored value so it writes chain[0] directly. Fall back to an
+    // extra copy when the producer cannot be retargeted.
+    {
+        Inst &store = write->block->insts[write->index];
+        bool retargeted = false;
+        if (store.src->isReg() &&
+                rtl::isVirtualFile(store.src->regFile())) {
+            // Find a unique producing Assign in the same block before
+            // the store, with no other use or redefinition between.
+            int uses = 0;
+            for (auto &bp2 : fn.blocks())
+                for (auto &inst2 : bp2->insts)
+                    for (const auto &u : rtl::instUses(inst2))
+                        if (u->isReg(store.src->regFile(),
+                                     store.src->regIndex()))
+                            ++uses;
+            int defs = 0;
+            size_t defIdx = 0;
+            rtl::Block *defBlock = nullptr;
+            for (auto &bp2 : fn.blocks())
+                for (size_t k = 0; k < bp2->insts.size(); ++k)
+                    if (auto d = rtl::instDef(bp2->insts[k]))
+                        if (d->isReg(store.src->regFile(),
+                                     store.src->regIndex())) {
+                            ++defs;
+                            defBlock = bp2.get();
+                            defIdx = k;
+                        }
+            if (uses == 1 && defs == 1 && defBlock == write->block &&
+                    defIdx < write->index) {
+                Inst &producer = write->block->insts[defIdx];
+                if (producer.kind == InstKind::Assign &&
+                        producer.dst->isReg(store.src->regFile(),
+                                            store.src->regIndex())) {
+                    producer.dst = chain[0];
+                    producer.comment = "compute into recurrence register";
+                    store.src = chain[0];
+                    retargeted = true;
+                }
+            }
+        }
+        if (!retargeted) {
+            Inst keep = rtl::makeAssign(chain[0], store.src,
+                                        "retain recurrence value");
+            store.src = chain[0];
+            store.comment = "store via recurrence register";
+            write->block->insts.insert(
+                write->block->insts.begin() +
+                    static_cast<ptrdiff_t>(write->index),
+                std::move(keep));
+            // Indexes at or after the write shift by one.
+            for (PairInfo &p : pairs)
+                if (p.read->block == write->block &&
+                        p.read->index >= write->index) {
+                    ++p.read->index;
+                }
+            ++write->index;
+        }
+    }
+
+    // Step 4b (read side): replace the loads with chain registers.
+    // Process per block in descending index order so erases stay valid.
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairInfo &a, const PairInfo &b) {
+                  if (a.read->block != b.read->block)
+                      return a.read->block < b.read->block;
+                  return a.read->index > b.read->index;
+              });
+    for (PairInfo &p : pairs) {
+        Inst &load = p.read->block->insts[p.read->index];
+        WS_ASSERT(load.kind == InstKind::Load, "stale read index");
+        Inst copy = rtl::makeAssign(load.dst, chain[p.distance],
+                                    "recurrence value from register");
+        copy.id = load.id;
+        load = std::move(copy);
+        ++report.loadsDeleted;
+    }
+
+    // Step 4c: shift the chain at the top of the loop, oldest first.
+    {
+        std::vector<Inst> shifts;
+        for (int k = degree; k >= 1; --k)
+            shifts.push_back(rtl::makeAssign(chain[k], chain[k - 1],
+                                             "shift recurrence chain"));
+        rtl::Block *header = loop.header;
+        header->insts.insert(header->insts.begin(), shifts.begin(),
+                             shifts.end());
+        // Adjust recorded indexes in the header.
+        for (MemRef &r : part.refs)
+            if (r.block == header)
+                r.index += static_cast<size_t>(degree);
+    }
+
+    // Step 4d: prime the chain in the preheader.
+    {
+        rtl::Block *pre = cfg::ensurePreheader(fn, loop);
+        for (int k = 1; k <= degree; ++k) {
+            // Address of the value written k iterations before the
+            // first one: write address at iv0 minus k strides.
+            ExprPtr addr = materializeAddress(
+                fn, pre, *write->iv, write->cee, write->dee,
+                write->roffset - static_cast<int64_t>(k) * stride);
+            size_t at = pre->insts.size();
+            if (pre->terminator())
+                --at;
+            pre->insts.insert(
+                pre->insts.begin() + static_cast<ptrdiff_t>(at),
+                rtl::makeLoad(chain[k - 1], addr, write->type,
+                              "prime recurrence chain"));
+        }
+    }
+
+    // The reads are now register references: drop them from the
+    // partition (paper shows X reduced to the write alone).
+    part.refs.erase(std::remove_if(part.refs.begin(), part.refs.end(),
+                                   [](const MemRef &r) {
+                                       return !r.isWrite;
+                                   }),
+                    part.refs.end());
+
+    report.maxDegree = std::max(report.maxDegree, degree);
+    ++report.recurrencesOptimized;
+    (void)countUses;
+    return true;
+}
+
+} // anonymous namespace
+
+RecurrenceReport
+runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
+                 int maxDegree)
+{
+    RecurrenceReport report;
+    // Loop structures change when preheaders appear; process one loop
+    // per analysis round.
+    std::vector<std::string> doneLoops;
+    for (int round = 0; round < 64; ++round) {
+        fn.recomputeCfg();
+        cfg::DominatorTree dt(fn);
+        cfg::LoopInfo li(fn, dt);
+        bool changed = false;
+        for (cfg::Loop &loop : li.loops()) {
+            bool innermost = true;
+            for (cfg::Loop &other : li.loops())
+                if (&other != &loop && loop.contains(other))
+                    innermost = false;
+            if (!innermost)
+                continue;
+            if (std::find(doneLoops.begin(), doneLoops.end(),
+                          loop.header->label()) != doneLoops.end()) {
+                continue;
+            }
+            ++report.loopsExamined;
+
+            opt::IndVarAnalysis ivs(fn, loop, dt, traits);
+            PartitionSet parts = buildPartitions(fn, loop, dt, ivs,
+                                                 traits);
+            report.partitionDumps.push_back(parts.str());
+
+            // The paper's aliasing caveat: an unknown write may alias
+            // any partition, so no rewrite is safe.
+            if (parts.unknownWriteExists())
+                continue;
+            for (Partition &p : parts.parts) {
+                // An unknown read may observe any write; rewriting a
+                // write-carrying partition would change what it sees.
+                if (parts.unknownReadExists() && p.hasWrite())
+                    continue;
+                if (optimizePartition(fn, loop, dt, p, maxDegree,
+                                      report)) {
+                    changed = true;
+                    break; // structures stale
+                }
+            }
+            if (changed)
+                break; // revisit this loop with fresh analyses
+            doneLoops.push_back(loop.header->label());
+        }
+        if (!changed)
+            break;
+    }
+    fn.recomputeCfg();
+    fn.renumber();
+    return report;
+}
+
+} // namespace wmstream::recurrence

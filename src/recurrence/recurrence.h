@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Recurrence detection and optimization (paper, Step 4).
+ *
+ * For every safe partition containing both reads and writes, identify
+ * read/write pairs where the read fetches a value written on a
+ * previous iteration, and carry that value in registers instead:
+ * the store's value is retained in register chain[0], the loads at
+ * iteration-distance k are replaced by chain[k], the chain is shifted
+ * at the top of the loop, and the loop preheader primes it with the
+ * initial loads. One more register than the degree of the recurrence
+ * is required.
+ *
+ * The algorithm is machine-independent; the machine-specific part
+ * (how loads/stores are rewritten) lives in the RTL Load/Store
+ * instruction shapes themselves.
+ */
+
+#ifndef WMSTREAM_RECURRENCE_RECURRENCE_H
+#define WMSTREAM_RECURRENCE_RECURRENCE_H
+
+#include <string>
+#include <vector>
+
+#include "recurrence/partitions.h"
+#include "rtl/machine.h"
+
+namespace wmstream::recurrence {
+
+/** What the pass did, for tests and the experiment harnesses. */
+struct RecurrenceReport
+{
+    int loopsExamined = 0;
+    int recurrencesOptimized = 0;  ///< partitions rewritten
+    int loadsDeleted = 0;
+    int maxDegree = 0;
+    std::vector<std::string> partitionDumps; ///< per-loop Step 1-3 output
+};
+
+/**
+ * Run the recurrence optimization over all innermost loops of @p fn.
+ * @p maxRegisters caps the recurrence degree (degree + 1 registers are
+ * needed; the paper notes recurrences may be skipped "because there may
+ * not be enough registers").
+ */
+RecurrenceReport runRecurrenceOpt(rtl::Function &fn,
+                                  const rtl::MachineTraits &traits,
+                                  int maxDegree = 4);
+
+} // namespace wmstream::recurrence
+
+#endif // WMSTREAM_RECURRENCE_RECURRENCE_H

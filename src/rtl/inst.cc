@@ -1,0 +1,462 @@
+#include "rtl/inst.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace wmstream::rtl {
+
+bool
+Inst::isTerminator() const
+{
+    switch (kind) {
+      case InstKind::Jump:
+      case InstKind::CondJump:
+      case InstKind::JumpStream:
+      case InstKind::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Inst::isBranch() const
+{
+    switch (kind) {
+      case InstKind::Jump:
+      case InstKind::CondJump:
+      case InstKind::JumpStream:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Inst::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case InstKind::Assign:
+        os << dst->str() << " := " << src->str();
+        break;
+      case InstKind::Load:
+        os << dst->str() << " := " << (isFloatType(memType) ? "F" : "M")
+           << dataTypeSize(memType) * 8 << "[" << addr->str() << "]";
+        break;
+      case InstKind::Store:
+        os << (isFloatType(memType) ? "F" : "M") << dataTypeSize(memType) * 8
+           << "[" << addr->str() << "] := " << src->str();
+        break;
+      case InstKind::Jump:
+        os << "jump " << target;
+        break;
+      case InstKind::CondJump:
+        os << "jump" << (when ? "T" : "F")
+           << (side == UnitSide::Int ? "i" : "f") << " " << target;
+        break;
+      case InstKind::JumpStream:
+        os << "jNotDone " << (side == UnitSide::Int ? "r" : "f") << fifo
+           << " " << target;
+        break;
+      case InstKind::StreamIn:
+      case InstKind::StreamOut:
+        os << (kind == InstKind::StreamIn ? "streamIn " : "streamOut ")
+           << (side == UnitSide::Int ? "r" : "f") << fifo << ", "
+           << addr->str() << ", " << (count ? count->str() : "inf") << ", "
+           << stride << " (" << dataTypeName(memType) << ")";
+        break;
+      case InstKind::StreamStop:
+        os << "streamStop " << (side == UnitSide::Int ? "r" : "f") << fifo;
+        break;
+      case InstKind::VecOp:
+        os << "vec " << dst->str() << " := (" << src->str() << " "
+           << opName(vecOp) << " "
+           << (vecSrc2 ? vecSrc2->str() : std::string("-")) << ") x "
+           << count->str();
+        break;
+      case InstKind::Call:
+        os << "call " << target;
+        break;
+      case InstKind::Return:
+        os << "return";
+        break;
+    }
+    return os.str();
+}
+
+Inst
+makeAssign(ExprPtr dst, ExprPtr src, std::string comment)
+{
+    WS_ASSERT(dst && dst->isReg(), "Assign dst must be a register");
+    Inst i;
+    i.kind = InstKind::Assign;
+    i.dst = std::move(dst);
+    i.src = std::move(src);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeLoad(ExprPtr dst, ExprPtr addr, DataType t, std::string comment)
+{
+    WS_ASSERT(dst && dst->isReg(), "Load dst must be a register");
+    Inst i;
+    i.kind = InstKind::Load;
+    i.dst = std::move(dst);
+    i.addr = std::move(addr);
+    i.memType = t;
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeStore(ExprPtr addr, ExprPtr src, DataType t, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::Store;
+    i.addr = std::move(addr);
+    i.src = std::move(src);
+    i.memType = t;
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeJump(std::string target, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::Jump;
+    i.target = std::move(target);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeCondJump(UnitSide side, bool when, std::string target,
+             std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::CondJump;
+    i.side = side;
+    i.when = when;
+    i.target = std::move(target);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeJumpStream(UnitSide side, int fifo, std::string target,
+               std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::JumpStream;
+    i.side = side;
+    i.fifo = fifo;
+    i.target = std::move(target);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeStreamIn(UnitSide side, int fifo, ExprPtr base, ExprPtr count,
+             int64_t stride, DataType t, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::StreamIn;
+    i.side = side;
+    i.fifo = fifo;
+    i.addr = std::move(base);
+    i.count = std::move(count);
+    i.stride = stride;
+    i.memType = t;
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeStreamOut(UnitSide side, int fifo, ExprPtr base, ExprPtr count,
+              int64_t stride, DataType t, std::string comment)
+{
+    Inst i = makeStreamIn(side, fifo, std::move(base), std::move(count),
+                          stride, t, std::move(comment));
+    i.kind = InstKind::StreamOut;
+    return i;
+}
+
+Inst
+makeStreamStop(UnitSide side, int fifo, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::StreamStop;
+    i.side = side;
+    i.fifo = fifo;
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeVecOp(Op op, ExprPtr dstFifo, ExprPtr src1Fifo, ExprPtr src2,
+          ExprPtr count, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::VecOp;
+    i.vecOp = op;
+    i.dst = std::move(dstFifo);
+    i.src = std::move(src1Fifo);
+    i.vecSrc2 = std::move(src2);
+    i.count = std::move(count);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeCall(std::string callee, std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::Call;
+    i.target = std::move(callee);
+    i.comment = std::move(comment);
+    return i;
+}
+
+Inst
+makeReturn(std::string comment)
+{
+    Inst i;
+    i.kind = InstKind::Return;
+    i.comment = std::move(comment);
+    return i;
+}
+
+std::vector<ExprPtr>
+instUses(const Inst &inst)
+{
+    std::vector<ExprPtr> uses;
+    auto add = [&](const ExprPtr &e) {
+        if (!e)
+            return;
+        auto regs = collectRegs(e);
+        uses.insert(uses.end(), regs.begin(), regs.end());
+    };
+    switch (inst.kind) {
+      case InstKind::Assign:
+        add(inst.src);
+        break;
+      case InstKind::Load:
+        add(inst.addr);
+        break;
+      case InstKind::Store:
+        add(inst.addr);
+        add(inst.src);
+        break;
+      case InstKind::StreamIn:
+      case InstKind::StreamOut:
+        add(inst.addr);
+        add(inst.count);
+        break;
+      case InstKind::VecOp:
+        add(inst.src);
+        add(inst.vecSrc2);
+        add(inst.count);
+        break;
+      default:
+        break;
+    }
+    for (const auto &e : inst.extraUses)
+        add(e);
+    return uses;
+}
+
+ExprPtr
+instDef(const Inst &inst)
+{
+    switch (inst.kind) {
+      case InstKind::Assign:
+      case InstKind::Load:
+        return inst.dst;
+      default:
+        return nullptr;
+    }
+}
+
+const Inst *
+Block::terminator() const
+{
+    if (insts.empty() || !insts.back().isTerminator())
+        return nullptr;
+    return &insts.back();
+}
+
+Inst *
+Block::terminator()
+{
+    if (insts.empty() || !insts.back().isTerminator())
+        return nullptr;
+    return &insts.back();
+}
+
+Block *
+Function::addBlock(const std::string &label)
+{
+    std::string l = label.empty() ? newLabel() : label;
+    blocks_.push_back(std::make_unique<Block>(l));
+    return blocks_.back().get();
+}
+
+Block *
+Function::insertBlockBefore(Block *before, const std::string &label)
+{
+    std::string l = label.empty() ? newLabel() : label;
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+        if (it->get() == before) {
+            it = blocks_.insert(it, std::make_unique<Block>(l));
+            return it->get();
+        }
+    }
+    WS_PANIC("insertBlockBefore: block not in function");
+}
+
+Block *
+Function::findBlock(const std::string &label)
+{
+    for (auto &b : blocks_)
+        if (b->label() == label)
+            return b.get();
+    return nullptr;
+}
+
+ExprPtr
+Function::newVReg(DataType t)
+{
+    if (isFloatType(t))
+        return makeReg(RegFile::VFlt, nextVFlt_++, t);
+    return makeReg(RegFile::VInt, nextVInt_++, t);
+}
+
+std::string
+Function::newLabel()
+{
+    return strFormat("L%d", nextLabel_++);
+}
+
+void
+Function::recomputeCfg()
+{
+    std::unordered_map<std::string, Block *> byLabel;
+    for (auto &b : blocks_) {
+        byLabel[b->label()] = b.get();
+        b->succs.clear();
+        b->preds.clear();
+    }
+
+    auto link = [](Block *from, Block *to) {
+        from->succs.push_back(to);
+        to->preds.push_back(from);
+    };
+
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        Block *b = blocks_[i].get();
+        const Inst *term = b->terminator();
+        bool falls = true;
+        if (term) {
+            switch (term->kind) {
+              case InstKind::Jump:
+                falls = false;
+                [[fallthrough]];
+              case InstKind::CondJump:
+              case InstKind::JumpStream: {
+                auto it = byLabel.find(term->target);
+                WS_ASSERT(it != byLabel.end(),
+                          "branch to unknown label " + term->target);
+                link(b, it->second);
+                break;
+              }
+              case InstKind::Return:
+                falls = false;
+                break;
+              default:
+                break;
+            }
+        }
+        if (falls && i + 1 < blocks_.size())
+            link(b, blocks_[i + 1].get());
+    }
+}
+
+void
+Function::removeUnreachable()
+{
+    recomputeCfg();
+    std::unordered_map<Block *, bool> reached;
+    std::vector<Block *> work;
+    if (entry()) {
+        work.push_back(entry());
+        reached[entry()] = true;
+    }
+    while (!work.empty()) {
+        Block *b = work.back();
+        work.pop_back();
+        for (Block *s : b->succs) {
+            if (!reached[s]) {
+                reached[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    std::vector<std::unique_ptr<Block>> kept;
+    for (auto &b : blocks_)
+        if (reached[b.get()])
+            kept.push_back(std::move(b));
+    blocks_ = std::move(kept);
+    recomputeCfg();
+}
+
+void
+Function::renumber()
+{
+    int id = 0;
+    for (auto &b : blocks_)
+        for (auto &inst : b->insts)
+            inst.id = id++;
+}
+
+int
+Function::instCount() const
+{
+    int n = 0;
+    for (const auto &b : blocks_)
+        n += static_cast<int>(b->insts.size());
+    return n;
+}
+
+int64_t
+Function::allocFrameSlot(int64_t bytes, int64_t align)
+{
+    frameSize = (frameSize + align - 1) & ~(align - 1);
+    int64_t off = frameSize;
+    frameSize += bytes;
+    return off;
+}
+
+std::string
+Function::str() const
+{
+    std::ostringstream os;
+    os << "function " << name_ << " (frame " << frameSize << "):\n";
+    for (const auto &b : blocks_) {
+        os << b->label() << ":\n";
+        for (const auto &inst : b->insts) {
+            os << "    " << inst.str();
+            if (!inst.comment.empty())
+                os << "    -- " << inst.comment;
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace wmstream::rtl

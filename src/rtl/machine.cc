@@ -1,0 +1,25 @@
+#include "rtl/machine.h"
+
+namespace wmstream::rtl {
+
+MachineTraits
+wmTraits()
+{
+    MachineTraits t;
+    t.kind = MachineKind::WM;
+    t.hasDualOp = true;
+    t.hasStreams = true;
+    return t;
+}
+
+MachineTraits
+scalarTraits()
+{
+    MachineTraits t;
+    t.kind = MachineKind::Scalar;
+    t.hasDualOp = false;
+    t.hasStreams = false;
+    return t;
+}
+
+} // namespace wmstream::rtl

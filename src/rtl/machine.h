@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Target-machine traits used by the expander and the optimizer.
+ *
+ * The paper's key structural claim is that the recurrence and streaming
+ * optimizations are machine-independent except for a small
+ * machine-specific rewrite routine ("approximately 30 to 50 lines").
+ * MachineTraits carries the data those passes need to stay generic:
+ * register conventions, whether dual-operation instructions exist, and
+ * whether stream hardware exists.
+ */
+
+#ifndef WMSTREAM_RTL_MACHINE_H
+#define WMSTREAM_RTL_MACHINE_H
+
+#include "rtl/expr.h"
+
+namespace wmstream::rtl {
+
+/** The two RTL targets this reproduction implements. */
+enum class MachineKind : uint8_t {
+    WM,     ///< decoupled access/execute machine with streams
+    Scalar, ///< generic load/store scalar machine (68020/88100/VAX models)
+};
+
+/**
+ * Static description of a target.
+ *
+ * Register conventions (both targets, mirroring WM):
+ *  - r31 / f31 read as zero; writes are discarded;
+ *  - r0, r1 / f0, f1 are the data FIFOs on WM and are reserved on the
+ *    scalar target so code is register-compatible;
+ *  - r30 is the stack pointer;
+ *  - r2..r5 / f2..f5 carry arguments, r2 / f2 the return value;
+ *  - r16..r29, f16..f30 are callee-saved, the rest caller-saved.
+ */
+struct MachineTraits
+{
+    MachineKind kind = MachineKind::WM;
+
+    bool hasDualOp = true;   ///< (a op1 b) op2 c in one instruction
+    bool hasStreams = true;  ///< SCU stream hardware present
+
+    int numIntRegs = 32;
+    int numFltRegs = 32;
+
+    int spReg = 30;          ///< stack pointer (Int file)
+    int zeroReg = 31;        ///< reads as 0 in both files
+    int firstArgReg = 2;
+    int numArgRegs = 6;
+    int retReg = 2;          ///< return value register in each file
+    int firstAllocatable = 2;
+    int firstCalleeSaved = 16;
+    int lastAllocatableInt = 29;   ///< r30 is SP
+    int lastAllocatableFlt = 30;
+
+    /** Largest immediate representable in an instruction operand. */
+    int64_t maxImmediate = 1 << 15;
+
+    bool isWM() const { return kind == MachineKind::WM; }
+};
+
+/** Traits for the WM architecture. */
+MachineTraits wmTraits();
+
+/** Traits for the generic scalar (load/store, single-op) target. */
+MachineTraits scalarTraits();
+
+} // namespace wmstream::rtl
+
+#endif // WMSTREAM_RTL_MACHINE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Vectorization onto the WM vector execution unit (VEU).
+ *
+ * The paper: "The architecture also supports vector operations ...
+ * conceptually the iterations of the loop are performed simultaneously
+ * by the vector execution unit", "a single instruction can cause a
+ * stream of data to be read/written from/to either the IEU FIFOs, the
+ * FEU FIFOs, or the VEU", and "when vector code is possible, the
+ * compiler generates code that uses the vector unit".
+ *
+ * This pass runs after streaming: a loop whose entire body collapsed
+ * to one element-wise FIFO operation (dst out-FIFO := src in-FIFO op
+ * operand) with a known element count is replaced by a single VecOp
+ * instruction — the loop disappears and the VEU processes the streams
+ * at its lane rate. Loops with recurrences are exactly the ones the
+ * paper says cannot be vectorized, and they fail the pattern here
+ * (their body reads a register carried across iterations).
+ */
+
+#ifndef WMSTREAM_STREAMING_VECTORIZE_H
+#define WMSTREAM_STREAMING_VECTORIZE_H
+
+#include "rtl/machine.h"
+#include "rtl/program.h"
+
+namespace wmstream::streaming {
+
+/** Summary of the vectorization pass. */
+struct VectorizeReport
+{
+    int loopsVectorized = 0;
+};
+
+/**
+ * Replace fully-streamed element-wise loops of @p fn with VecOp
+ * instructions. Run after runStreaming; WM only.
+ */
+VectorizeReport runVectorize(rtl::Function &fn,
+                             const rtl::MachineTraits &traits);
+
+} // namespace wmstream::streaming
+
+#endif // WMSTREAM_STREAMING_VECTORIZE_H

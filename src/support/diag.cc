@@ -1,0 +1,68 @@
+#include "support/diag.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace wmstream {
+
+std::string
+SourcePos::str() const
+{
+    std::ostringstream os;
+    os << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    switch (level) {
+      case DiagLevel::Error: os << "error"; break;
+      case DiagLevel::Warning: os << "warning"; break;
+      case DiagLevel::Note: os << "note"; break;
+    }
+    if (pos.valid())
+        os << " at " << pos.str();
+    os << ": " << message;
+    return os.str();
+}
+
+void
+DiagEngine::error(SourcePos pos, std::string msg)
+{
+    messages_.push_back({DiagLevel::Error, pos, std::move(msg)});
+    ++numErrors_;
+}
+
+void
+DiagEngine::warning(SourcePos pos, std::string msg)
+{
+    messages_.push_back({DiagLevel::Warning, pos, std::move(msg)});
+}
+
+void
+DiagEngine::note(SourcePos pos, std::string msg)
+{
+    messages_.push_back({DiagLevel::Note, pos, std::move(msg)});
+}
+
+std::string
+DiagEngine::str() const
+{
+    std::ostringstream os;
+    for (const auto &d : messages_)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+void
+wsPanic(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "wmstream panic at %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+} // namespace wmstream

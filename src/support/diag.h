@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Diagnostic reporting for the wmstream compiler.
+ *
+ * A DiagEngine collects errors and warnings with source positions. The
+ * front end reports through it; callers inspect the collected messages
+ * after a phase runs. Internal invariant violations use wsPanic(),
+ * user-visible input errors use DiagEngine::error().
+ */
+
+#ifndef WMSTREAM_SUPPORT_DIAG_H
+#define WMSTREAM_SUPPORT_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmstream {
+
+/** A position in a mini-C source buffer (1-based line and column). */
+struct SourcePos
+{
+    int line = 0;
+    int column = 0;
+
+    bool valid() const { return line > 0; }
+    std::string str() const;
+};
+
+/** Severity of a diagnostic message. */
+enum class DiagLevel { Error, Warning, Note };
+
+/** One diagnostic: severity, position, and message text. */
+struct Diagnostic
+{
+    DiagLevel level;
+    SourcePos pos;
+    std::string message;
+
+    std::string str() const;
+};
+
+/**
+ * Collects diagnostics produced while processing one compilation unit.
+ *
+ * The engine never throws on user errors; phases check hasErrors() and
+ * bail out. This mirrors the paper's compiler structure where the front
+ * end is the only component that sees user input.
+ */
+class DiagEngine
+{
+  public:
+    void error(SourcePos pos, std::string msg);
+    void warning(SourcePos pos, std::string msg);
+    void note(SourcePos pos, std::string msg);
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    int errorCount() const { return numErrors_; }
+    const std::vector<Diagnostic> &messages() const { return messages_; }
+
+    /** All diagnostics rendered one per line (for tests and tools). */
+    std::string str() const;
+
+  private:
+    std::vector<Diagnostic> messages_;
+    int numErrors_ = 0;
+};
+
+/**
+ * Abort with a message on an internal invariant violation.
+ *
+ * Equivalent to gem5's panic(): this is a compiler bug, never a user
+ * error, so it terminates the process.
+ */
+[[noreturn]] void wsPanic(const char *file, int line, const std::string &msg);
+
+#define WS_PANIC(msg) ::wmstream::wsPanic(__FILE__, __LINE__, (msg))
+
+#define WS_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            WS_PANIC(std::string("assertion failed: ") + #cond + ": " +     \
+                     (msg));                                                 \
+    } while (0)
+
+} // namespace wmstream
+
+#endif // WMSTREAM_SUPPORT_DIAG_H

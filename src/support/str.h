@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small string utilities shared across the compiler and simulator.
+ */
+
+#ifndef WMSTREAM_SUPPORT_STR_H
+#define WMSTREAM_SUPPORT_STR_H
+
+#include <string>
+#include <vector>
+
+namespace wmstream {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trimString(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace wmstream
+
+#endif // WMSTREAM_SUPPORT_STR_H

@@ -1,0 +1,500 @@
+#include "timing/scalar_sim.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace wmstream::timing {
+
+using rtl::DataType;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::Op;
+using rtl::RegFile;
+
+CostModel
+sun3_280Model()
+{
+    // Sun 3/280: 25 MHz MC68020 with an MC68881 coprocessor. Floating
+    // loads and stores cross the coprocessor interface and are the
+    // dominant cost; 68881 arithmetic is slow but register-to-register
+    // operations overlap some of the interface overhead.
+    CostModel m;
+    m.name = "Sun 3/280 (68020+68881)";
+    m.cyclesIntAlu = 3;
+    m.cyclesIntMul = 28;
+    m.cyclesIntDiv = 90;
+    m.cyclesFltAdd = 20;
+    m.cyclesFltMul = 24;
+    m.cyclesFltDiv = 55;
+    m.cyclesLoad = 50;
+    m.cyclesStore = 55;
+    m.cyclesCompare = 3;
+    m.cyclesBranch = 6;
+    m.cyclesMaterialize = 4;
+    m.cyclesCall = 18;
+    m.cyclesMove = 3;
+    m.cyclesCvt = 35;
+    return m;
+}
+
+CostModel
+hp9000_345Model()
+{
+    // HP 9000/345: 50 MHz MC68030 with an MC68882. The 68882 pipelines
+    // coprocessor transfers, so memory references cost relatively less
+    // than on the Sun 3.
+    CostModel m;
+    m.name = "HP 9000/345 (68030+68882)";
+    m.cyclesIntAlu = 2;
+    m.cyclesIntMul = 24;
+    m.cyclesIntDiv = 80;
+    m.cyclesFltAdd = 24;
+    m.cyclesFltMul = 28;
+    m.cyclesFltDiv = 55;
+    m.cyclesLoad = 17;
+    m.cyclesStore = 20;
+    m.cyclesCompare = 2;
+    m.cyclesBranch = 5;
+    m.cyclesMaterialize = 3;
+    m.cyclesCall = 14;
+    m.cyclesMove = 2;
+    m.cyclesCvt = 28;
+    return m;
+}
+
+CostModel
+vax8600Model()
+{
+    // VAX 8600: microcoded CISC with memory operands folded into
+    // instructions; a separate memory reference is comparatively
+    // cheap, while D-float arithmetic dominates the loop.
+    CostModel m;
+    m.name = "VAX 8600";
+    m.cyclesIntAlu = 2;
+    m.cyclesIntMul = 12;
+    m.cyclesIntDiv = 40;
+    m.cyclesFltAdd = 16;
+    m.cyclesFltMul = 20;
+    m.cyclesFltDiv = 38;
+    m.cyclesLoad = 4;
+    m.cyclesStore = 5;
+    m.cyclesCompare = 2;
+    m.cyclesBranch = 3;
+    m.cyclesMaterialize = 2;
+    m.cyclesCall = 12;
+    m.cyclesMove = 2;
+    m.cyclesCvt = 10;
+    return m;
+}
+
+CostModel
+m88100Model()
+{
+    // Motorola 88100: pipelined RISC with a hardware FPU; most
+    // operations are short, so removing a load removes a small slice
+    // of a small loop.
+    CostModel m;
+    m.name = "Motorola 88100";
+    m.cyclesIntAlu = 1;
+    m.cyclesIntMul = 4;
+    m.cyclesIntDiv = 18;
+    m.cyclesFltAdd = 5;
+    m.cyclesFltMul = 6;
+    m.cyclesFltDiv = 30;
+    m.cyclesLoad = 2;
+    m.cyclesStore = 2;
+    m.cyclesCompare = 1;
+    m.cyclesBranch = 2;
+    m.cyclesMaterialize = 2;
+    m.cyclesCall = 8;
+    m.cyclesMove = 1;
+    m.cyclesCvt = 6;
+    return m;
+}
+
+namespace {
+
+struct Val
+{
+    bool isFloat = false;
+    int64_t i = 0;
+    double f = 0.0;
+};
+
+struct RunError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+class ScalarMachine
+{
+  public:
+    ScalarMachine(const rtl::Program &prog, const CostModel &model,
+                  uint64_t maxInsts, size_t memBytes)
+        : prog_(prog), model_(model), maxInsts_(maxInsts)
+    {
+        mem_.assign(memBytes, 0);
+        int fi = 0;
+        for (const auto &fp : prog.functions()) {
+            funcEntry_[fp->name()] = static_cast<int64_t>(code_.size());
+            labels_.emplace_back();
+            for (const auto &bp : fp->blocks()) {
+                labels_[fi][bp->label()] =
+                    static_cast<int64_t>(code_.size());
+                for (const Inst &inst : bp->insts)
+                    code_.push_back({&inst, fi});
+            }
+            ++fi;
+        }
+        for (const auto &g : prog.globals()) {
+            WS_ASSERT(g.address >= 0, "program not laid out");
+            if (!g.init.empty())
+                std::memcpy(&mem_[g.address], g.init.data(),
+                            g.init.size());
+        }
+        rreg_[30] = static_cast<int64_t>(mem_.size()) - 64;
+    }
+
+    ScalarRunResult
+    run()
+    {
+        ScalarRunResult res;
+        auto it = funcEntry_.find("main");
+        if (it == funcEntry_.end()) {
+            res.error = "no main function";
+            return res;
+        }
+        int64_t pc = it->second;
+        try {
+            for (;;) {
+                if (res.instsExecuted++ > maxInsts_)
+                    throw RunError("instruction budget exceeded");
+                if (pc < 0 || pc >= static_cast<int64_t>(code_.size()))
+                    throw RunError("PC out of range");
+                const Inst &inst = *code_[pc].inst;
+                int func = code_[pc].func;
+                switch (inst.kind) {
+                  case InstKind::Assign: {
+                    Val v = eval(inst.src);
+                    if (inst.dst->regFile() == RegFile::CC) {
+                        cc_[inst.dst->regIndex() == 1 ? 1 : 0] =
+                            v.isFloat ? v.f != 0.0 : v.i != 0;
+                        res.cycles += model_.cyclesCompare;
+                    } else {
+                        writeReg(inst.dst, v);
+                        res.cycles += assignCost(inst);
+                    }
+                    ++pc;
+                    break;
+                  }
+                  case InstKind::Load: {
+                    Val a = eval(inst.addr);
+                    writeReg(inst.dst, memRead(a.i, inst.memType));
+                    res.cycles += model_.cyclesLoad;
+                    ++res.memoryRefs;
+                    ++pc;
+                    break;
+                  }
+                  case InstKind::Store: {
+                    Val a = eval(inst.addr);
+                    Val v = eval(inst.src);
+                    memWrite(a.i, inst.memType, v);
+                    res.cycles += model_.cyclesStore;
+                    ++res.memoryRefs;
+                    ++pc;
+                    break;
+                  }
+                  case InstKind::Jump:
+                    pc = label(func, inst.target);
+                    res.cycles += model_.cyclesBranch;
+                    break;
+                  case InstKind::CondJump: {
+                    bool c = cc_[inst.side == rtl::UnitSide::Flt ? 1 : 0];
+                    pc = (c == inst.when) ? label(func, inst.target)
+                                          : pc + 1;
+                    res.cycles += model_.cyclesBranch;
+                    break;
+                  }
+                  case InstKind::Call: {
+                    auto fit = funcEntry_.find(inst.target);
+                    if (fit == funcEntry_.end())
+                        throw RunError("unknown function " + inst.target);
+                    ra_.push_back(pc + 1);
+                    pc = fit->second;
+                    res.cycles += model_.cyclesCall;
+                    break;
+                  }
+                  case InstKind::Return:
+                    res.cycles += model_.cyclesCall;
+                    if (ra_.empty()) {
+                        res.ok = true;
+                        res.returnValue = rreg_[2];
+                        return res;
+                    }
+                    pc = ra_.back();
+                    ra_.pop_back();
+                    break;
+                  default:
+                    throw RunError("stream instruction on scalar target");
+                }
+            }
+        } catch (const RunError &e) {
+            res.error = e.what();
+            res.ok = false;
+            return res;
+        }
+    }
+
+  private:
+    double
+    assignCost(const Inst &inst) const
+    {
+        const ExprPtr &s = inst.src;
+        bool flt = inst.dst->regFile() == RegFile::Flt ||
+                   inst.dst->regFile() == RegFile::VFlt;
+        switch (s->kind()) {
+          case Expr::Kind::Reg:
+            return model_.cyclesMove;
+          case Expr::Kind::Const:
+          case Expr::Kind::Sym:
+            return model_.cyclesMaterialize;
+          case Expr::Kind::Un:
+            if (s->op() == Op::CvtIF || s->op() == Op::CvtFI)
+                return model_.cyclesCvt;
+            return flt ? model_.cyclesFltAdd : model_.cyclesIntAlu;
+          case Expr::Kind::Bin:
+            switch (s->op()) {
+              case Op::Mul:
+                return flt ? model_.cyclesFltMul : model_.cyclesIntMul;
+              case Op::Div:
+              case Op::Rem:
+                return flt ? model_.cyclesFltDiv : model_.cyclesIntDiv;
+              default:
+                return flt ? model_.cyclesFltAdd : model_.cyclesIntAlu;
+            }
+          default:
+            return model_.cyclesIntAlu;
+        }
+    }
+
+    int64_t
+    label(int func, const std::string &l)
+    {
+        auto it = labels_[func].find(l);
+        if (it == labels_[func].end())
+            throw RunError("unknown label " + l);
+        return it->second;
+    }
+
+    void
+    checkAddr(int64_t addr, int size)
+    {
+        if (addr < 0 || addr + size > static_cast<int64_t>(mem_.size()))
+            throw RunError(strFormat("memory access out of bounds: %lld",
+                                     static_cast<long long>(addr)));
+    }
+
+    Val
+    memRead(int64_t addr, DataType t)
+    {
+        int size = rtl::dataTypeSize(t);
+        checkAddr(addr, size);
+        Val v;
+        if (rtl::isFloatType(t)) {
+            v.isFloat = true;
+            std::memcpy(&v.f, &mem_[addr], 8);
+        } else if (size == 8) {
+            std::memcpy(&v.i, &mem_[addr], 8);
+        } else if (size == 1) {
+            v.i = mem_[addr];
+        }
+        return v;
+    }
+
+    void
+    memWrite(int64_t addr, DataType t, const Val &v)
+    {
+        int size = rtl::dataTypeSize(t);
+        checkAddr(addr, size);
+        if (rtl::isFloatType(t)) {
+            double d = v.isFloat ? v.f : static_cast<double>(v.i);
+            std::memcpy(&mem_[addr], &d, 8);
+        } else {
+            int64_t x = v.isFloat ? static_cast<int64_t>(v.f) : v.i;
+            std::memcpy(&mem_[addr], &x, size);
+        }
+    }
+
+    void
+    writeReg(const ExprPtr &dst, const Val &v)
+    {
+        int idx = dst->regIndex();
+        if (idx == 31)
+            return;
+        if (dst->regFile() == RegFile::Flt)
+            freg_[idx] = v.isFloat ? v.f : static_cast<double>(v.i);
+        else
+            rreg_[idx] = v.isFloat ? static_cast<int64_t>(v.f) : v.i;
+    }
+
+    Val
+    eval(const ExprPtr &e)
+    {
+        switch (e->kind()) {
+          case Expr::Kind::Const: {
+            Val v;
+            if (rtl::isFloatType(e->type())) {
+                v.isFloat = true;
+                v.f = e->fval();
+            } else {
+                v.i = e->ival();
+            }
+            return v;
+          }
+          case Expr::Kind::Sym: {
+            Val v;
+            v.i = prog_.globalAddress(e->symbol()) + e->symOffset();
+            return v;
+          }
+          case Expr::Kind::Reg: {
+            Val v;
+            int idx = e->regIndex();
+            if (e->regFile() == RegFile::Flt) {
+                v.isFloat = true;
+                v.f = idx == 31 ? 0.0 : freg_[idx];
+            } else {
+                v.i = idx == 31 ? 0 : rreg_[idx];
+            }
+            return v;
+          }
+          case Expr::Kind::Mem: {
+            Val a = eval(e->addr());
+            return memRead(a.i, e->type());
+          }
+          case Expr::Kind::Un: {
+            Val x = eval(e->lhs());
+            Val v;
+            switch (e->op()) {
+              case Op::Neg:
+                if (x.isFloat) {
+                    v.isFloat = true;
+                    v.f = -x.f;
+                } else {
+                    v.i = -x.i;
+                }
+                return v;
+              case Op::Not: v.i = ~x.i; return v;
+              case Op::CvtIF:
+                v.isFloat = true;
+                v.f = static_cast<double>(x.i);
+                return v;
+              case Op::CvtFI:
+                v.i = static_cast<int64_t>(x.f);
+                return v;
+              default:
+                throw RunError("bad unary op");
+            }
+          }
+          case Expr::Kind::Bin: {
+            Val l = eval(e->lhs());
+            Val r = eval(e->rhs());
+            Val v;
+            if (l.isFloat || r.isFloat) {
+                double a = l.isFloat ? l.f : static_cast<double>(l.i);
+                double b = r.isFloat ? r.f : static_cast<double>(r.i);
+                switch (e->op()) {
+                  case Op::Add: v.isFloat = true; v.f = a + b; return v;
+                  case Op::Sub: v.isFloat = true; v.f = a - b; return v;
+                  case Op::Mul: v.isFloat = true; v.f = a * b; return v;
+                  case Op::Div:
+                    if (b == 0.0)
+                        throw RunError("floating divide by zero");
+                    v.isFloat = true;
+                    v.f = a / b;
+                    return v;
+                  case Op::Eq: v.i = a == b; return v;
+                  case Op::Ne: v.i = a != b; return v;
+                  case Op::Lt: v.i = a < b; return v;
+                  case Op::Le: v.i = a <= b; return v;
+                  case Op::Gt: v.i = a > b; return v;
+                  case Op::Ge: v.i = a >= b; return v;
+                  default:
+                    throw RunError("bad float op");
+                }
+            }
+            int64_t a = l.i, b = r.i;
+            auto u = [](int64_t x) { return static_cast<uint64_t>(x); };
+            switch (e->op()) {
+              case Op::Add: v.i = static_cast<int64_t>(u(a) + u(b));
+                return v;
+              case Op::Sub: v.i = static_cast<int64_t>(u(a) - u(b));
+                return v;
+              case Op::Mul: v.i = static_cast<int64_t>(u(a) * u(b));
+                return v;
+              case Op::Div:
+                if (!b)
+                    throw RunError("integer divide by zero");
+                v.i = a / b;
+                return v;
+              case Op::Rem:
+                if (!b)
+                    throw RunError("integer remainder by zero");
+                v.i = a % b;
+                return v;
+              case Op::And: v.i = a & b; return v;
+              case Op::Or: v.i = a | b; return v;
+              case Op::Xor: v.i = a ^ b; return v;
+              case Op::Shl: v.i = a << (b & 63); return v;
+              case Op::Shr:
+                v.i = static_cast<int64_t>(u(a) >> (b & 63));
+                return v;
+              case Op::Sar: v.i = a >> (b & 63); return v;
+              case Op::Eq: v.i = a == b; return v;
+              case Op::Ne: v.i = a != b; return v;
+              case Op::Lt: v.i = a < b; return v;
+              case Op::Le: v.i = a <= b; return v;
+              case Op::Gt: v.i = a > b; return v;
+              case Op::Ge: v.i = a >= b; return v;
+              default:
+                throw RunError("bad int op");
+            }
+          }
+        }
+        throw RunError("bad expression");
+    }
+
+    struct FlatInst
+    {
+        const Inst *inst;
+        int func;
+    };
+
+    const rtl::Program &prog_;
+    const CostModel &model_;
+    uint64_t maxInsts_;
+    std::vector<uint8_t> mem_;
+    std::vector<FlatInst> code_;
+    std::unordered_map<std::string, int64_t> funcEntry_;
+    std::vector<std::unordered_map<std::string, int64_t>> labels_;
+    int64_t rreg_[32] = {};
+    double freg_[32] = {};
+    bool cc_[2] = {false, false};
+    std::vector<int64_t> ra_;
+};
+
+} // anonymous namespace
+
+ScalarRunResult
+runScalar(const rtl::Program &prog, const CostModel &model,
+          uint64_t maxInsts, size_t memBytes)
+{
+    ScalarMachine m(prog, model, maxInsts, memBytes);
+    return m.run();
+}
+
+} // namespace wmstream::timing

@@ -1,0 +1,326 @@
+#include "wm/lowering.h"
+
+#include <functional>
+
+#include "cfg/liveness.h"
+#include "support/diag.h"
+
+namespace wmstream::wm {
+
+using cfg::RegKey;
+using rtl::DataType;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+bool
+instReadsQueue(const Inst &inst, RegFile file, int fifo)
+{
+    for (const auto &u : rtl::instUses(inst))
+        if (u->isReg(file, fifo))
+            return true;
+    return false;
+}
+
+/** DFS (evaluation-order) positions of reads of (file,fifo) in @p e. */
+void
+fifoReadPositions(const ExprPtr &e, RegFile file, int fifo, int *counter,
+                  std::vector<int> *positions, const Expr *marker,
+                  int *markerPos)
+{
+    if (!e)
+        return;
+    switch (e->kind()) {
+      case Expr::Kind::Reg:
+        if (e->isReg(file, fifo))
+            positions->push_back(*counter);
+        if (e.get() == marker)
+            *markerPos = *counter;
+        ++*counter;
+        return;
+      case Expr::Kind::Const:
+      case Expr::Kind::Sym:
+        ++*counter;
+        return;
+      case Expr::Kind::Mem:
+      case Expr::Kind::Un:
+        fifoReadPositions(e->lhs(), file, fifo, counter, positions, marker,
+                          markerPos);
+        return;
+      case Expr::Kind::Bin:
+        fifoReadPositions(e->lhs(), file, fifo, counter, positions, marker,
+                          markerPos);
+        fifoReadPositions(e->rhs(), file, fifo, counter, positions, marker,
+                          markerPos);
+        return;
+    }
+}
+
+/** Basic lowering: split every Load/Store into FIFO form. */
+void
+basicLower(rtl::Function &fn, LoweringReport &report)
+{
+    for (auto &bp : fn.blocks()) {
+        rtl::Block *b = bp.get();
+        for (size_t i = 0; i < b->insts.size(); ++i) {
+            Inst &inst = b->insts[i];
+            if (inst.kind == InstKind::Load) {
+                bool flt = rtl::isFloatType(inst.memType);
+                RegFile ff = flt ? RegFile::Flt : RegFile::Int;
+                DataType fdt = flt ? DataType::F64 : DataType::I64;
+                if (inst.dst->isReg(ff, 0))
+                    continue; // already lowered
+                WS_ASSERT(!rtl::isVirtualFile(inst.dst->regFile()),
+                          "virtual register survived to lowering");
+                ExprPtr dst = inst.dst;
+                inst.dst = rtl::makeReg(ff, 0, fdt);
+                Inst deq = rtl::makeAssign(
+                    dst, rtl::makeReg(ff, 0, fdt),
+                    inst.comment.empty() ? "dequeue" : "dequeue " +
+                                                           inst.comment);
+                b->insts.insert(b->insts.begin() +
+                                static_cast<ptrdiff_t>(i + 1),
+                                std::move(deq));
+                ++i;
+                ++report.loadsLowered;
+            } else if (inst.kind == InstKind::Store) {
+                bool flt = rtl::isFloatType(inst.memType);
+                RegFile ff = flt ? RegFile::Flt : RegFile::Int;
+                DataType fdt = flt ? DataType::F64 : DataType::I64;
+                if (inst.src->isReg(ff, 0))
+                    continue; // already lowered
+                WS_ASSERT(!rtl::isVirtualFile(inst.src->regFile()),
+                          "virtual register survived to lowering");
+                Inst enq = rtl::makeAssign(rtl::makeReg(ff, 0, fdt),
+                                           inst.src, "enqueue store data");
+                inst.src = rtl::makeReg(ff, 0, fdt);
+                b->insts.insert(b->insts.begin() +
+                                static_cast<ptrdiff_t>(i),
+                                std::move(enq));
+                ++i;
+                ++report.storesLowered;
+            }
+        }
+    }
+}
+
+/**
+ * Dequeue folding. For `rD := fifo` whose single later use can consume
+ * the FIFO directly, delete the dequeue. Constraints documented in the
+ * header.
+ */
+bool
+foldDequeuesOnce(rtl::Function &fn, const rtl::MachineTraits &traits,
+                 LoweringReport &report)
+{
+    cfg::Liveness live(fn, traits);
+    for (auto &bp : fn.blocks()) {
+        rtl::Block *b = bp.get();
+        for (size_t i = 0; i < b->insts.size(); ++i) {
+            Inst &deq = b->insts[i];
+            if (deq.kind != InstKind::Assign || !deq.src->isReg())
+                continue;
+            RegFile ff = deq.src->regFile();
+            int fifo = deq.src->regIndex();
+            if ((ff != RegFile::Int && ff != RegFile::Flt) ||
+                    (fifo != 0 && fifo != 1)) {
+                continue;
+            }
+            const ExprPtr dst = deq.dst;
+            if (dst->isReg(ff, fifo))
+                continue;
+            RegKey dkey{dst->regFile(), dst->regIndex()};
+
+            // Find the single use, aborting on queue interference.
+            size_t useIdx = 0;
+            bool found = false, blocked = false;
+            for (size_t j = i + 1; j < b->insts.size() && !found &&
+                                   !blocked; ++j) {
+                const Inst &cand = b->insts[j];
+                if (cand.kind == InstKind::Call) {
+                    blocked = true;
+                    break;
+                }
+                int usesD = 0;
+                for (const auto &u : rtl::instUses(cand))
+                    if (u->isReg(dkey.file, dkey.index))
+                        ++usesD;
+                bool readsQ = instReadsQueue(cand, ff, fifo);
+                if (usesD > 0) {
+                    if (usesD > 1) {
+                        blocked = true;
+                        break;
+                    }
+                    useIdx = j;
+                    found = true;
+                    break;
+                }
+                if (readsQ) {
+                    blocked = true;
+                    break;
+                }
+                // Redefinition of rD before any use: dequeue needed
+                // only if rD live elsewhere; stop either way.
+                bool redef = false;
+                for (const RegKey &k : cfg::instDefKeys(cand, traits))
+                    if (k == dkey)
+                        redef = true;
+                if (redef) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (!found || blocked)
+                continue;
+
+            Inst &use = b->insts[useIdx];
+            // Only fold into Assign sources and Load/Store addresses
+            // keep ordering analysis simple; stores' data field is
+            // handled by the enqueue peephole.
+            ExprPtr *field = nullptr;
+            if (use.kind == InstKind::Assign &&
+                    rtl::usesReg(use.src, dkey.file, dkey.index)) {
+                field = &use.src;
+            } else {
+                continue;
+            }
+
+            // rD must be dead after the use.
+            bool liveLater = live.liveAfter(b, useIdx, dkey);
+            if (liveLater)
+                continue;
+
+            // Queue-order check: the new FIFO read must come after all
+            // existing reads of the same queue in evaluation order.
+            {
+                // Locate rD's node in the use expression.
+                const Expr *marker = nullptr;
+                std::function<void(const ExprPtr &)> findMarker =
+                    [&](const ExprPtr &e) {
+                        if (!e || marker)
+                            return;
+                        if (e->isReg(dkey.file, dkey.index)) {
+                            marker = e.get();
+                            return;
+                        }
+                        findMarker(e->lhs());
+                        if (e->kind() == Expr::Kind::Bin)
+                            findMarker(e->rhs());
+                    };
+                findMarker(*field);
+                int counter = 0, markerPos = -1;
+                std::vector<int> positions;
+                fifoReadPositions(*field, ff, fifo, &counter, &positions,
+                                  marker, &markerPos);
+                bool ok = markerPos >= 0;
+                for (int p : positions)
+                    if (p > markerPos)
+                        ok = false;
+                if (!ok)
+                    continue;
+            }
+
+            *field = rtl::substReg(*field, dkey.file, dkey.index,
+                                   deq.src);
+            b->insts.erase(b->insts.begin() + static_cast<ptrdiff_t>(i));
+            ++report.dequeuesFolded;
+            return true; // liveness indexes are stale; restart
+        }
+    }
+    return false;
+}
+
+void
+foldDequeues(rtl::Function &fn, const rtl::MachineTraits &traits,
+             LoweringReport &report)
+{
+    while (foldDequeuesOnce(fn, traits, report)) {
+    }
+}
+
+/**
+ * Enqueue folding: `rT := expr; fifoOut := rT` with rT dead afterwards
+ * becomes `fifoOut := expr`.
+ */
+bool
+foldEnqueuesOnce(rtl::Function &fn, const rtl::MachineTraits &traits,
+                 LoweringReport &report)
+{
+    cfg::Liveness live(fn, traits);
+    for (auto &bp : fn.blocks()) {
+        rtl::Block *b = bp.get();
+        for (size_t i = 1; i < b->insts.size(); ++i) {
+            Inst &enq = b->insts[i];
+            if (enq.kind != InstKind::Assign || !enq.dst->isReg())
+                continue;
+            RegFile ff = enq.dst->regFile();
+            int fifo = enq.dst->regIndex();
+            if ((ff != RegFile::Int && ff != RegFile::Flt) ||
+                    (fifo != 0 && fifo != 1)) {
+                continue;
+            }
+            if (!enq.src->isReg())
+                continue;
+            Inst &def = b->insts[i - 1];
+            if (def.kind != InstKind::Assign || !def.dst->isReg())
+                continue;
+            if (!def.dst->isReg(enq.src->regFile(), enq.src->regIndex()))
+                continue;
+            if (def.dst->isReg(ff, fifo))
+                continue;
+            RegKey dkey{def.dst->regFile(), def.dst->regIndex()};
+            if (live.liveAfter(b, i, dkey))
+                continue;
+            // Merge: fifoOut := def.src; delete def.
+            enq.src = def.src;
+            if (enq.comment.empty())
+                enq.comment = def.comment;
+            b->insts.erase(b->insts.begin() + static_cast<ptrdiff_t>(i - 1));
+            ++report.enqueuesFolded;
+            return true; // liveness indexes are stale; restart
+        }
+    }
+    return false;
+}
+
+void
+foldEnqueues(rtl::Function &fn, const rtl::MachineTraits &traits,
+             LoweringReport &report)
+{
+    while (foldEnqueuesOnce(fn, traits, report)) {
+    }
+}
+
+} // anonymous namespace
+
+LoweringReport
+lowerToFifoForm(rtl::Function &fn, const rtl::MachineTraits &traits)
+{
+    LoweringReport report;
+    basicLower(fn, report);
+    foldDequeues(fn, traits, report);
+    foldEnqueues(fn, traits, report);
+    fn.recomputeCfg();
+    fn.renumber();
+    return report;
+}
+
+LoweringReport
+lowerProgram(rtl::Program &prog, const rtl::MachineTraits &traits)
+{
+    LoweringReport total;
+    for (auto &f : prog.functions()) {
+        LoweringReport r = lowerToFifoForm(*f, traits);
+        total.loadsLowered += r.loadsLowered;
+        total.storesLowered += r.storesLowered;
+        total.dequeuesFolded += r.dequeuesFolded;
+        total.enqueuesFolded += r.enqueuesFolded;
+    }
+    return total;
+}
+
+} // namespace wmstream::wm

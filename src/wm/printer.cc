@@ -1,0 +1,233 @@
+#include "wm/printer.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace wmstream::wm {
+
+using rtl::DataType;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+
+namespace {
+
+/** Render an expression WM-style: r22, f0, (r22<<3)+r24, _x. */
+std::string
+wmExpr(const ExprPtr &e)
+{
+    std::ostringstream os;
+    switch (e->kind()) {
+      case Expr::Kind::Const:
+        if (rtl::isFloatType(e->type()))
+            os << e->fval();
+        else
+            os << e->ival();
+        break;
+      case Expr::Kind::Sym:
+        os << "_" << e->symbol();
+        if (e->symOffset() > 0)
+            os << "+" << e->symOffset();
+        else if (e->symOffset() < 0)
+            os << e->symOffset();
+        break;
+      case Expr::Kind::Reg:
+        switch (e->regFile()) {
+          case RegFile::Int: os << "r" << e->regIndex(); break;
+          case RegFile::Flt: os << "f" << e->regIndex(); break;
+          case RegFile::VInt: os << "vr" << e->regIndex(); break;
+          case RegFile::VFlt: os << "vf" << e->regIndex(); break;
+          case RegFile::CC:
+            // Compares architecturally target register 31; the CC
+            // enqueue is implicit (paper prints them as r31 := ...).
+            os << (e->regIndex() == 0 ? "r31" : "f31");
+            break;
+        }
+        break;
+      case Expr::Kind::Mem:
+        os << "M[" << wmExpr(e->addr()) << "]";
+        break;
+      case Expr::Kind::Bin:
+        os << "(" << wmExpr(e->lhs()) << " " << rtl::opName(e->op()) << " "
+           << wmExpr(e->rhs()) << ")";
+        break;
+      case Expr::Kind::Un:
+        os << rtl::opName(e->op()) << "(" << wmExpr(e->lhs()) << ")";
+        break;
+    }
+    return os.str();
+}
+
+char
+streamTypeLetter(DataType t)
+{
+    switch (t) {
+      case DataType::F64: return 'D';
+      case DataType::F32: return 'F';
+      case DataType::I64: return 'L';
+      case DataType::I32: return 'W';
+      case DataType::I16: return 'H';
+      case DataType::I8: return 'B';
+    }
+    return '?';
+}
+
+std::string
+loadOpcode(const Inst &inst)
+{
+    int bits = rtl::dataTypeSize(inst.memType) * 8;
+    bool flt = rtl::isFloatType(inst.memType);
+    return strFormat("%c%d%s", inst.kind == InstKind::Load ? 'l' : 's',
+                     bits, flt ? "f" : "");
+}
+
+bool
+isFloatAssign(const Inst &inst)
+{
+    if (inst.dst && (inst.dst->regFile() == RegFile::Flt ||
+                     inst.dst->regFile() == RegFile::VFlt)) {
+        return true;
+    }
+    if (inst.dst && inst.dst->regFile() == RegFile::CC &&
+            inst.dst->regIndex() == 1) {
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+std::string
+opcodeOf(const Inst &inst)
+{
+    switch (inst.kind) {
+      case InstKind::Assign:
+        if (inst.src->isSym() ||
+                (inst.src->isConst() && !rtl::isFloatType(inst.src->type()) &&
+                 (inst.src->ival() < -32768 || inst.src->ival() >= 32768))) {
+            return "llh/sll";
+        }
+        if (inst.src->kind() == Expr::Kind::Un &&
+                (inst.src->op() == rtl::Op::CvtIF ||
+                 inst.src->op() == rtl::Op::CvtFI)) {
+            return inst.src->op() == rtl::Op::CvtIF ? "cvtif" : "cvtfi";
+        }
+        return isFloatAssign(inst) ? "double" : "";
+      case InstKind::Load:
+      case InstKind::Store:
+        return loadOpcode(inst);
+      case InstKind::Jump:
+        return "Jump";
+      case InstKind::CondJump:
+        return inst.when ? "JumpIT" : "JumpIF";
+      case InstKind::JumpStream:
+        return strFormat("JNI%c%d",
+                         inst.side == rtl::UnitSide::Int ? 'r' : 'f',
+                         inst.fifo);
+      case InstKind::StreamIn:
+        return strFormat("Sin%c", streamTypeLetter(inst.memType));
+      case InstKind::StreamOut:
+        return strFormat("Sout%c", streamTypeLetter(inst.memType));
+      case InstKind::StreamStop:
+        return "Sstop";
+      case InstKind::VecOp:
+        return "Vop";
+      case InstKind::Call:
+        return "call";
+      case InstKind::Return:
+        return "ret";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+operandsOf(const Inst &inst)
+{
+    std::ostringstream os;
+    switch (inst.kind) {
+      case InstKind::Assign:
+        os << wmExpr(inst.dst) << " := " << wmExpr(inst.src);
+        break;
+      case InstKind::Load:
+        // The architectural destination of an address generation is
+        // r31; the datum goes to the input FIFO.
+        os << "r31 := " << wmExpr(inst.addr);
+        break;
+      case InstKind::Store:
+        os << "r31 := " << wmExpr(inst.addr);
+        break;
+      case InstKind::Jump:
+      case InstKind::CondJump:
+      case InstKind::JumpStream:
+        os << inst.target;
+        break;
+      case InstKind::StreamIn:
+      case InstKind::StreamOut:
+        os << (inst.side == rtl::UnitSide::Int ? "r" : "f") << inst.fifo
+           << "," << wmExpr(inst.addr) << ","
+           << (inst.count ? wmExpr(inst.count) : "inf") << ","
+           << inst.stride;
+        break;
+      case InstKind::StreamStop:
+        os << (inst.side == rtl::UnitSide::Int ? "r" : "f") << inst.fifo;
+        break;
+      case InstKind::VecOp:
+        os << wmExpr(inst.dst) << " := (" << wmExpr(inst.src) << " "
+           << rtl::opName(inst.vecOp) << " "
+           << (inst.vecSrc2 ? wmExpr(inst.vecSrc2) : std::string("-"))
+           << "), " << wmExpr(inst.count);
+        break;
+      case InstKind::Call:
+        os << inst.target;
+        break;
+      case InstKind::Return:
+        break;
+    }
+    return os.str();
+}
+
+} // anonymous namespace
+
+std::string
+printFunction(const rtl::Function &fn)
+{
+    std::ostringstream os;
+    os << "-- function " << fn.name() << "\n";
+    int line = 1;
+    for (const auto &bp : fn.blocks()) {
+        bool first = true;
+        for (const Inst &inst : bp->insts) {
+            std::string label = first ? bp->label() + ":" : "";
+            first = false;
+            std::string op = opcodeOf(inst);
+            std::string text = operandsOf(inst);
+            os << strFormat("%3d. %-10s %-8s %-36s", line++, label.c_str(),
+                            op.c_str(), text.c_str());
+            if (!inst.comment.empty())
+                os << " -- " << inst.comment;
+            os << "\n";
+        }
+        if (first) {
+            // Empty block: still print the label.
+            os << strFormat("%3d. %-10s\n", line++,
+                            (bp->label() + ":").c_str());
+        }
+    }
+    return os.str();
+}
+
+std::string
+printProgram(const rtl::Program &prog)
+{
+    std::ostringstream os;
+    for (const auto &f : prog.functions())
+        os << printFunction(*f) << "\n";
+    return os.str();
+}
+
+} // namespace wmstream::wm

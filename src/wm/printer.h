@@ -1,0 +1,33 @@
+/**
+ * @file
+ * WM assembly listing printer.
+ *
+ * Produces listings in the style of the paper's Figures 4, 5, and 7:
+ * a line number, an opcode mnemonic column (llh/sll pairs for literal
+ * materialization, l64f/s64f for loads/stores, `double` for FEU
+ * operations, SinD/SoutD for streams, JumpIT/JumpIF/JNIfx for the
+ * IFU-executed branches), the register-transfer itself, and the
+ * carried comment.
+ */
+
+#ifndef WMSTREAM_WM_PRINTER_H
+#define WMSTREAM_WM_PRINTER_H
+
+#include <string>
+
+#include "rtl/program.h"
+
+namespace wmstream::wm {
+
+/** Listing for one function (expects lowered or pre-lowered WM RTL). */
+std::string printFunction(const rtl::Function &fn);
+
+/** Listing for the whole program. */
+std::string printProgram(const rtl::Program &prog);
+
+/** Opcode mnemonic for one instruction (exposed for tests). */
+std::string opcodeOf(const rtl::Inst &inst);
+
+} // namespace wmstream::wm
+
+#endif // WMSTREAM_WM_PRINTER_H

@@ -1,0 +1,1340 @@
+#include "wmsim/sim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace wmstream::wmsim {
+
+using rtl::DataType;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::Op;
+using rtl::RegFile;
+using rtl::UnitSide;
+
+namespace {
+
+/** A runtime value moving through FIFOs. */
+struct Val
+{
+    bool isFloat = false;
+    int64_t i = 0;
+    double f = 0.0;
+};
+
+/** Which engine executes an instruction. */
+enum class Engine : uint8_t { IFU, IEU, FEU, SCU };
+
+bool
+isCvtAssign(const Inst &inst)
+{
+    return inst.kind == InstKind::Assign &&
+           inst.src->kind() == Expr::Kind::Un &&
+           (inst.src->op() == Op::CvtIF || inst.src->op() == Op::CvtFI);
+}
+
+Engine
+engineOf(const Inst &inst)
+{
+    switch (inst.kind) {
+      case InstKind::Jump:
+      case InstKind::CondJump:
+      case InstKind::JumpStream:
+      case InstKind::Call:
+      case InstKind::Return:
+      case InstKind::StreamStop:
+        return Engine::IFU;
+      case InstKind::StreamIn:
+      case InstKind::StreamOut:
+      case InstKind::VecOp:
+        return Engine::SCU; // dispatched like streams (IFU handles it)
+      case InstKind::Load:
+      case InstKind::Store:
+        return Engine::IEU;
+      case InstKind::Assign: {
+        if (isCvtAssign(inst))
+            return Engine::IFU; // synchronizing conversion
+        RegFile f = inst.dst->regFile();
+        if (f == RegFile::Flt)
+            return Engine::FEU;
+        if (f == RegFile::CC)
+            return inst.dst->regIndex() == 1 ? Engine::FEU : Engine::IEU;
+        return Engine::IEU;
+      }
+    }
+    return Engine::IEU;
+}
+
+struct RunError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+} // anonymous namespace
+
+struct Simulator::Impl
+{
+    // ---- static program state ----
+    const rtl::Program &prog;
+    SimConfig cfg;
+    struct FlatInst
+    {
+        const Inst *inst;
+        int func;
+        int64_t seqAtDispatch = 0; // scratch
+    };
+    std::vector<FlatInst> code;
+    std::unordered_map<std::string, int64_t> funcEntry;
+    std::vector<std::unordered_map<std::string, int64_t>> labelIdx;
+
+    // ---- dynamic state ----
+    std::vector<uint8_t> mem;
+    int64_t rreg[32] = {};
+    double freg[32] = {};
+
+    std::deque<Val> inFifo[2][2];
+    std::deque<Val> outFifo[2][2];
+    std::deque<bool> ccFifo[2];
+
+    struct QEntry
+    {
+        const Inst *inst;
+        int64_t seq;
+        /** Enqueue attributed to an active output stream at dispatch. */
+        bool streamEnq = false;
+    };
+    std::deque<QEntry> unitQ[2]; // 0 = IEU, 1 = FEU
+    uint64_t unitBusyUntil[2] = {0, 0};
+
+    struct ReadReq
+    {
+        uint64_t deliverAt;
+        int64_t addr;
+        int size;
+        bool isFloat;
+        int64_t seq;
+        int scu = -1; // owning stream, or -1 for a scalar load
+    };
+    std::deque<ReadReq> inflight[2][2];
+
+    struct StoreReq
+    {
+        int64_t addr;
+        int size;
+        int64_t seq;
+    };
+    std::deque<StoreReq> storeQ[2];
+
+    struct Stream
+    {
+        bool active = false;
+        bool input = true;
+        int side = 0;
+        int fifo = 0;
+        int64_t base = 0;
+        int64_t stride = 0;
+        int64_t count = -1; ///< -1 = unbounded
+        int64_t issued = 0; ///< in: reads issued
+        int64_t done = 0;   ///< in: delivered; out: writes committed
+        DataType type = DataType::I64;
+        int64_t seq = 0;    ///< dispatch sequence
+        bool closed = false;
+        /**
+         * For output streams: IFU dispatch sequence of each enqueue
+         * already dispatched, indexed by cell position minus `done`.
+         * Memory ordering: a load must wait only for cells whose
+         * producing enqueue was dispatched before the load (true
+         * dependences); cells whose enqueue is not yet dispatched
+         * follow the load in program order (anti-dependences) and must
+         * not stall it.
+         */
+        std::deque<int64_t> enqSeqs;
+        int64_t dispatchedEnqueues = 0;
+        uint64_t readyAt = 0; ///< SCU startup latency gate
+    };
+    std::vector<Stream> scus;
+
+    /** Vector execution unit: one element-wise FIFO operation. */
+    struct VeuState
+    {
+        bool active = false;
+        Op op = Op::Add;
+        bool copy = false;
+        int dstSide = 0, dstFifo = 0;
+        int s1Side = 0, s1Fifo = 0;
+        bool src2IsFifo = false;
+        int s2Side = 0, s2Fifo = 0;
+        Val src2Val;
+        int64_t remaining = 0;
+    } veu;
+
+    int64_t mirror[2][2] = {{-1, -1}, {-1, -1}};
+
+    int64_t pc = 0;
+    std::vector<int64_t> raStack;
+    bool returned = false;
+    uint64_t now = 0;
+    int64_t seqCounter = 0;
+    int portsUsed = 0;
+    SimStats stats;
+    std::string pendingError;
+    bool trace = std::getenv("WS_TRACE") != nullptr;
+
+    Impl(const rtl::Program &p, SimConfig c) : prog(p), cfg(c)
+    {
+        mem.assign(cfg.memBytes, 0);
+        scus.resize(cfg.numSCUs);
+        flatten();
+        loadImage();
+        rreg[30] = static_cast<int64_t>(cfg.memBytes) - 64;
+    }
+
+    void
+    flatten()
+    {
+        int fi = 0;
+        for (const auto &fp : prog.functions()) {
+            funcEntry[fp->name()] = static_cast<int64_t>(code.size());
+            labelIdx.emplace_back();
+            for (const auto &bp : fp->blocks()) {
+                labelIdx[fi][bp->label()] =
+                    static_cast<int64_t>(code.size());
+                for (const Inst &inst : bp->insts)
+                    code.push_back({&inst, fi, 0});
+                // A block that falls off the end of the function is a
+                // front-end bug; the expander always terminates.
+            }
+            ++fi;
+        }
+    }
+
+    void
+    loadImage()
+    {
+        for (const auto &g : prog.globals()) {
+            WS_ASSERT(g.address >= 0, "program not laid out");
+            WS_ASSERT(g.address + g.size <=
+                          static_cast<int64_t>(mem.size()),
+                      "globals exceed memory");
+            if (!g.init.empty())
+                std::memcpy(&mem[g.address], g.init.data(),
+                            g.init.size());
+        }
+    }
+
+    // ---- memory helpers ----
+    void
+    checkAddr(int64_t addr, int size)
+    {
+        if (addr < 0 || addr + size > static_cast<int64_t>(mem.size()))
+            throw RunError(strFormat("memory access out of bounds: %lld",
+                                     static_cast<long long>(addr)));
+    }
+
+    Val
+    memRead(int64_t addr, DataType t)
+    {
+        int size = rtl::dataTypeSize(t);
+        checkAddr(addr, size);
+        Val v;
+        if (rtl::isFloatType(t)) {
+            v.isFloat = true;
+            double d;
+            std::memcpy(&d, &mem[addr], 8);
+            v.f = d;
+        } else if (size == 8) {
+            std::memcpy(&v.i, &mem[addr], 8);
+        } else if (size == 1) {
+            v.i = mem[addr];
+        } else {
+            int64_t x = 0;
+            std::memcpy(&x, &mem[addr], size);
+            v.i = x;
+        }
+        return v;
+    }
+
+    void
+    memWrite(int64_t addr, DataType t, const Val &v)
+    {
+        int size = rtl::dataTypeSize(t);
+        checkAddr(addr, size);
+        if (rtl::isFloatType(t)) {
+            double d = v.isFloat ? v.f : static_cast<double>(v.i);
+            std::memcpy(&mem[addr], &d, 8);
+        } else {
+            int64_t x = v.isFloat ? static_cast<int64_t>(v.f) : v.i;
+            std::memcpy(&mem[addr], &x, size);
+        }
+    }
+
+    // ---- register / FIFO access during evaluation ----
+
+    /** Count FIFO reads per (side, fifo) required by @p e. */
+    void
+    fifoNeeds(const ExprPtr &e, int needs[2][2])
+    {
+        if (!e)
+            return;
+        if (e->kind() == Expr::Kind::Reg) {
+            RegFile f = e->regFile();
+            int idx = e->regIndex();
+            if ((f == RegFile::Int || f == RegFile::Flt) &&
+                    (idx == 0 || idx == 1)) {
+                ++needs[f == RegFile::Flt ? 1 : 0][idx];
+            }
+            return;
+        }
+        fifoNeeds(e->lhs(), needs);
+        if (e->kind() == Expr::Kind::Bin)
+            fifoNeeds(e->rhs(), needs);
+    }
+
+    /** Evaluate @p e, popping FIFO operands in DFS order. */
+    Val
+    eval(const ExprPtr &e)
+    {
+        switch (e->kind()) {
+          case Expr::Kind::Const: {
+            Val v;
+            if (rtl::isFloatType(e->type())) {
+                v.isFloat = true;
+                v.f = e->fval();
+            } else {
+                v.i = e->ival();
+            }
+            return v;
+          }
+          case Expr::Kind::Sym: {
+            Val v;
+            v.i = prog.globalAddress(e->symbol()) + e->symOffset();
+            return v;
+          }
+          case Expr::Kind::Reg: {
+            RegFile f = e->regFile();
+            int idx = e->regIndex();
+            Val v;
+            if (f == RegFile::Flt) {
+                v.isFloat = true;
+                if (idx == 31) {
+                    v.f = 0.0;
+                } else if (idx == 0 || idx == 1) {
+                    WS_ASSERT(!inFifo[1][idx].empty(),
+                              "FIFO underflow (availability pre-checked)");
+                    v = inFifo[1][idx].front();
+                    inFifo[1][idx].pop_front();
+                    v.isFloat = true;
+                } else {
+                    v.f = freg[idx];
+                }
+            } else {
+                if (idx == 31) {
+                    v.i = 0;
+                } else if (idx == 0 || idx == 1) {
+                    WS_ASSERT(!inFifo[0][idx].empty(),
+                              "FIFO underflow (availability pre-checked)");
+                    v = inFifo[0][idx].front();
+                    inFifo[0][idx].pop_front();
+                    v.isFloat = false;
+                } else {
+                    v.i = rreg[idx];
+                }
+            }
+            return v;
+          }
+          case Expr::Kind::Mem: {
+            Val a = eval(e->addr());
+            return memRead(a.i, e->type());
+          }
+          case Expr::Kind::Un: {
+            Val x = eval(e->lhs());
+            Val v;
+            switch (e->op()) {
+              case Op::Neg:
+                if (x.isFloat) {
+                    v.isFloat = true;
+                    v.f = -x.f;
+                } else {
+                    v.i = -x.i;
+                }
+                return v;
+              case Op::Not:
+                v.i = ~x.i;
+                return v;
+              case Op::CvtIF:
+                v.isFloat = true;
+                v.f = static_cast<double>(x.i);
+                return v;
+              case Op::CvtFI:
+                v.i = static_cast<int64_t>(x.f);
+                return v;
+              case Op::CvtWiden:
+                return x;
+              default:
+                throw RunError("bad unary operator in RTL");
+            }
+          }
+          case Expr::Kind::Bin: {
+            Val l = eval(e->lhs());
+            Val r = eval(e->rhs());
+            Val v;
+            bool flt = l.isFloat || r.isFloat;
+            if (flt) {
+                double a = l.isFloat ? l.f : static_cast<double>(l.i);
+                double b = r.isFloat ? r.f : static_cast<double>(r.i);
+                switch (e->op()) {
+                  case Op::Add: v.isFloat = true; v.f = a + b; return v;
+                  case Op::Sub: v.isFloat = true; v.f = a - b; return v;
+                  case Op::Mul: v.isFloat = true; v.f = a * b; return v;
+                  case Op::Div:
+                    if (b == 0.0)
+                        throw RunError("floating divide by zero");
+                    v.isFloat = true;
+                    v.f = a / b;
+                    return v;
+                  case Op::Eq: v.i = a == b; return v;
+                  case Op::Ne: v.i = a != b; return v;
+                  case Op::Lt: v.i = a < b; return v;
+                  case Op::Le: v.i = a <= b; return v;
+                  case Op::Gt: v.i = a > b; return v;
+                  case Op::Ge: v.i = a >= b; return v;
+                  default:
+                    throw RunError("bad float operator in RTL");
+                }
+            }
+            int64_t a = l.i, b = r.i;
+            auto u = [](int64_t x) { return static_cast<uint64_t>(x); };
+            switch (e->op()) {
+              case Op::Add: v.i = static_cast<int64_t>(u(a) + u(b)); break;
+              case Op::Sub: v.i = static_cast<int64_t>(u(a) - u(b)); break;
+              case Op::Mul: v.i = static_cast<int64_t>(u(a) * u(b)); break;
+              case Op::Div:
+                if (b == 0)
+                    throw RunError("integer divide by zero");
+                v.i = a / b;
+                break;
+              case Op::Rem:
+                if (b == 0)
+                    throw RunError("integer remainder by zero");
+                v.i = a % b;
+                break;
+              case Op::And: v.i = a & b; break;
+              case Op::Or: v.i = a | b; break;
+              case Op::Xor: v.i = a ^ b; break;
+              case Op::Shl: v.i = a << (b & 63); break;
+              case Op::Shr:
+                v.i = static_cast<int64_t>(u(a) >> (b & 63));
+                break;
+              case Op::Sar: v.i = a >> (b & 63); break;
+              case Op::Eq: v.i = a == b; break;
+              case Op::Ne: v.i = a != b; break;
+              case Op::Lt: v.i = a < b; break;
+              case Op::Le: v.i = a <= b; break;
+              case Op::Gt: v.i = a > b; break;
+              case Op::Ge: v.i = a >= b; break;
+              default:
+                throw RunError("bad integer operator in RTL");
+            }
+            return v;
+          }
+        }
+        throw RunError("bad expression in RTL");
+    }
+
+    void
+    writeReg(const ExprPtr &dst, const Val &v)
+    {
+        RegFile f = dst->regFile();
+        int idx = dst->regIndex();
+        if (f == RegFile::CC) {
+            ccFifo[idx == 1 ? 1 : 0].push_back(v.isFloat ? v.f != 0.0
+                                                         : v.i != 0);
+            return;
+        }
+        if (idx == 31)
+            return; // hardwired zero
+        if (idx == 0 || idx == 1) {
+            // Enqueue to the output FIFO.
+            Val out = v;
+            if (f == RegFile::Flt) {
+                out.isFloat = true;
+                if (!v.isFloat)
+                    out.f = static_cast<double>(v.i);
+                outFifo[1][idx].push_back(out);
+            } else {
+                out.isFloat = false;
+                if (v.isFloat)
+                    out.i = static_cast<int64_t>(v.f);
+                outFifo[0][idx].push_back(out);
+            }
+            return;
+        }
+        if (f == RegFile::Flt)
+            freg[idx] = v.isFloat ? v.f : static_cast<double>(v.i);
+        else
+            rreg[idx] = v.isFloat ? static_cast<int64_t>(v.f) : v.i;
+    }
+
+    // ---- store-ordering checks ----
+
+    /** Is there a pending store older than @p seq overlapping the range? */
+    bool
+    olderStorePending(int64_t addr, int size, int64_t seq)
+    {
+        for (int s = 0; s < 2; ++s)
+            for (const StoreReq &st : storeQ[s])
+                if (st.seq < seq && st.addr < addr + size &&
+                        addr < st.addr + st.size) {
+                    return true;
+                }
+        for (const Stream &scu : scus) {
+            if (!scu.active || scu.input)
+                continue;
+            // Pending cells: positions [done, dispatchedEnqueues). A
+            // cell stalls the access only when its producing enqueue
+            // was dispatched before the access (true dependence).
+            int64_t limit = scu.dispatchedEnqueues;
+            int esz = rtl::dataTypeSize(scu.type);
+            if (scu.stride == 0)
+                continue;
+            // Only a handful of positions can overlap the access;
+            // enumerate the candidate k range analytically.
+            int64_t s = scu.stride;
+            int64_t first = (addr - esz + 1) - scu.base;
+            int64_t last = (addr + size - 1) - scu.base;
+            if (s < 0)
+                std::swap(first, last);
+            auto floorDiv = [](int64_t a, int64_t b) {
+                int64_t q = a / b;
+                if ((a % b != 0) && ((a < 0) != (b < 0)))
+                    --q;
+                return q;
+            };
+            int64_t kLo = floorDiv(first + (s > 0 ? s - 1 : s + 1), s);
+            int64_t kHi = floorDiv(last, s);
+            if (kLo > kHi)
+                std::swap(kLo, kHi);
+            kLo = std::max<int64_t>(kLo - 1, scu.done);
+            kHi = std::min<int64_t>(kHi + 1, limit - 1);
+            for (int64_t k = kLo; k <= kHi; ++k) {
+                int64_t cell = scu.base + k * scu.stride;
+                if (cell < addr + size && addr < cell + esz) {
+                    size_t idx = static_cast<size_t>(k - scu.done);
+                    if (idx < scu.enqSeqs.size() &&
+                            scu.enqSeqs[idx] < seq) {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    // ---- stream helpers ----
+
+    Stream *
+    findStream(int side, int fifo, bool input)
+    {
+        for (Stream &s : scus)
+            if (s.active && s.side == side && s.fifo == fifo &&
+                    s.input == input) {
+                return &s;
+            }
+        return nullptr;
+    }
+
+    void
+    applyStreamStop(const Inst &inst)
+    {
+        int side = inst.side == UnitSide::Flt ? 1 : 0;
+        bool input = inst.when;
+        Stream *s = findStream(side, inst.fifo, input);
+        if (!s)
+            return; // already finished: a stop is idempotent
+        if (input) {
+            // Cancel: discard prefetched and in-flight data.
+            s->active = false;
+            inFifo[side][inst.fifo].clear();
+            inflight[side][inst.fifo].clear();
+        } else {
+            // Output: accept no more data; drain what is enqueued.
+            s->closed = true;
+        }
+    }
+
+    // ---- per-cycle phases ----
+
+    void
+    deliverReads()
+    {
+        for (int side = 0; side < 2; ++side) {
+            for (int f = 0; f < 2; ++f) {
+                auto &q = inflight[side][f];
+                while (!q.empty()) {
+                    ReadReq &req = q.front();
+                    if (req.deliverAt > now)
+                        break;
+                    if (req.scu >= 0 && !scus[req.scu].active) {
+                        q.pop_front(); // stream cancelled: discard
+                        continue;
+                    }
+                    if (olderStorePending(req.addr, req.size, req.seq))
+                        break;
+                    if (static_cast<int>(inFifo[side][f].size()) >=
+                            cfg.dataFifoDepth) {
+                        break;
+                    }
+                    Val v = memRead(req.addr,
+                                    req.isFloat
+                                        ? DataType::F64
+                                        : (req.size == 8 ? DataType::I64
+                                           : req.size == 1
+                                               ? DataType::I8
+                                               : DataType::I32));
+                    inFifo[side][f].push_back(v);
+                    if (trace)
+                        std::fprintf(stderr,
+                                     "[%llu] deliver side=%d f=%d addr=%lld "
+                                     "val=%g/%lld scu=%d\n",
+                                     (unsigned long long)now, side, f,
+                                     (long long)req.addr, v.f,
+                                     (long long)v.i, req.scu);
+                    if (req.scu >= 0) {
+                        ++scus[req.scu].done;
+                        ++stats.streamElementsIn;
+                    }
+                    q.pop_front();
+                }
+            }
+        }
+    }
+
+    void
+    commitStores()
+    {
+        for (int side = 0; side < 2; ++side) {
+            if (portsUsed >= cfg.memPorts)
+                return;
+            if (storeQ[side].empty())
+                continue;
+            // Output FIFO 0 feeds scalar stores unless a stream claims
+            // it (the compiler prevents that combination).
+            if (findStream(side, 0, /*input=*/false))
+                continue;
+            if (outFifo[side][0].empty())
+                continue;
+            StoreReq st = storeQ[side].front();
+            Val v = outFifo[side][0].front();
+            DataType t = side == 1
+                             ? DataType::F64
+                             : (st.size == 8 ? DataType::I64
+                                : st.size == 1 ? DataType::I8
+                                               : DataType::I32);
+            memWrite(st.addr, t, v);
+            storeQ[side].pop_front();
+            outFifo[side][0].pop_front();
+            ++portsUsed;
+            ++stats.storesCommitted;
+        }
+    }
+
+    void
+    stepSCUs()
+    {
+        for (size_t i = 0; i < scus.size(); ++i) {
+            Stream &s = scus[i];
+            if (!s.active)
+                continue;
+            if (s.readyAt > now)
+                continue; // still spinning up
+            if (portsUsed >= cfg.memPorts)
+                break;
+            if (s.input) {
+                if (s.closed) {
+                    s.active = false;
+                    continue;
+                }
+                int64_t limit = s.count >= 0 ? s.count
+                                             : INT64_MAX / 2;
+                for (int burst = 0; burst < cfg.scuBurst; ++burst) {
+                    if (portsUsed >= cfg.memPorts)
+                        break;
+                    if (s.issued >= limit)
+                        break;
+                    int inflightHere = static_cast<int>(
+                        inflight[s.side][s.fifo].size());
+                    int fifoHere = static_cast<int>(
+                        inFifo[s.side][s.fifo].size());
+                    if (inflightHere + fifoHere >= cfg.dataFifoDepth)
+                        break; // no space reserved
+                    ReadReq req;
+                    req.deliverAt = now + cfg.memLatency;
+                    req.addr = s.base + s.issued * s.stride;
+                    req.size = rtl::dataTypeSize(s.type);
+                    req.isFloat = rtl::isFloatType(s.type);
+                    req.seq = s.seq;
+                    req.scu = static_cast<int>(i);
+                    // Bounds are checked at delivery; unbounded streams
+                    // may legitimately run past the data they will
+                    // never deliver, so clamp errors here.
+                    if (req.addr < 0 ||
+                            req.addr + req.size >
+                                static_cast<int64_t>(mem.size())) {
+                        s.closed = true; // stop prefetching
+                        break;
+                    }
+                    inflight[s.side][s.fifo].push_back(req);
+                    ++s.issued;
+                    ++portsUsed;
+                }
+                if (s.issued >= limit && s.done >= limit)
+                    s.active = false; // retires when fully delivered
+            } else {
+                auto &q = outFifo[s.side][s.fifo];
+                for (int burst = 0; burst < cfg.scuBurst; ++burst) {
+                    if (portsUsed >= cfg.memPorts)
+                        break;
+                    if (q.empty())
+                        break;
+                    if (s.count >= 0 && s.done >= s.count)
+                        break;
+                    Val v = q.front();
+                    q.pop_front();
+                    memWrite(s.base + s.done * s.stride, s.type, v);
+                    ++s.done;
+                    if (!s.enqSeqs.empty())
+                        s.enqSeqs.pop_front();
+                    ++portsUsed;
+                    ++stats.streamElementsOut;
+                }
+                if ((s.count >= 0 && s.done >= s.count) ||
+                        (s.closed && q.empty())) {
+                    s.active = false;
+                }
+            }
+        }
+    }
+
+    /** One element-wise vector operation on runtime values. */
+    Val
+    vecApply(Op op, const Val &a, const Val &b)
+    {
+        Val r;
+        if (a.isFloat || b.isFloat) {
+            double x = a.isFloat ? a.f : static_cast<double>(a.i);
+            double y = b.isFloat ? b.f : static_cast<double>(b.i);
+            r.isFloat = true;
+            switch (op) {
+              case Op::Add: r.f = x + y; return r;
+              case Op::Sub: r.f = x - y; return r;
+              case Op::Mul: r.f = x * y; return r;
+              case Op::Div:
+                if (y == 0.0)
+                    throw RunError("vector floating divide by zero");
+                r.f = x / y;
+                return r;
+              default:
+                throw RunError("bad float vector operator");
+            }
+        }
+        auto u = [](int64_t v) { return static_cast<uint64_t>(v); };
+        switch (op) {
+          case Op::Add: r.i = static_cast<int64_t>(u(a.i) + u(b.i));
+            return r;
+          case Op::Sub: r.i = static_cast<int64_t>(u(a.i) - u(b.i));
+            return r;
+          case Op::Mul: r.i = static_cast<int64_t>(u(a.i) * u(b.i));
+            return r;
+          case Op::Div:
+            if (!b.i)
+                throw RunError("vector integer divide by zero");
+            r.i = a.i / b.i;
+            return r;
+          case Op::And: r.i = a.i & b.i; return r;
+          case Op::Or: r.i = a.i | b.i; return r;
+          case Op::Xor: r.i = a.i ^ b.i; return r;
+          case Op::Shl: r.i = a.i << (b.i & 63); return r;
+          case Op::Shr:
+            r.i = static_cast<int64_t>(u(a.i) >> (b.i & 63));
+            return r;
+          case Op::Sar: r.i = a.i >> (b.i & 63); return r;
+          default:
+            throw RunError("bad vector operator");
+        }
+    }
+
+    void
+    stepVEU()
+    {
+        if (!veu.active)
+            return;
+        for (int lane = 0; lane < cfg.veuLanes; ++lane) {
+            if (veu.remaining == 0)
+                break;
+            auto &in1 = inFifo[veu.s1Side][veu.s1Fifo];
+            if (in1.empty())
+                break;
+            if (veu.src2IsFifo &&
+                    inFifo[veu.s2Side][veu.s2Fifo].empty()) {
+                break;
+            }
+            auto &out = outFifo[veu.dstSide][veu.dstFifo];
+            if (static_cast<int>(out.size()) >= cfg.dataFifoDepth)
+                break;
+            Val a = in1.front();
+            in1.pop_front();
+            Val r;
+            if (veu.copy) {
+                r = a;
+            } else {
+                Val b = veu.src2IsFifo
+                            ? inFifo[veu.s2Side][veu.s2Fifo].front()
+                            : veu.src2Val;
+                if (veu.src2IsFifo)
+                    inFifo[veu.s2Side][veu.s2Fifo].pop_front();
+                r = vecApply(veu.op, a, b);
+            }
+            if (veu.dstSide == 1 && !r.isFloat) {
+                r.f = static_cast<double>(r.i);
+                r.isFloat = true;
+            }
+            out.push_back(r);
+            --veu.remaining;
+            ++stats.vectorElements;
+        }
+        if (veu.remaining == 0)
+            veu.active = false;
+    }
+
+    /** Execute the head of a unit queue; true on progress. */
+    bool
+    stepUnit(int u)
+    {
+        if (unitBusyUntil[u] > now)
+            return false;
+        if (unitQ[u].empty())
+            return false;
+        const Inst &inst = *unitQ[u].front().inst;
+        int64_t seq = unitQ[u].front().seq;
+        bool streamEnq = unitQ[u].front().streamEnq;
+
+        switch (inst.kind) {
+          case InstKind::Assign: {
+            // An ordinary enqueue must wait while an output stream owns
+            // the FIFO (its data would be swallowed as stream elements).
+            if (!streamEnq && inst.dst->isReg() &&
+                    inst.dst->regIndex() <= 1 &&
+                    (inst.dst->regFile() == RegFile::Int ||
+                     inst.dst->regFile() == RegFile::Flt)) {
+                int side = inst.dst->regFile() == RegFile::Flt ? 1 : 0;
+                if (findStream(side, inst.dst->regIndex(),
+                               /*input=*/false)) {
+                    return false;
+                }
+            }
+            int needs[2][2] = {{0, 0}, {0, 0}};
+            fifoNeeds(inst.src, needs);
+            for (int s = 0; s < 2; ++s)
+                for (int f = 0; f < 2; ++f)
+                    if (needs[s][f] >
+                            static_cast<int>(inFifo[s][f].size())) {
+                        return false; // wait for data
+                    }
+            if (inst.dst->regFile() == RegFile::CC &&
+                    static_cast<int>(
+                        ccFifo[inst.dst->regIndex() == 1 ? 1 : 0]
+                            .size()) >= cfg.ccFifoDepth) {
+                return false;
+            }
+            if (inst.dst->regIndex() <= 1 &&
+                    (inst.dst->regFile() == RegFile::Int ||
+                     inst.dst->regFile() == RegFile::Flt) &&
+                    static_cast<int>(
+                        outFifo[inst.dst->regFile() == RegFile::Flt
+                                    ? 1
+                                    : 0][inst.dst->regIndex()]
+                            .size()) >= cfg.dataFifoDepth) {
+                return false;
+            }
+            bool divides = false;
+            rtl::forEachNode(inst.src, [&](const Expr &n) {
+                if (n.kind() == Expr::Kind::Bin &&
+                        (n.op() == Op::Div || n.op() == Op::Rem)) {
+                    divides = true;
+                }
+            });
+            Val v = eval(inst.src);
+            writeReg(inst.dst, v);
+            if (divides)
+                unitBusyUntil[u] = now + cfg.divLatency;
+            break;
+          }
+          case InstKind::Load: {
+            if (portsUsed >= cfg.memPorts)
+                return false;
+            bool flt = rtl::isFloatType(inst.memType);
+            int side = flt ? 1 : 0;
+            // Input FIFO 0 is the load-data channel; while a stream
+            // owns it, scalar loads wait for the stream to retire so
+            // the two data sources cannot interleave.
+            if (findStream(side, 0, /*input=*/true))
+                return false;
+            Val a = eval(inst.addr);
+            ReadReq req;
+            req.deliverAt = now + cfg.memLatency;
+            req.addr = a.i;
+            req.size = rtl::dataTypeSize(inst.memType);
+            req.isFloat = flt;
+            req.seq = seq;
+            checkAddr(req.addr, req.size);
+            inflight[side][0].push_back(req);
+            ++portsUsed;
+            ++stats.loadsIssued;
+            break;
+          }
+          case InstKind::Store: {
+            bool flt = rtl::isFloatType(inst.memType);
+            int side = flt ? 1 : 0;
+            if (static_cast<int>(storeQ[side].size()) >=
+                    cfg.storeQueueDepth) {
+                return false;
+            }
+            Val a = eval(inst.addr);
+            checkAddr(a.i, rtl::dataTypeSize(inst.memType));
+            storeQ[side].push_back(
+                {a.i, rtl::dataTypeSize(inst.memType), seq});
+            break;
+          }
+          default:
+            throw RunError("non-unit instruction in unit queue");
+        }
+        unitQ[u].pop_front();
+        if (u == 0)
+            ++stats.ieuExecuted;
+        else
+            ++stats.feuExecuted;
+        return true;
+    }
+
+    bool
+    unitsIdle() const
+    {
+        return unitQ[0].empty() && unitQ[1].empty() &&
+               unitBusyUntil[0] <= now && unitBusyUntil[1] <= now;
+    }
+
+    int64_t
+    resolveLabel(int func, const std::string &label)
+    {
+        auto it = labelIdx[func].find(label);
+        if (it == labelIdx[func].end())
+            throw RunError("jump to unknown label " + label);
+        return it->second;
+    }
+
+    void
+    fetchAndDispatch()
+    {
+        if (returned)
+            return;
+        for (int budget = cfg.fetchWidth; budget > 0; --budget) {
+            if (returned)
+                return;
+            if (pc < 0 || pc >= static_cast<int64_t>(code.size()))
+                throw RunError("PC out of range");
+            FlatInst &fi = code[pc];
+            const Inst &inst = *fi.inst;
+            switch (engineOf(inst)) {
+              case Engine::IFU: {
+                switch (inst.kind) {
+                  case InstKind::Jump:
+                    pc = resolveLabel(fi.func, inst.target);
+                    break;
+                  case InstKind::CondJump: {
+                    int side = inst.side == UnitSide::Flt ? 1 : 0;
+                    if (ccFifo[side].empty()) {
+                        ++stats.ifuStallCycles;
+                        return; // wait for the compare
+                    }
+                    bool cc = ccFifo[side].front();
+                    ccFifo[side].pop_front();
+                    if (cc == inst.when)
+                        pc = resolveLabel(fi.func, inst.target);
+                    else
+                        ++pc;
+                    break;
+                  }
+                  case InstKind::JumpStream: {
+                    int side = inst.side == UnitSide::Flt ? 1 : 0;
+                    int64_t &m = mirror[side][inst.fifo];
+                    if (m < 0)
+                        throw RunError("jump on unknown stream state");
+                    if (m > 1) {
+                        --m;
+                        pc = resolveLabel(fi.func, inst.target);
+                    } else {
+                        m = 0;
+                        ++pc;
+                    }
+                    break;
+                  }
+                  case InstKind::Call: {
+                    auto it = funcEntry.find(inst.target);
+                    if (it == funcEntry.end())
+                        throw RunError("call to unknown function " +
+                                       inst.target);
+                    raStack.push_back(pc + 1);
+                    pc = it->second;
+                    break;
+                  }
+                  case InstKind::Return:
+                    if (raStack.empty()) {
+                        returned = true;
+                    } else {
+                        pc = raStack.back();
+                        raStack.pop_back();
+                    }
+                    break;
+                  case InstKind::StreamStop:
+                    applyStreamStop(inst);
+                    ++pc;
+                    break;
+                  case InstKind::Assign: {
+                    // Synchronizing int/float conversion.
+                    if (!unitsIdle()) {
+                        ++stats.ifuStallCycles;
+                        return;
+                    }
+                    // A folded FIFO operand may still be in flight.
+                    int needs[2][2] = {{0, 0}, {0, 0}};
+                    fifoNeeds(inst.src, needs);
+                    for (int s2 = 0; s2 < 2; ++s2)
+                        for (int f2 = 0; f2 < 2; ++f2)
+                            if (needs[s2][f2] >
+                                    static_cast<int>(
+                                        inFifo[s2][f2].size())) {
+                                ++stats.ifuStallCycles;
+                                return;
+                            }
+                    Val v = eval(inst.src);
+                    writeReg(inst.dst, v);
+                    ++pc;
+                    break;
+                  }
+                  default:
+                    throw RunError("bad IFU instruction");
+                }
+                ++stats.ifuExecuted;
+                break;
+              }
+              case Engine::SCU: {
+                if (inst.kind == InstKind::VecOp) {
+                    // Vector operation: needs both units drained (the
+                    // count and any scalar operand hold final values)
+                    // and the VEU free.
+                    if (!unitsIdle() || veu.active) {
+                        ++stats.ifuStallCycles;
+                        return;
+                    }
+                    VeuState v;
+                    v.active = true;
+                    v.op = inst.vecOp;
+                    v.copy = inst.vecSrc2 == nullptr;
+                    v.dstSide =
+                        inst.dst->regFile() == RegFile::Flt ? 1 : 0;
+                    v.dstFifo = inst.dst->regIndex();
+                    v.s1Side =
+                        inst.src->regFile() == RegFile::Flt ? 1 : 0;
+                    v.s1Fifo = inst.src->regIndex();
+                    if (!v.copy) {
+                        const ExprPtr &s2 = inst.vecSrc2;
+                        if (s2->isReg() && s2->regIndex() <= 1 &&
+                                (s2->regFile() == RegFile::Int ||
+                                 s2->regFile() == RegFile::Flt)) {
+                            v.src2IsFifo = true;
+                            v.s2Side =
+                                s2->regFile() == RegFile::Flt ? 1 : 0;
+                            v.s2Fifo = s2->regIndex();
+                        } else {
+                            v.src2Val = eval(s2);
+                        }
+                    }
+                    v.remaining = eval(inst.count).i;
+                    if (v.remaining <= 0)
+                        v.active = false;
+                    // Ordering bookkeeping: the VecOp produces all the
+                    // enqueues the destination stream will see.
+                    int64_t mySeq = seqCounter++;
+                    if (Stream *s = findStream(v.dstSide, v.dstFifo,
+                                               /*input=*/false)) {
+                        for (int64_t k = 0; k < v.remaining; ++k) {
+                            s->enqSeqs.push_back(mySeq);
+                            ++s->dispatchedEnqueues;
+                        }
+                    }
+                    veu = v;
+                    ++pc;
+                    ++stats.ifuExecuted;
+                    break;
+                }
+                // Stream start: needs the IEU drained so the base and
+                // count registers hold final values, plus a free SCU,
+                // plus the target FIFO free of a previous stream (a
+                // re-entered loop may dispatch the next instance while
+                // the last one is still draining).
+                if (!unitQ[0].empty() || unitBusyUntil[0] > now) {
+                    ++stats.ifuStallCycles;
+                    return;
+                }
+                Stream *free = nullptr;
+                for (Stream &s : scus)
+                    if (!s.active)
+                        free = &s;
+                if (!free) {
+                    ++stats.ifuStallCycles;
+                    return;
+                }
+                int side = inst.side == UnitSide::Flt ? 1 : 0;
+                if (findStream(side, inst.fifo,
+                               inst.kind == InstKind::StreamIn)) {
+                    ++stats.ifuStallCycles;
+                    return; // previous stream still draining
+                }
+                Stream s;
+                s.active = true;
+                s.input = inst.kind == InstKind::StreamIn;
+                s.side = side;
+                s.fifo = inst.fifo;
+                s.base = eval(inst.addr).i;
+                s.stride = inst.stride;
+                s.count = inst.count ? eval(inst.count).i : -1;
+                s.type = inst.memType;
+                s.seq = seqCounter++;
+                s.readyAt = now + cfg.scuStartupCycles;
+                if (s.count == 0) {
+                    // Empty stream: nothing to do, but the mirror must
+                    // still say "exhausted".
+                    s.active = false;
+                }
+                if (findStream(side, inst.fifo, s.input))
+                    throw RunError("stream already active on FIFO");
+                if (trace)
+                    std::fprintf(stderr,
+                                 "[%llu] stream %s side=%d fifo=%d "
+                                 "base=%lld count=%lld stride=%lld\n",
+                                 (unsigned long long)now,
+                                 s.input ? "in" : "out", side, inst.fifo,
+                                 (long long)s.base, (long long)s.count,
+                                 (long long)s.stride);
+                *free = s;
+                if (s.input || mirror[side][inst.fifo] <= 0)
+                    mirror[side][inst.fifo] = s.count;
+                ++pc;
+                ++stats.ifuExecuted;
+                break;
+              }
+              case Engine::IEU:
+              case Engine::FEU: {
+                int u = engineOf(inst) == Engine::FEU ? 1 : 0;
+                if (static_cast<int>(unitQ[u].size()) >=
+                        cfg.instQueueDepth) {
+                    ++stats.ifuStallCycles;
+                    return;
+                }
+                int64_t mySeq = seqCounter++;
+                bool streamEnq = false;
+                // Attribute enqueues to the active out-stream on their
+                // FIFO — but only up to the stream's element count:
+                // later enqueues in dispatch order are ordinary stores
+                // that must wait for the stream to retire.
+                if (inst.kind == InstKind::Assign && inst.dst->isReg() &&
+                        inst.dst->regIndex() <= 1 &&
+                        (inst.dst->regFile() == RegFile::Int ||
+                         inst.dst->regFile() == RegFile::Flt)) {
+                    int side =
+                        inst.dst->regFile() == RegFile::Flt ? 1 : 0;
+                    Stream *s = findStream(side, inst.dst->regIndex(),
+                                           /*input=*/false);
+                    if (s && !s->closed &&
+                            (s->count < 0 ||
+                             s->dispatchedEnqueues < s->count)) {
+                        s->enqSeqs.push_back(mySeq);
+                        ++s->dispatchedEnqueues;
+                        streamEnq = true;
+                    }
+                }
+                unitQ[u].push_back({&inst, mySeq, streamEnq});
+                ++pc;
+                ++stats.instsDispatched;
+                break;
+              }
+            }
+        }
+    }
+
+    bool
+    drained()
+    {
+        if (!unitQ[0].empty() || !unitQ[1].empty())
+            return false;
+        if (!storeQ[0].empty() || !storeQ[1].empty())
+            return false;
+        for (int s = 0; s < 2; ++s)
+            for (int f = 0; f < 2; ++f)
+                if (!inflight[s][f].empty())
+                    return false;
+        for (const Stream &s : scus)
+            if (s.active && !s.input)
+                return false;
+        if (veu.active)
+            return false;
+        return true;
+    }
+
+    SimResult
+    run()
+    {
+        SimResult res;
+        auto it = funcEntry.find("main");
+        if (it == funcEntry.end()) {
+            res.error = "no main function";
+            return res;
+        }
+        pc = it->second;
+        try {
+            while (now < cfg.maxCycles) {
+                portsUsed = 0;
+                deliverReads();
+                bool p0 = stepUnit(0);
+                bool p1 = stepUnit(1);
+                if (!p0 && !unitQ[0].empty())
+                    ++stats.ieuStallCycles;
+                if (!p1 && !unitQ[1].empty())
+                    ++stats.feuStallCycles;
+                commitStores();
+                stepVEU();
+                stepSCUs();
+                fetchAndDispatch();
+                ++now;
+                if (returned && drained())
+                    break;
+            }
+            if (now >= cfg.maxCycles) {
+                std::string state = strFormat(
+                    "pc=%lld inst=[%s] ieuQ=%zu feuQ=%zu "
+                    "storeQ=%zu/%zu inFifo=%zu,%zu/%zu,%zu "
+                    "outFifo=%zu,%zu/%zu,%zu cc=%zu,%zu "
+                    "inflight=%zu,%zu,%zu,%zu returned=%d",
+                    static_cast<long long>(pc),
+                    pc >= 0 && pc < static_cast<int64_t>(code.size())
+                        ? code[pc].inst->str().c_str()
+                        : "?",
+                    unitQ[0].size(), unitQ[1].size(), storeQ[0].size(),
+                    // (see ieuHead/feuHead below)
+                    storeQ[1].size(), inFifo[0][0].size(),
+                    inFifo[0][1].size(), inFifo[1][0].size(),
+                    inFifo[1][1].size(), outFifo[0][0].size(),
+                    outFifo[0][1].size(), outFifo[1][0].size(),
+                    outFifo[1][1].size(), ccFifo[0].size(),
+                    ccFifo[1].size(), inflight[0][0].size(),
+                    inflight[0][1].size(), inflight[1][0].size(),
+                    inflight[1][1].size(), returned ? 1 : 0);
+                std::string scuState;
+                if (!unitQ[0].empty())
+                    scuState += " ieuHead=[" +
+                                unitQ[0].front().inst->str() + "]";
+                if (!unitQ[1].empty())
+                    scuState += " feuHead=[" +
+                                unitQ[1].front().inst->str() + "]";
+                for (int s2 = 0; s2 < 2; ++s2)
+                    for (int f2 = 0; f2 < 2; ++f2)
+                        if (!inflight[s2][f2].empty())
+                            scuState += strFormat(
+                                " req[%d][%d]=addr %lld at %llu seq %lld",
+                                s2, f2,
+                                (long long)inflight[s2][f2].front().addr,
+                                (unsigned long long)
+                                    inflight[s2][f2].front().deliverAt,
+                                (long long)
+                                    inflight[s2][f2].front().seq);
+                for (const Stream &s : scus)
+                    if (s.active)
+                        scuState += strFormat(
+                            " [scu %s side=%d fifo=%d issued=%lld "
+                            "done=%lld count=%lld enq=%lld closed=%d]",
+                            s.input ? "in" : "out", s.side, s.fifo,
+                            static_cast<long long>(s.issued),
+                            static_cast<long long>(s.done),
+                            static_cast<long long>(s.count),
+                            static_cast<long long>(s.dispatchedEnqueues),
+                            s.closed ? 1 : 0);
+                res.error = "cycle limit exceeded (livelock or very "
+                            "long program): " + state + scuState;
+                res.stats = stats;
+                res.stats.cycles = now;
+                return res;
+            }
+        } catch (const RunError &e) {
+            res.error = e.what();
+            res.stats = stats;
+            res.stats.cycles = now;
+            return res;
+        }
+        res.ok = true;
+        res.returnValue = rreg[2];
+        stats.cycles = now;
+        res.stats = stats;
+        return res;
+    }
+};
+
+Simulator::Simulator(const rtl::Program &prog, SimConfig config)
+    : impl_(std::make_unique<Impl>(prog, config))
+{
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run()
+{
+    return impl_->run();
+}
+
+int64_t
+Simulator::readInt(int64_t addr) const
+{
+    int64_t v;
+    std::memcpy(&v, &impl_->mem[addr], 8);
+    return v;
+}
+
+double
+Simulator::readDouble(int64_t addr) const
+{
+    double v;
+    std::memcpy(&v, &impl_->mem[addr], 8);
+    return v;
+}
+
+uint8_t
+Simulator::readByte(int64_t addr) const
+{
+    return impl_->mem[addr];
+}
+
+SimResult
+simulate(const rtl::Program &prog, SimConfig config)
+{
+    Simulator sim(prog, config);
+    return sim.run();
+}
+
+} // namespace wmstream::wmsim

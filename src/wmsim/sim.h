@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cycle-level simulator for the WM decoupled access/execute machine.
+ *
+ * Models the units of the paper's Figure 1:
+ *  - an instruction fetch unit (IFU) that dispatches instructions into
+ *    per-unit FIFO instruction queues and itself executes control
+ *    transfers using per-unit condition-code FIFOs (unconditional
+ *    jumps are free; conditional jumps stall only when the CC FIFO is
+ *    empty);
+ *  - an integer and a floating-point execution unit (IEU/FEU), each
+ *    executing its queue in order, one instruction per cycle (divides
+ *    take longer), reading register 0/1 as data-FIFO dequeues and
+ *    writing register 0/1 as enqueues, with register 31 hardwired to
+ *    zero;
+ *  - stream control units (SCUs) that autonomously generate the
+ *    address sequence of SinX/SoutX instructions and move data between
+ *    memory and the data FIFOs;
+ *  - a flat memory with a configurable access latency and a
+ *    configurable number of ports.
+ *
+ * Loads are executed by the IEU as address generations; the datum
+ * arrives in the input FIFO of the data's unit after the memory
+ * latency. Stores pair an address (from the IEU) with data enqueued
+ * into the output FIFO. Memory ordering between pending stores,
+ * stream-outs, and loads is enforced by dispatch order.
+ *
+ * Deviation from the paper, documented in DESIGN.md: the dual-ALU
+ * "result not available to the following instruction" rule is modeled
+ * as a fully interlocked pipeline (no stall, result visible next
+ * cycle); int/float conversions are executed by the IFU as
+ * synchronizing instructions, as the paper prescribes.
+ */
+
+#ifndef WMSTREAM_WMSIM_SIM_H
+#define WMSTREAM_WMSIM_SIM_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/program.h"
+
+namespace wmstream::wmsim {
+
+/** Tunable machine parameters. */
+struct SimConfig
+{
+    int memLatency = 4;        ///< cycles from request to FIFO arrival
+    int memPorts = 2;          ///< memory requests accepted per cycle
+    int instQueueDepth = 8;    ///< per-unit instruction queue entries
+    int dataFifoDepth = 8;     ///< per data FIFO entries
+    int ccFifoDepth = 8;       ///< per condition-code FIFO entries
+    int storeQueueDepth = 8;   ///< pending store addresses per side
+    int numSCUs = 4;           ///< concurrent streams supported
+    int scuStartupCycles = 4;  ///< SCU activation to first address
+    int scuBurst = 1;          ///< memory requests per SCU per cycle
+    int veuLanes = 4;          ///< vector unit elements per cycle
+    int fetchWidth = 4;        ///< IFU instructions processed per cycle
+    int divLatency = 8;        ///< integer and float divide occupancy
+    uint64_t maxCycles = 2'000'000'000;
+    size_t memBytes = 16u << 20;
+};
+
+/** Aggregate run statistics. */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t instsDispatched = 0;
+    uint64_t ieuExecuted = 0;
+    uint64_t feuExecuted = 0;
+    uint64_t ifuExecuted = 0;
+    uint64_t loadsIssued = 0;
+    uint64_t storesCommitted = 0;
+    uint64_t streamElementsIn = 0;
+    uint64_t streamElementsOut = 0;
+    uint64_t vectorElements = 0;
+    uint64_t ieuStallCycles = 0;
+    uint64_t feuStallCycles = 0;
+    uint64_t ifuStallCycles = 0;
+};
+
+/** Result of a simulation. */
+struct SimResult
+{
+    bool ok = false;
+    int64_t returnValue = 0;
+    std::string error;
+    SimStats stats;
+};
+
+/**
+ * Simulator instance: owns the flattened code and memory image.
+ *
+ * The program must be laid out (Program::layout) and lowered to WM
+ * FIFO form. Memory can be inspected after the run for test oracles.
+ */
+class Simulator
+{
+  public:
+    Simulator(const rtl::Program &prog, SimConfig config = {});
+
+    /** Run main() to completion. */
+    SimResult run();
+
+    /** @name Post-run memory inspection */
+    /// @{
+    int64_t readInt(int64_t addr) const;
+    double readDouble(int64_t addr) const;
+    uint8_t readByte(int64_t addr) const;
+    /// @}
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+
+  public:
+    ~Simulator();
+};
+
+/** One-call convenience: construct and run. */
+SimResult simulate(const rtl::Program &prog, SimConfig config = {});
+
+} // namespace wmstream::wmsim
+
+#endif // WMSTREAM_WMSIM_SIM_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The semantic safety net: every Table-II program, compiled in every
+ * configuration for both targets, must return the interpreter's
+ * checksum. This is the property that makes the aggressive loop
+ * rewrites trustworthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "frontend/parser.h"
+#include "interp/interp.h"
+#include "programs/programs.h"
+#include "timing/scalar_sim.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+int64_t
+oracle(const std::string &src)
+{
+    DiagEngine diag;
+    auto unit = frontend::parseAndCheck(src, diag);
+    EXPECT_TRUE(unit != nullptr) << diag.str();
+    interp::Interpreter in(*unit);
+    auto res = in.run();
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.returnValue;
+}
+
+class DifferentialTest
+    : public ::testing::TestWithParam<programs::BenchmarkProgram>
+{
+};
+
+} // namespace
+
+TEST_P(DifferentialTest, WmAllConfigs)
+{
+    const auto &prog = GetParam();
+    int64_t expect = oracle(prog.source);
+    for (bool rec : {false, true}) {
+        for (bool stream : {false, true}) {
+            driver::CompileOptions opts;
+            opts.recurrence = rec;
+            opts.streaming = stream;
+            auto cr = driver::compileSource(prog.source, opts);
+            ASSERT_TRUE(cr.ok) << prog.name << ": " << cr.diagnostics;
+            wmsim::SimConfig cfg;
+            cfg.maxCycles = 400'000'000ull;
+            auto res = wmsim::simulate(*cr.program, cfg);
+            ASSERT_TRUE(res.ok)
+                << prog.name << " rec=" << rec << " stream=" << stream
+                << ": " << res.error;
+            EXPECT_EQ(res.returnValue, expect)
+                << prog.name << " rec=" << rec << " stream=" << stream;
+        }
+    }
+}
+
+TEST_P(DifferentialTest, ScalarBothRecurrenceSettings)
+{
+    const auto &prog = GetParam();
+    int64_t expect = oracle(prog.source);
+    auto model = timing::m88100Model();
+    for (bool rec : {false, true}) {
+        driver::CompileOptions opts;
+        opts.target = rtl::MachineKind::Scalar;
+        opts.recurrence = rec;
+        auto cr = driver::compileSource(prog.source, opts);
+        ASSERT_TRUE(cr.ok) << prog.name;
+        auto res = timing::runScalar(*cr.program, model,
+                                     4'000'000'000ull);
+        ASSERT_TRUE(res.ok) << prog.name << ": " << res.error;
+        EXPECT_EQ(res.returnValue, expect)
+            << prog.name << " rec=" << rec;
+    }
+}
+
+TEST_P(DifferentialTest, UnoptimizedWmStillCorrect)
+{
+    const auto &prog = GetParam();
+    int64_t expect = oracle(prog.source);
+    driver::CompileOptions opts;
+    opts.optimize = false;
+    opts.recurrence = false;
+    opts.streaming = false;
+    auto cr = driver::compileSource(prog.source, opts);
+    ASSERT_TRUE(cr.ok) << prog.name;
+    wmsim::SimConfig cfg;
+    cfg.maxCycles = 2'000'000'000ull;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << prog.name << ": " << res.error;
+    EXPECT_EQ(res.returnValue, expect) << prog.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, DifferentialTest,
+    ::testing::ValuesIn(programs::tableIIPrograms()),
+    [](const ::testing::TestParamInfo<programs::BenchmarkProgram> &info) {
+        std::string name = info.param.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the compiler driver's option plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "programs/programs.h"
+
+using namespace wmstream;
+using namespace wmstream::rtl;
+
+TEST(Driver, RecurrenceOffProducesNoReports)
+{
+    driver::CompileOptions opts;
+    opts.recurrence = false;
+    auto cr = driver::compileSource(programs::livermore5Source(32), opts);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_TRUE(cr.recurrenceReports.empty());
+    EXPECT_EQ(cr.totalRecurrences(), 0);
+}
+
+TEST(Driver, StreamingOffProducesNoStreams)
+{
+    driver::CompileOptions opts;
+    opts.streaming = false;
+    auto cr = driver::compileSource(programs::livermore5Source(32), opts);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_EQ(cr.totalStreams(), 0);
+    for (const auto &fn : cr.program->functions())
+        for (const auto &b : fn->blocks())
+            for (const Inst &inst : b->insts)
+                EXPECT_TRUE(inst.kind != InstKind::StreamIn &&
+                            inst.kind != InstKind::StreamOut);
+}
+
+TEST(Driver, ScalarTargetNeverStreams)
+{
+    driver::CompileOptions opts;
+    opts.target = MachineKind::Scalar;
+    opts.streaming = true; // requested, but the target has no SCUs
+    auto cr = driver::compileSource(programs::livermore5Source(32), opts);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_EQ(cr.totalStreams(), 0);
+}
+
+TEST(Driver, DiagnosticsSurfaceFrontEndErrors)
+{
+    auto cr = driver::compileSource("int main(void) { return x; }", {});
+    EXPECT_FALSE(cr.ok);
+    EXPECT_NE(cr.diagnostics.find("undeclared"), std::string::npos);
+}
+
+TEST(Driver, ProgramIsLaidOut)
+{
+    auto cr = driver::compileSource(programs::livermore5Source(16), {});
+    ASSERT_TRUE(cr.ok);
+    EXPECT_GE(cr.program->globalAddress("x"), 0x1000);
+}
+
+TEST(Driver, ReportsCountStreamsAndRecurrences)
+{
+    auto cr = driver::compileSource(programs::livermore5Source(64), {});
+    ASSERT_TRUE(cr.ok);
+    EXPECT_GE(cr.totalRecurrences(), 1);
+    EXPECT_GE(cr.totalStreams(), 4);
+}
+
+TEST(Driver, TraitsMatchTarget)
+{
+    auto wm = driver::compileSource("int main(void){return 0;}", {});
+    EXPECT_TRUE(wm.traits.isWM());
+    driver::CompileOptions s;
+    s.target = MachineKind::Scalar;
+    auto sc = driver::compileSource("int main(void){return 0;}", s);
+    EXPECT_FALSE(sc.traits.isWM());
+    EXPECT_FALSE(sc.traits.hasDualOp);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the mini-C lexer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+using namespace wmstream;
+using namespace wmstream::frontend;
+
+namespace {
+
+std::vector<Token>
+lex(const std::string &src, bool expectOk = true)
+{
+    DiagEngine diag;
+    Lexer lexer(src, diag);
+    auto toks = lexer.lexAll();
+    EXPECT_EQ(!diag.hasErrors(), expectOk) << diag.str();
+    return toks;
+}
+
+std::vector<Tok>
+kinds(const std::vector<Token> &toks)
+{
+    std::vector<Tok> out;
+    for (const auto &t : toks)
+        out.push_back(t.kind);
+    return out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInputYieldsEnd)
+{
+    auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+TEST(Lexer, Keywords)
+{
+    auto toks = lex("int char double void if else while for do return "
+                    "break continue");
+    std::vector<Tok> expect = {
+        Tok::KwInt, Tok::KwChar, Tok::KwDouble, Tok::KwVoid, Tok::KwIf,
+        Tok::KwElse, Tok::KwWhile, Tok::KwFor, Tok::KwDo, Tok::KwReturn,
+        Tok::KwBreak, Tok::KwContinue, Tok::End,
+    };
+    EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords)
+{
+    auto toks = lex("integer if0 _while");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].text, "integer");
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[2].kind, Tok::Ident);
+    EXPECT_EQ(toks[2].text, "_while");
+}
+
+TEST(Lexer, DecimalAndHexIntegers)
+{
+    auto toks = lex("0 42 1000000 0x10 0xFF");
+    EXPECT_EQ(toks[0].ival, 0);
+    EXPECT_EQ(toks[1].ival, 42);
+    EXPECT_EQ(toks[2].ival, 1000000);
+    EXPECT_EQ(toks[3].ival, 16);
+    EXPECT_EQ(toks[4].ival, 255);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lex("0.5 1.25 2e3 1.5e-2");
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[0].fval, 0.5);
+    EXPECT_DOUBLE_EQ(toks[1].fval, 1.25);
+    EXPECT_DOUBLE_EQ(toks[2].fval, 2000.0);
+    EXPECT_DOUBLE_EQ(toks[3].fval, 0.015);
+}
+
+TEST(Lexer, IntegerFollowedByDotIsNotFloat)
+{
+    // "5." without a digit after the dot should not parse as a float
+    // in this grammar (arrays use a[5]. patterns never arise, but the
+    // lexer must not consume the dot).
+    DiagEngine diag;
+    Lexer lexer("5 .", diag);
+    auto toks = lexer.lexAll();
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    // the lone '.' is an error character
+    EXPECT_TRUE(diag.hasErrors());
+}
+
+TEST(Lexer, CharLiteralsAndEscapes)
+{
+    auto toks = lex(R"('A' 'z' '\n' '\t' '\0' '\\' '\'')");
+    EXPECT_EQ(toks[0].ival, 'A');
+    EXPECT_EQ(toks[1].ival, 'z');
+    EXPECT_EQ(toks[2].ival, '\n');
+    EXPECT_EQ(toks[3].ival, '\t');
+    EXPECT_EQ(toks[4].ival, 0);
+    EXPECT_EQ(toks[5].ival, '\\');
+    EXPECT_EQ(toks[6].ival, '\'');
+}
+
+TEST(Lexer, StringLiterals)
+{
+    auto toks = lex(R"("hello" "a\nb" "")");
+    EXPECT_EQ(toks[0].kind, Tok::StrLit);
+    EXPECT_EQ(toks[0].text, "hello");
+    EXPECT_EQ(toks[1].text, "a\nb");
+    EXPECT_EQ(toks[2].text, "");
+}
+
+TEST(Lexer, OperatorsMaximalMunch)
+{
+    auto toks = lex("+ ++ += - -- -= << <= < >> >= > == = != ! && & || | "
+                    "^ ~ * *= / /= % %=");
+    std::vector<Tok> expect = {
+        Tok::Plus, Tok::PlusPlus, Tok::PlusAssign, Tok::Minus,
+        Tok::MinusMinus, Tok::MinusAssign, Tok::Shl, Tok::Le, Tok::Lt,
+        Tok::Shr, Tok::Ge, Tok::Gt, Tok::Eq, Tok::Assign, Tok::Ne,
+        Tok::Bang, Tok::AmpAmp, Tok::Amp, Tok::PipePipe, Tok::Pipe,
+        Tok::Caret, Tok::Tilde, Tok::Star, Tok::StarAssign, Tok::Slash,
+        Tok::SlashAssign, Tok::Percent, Tok::PercentAssign, Tok::End,
+    };
+    EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, LineAndBlockComments)
+{
+    auto toks = lex("a // comment with * and /\nb /* multi\nline */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedCommentIsError)
+{
+    lex("a /* never closed", /*expectOk=*/false);
+}
+
+TEST(Lexer, UnterminatedStringIsError)
+{
+    lex("\"never closed", /*expectOk=*/false);
+}
+
+TEST(Lexer, PositionsTrackLinesAndColumns)
+{
+    auto toks = lex("a\n  b");
+    EXPECT_EQ(toks[0].pos.line, 1);
+    EXPECT_EQ(toks[0].pos.column, 1);
+    EXPECT_EQ(toks[1].pos.line, 2);
+    EXPECT_EQ(toks[1].pos.column, 3);
+}
+
+TEST(Lexer, UnknownCharacterIsError)
+{
+    lex("a @ b", /*expectOk=*/false);
+}

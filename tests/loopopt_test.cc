@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the loop-level passes: LICM (including the unaliased-global
+ * load hoist), induction variables, strength reduction, and branch
+ * anticipation. These are driven through compiled mini-C so the shapes
+ * match what the passes actually see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
+#include "driver/compiler.h"
+#include "expand/expander.h"
+#include "frontend/parser.h"
+#include "opt/indvars.h"
+#include "opt/legal.h"
+#include "opt/passes.h"
+
+using namespace wmstream;
+using namespace wmstream::rtl;
+
+namespace {
+
+/** Expand source for a target without running any optimization. */
+std::unique_ptr<Program>
+expandOnly(const std::string &src, MachineKind kind)
+{
+    DiagEngine diag;
+    auto unit = frontend::parseAndCheck(src, diag);
+    EXPECT_TRUE(unit != nullptr) << diag.str();
+    auto prog = std::make_unique<Program>();
+    expand::expandUnit(*unit, kind == MachineKind::WM ? wmTraits()
+                                                      : scalarTraits(),
+                       *prog);
+    return prog;
+}
+
+const char *kSumLoop = R"(
+int n = 100;
+int a[100];
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + a[i];
+    return s;
+}
+)";
+
+} // namespace
+
+TEST(Licm, HoistsInvariantComputation)
+{
+    auto prog = expandOnly(kSumLoop, MachineKind::WM);
+    auto traits = wmTraits();
+    Function *fn = prog->findFunction("main");
+    opt::runLegalize(*fn, traits);
+    int hoisted = opt::runLoopInvariantCodeMotion(*fn, traits, prog.get());
+    EXPECT_GT(hoisted, 0);
+}
+
+TEST(Licm, HoistsLoadOfUnaliasedGlobalBound)
+{
+    // `n` is a scalar global whose address is never taken: its load in
+    // the loop test must be hoisted to the preheader.
+    driver::CompileOptions opts;
+    opts.streaming = false;
+    opts.recurrence = false;
+    auto cr = driver::compileSource(kSumLoop, opts);
+    ASSERT_TRUE(cr.ok);
+    Function *fn = cr.program->findFunction("main");
+
+    // Find the loop and check no load of `n` remains inside it.
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    ASSERT_GE(li.loops().size(), 1u);
+    for (auto &loop : li.loops()) {
+        for (Block *b : loop.blocks) {
+            for (const Inst &inst : b->insts) {
+                if (inst.kind != InstKind::Load)
+                    continue;
+                // address must not be the symbol n (directly)
+                bool loadsN = inst.addr->isSym() &&
+                              inst.addr->symbol() == "n";
+                EXPECT_FALSE(loadsN) << "bound load left in loop";
+            }
+        }
+    }
+}
+
+TEST(Licm, DoesNotHoistLoadOfStoredGlobal)
+{
+    // g is stored inside the loop: its load cannot be hoisted.
+    const char *src = R"(
+int g = 5;
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++) {
+        s = s + g;
+        g = g + 1;
+    }
+    return s;
+}
+)";
+    driver::CompileOptions opts;
+    opts.streaming = false;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    // correctness is checked end-to-end by the differential tests; here
+    // we just assert the loop still loads g each iteration
+    Function *fn = cr.program->findFunction("main");
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    bool loadInLoop = false;
+    for (auto &loop : li.loops())
+        for (Block *b : loop.blocks)
+            for (const Inst &inst : b->insts)
+                if (inst.kind == InstKind::Load)
+                    loadInLoop = true;
+    EXPECT_TRUE(loadInLoop);
+}
+
+TEST(IndVars, DetectsBasicIv)
+{
+    auto prog = expandOnly(kSumLoop, MachineKind::WM);
+    Function *fn = prog->findFunction("main");
+    auto traits = wmTraits();
+    opt::runLegalize(*fn, traits);
+    opt::runCleanupPipeline(*fn, traits, prog.get());
+
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    ASSERT_GE(li.loops().size(), 1u);
+    // The innermost (only) loop has exactly one basic IV with step 1.
+    opt::IndVarAnalysis ivs(*fn, li.loops()[0], dt, traits);
+    ASSERT_GE(ivs.basicIVs().size(), 1u);
+    EXPECT_EQ(ivs.basicIVs()[0].step, 1);
+}
+
+TEST(IndVars, LinearizesArrayAddress)
+{
+    auto prog = expandOnly(kSumLoop, MachineKind::WM);
+    Function *fn = prog->findFunction("main");
+    auto traits = wmTraits();
+    opt::runLegalize(*fn, traits);
+    opt::runCleanupPipeline(*fn, traits, prog.get());
+
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    cfg::Loop &loop = li.loops()[0];
+    opt::IndVarAnalysis ivs(*fn, loop, dt, traits);
+    ASSERT_FALSE(ivs.basicIVs().empty());
+
+    bool checked = false;
+    for (Block *b : loop.blocks) {
+        for (size_t i = 0; i < b->insts.size(); ++i) {
+            const Inst &inst = b->insts[i];
+            if (inst.kind != InstKind::Load)
+                continue;
+            auto lin = ivs.linearize(inst.addr, ivs.basicIVs()[0],
+                                     {b, i});
+            ASSERT_TRUE(lin.valid);
+            EXPECT_EQ(lin.coeff, 8); // the paper's cee for 8-byte elems
+            EXPECT_EQ(lin.baseKind, opt::LinForm::Base::Sym);
+            EXPECT_EQ(lin.sym, "a");
+            checked = true;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(StrengthReduce, RewritesToPointerForm)
+{
+    driver::CompileOptions opts;
+    opts.target = MachineKind::Scalar;
+    auto cr = driver::compileSource(kSumLoop, opts);
+    ASSERT_TRUE(cr.ok);
+    Function *fn = cr.program->findFunction("main");
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    // All in-loop loads use a plain register (walking pointer) or
+    // register+constant address after strength reduction.
+    for (auto &loop : li.loops()) {
+        for (Block *b : loop.blocks) {
+            for (const Inst &inst : b->insts) {
+                if (inst.kind != InstKind::Load)
+                    continue;
+                bool simple =
+                    inst.addr->isReg() ||
+                    (inst.addr->kind() == Expr::Kind::Bin &&
+                     inst.addr->op() == Op::Add &&
+                     inst.addr->lhs()->isReg() &&
+                     inst.addr->rhs()->isConst());
+                EXPECT_TRUE(simple) << inst.addr->str();
+            }
+        }
+    }
+}
+
+TEST(Anticipate, MovesCompareAboveIncrement)
+{
+    driver::CompileOptions opts;
+    opts.streaming = false; // keep the compare/branch form
+    auto cr = driver::compileSource(kSumLoop, opts);
+    ASSERT_TRUE(cr.ok);
+    Function *fn = cr.program->findFunction("main");
+    fn->recomputeCfg();
+    cfg::DominatorTree dt(*fn);
+    cfg::LoopInfo li(*fn, dt);
+    ASSERT_GE(li.loops().size(), 1u);
+    // In the loop latch, the compare must not be the instruction
+    // immediately before the branch (it was hoisted earlier).
+    bool foundAnticipated = false;
+    for (auto &loop : li.loops()) {
+        for (Block *latch : loop.latches) {
+            const Inst *term = latch->terminator();
+            if (!term || term->kind != InstKind::CondJump)
+                continue;
+            size_t cmpIdx = latch->insts.size();
+            for (size_t i = 0; i + 1 < latch->insts.size(); ++i)
+                if (latch->insts[i].kind == InstKind::Assign &&
+                        latch->insts[i].dst->regFile() == RegFile::CC) {
+                    cmpIdx = i;
+                }
+            if (cmpIdx + 2 <= latch->insts.size() - 1)
+                foundAnticipated = true;
+        }
+    }
+    EXPECT_TRUE(foundAnticipated);
+}
+
+TEST(Legalize, MaterializesSymbolOperands)
+{
+    auto prog = expandOnly(kSumLoop, MachineKind::WM);
+    Function *fn = prog->findFunction("main");
+    auto traits = wmTraits();
+    opt::runLegalize(*fn, traits);
+    // After legalization every Assign source and Load/Store address is
+    // a legal WM shape.
+    for (const auto &b : fn->blocks()) {
+        for (const Inst &inst : b->insts) {
+            switch (inst.kind) {
+              case InstKind::Assign:
+                if (inst.dst->regFile() == RegFile::CC)
+                    EXPECT_TRUE(opt::fitsCompareSrc(inst.src, traits))
+                        << inst.str();
+                else
+                    EXPECT_TRUE(opt::fitsAssignSrc(inst.src, traits))
+                        << inst.str();
+                break;
+              case InstKind::Load:
+              case InstKind::Store:
+                EXPECT_TRUE(opt::fitsAddr(inst.addr, traits))
+                    << inst.str();
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for WM FIFO-form lowering, the register allocator, and the
+ * assembly printers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "wmsim/sim.h"
+#include "m68k/printer.h"
+#include "opt/passes.h"
+#include "programs/programs.h"
+#include "wm/lowering.h"
+#include "wm/printer.h"
+
+using namespace wmstream;
+using namespace wmstream::rtl;
+
+namespace {
+
+bool
+anyVirtualRegs(const Function &fn)
+{
+    bool found = false;
+    for (const auto &b : fn.blocks()) {
+        for (const Inst &inst : b->insts) {
+            auto scan = [&](const ExprPtr &e) {
+                if (!e)
+                    return;
+                forEachNode(e, [&](const Expr &n) {
+                    if (n.kind() == Expr::Kind::Reg &&
+                            isVirtualFile(n.regFile()))
+                        found = true;
+                });
+            };
+            scan(inst.dst);
+            scan(inst.src);
+            scan(inst.addr);
+            scan(inst.count);
+            for (const auto &e : inst.extraUses)
+                scan(e);
+        }
+    }
+    return found;
+}
+
+} // namespace
+
+TEST(RegAlloc, NoVirtualRegistersSurvive)
+{
+    for (auto kind : {MachineKind::WM, MachineKind::Scalar}) {
+        driver::CompileOptions opts;
+        opts.target = kind;
+        auto cr = driver::compileSource(programs::livermore5Source(32),
+                                        opts);
+        ASSERT_TRUE(cr.ok);
+        for (const auto &fn : cr.program->functions())
+            EXPECT_FALSE(anyVirtualRegs(*fn)) << fn->name();
+    }
+}
+
+TEST(RegAlloc, SpillsUnderPressureAndStaysCorrect)
+{
+    // Force high register pressure: many simultaneously live values.
+    std::string src = R"(
+int main(void) {
+    int a0,a1,a2,a3,a4,a5,a6,a7,a8,a9;
+    int b0,b1,b2,b3,b4,b5,b6,b7,b8,b9;
+    int c0,c1,c2,c3,c4,c5,c6,c7,c8,c9;
+    a0=1;a1=2;a2=3;a3=4;a4=5;a5=6;a6=7;a7=8;a8=9;a9=10;
+    b0=11;b1=12;b2=13;b3=14;b4=15;b5=16;b6=17;b7=18;b8=19;b9=20;
+    c0=21;c1=22;c2=23;c3=24;c4=25;c5=26;c6=27;c7=28;c8=29;c9=30;
+    return a0+a1+a2+a3+a4+a5+a6+a7+a8+a9
+         + b0+b1+b2+b3+b4+b5+b6+b7+b8+b9
+         + c0+c1+c2+c3+c4+c5+c6+c7+c8+c9
+         + a0*b0 + a1*b1 + c0*c9 + a9*b9;
+}
+)";
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 465 + 11 + 24 + 630 + 200);
+}
+
+TEST(RegAlloc, ValuesSurviveCalls)
+{
+    // A value live across a call must land in a callee-saved register
+    // (or be spilled); either way the result is correct.
+    std::string src = R"(
+int id(int x) { return x; }
+int main(void) {
+    int a, b, c;
+    a = 11;
+    b = id(5);
+    c = a + b;   /* a lived across the call */
+    return c;
+}
+)";
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 16);
+}
+
+TEST(Lowering, SplitsLoadsAndStores)
+{
+    driver::CompileOptions opts;
+    opts.lowerFifo = false; // get the pre-lowered program
+    auto cr = driver::compileSource(programs::livermore5Source(32), opts);
+    ASSERT_TRUE(cr.ok);
+    Function *fn = cr.program->findFunction("main");
+    auto report = wm::lowerToFifoForm(*fn, wmTraits());
+    EXPECT_GT(report.loadsLowered + report.storesLowered, 0);
+    // After lowering, every Load's dst and Store's src is a FIFO reg.
+    for (const auto &b : fn->blocks()) {
+        for (const Inst &inst : b->insts) {
+            if (inst.kind == InstKind::Load) {
+                EXPECT_LE(inst.dst->regIndex(), 1) << inst.str();
+            }
+            if (inst.kind == InstKind::Store) {
+                EXPECT_LE(inst.src->regIndex(), 1) << inst.str();
+            }
+        }
+    }
+}
+
+TEST(Lowering, FoldsDequeuesAndEnqueues)
+{
+    driver::CompileOptions opts;
+    opts.lowerFifo = false;
+    opts.streaming = false;
+    auto cr = driver::compileSource(programs::livermore5Source(32), opts);
+    ASSERT_TRUE(cr.ok);
+    Function *fn = cr.program->findFunction("main");
+    auto report = wm::lowerToFifoForm(*fn, wmTraits());
+    // The LL5 kernel folds at least one dequeue into the compute and
+    // the store-data enqueue into the producing instruction.
+    EXPECT_GT(report.dequeuesFolded, 0);
+    EXPECT_GT(report.enqueuesFolded, 0);
+}
+
+TEST(WmPrinter, OpcodeMnemonics)
+{
+    EXPECT_EQ(wm::opcodeOf(makeLoad(makeReg(RegFile::Flt, 0, DataType::F64),
+                                    makeReg(RegFile::Int, 4,
+                                            DataType::I64),
+                                    DataType::F64)),
+              "l64f");
+    EXPECT_EQ(wm::opcodeOf(makeStore(makeReg(RegFile::Int, 4,
+                                             DataType::I64),
+                                     makeReg(RegFile::Flt, 0,
+                                             DataType::F64),
+                                     DataType::F64)),
+              "s64f");
+    EXPECT_EQ(wm::opcodeOf(makeCondJump(UnitSide::Int, true, "L")),
+              "JumpIT");
+    EXPECT_EQ(wm::opcodeOf(makeCondJump(UnitSide::Int, false, "L")),
+              "JumpIF");
+    EXPECT_EQ(wm::opcodeOf(makeJumpStream(UnitSide::Flt, 1, "L")),
+              "JNIf1");
+    auto base = makeReg(RegFile::Int, 4, DataType::I64);
+    auto cnt = makeReg(RegFile::Int, 5, DataType::I64);
+    EXPECT_EQ(wm::opcodeOf(makeStreamIn(UnitSide::Flt, 0, base, cnt, 8,
+                                        DataType::F64)),
+              "SinD");
+    EXPECT_EQ(wm::opcodeOf(makeStreamOut(UnitSide::Int, 0, base, cnt, 1,
+                                         DataType::I8)),
+              "SoutB");
+    // literal materialization is the llh/sll pair
+    EXPECT_EQ(wm::opcodeOf(makeAssign(makeReg(RegFile::Int, 3,
+                                              DataType::I64),
+                                      makeSym("x"))),
+              "llh/sll");
+}
+
+TEST(WmPrinter, Livermore5ListingMentionsStreams)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(programs::livermore5Source(64), opts);
+    ASSERT_TRUE(cr.ok);
+    std::string listing =
+        wm::printFunction(*cr.program->findFunction("main"));
+    EXPECT_NE(listing.find("SinD"), std::string::npos);
+    EXPECT_NE(listing.find("SoutD"), std::string::npos);
+    EXPECT_NE(listing.find("JNIf"), std::string::npos);
+}
+
+TEST(M68kPrinter, AutoIncrementAppearsAfterStrengthReduction)
+{
+    driver::CompileOptions opts;
+    opts.target = MachineKind::Scalar;
+    auto cr = driver::compileSource(programs::livermore5Source(64), opts);
+    ASSERT_TRUE(cr.ok);
+    std::string listing =
+        m68k::printFunction(*cr.program->findFunction("main"));
+    // the paper's Figure 6 signature: fmoved with post-increment and
+    // the fsubx/fmulx pair
+    EXPECT_NE(listing.find("@+"), std::string::npos) << listing;
+    EXPECT_NE(listing.find("fsubx"), std::string::npos);
+    EXPECT_NE(listing.find("fmulx"), std::string::npos);
+    EXPECT_NE(listing.find("fmoved"), std::string::npos);
+}
+
+TEST(M68kPrinter, NoPlaceholderAddressModes)
+{
+    driver::CompileOptions opts;
+    opts.target = MachineKind::Scalar;
+    auto cr = driver::compileSource(programs::livermore5Source(64), opts);
+    ASSERT_TRUE(cr.ok);
+    std::string listing =
+        m68k::printFunction(*cr.program->findFunction("main"));
+    EXPECT_EQ(listing.find('<'), std::string::npos)
+        << "unlowered address mode in:\n" << listing;
+}

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the mini-C parser (and Sema error detection through
+ * parseAndCheck).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+
+using namespace wmstream;
+using namespace wmstream::frontend;
+
+namespace {
+
+std::unique_ptr<TranslationUnit>
+parseOk(const std::string &src)
+{
+    DiagEngine diag;
+    auto unit = parseAndCheck(src, diag);
+    EXPECT_TRUE(unit != nullptr) << diag.str();
+    return unit;
+}
+
+void
+parseFail(const std::string &src)
+{
+    DiagEngine diag;
+    auto unit = parseAndCheck(src, diag);
+    EXPECT_TRUE(unit == nullptr) << "expected failure for: " << src;
+}
+
+} // namespace
+
+TEST(Parser, GlobalScalarsAndArrays)
+{
+    auto unit = parseOk(R"(
+int a;
+double b = 1.5;
+char buf[10];
+int m[4] = {1, 2, 3, 4};
+int main(void) { return 0; }
+)");
+    ASSERT_EQ(unit->globals.size(), 4u);
+    EXPECT_EQ(unit->globals[0]->name, "a");
+    EXPECT_TRUE(unit->globals[1]->type->isDouble());
+    EXPECT_TRUE(unit->globals[2]->type->isArray());
+    EXPECT_EQ(unit->globals[2]->type->arraySize(), 10);
+    EXPECT_EQ(unit->globals[3]->init.list.size(), 4u);
+}
+
+TEST(Parser, TwoDimensionalArray)
+{
+    auto unit = parseOk(R"(
+char grid[3][7];
+int main(void) { grid[1][2] = 'x'; return grid[1][2]; }
+)");
+    const auto &t = unit->globals[0]->type;
+    ASSERT_TRUE(t->isArray());
+    EXPECT_EQ(t->arraySize(), 3);
+    ASSERT_TRUE(t->base()->isArray());
+    EXPECT_EQ(t->base()->arraySize(), 7);
+}
+
+TEST(Parser, StringInitializer)
+{
+    auto unit = parseOk(R"(
+char msg[8] = "hi";
+int main(void) { return msg[0]; }
+)");
+    EXPECT_TRUE(unit->globals[0]->init.isString);
+    EXPECT_EQ(unit->globals[0]->init.stringInit, "hi");
+}
+
+TEST(Parser, FunctionsWithParamsAndPrototypes)
+{
+    auto unit = parseOk(R"(
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+double scale(double x, int k) { return x * k; }
+void nothing(void) { return; }
+int main(void) { return add(1, 2); }
+)");
+    EXPECT_EQ(unit->functions.size(), 5u);
+    FuncDecl *add = unit->findFunction("add");
+    ASSERT_TRUE(add != nullptr);
+    EXPECT_EQ(add->params.size(), 2u);
+}
+
+TEST(Parser, PointerParamsAndArrayDecay)
+{
+    auto unit = parseOk(R"(
+int sum(int *p, int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + p[i];
+    return s;
+}
+int data[4] = {1, 2, 3, 4};
+int main(void) { return sum(data, 4); }
+)");
+    FuncDecl *sum = unit->findFunction("sum");
+    ASSERT_TRUE(sum != nullptr);
+    EXPECT_TRUE(sum->params[0]->type->isPointer());
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    auto unit = parseOk("int main(void) { return 2 + 3 * 4; }");
+    auto *ret = static_cast<ReturnStmt *>(
+        unit->findFunction("main")->body->stmts[0].get());
+    auto *bin = static_cast<BinaryExpr *>(ret->value.get());
+    EXPECT_EQ(bin->op, BinOp::Add);
+    EXPECT_EQ(static_cast<BinaryExpr *>(bin->rhs.get())->op, BinOp::Mul);
+}
+
+TEST(Parser, PrecedenceShiftRelationalEquality)
+{
+    // (1 << 2) < 8 == 1  parses as  ((1<<2) < 8) == 1
+    auto unit = parseOk("int main(void) { return 1 << 2 < 8 == 1; }");
+    auto *ret = static_cast<ReturnStmt *>(
+        unit->findFunction("main")->body->stmts[0].get());
+    auto *eq = static_cast<BinaryExpr *>(ret->value.get());
+    EXPECT_EQ(eq->op, BinOp::Eq);
+    auto *lt = static_cast<BinaryExpr *>(eq->lhs.get());
+    EXPECT_EQ(lt->op, BinOp::Lt);
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    auto unit = parseOk("int main(void) { int a, b; a = b = 3; return a; }");
+    auto *stmt = static_cast<ExprStmt *>(
+        unit->findFunction("main")->body->stmts[1].get());
+    auto *outer = static_cast<AssignExpr *>(stmt->expr.get());
+    EXPECT_EQ(outer->rhs->kind(), NodeKind::Assign);
+}
+
+TEST(Parser, ConditionalExpression)
+{
+    auto unit = parseOk("int main(void) { int a; a = 3; "
+                        "return a > 2 ? 10 : 20; }");
+    auto *ret = static_cast<ReturnStmt *>(
+        unit->findFunction("main")->body->stmts[2].get());
+    EXPECT_EQ(ret->value->kind(), NodeKind::Cond);
+}
+
+TEST(Parser, ForWithEmptyClauses)
+{
+    parseOk(R"(
+int main(void) {
+    int i;
+    i = 0;
+    for (;;) {
+        i = i + 1;
+        if (i > 3)
+            break;
+    }
+    return i;
+}
+)");
+}
+
+TEST(Parser, DoWhile)
+{
+    parseOk(R"(
+int main(void) {
+    int i;
+    i = 0;
+    do {
+        i = i + 1;
+    } while (i < 5);
+    return i;
+}
+)");
+}
+
+TEST(Parser, CompoundAssignmentAndIncDec)
+{
+    parseOk(R"(
+int main(void) {
+    int a;
+    a = 10;
+    a += 5;
+    a -= 2;
+    a *= 3;
+    a /= 4;
+    a %= 7;
+    a++;
+    ++a;
+    a--;
+    --a;
+    return a;
+}
+)");
+}
+
+TEST(Parser, PointerOperations)
+{
+    parseOk(R"(
+int g;
+int main(void) {
+    int *p;
+    p = &g;
+    *p = 42;
+    return *p + g;
+}
+)");
+}
+
+// ---- syntax errors ----
+
+TEST(Parser, MissingSemicolonFails)
+{
+    parseFail("int main(void) { return 0 }");
+}
+
+TEST(Parser, UnbalancedParenFails)
+{
+    parseFail("int main(void) { return (1 + 2; }");
+}
+
+TEST(Parser, MissingArrayDimensionFails)
+{
+    parseFail("int a[]; int main(void) { return 0; }");
+}
+
+// ---- semantic errors (via Sema) ----
+
+TEST(Sema, UndeclaredIdentifierFails)
+{
+    parseFail("int main(void) { return nope; }");
+}
+
+TEST(Sema, RedeclarationFails)
+{
+    parseFail("int main(void) { int a; int a; return 0; }");
+}
+
+TEST(Sema, CallArityMismatchFails)
+{
+    parseFail(R"(
+int f(int a) { return a; }
+int main(void) { return f(1, 2); }
+)");
+}
+
+TEST(Sema, AssignToRValueFails)
+{
+    parseFail("int main(void) { 3 = 4; return 0; }");
+}
+
+TEST(Sema, DereferenceOfIntFails)
+{
+    parseFail("int main(void) { int a; a = 0; return *a; }");
+}
+
+TEST(Sema, GlobalInitializerMustBeConstant)
+{
+    parseFail(R"(
+int f(void) { return 3; }
+int g = f();
+int main(void) { return g; }
+)");
+}
+
+TEST(Sema, StringInitRequiresCharArray)
+{
+    parseFail("int a[4] = \"abc\"; int main(void) { return 0; }");
+}
+
+TEST(Sema, TooManyInitializersFails)
+{
+    parseFail("int a[2] = {1, 2, 3}; int main(void) { return 0; }");
+}
+
+TEST(Sema, AddressTakenIsMarked)
+{
+    DiagEngine diag;
+    auto unit = parseAndCheck(R"(
+int main(void) {
+    int a, b;
+    int *p;
+    a = 1;
+    b = 2;
+    p = &a;
+    return *p + b;
+}
+)",
+                              diag);
+    ASSERT_TRUE(unit != nullptr);
+    auto *body = unit->findFunction("main")->body.get();
+    auto *decl = static_cast<DeclStmt *>(body->stmts[0].get());
+    EXPECT_TRUE(decl->vars[0]->addressTaken);  // a
+    EXPECT_FALSE(decl->vars[1]->addressTaken); // b
+}
+
+TEST(Sema, ImplicitIntToDoubleConversionInserted)
+{
+    DiagEngine diag;
+    auto unit = parseAndCheck(R"(
+int main(void) {
+    double d;
+    d = 3;
+    return d;
+}
+)",
+                              diag);
+    ASSERT_TRUE(unit != nullptr);
+    auto *stmt = static_cast<ExprStmt *>(
+        unit->findFunction("main")->body->stmts[1].get());
+    auto *assign = static_cast<AssignExpr *>(stmt->expr.get());
+    EXPECT_EQ(assign->rhs->kind(), NodeKind::Cast);
+}
+
+TEST(Sema, LocalArrayInitializerListRejected)
+{
+    parseFail(R"(
+int main(void) {
+    int a[3] = {1, 2, 3};
+    return a[0];
+}
+)");
+}
+
+TEST(Sema, LocalStringInitializerRejected)
+{
+    parseFail(R"(
+int main(void) {
+    char s[8] = "hi";
+    return s[0];
+}
+)");
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-style tests: parameterized sweeps that assert invariants
+ * across a family of inputs rather than single cases.
+ *
+ *  - Livermore-5 checksum equality across array sizes and recurrence
+ *    degrees (compiler vs. interpreter).
+ *  - Simulator determinism and configuration-independence of results.
+ *  - Pseudo-random straight-line expression programs (seeded generator)
+ *    agree between the interpreter and both compiled targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "frontend/parser.h"
+#include "interp/interp.h"
+#include "programs/programs.h"
+#include "support/str.h"
+#include "timing/scalar_sim.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+int64_t
+oracle(const std::string &src)
+{
+    DiagEngine diag;
+    auto unit = frontend::parseAndCheck(src, diag);
+    EXPECT_TRUE(unit != nullptr) << diag.str() << "\n" << src;
+    interp::Interpreter in(*unit);
+    auto res = in.run();
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.returnValue;
+}
+
+int64_t
+wmValue(const std::string &src, bool streaming = true)
+{
+    driver::CompileOptions opts;
+    opts.streaming = streaming;
+    auto cr = driver::compileSource(src, opts);
+    EXPECT_TRUE(cr.ok) << cr.diagnostics;
+    wmsim::SimConfig cfg;
+    cfg.maxCycles = 400'000'000ull;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.returnValue;
+}
+
+int64_t
+scalarValue(const std::string &src)
+{
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::Scalar;
+    auto cr = driver::compileSource(src, opts);
+    EXPECT_TRUE(cr.ok) << cr.diagnostics;
+    auto model = timing::vax8600Model();
+    auto res = timing::runScalar(*cr.program, model, 4'000'000'000ull);
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.returnValue;
+}
+
+// ------------------------------------------------ LL5 size sweep
+
+class Livermore5Sweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Livermore5Sweep, ChecksumMatchesOracle)
+{
+    std::string src = programs::livermore5Source(GetParam());
+    int64_t expect = oracle(src);
+    EXPECT_EQ(wmValue(src), expect);
+    EXPECT_EQ(scalarValue(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Livermore5Sweep,
+                         ::testing::Values(4, 5, 8, 16, 33, 64, 127, 256));
+
+// ------------------------------------------------ degree sweep
+
+class DegreeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DegreeSweep, ChecksumMatchesOracle)
+{
+    std::string src = programs::recurrenceDegreeSource(96, GetParam());
+    int64_t expect = oracle(src);
+    EXPECT_EQ(wmValue(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+// ------------------------------------------------ sim config sweep
+
+struct SimCfgParam
+{
+    int latency;
+    int fifoDepth;
+    int ports;
+    int queueDepth;
+};
+
+class SimConfigSweep : public ::testing::TestWithParam<SimCfgParam>
+{
+};
+
+TEST_P(SimConfigSweep, ResultsAreConfigurationIndependent)
+{
+    auto p = GetParam();
+    std::string src = programs::livermore5Source(48);
+    int64_t expect = oracle(src);
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    wmsim::SimConfig cfg;
+    cfg.memLatency = p.latency;
+    cfg.dataFifoDepth = p.fifoDepth;
+    cfg.memPorts = p.ports;
+    cfg.instQueueDepth = p.queueDepth;
+    cfg.maxCycles = 400'000'000ull;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimConfigSweep,
+    ::testing::Values(SimCfgParam{1, 2, 1, 1}, SimCfgParam{2, 4, 1, 2},
+                      SimCfgParam{4, 8, 2, 8}, SimCfgParam{16, 4, 2, 4},
+                      SimCfgParam{32, 16, 4, 16},
+                      SimCfgParam{8, 2, 1, 2}));
+
+TEST(SimDeterminism, SameProgramSameCycles)
+{
+    std::string src = programs::dotProductSource(300);
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    auto a = wmsim::simulate(*cr.program);
+    auto b = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.returnValue, b.returnValue);
+}
+
+// ------------------------------------------------ random programs
+
+/** Tiny deterministic PRNG (no global state, reproducible). */
+struct Rng
+{
+    uint64_t s;
+    uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+    int
+    range(int lo, int hi)
+    {
+        return lo + static_cast<int>(next() % (hi - lo + 1));
+    }
+};
+
+/** Generate a random integer expression over variables a..e. */
+std::string
+genExpr(Rng &rng, int depth)
+{
+    if (depth <= 0 || rng.range(0, 3) == 0) {
+        if (rng.range(0, 1))
+            return std::string(1, static_cast<char>('a' + rng.range(0, 4)));
+        return std::to_string(rng.range(1, 99));
+    }
+    static const char *ops[] = {"+", "-", "*", "&", "|", "^", "<<"};
+    const char *op = ops[rng.range(0, 6)];
+    std::string l = genExpr(rng, depth - 1);
+    std::string r = genExpr(rng, depth - 1);
+    if (std::string(op) == "<<")
+        r = std::to_string(rng.range(0, 5)); // bounded shifts
+    return "(" + l + " " + op + " " + r + ")";
+}
+
+std::string
+genProgram(uint64_t seed)
+{
+    Rng rng{seed * 2654435761u + 12345};
+    std::string body;
+    body += "    int a, b, c, d, e, s;\n";
+    body += "    a = " + std::to_string(rng.range(-50, 50)) + ";\n";
+    body += "    b = " + std::to_string(rng.range(-50, 50)) + ";\n";
+    body += "    c = " + std::to_string(rng.range(1, 50)) + ";\n";
+    body += "    d = " + std::to_string(rng.range(1, 50)) + ";\n";
+    body += "    e = " + std::to_string(rng.range(-9, 9)) + ";\n";
+    body += "    s = 0;\n";
+    int stmts = rng.range(3, 9);
+    for (int i = 0; i < stmts; ++i) {
+        char dst = static_cast<char>('a' + rng.range(0, 4));
+        body += strFormat("    %c = %s;\n", dst,
+                          genExpr(rng, rng.range(1, 3)).c_str());
+        if (rng.range(0, 2) == 0) {
+            body += strFormat("    if (%c > %d)\n        s = s + %d;\n",
+                              dst, rng.range(-20, 20), rng.range(1, 9));
+        }
+        body += strFormat("    s = s + %c;\n", dst);
+    }
+    body += "    return s & 65535;\n";
+    return "int main(void) {\n" + body + "}\n";
+}
+
+class RandomProgramSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomProgramSweep, CompiledMatchesInterpreter)
+{
+    std::string src = genProgram(GetParam());
+    int64_t expect = oracle(src);
+    EXPECT_EQ(wmValue(src), expect) << src;
+    EXPECT_EQ(scalarValue(src), expect) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSweep,
+                         ::testing::Range<uint64_t>(1, 25));
+
+} // namespace

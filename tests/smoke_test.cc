@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end smoke tests: parse -> interpret, and compile -> simulate
+ * on both targets, checking the checksums agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "frontend/parser.h"
+#include "programs/programs.h"
+#include "timing/scalar_sim.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+int64_t
+interpret(const std::string &src)
+{
+    DiagEngine diag;
+    auto unit = frontend::parseAndCheck(src, diag);
+    EXPECT_TRUE(unit != nullptr) << diag.str();
+    if (!unit)
+        return -1;
+    interp::Interpreter in(*unit);
+    auto res = in.run();
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.returnValue;
+}
+
+} // namespace
+
+TEST(Smoke, InterpreterRunsTinyProgram)
+{
+    EXPECT_EQ(interpret("int main(void) { return 2 + 3 * 4; }"), 14);
+}
+
+TEST(Smoke, InterpreterRunsLoop)
+{
+    EXPECT_EQ(interpret(R"(
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 1; i <= 10; i++)
+        s = s + i;
+    return s;
+})"),
+              55);
+}
+
+TEST(Smoke, ScalarCompileAndRunTiny)
+{
+    std::string src = "int main(void) { return 2 + 3 * 4; }";
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::Scalar;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto model = timing::m88100Model();
+    auto res = timing::runScalar(*cr.program, model);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 14);
+}
+
+TEST(Smoke, WmCompileAndRunTiny)
+{
+    std::string src = "int main(void) { return 2 + 3 * 4; }";
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::WM;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 14);
+}
+
+TEST(Smoke, Livermore5SmallAllConfigsAgree)
+{
+    std::string src = programs::livermore5Source(64);
+    int64_t expect = interpret(src);
+
+    for (bool rec : {false, true}) {
+        for (bool stream : {false, true}) {
+            driver::CompileOptions opts;
+            opts.target = rtl::MachineKind::WM;
+            opts.recurrence = rec;
+            opts.streaming = stream;
+            auto cr = driver::compileSource(src, opts);
+            ASSERT_TRUE(cr.ok) << cr.diagnostics;
+            auto res = wmsim::simulate(*cr.program);
+            ASSERT_TRUE(res.ok)
+                << "rec=" << rec << " stream=" << stream << ": "
+                << res.error;
+            EXPECT_EQ(res.returnValue, expect)
+                << "rec=" << rec << " stream=" << stream;
+        }
+    }
+
+    for (bool rec : {false, true}) {
+        driver::CompileOptions opts;
+        opts.target = rtl::MachineKind::Scalar;
+        opts.recurrence = rec;
+        auto cr = driver::compileSource(src, opts);
+        ASSERT_TRUE(cr.ok) << cr.diagnostics;
+        auto model = timing::sun3_280Model();
+        auto res = timing::runScalar(*cr.program, model);
+        ASSERT_TRUE(res.ok) << "rec=" << rec << ": " << res.error;
+        EXPECT_EQ(res.returnValue, expect) << "rec=" << rec;
+    }
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the support utilities and diagnostics engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/diag.h"
+#include "support/str.h"
+
+using namespace wmstream;
+
+TEST(Str, Split)
+{
+    auto parts = splitString("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trimString("  hi \t\n"), "hi");
+    EXPECT_EQ(trimString("hi"), "hi");
+    EXPECT_EQ(trimString("   "), "");
+    EXPECT_EQ(trimString(""), "");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("streaming", "stream"));
+    EXPECT_FALSE(startsWith("stream", "streaming"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Str, Format)
+{
+    EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strFormat("%s", ""), "");
+    // long outputs are not truncated
+    std::string big(300, 'a');
+    EXPECT_EQ(strFormat("%s!", big.c_str()).size(), 301u);
+}
+
+TEST(Diag, CollectsAndCounts)
+{
+    DiagEngine diag;
+    EXPECT_FALSE(diag.hasErrors());
+    diag.warning({1, 2}, "w");
+    EXPECT_FALSE(diag.hasErrors());
+    diag.error({3, 4}, "e");
+    diag.note({3, 5}, "n");
+    EXPECT_TRUE(diag.hasErrors());
+    EXPECT_EQ(diag.errorCount(), 1);
+    ASSERT_EQ(diag.messages().size(), 3u);
+    EXPECT_NE(diag.str().find("error at 3:4: e"), std::string::npos);
+    EXPECT_NE(diag.str().find("warning at 1:2: w"), std::string::npos);
+}
+
+TEST(Diag, PositionRendering)
+{
+    SourcePos p{7, 12};
+    EXPECT_EQ(p.str(), "7:12");
+    EXPECT_TRUE(p.valid());
+    EXPECT_FALSE(SourcePos{}.valid());
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the scalar executing timing models (Table I substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "programs/programs.h"
+#include "timing/scalar_sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+timing::ScalarRunResult
+run(const std::string &src, const timing::CostModel &model,
+    bool recurrence = true)
+{
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::Scalar;
+    opts.recurrence = recurrence;
+    auto cr = driver::compileSource(src, opts);
+    EXPECT_TRUE(cr.ok) << cr.diagnostics;
+    return timing::runScalar(*cr.program, model, 4'000'000'000ull);
+}
+
+} // namespace
+
+TEST(Timing, ComputesCorrectResult)
+{
+    auto res = run("int main(void) { return 6 * 7; }",
+                   timing::vax8600Model());
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 42);
+    EXPECT_GT(res.cycles, 0);
+}
+
+TEST(Timing, CountsMemoryReferences)
+{
+    auto res = run(R"(
+int a[8];
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++)
+        a[i] = i;
+    return a[3];
+})",
+                   timing::m88100Model());
+    ASSERT_TRUE(res.ok);
+    EXPECT_GE(res.memoryRefs, 9u); // 8 stores + 1 load
+}
+
+TEST(Timing, RecurrenceOptReducesCyclesOnEveryModel)
+{
+    std::string src = programs::livermore5Source(512, 8);
+    for (const auto &model :
+             {timing::sun3_280Model(), timing::hp9000_345Model(),
+              timing::vax8600Model(), timing::m88100Model()}) {
+        auto without = run(src, model, /*recurrence=*/false);
+        auto with = run(src, model, /*recurrence=*/true);
+        ASSERT_TRUE(without.ok && with.ok) << model.name;
+        EXPECT_EQ(without.returnValue, with.returnValue) << model.name;
+        EXPECT_LT(with.cycles, without.cycles) << model.name;
+    }
+}
+
+TEST(Timing, ImprovementOrderingMatchesPaper)
+{
+    // Paper Table I ordering: Sun 3/280 (19) > HP 9000/345 (12) >
+    // M88100 (7) > VAX 8600 (6).
+    std::string src = programs::livermore5Source(512, 8);
+    auto improvement = [&](const timing::CostModel &m) {
+        auto without = run(src, m, false);
+        auto with = run(src, m, true);
+        return (without.cycles - with.cycles) / without.cycles;
+    };
+    double sun = improvement(timing::sun3_280Model());
+    double hp = improvement(timing::hp9000_345Model());
+    double m88 = improvement(timing::m88100Model());
+    double vax = improvement(timing::vax8600Model());
+    EXPECT_GT(sun, hp);
+    EXPECT_GT(hp, m88);
+    EXPECT_GT(m88, vax);
+}
+
+TEST(Timing, MemoryCostDrivesTheEffect)
+{
+    // Doubling only the memory costs must increase the benefit of
+    // removing a load — the mechanism behind Table I's spread.
+    std::string src = programs::livermore5Source(256, 8);
+    timing::CostModel cheap = timing::vax8600Model();
+    timing::CostModel dear = cheap;
+    dear.cyclesLoad *= 8;
+    dear.cyclesStore *= 8;
+    auto improvement = [&](const timing::CostModel &m) {
+        auto without = run(src, m, false);
+        auto with = run(src, m, true);
+        return (without.cycles - with.cycles) / without.cycles;
+    };
+    EXPECT_GT(improvement(dear), improvement(cheap));
+}
+
+TEST(Timing, InstructionBudgetGuardsRunaways)
+{
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::Scalar;
+    auto cr = driver::compileSource(
+        "int main(void) { for (;;) {} return 0; }", opts);
+    ASSERT_TRUE(cr.ok);
+    auto res = timing::runScalar(*cr.program, timing::vax8600Model(),
+                                 /*maxInsts=*/10000);
+    EXPECT_FALSE(res.ok);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the WM cycle simulator: decoupled units, FIFOs,
+ * condition-code discipline, streams, and memory ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+
+#include "driver/compiler.h"
+#include "programs/programs.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+using namespace wmstream::rtl;
+
+namespace {
+
+wmsim::SimResult
+runSrc(const std::string &src, wmsim::SimConfig cfg = {})
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(src, opts);
+    EXPECT_TRUE(cr.ok) << cr.diagnostics;
+    cfg.maxCycles = 200'000'000ull;
+    return wmsim::simulate(*cr.program, cfg);
+}
+
+/** Hand-build a program: one function around the given block filler. */
+std::unique_ptr<Program>
+handProgram(const std::function<void(Function &, Block *)> &fill)
+{
+    auto prog = std::make_unique<Program>();
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    fill(*fn, b);
+    fn->recomputeCfg();
+    prog->layout();
+    return prog;
+}
+
+} // namespace
+
+TEST(WmSim, ReturnValueInR2)
+{
+    auto prog = handProgram([](Function &, Block *b) {
+        b->insts.push_back(
+            makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                       makeConst(99)));
+        b->insts.push_back(makeReturn());
+    });
+    auto res = wmsim::simulate(*prog);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 99);
+}
+
+TEST(WmSim, ZeroRegisterReadsZeroAndDiscardsWrites)
+{
+    auto prog = handProgram([](Function &, Block *b) {
+        auto r31 = makeReg(RegFile::Int, 31, DataType::I64);
+        b->insts.push_back(makeAssign(r31, makeConst(123)));
+        b->insts.push_back(
+            makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                       makeBin(Op::Add, r31, makeConst(1))));
+        b->insts.push_back(makeReturn());
+    });
+    auto res = wmsim::simulate(*prog);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.returnValue, 1);
+}
+
+TEST(WmSim, LoadGoesThroughInputFifo)
+{
+    auto prog = std::make_unique<Program>();
+    auto &g = prog->addGlobal("g", 8, 8);
+    g.init.resize(8);
+    int64_t v = 777;
+    std::memcpy(g.init.data(), &v, 8);
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    auto addr = makeReg(RegFile::Int, 4, DataType::I64);
+    b->insts.push_back(makeAssign(addr, makeSym("g")));
+    // lowered form: address generation to FIFO, then dequeue
+    b->insts.push_back(makeLoad(makeReg(RegFile::Int, 0, DataType::I64),
+                                addr, DataType::I64));
+    b->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                   makeReg(RegFile::Int, 0, DataType::I64)));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+    auto res = wmsim::simulate(*prog);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 777);
+}
+
+TEST(WmSim, StorePairsAddressWithEnqueuedData)
+{
+    auto prog = std::make_unique<Program>();
+    prog->addGlobal("g", 8, 8);
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    auto addr = makeReg(RegFile::Int, 4, DataType::I64);
+    auto r0out = makeReg(RegFile::Int, 0, DataType::I64);
+    b->insts.push_back(makeAssign(addr, makeSym("g")));
+    b->insts.push_back(makeAssign(r0out, makeConst(55))); // enqueue
+    b->insts.push_back(makeStore(addr, r0out, DataType::I64));
+    b->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64), makeConst(0)));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+    wmsim::Simulator sim(*prog);
+    auto res = sim.run();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(sim.readInt(prog->globalAddress("g")), 55);
+}
+
+TEST(WmSim, ConditionalBranchConsumesCcFifo)
+{
+    EXPECT_EQ(runSrc(R"(
+int main(void) {
+    int a;
+    a = 5;
+    if (a > 3)
+        return 1;
+    return 2;
+})")
+                  .returnValue,
+              1);
+}
+
+TEST(WmSim, MemoryLatencyAffectsScalarCode)
+{
+    std::string src = programs::dotProductSource(200);
+    driver::CompileOptions opts;
+    opts.streaming = false;
+    auto cr = driver::compileSource(src, opts);
+    ASSERT_TRUE(cr.ok);
+    wmsim::SimConfig fast, slow;
+    fast.memLatency = 1;
+    slow.memLatency = 24;
+    auto rf = wmsim::simulate(*cr.program, fast);
+    auto rs = wmsim::simulate(*cr.program, slow);
+    ASSERT_TRUE(rf.ok && rs.ok);
+    EXPECT_EQ(rf.returnValue, rs.returnValue);
+    EXPECT_GT(rs.stats.cycles, rf.stats.cycles);
+}
+
+TEST(WmSim, StreamedCodeToleratesLatencyBetter)
+{
+    std::string src = programs::dotProductSource(500);
+    driver::CompileOptions base, stream;
+    base.streaming = false;
+    auto crBase = driver::compileSource(src, base);
+    auto crStream = driver::compileSource(src, stream);
+    wmsim::SimConfig lat;
+    lat.memLatency = 24;
+    auto rb = wmsim::simulate(*crBase.program, lat);
+    auto rs = wmsim::simulate(*crStream.program, lat);
+    ASSERT_TRUE(rb.ok && rs.ok);
+    EXPECT_EQ(rb.returnValue, rs.returnValue);
+    EXPECT_LT(rs.stats.cycles, rb.stats.cycles);
+}
+
+TEST(WmSim, StatsCountStreamElements)
+{
+    auto cr = driver::compileSource(programs::dotProductSource(100), {});
+    ASSERT_TRUE(cr.ok);
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(res.ok);
+    // two in-streams of 100 elements each in the kernel
+    EXPECT_GE(res.stats.streamElementsIn, 200u);
+}
+
+TEST(WmSim, SmallDataFifoStillCorrect)
+{
+    wmsim::SimConfig cfg;
+    cfg.dataFifoDepth = 2;
+    auto res = runSrc(programs::livermore5Source(32), cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    driver::CompileOptions opts;
+    auto noOpt = driver::compileSource(programs::livermore5Source(32),
+                                       opts);
+    auto big = wmsim::simulate(*noOpt.program);
+    EXPECT_EQ(res.returnValue, big.returnValue);
+}
+
+TEST(WmSim, SingleMemoryPortStillCorrect)
+{
+    wmsim::SimConfig cfg;
+    cfg.memPorts = 1;
+    auto res = runSrc(programs::livermore5Source(32), cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+}
+
+TEST(WmSim, TinyInstructionQueuesStillCorrect)
+{
+    wmsim::SimConfig cfg;
+    cfg.instQueueDepth = 1;
+    auto res = runSrc(programs::livermore5Source(32), cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+}
+
+TEST(WmSim, DivideByZeroReported)
+{
+    // the divisor must come from memory so constant folding cannot
+    // evaluate the division at compile time
+    auto res = runSrc("int z = 0;\nint main(void) { return 7 / z; }");
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("divide"), std::string::npos);
+}
+
+TEST(WmSim, RecursionWorks)
+{
+    auto res = runSrc(R"(
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main(void) { return fact(10); }
+)");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 3628800);
+}
+
+TEST(WmSim, ScalarStoreAfterStreamedLoopIsOrdered)
+{
+    // Regression: a scalar store dispatched right after a streamed
+    // loop must not be swallowed as a stream element.
+    auto res = runSrc(R"(
+int n = 16;
+int a[17];
+int main(void) {
+    int i;
+    for (i = 0; i < n; i++)
+        a[i] = i;
+    a[16] = 999;          /* scalar store right after the stream */
+    return a[16] + a[3];
+})");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 1002);
+}
+
+TEST(WmSim, ScalarLoadAfterStreamedLoopIsOrdered)
+{
+    // Regression: the load of the checksum constant must not interleave
+    // with in-stream deliveries on the same FIFO.
+    auto res = runSrc(R"(
+int n = 16;
+double x[16];
+int main(void) {
+    int i;
+    double s;
+    for (i = 0; i < n; i++)
+        x[i] = 1.0 + i;
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + x[i];
+    return s * 16.0;   /* 16.0 loads from the constant pool */
+})");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, (16 * 17 / 2) * 16);
+}

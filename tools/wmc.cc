@@ -1,0 +1,198 @@
+/**
+ * @file
+ * wmc — the command-line driver for the wmstream compiler.
+ *
+ * Compiles a mini-C source file for the WM access/execute architecture
+ * (or the generic scalar target with 68020 output), optionally runs it
+ * on the cycle simulator, and can dump the paper-style
+ * memory-reference partition analysis.
+ *
+ * Usage:
+ *   wmc [options] file.c
+ *
+ * Options:
+ *   --target=wm|68020     target machine            (default: wm)
+ *   --no-opt              disable the classic optimizer phases
+ *   --no-recurrence       disable recurrence detection/optimization
+ *   --no-streaming        disable streaming
+ *   --vectorize           enable VEU vectorization
+ *   --min-trip=N          streaming trip-count threshold (default 4)
+ *   --print-asm           print the generated assembly
+ *   --trace-partitions    print the per-loop partition vectors
+ *   --run                 execute on the simulator / timing model
+ *   --stats               with --run: print cycle statistics
+ *   --mem-latency=N       simulator memory latency    (default 4)
+ *   --lanes=N             simulator VEU lanes         (default 4)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/compiler.h"
+#include "m68k/printer.h"
+#include "timing/scalar_sim.h"
+#include "wm/printer.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wmc [--target=wm|68020] [--no-opt] "
+                 "[--no-recurrence]\n"
+                 "           [--no-streaming] [--vectorize] "
+                 "[--min-trip=N]\n"
+                 "           [--print-asm] [--trace-partitions] [--run] "
+                 "[--stats]\n"
+                 "           [--mem-latency=N] [--lanes=N] file.c\n");
+    return 2;
+}
+
+bool
+flagValue(const char *arg, const char *name, int *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = std::atoi(arg + n + 1);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    driver::CompileOptions options;
+    std::string file;
+    bool printAsm = false, tracePartitions = false, run = false,
+         stats = false;
+    wmsim::SimConfig simCfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        int v = 0;
+        if (std::strcmp(a, "--target=wm") == 0) {
+            options.target = rtl::MachineKind::WM;
+        } else if (std::strcmp(a, "--target=68020") == 0) {
+            options.target = rtl::MachineKind::Scalar;
+        } else if (std::strcmp(a, "--no-opt") == 0) {
+            options.optimize = false;
+        } else if (std::strcmp(a, "--no-recurrence") == 0) {
+            options.recurrence = false;
+        } else if (std::strcmp(a, "--no-streaming") == 0) {
+            options.streaming = false;
+        } else if (std::strcmp(a, "--vectorize") == 0) {
+            options.vectorize = true;
+        } else if (flagValue(a, "--min-trip", &v)) {
+            options.minStreamTripCount = v;
+        } else if (std::strcmp(a, "--print-asm") == 0) {
+            printAsm = true;
+        } else if (std::strcmp(a, "--trace-partitions") == 0) {
+            tracePartitions = true;
+        } else if (std::strcmp(a, "--run") == 0) {
+            run = true;
+        } else if (std::strcmp(a, "--stats") == 0) {
+            stats = true;
+        } else if (flagValue(a, "--mem-latency", &v)) {
+            simCfg.memLatency = v;
+        } else if (flagValue(a, "--lanes", &v)) {
+            simCfg.veuLanes = v;
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "wmc: unknown option %s\n", a);
+            return usage();
+        } else if (file.empty()) {
+            file = a;
+        } else {
+            return usage();
+        }
+    }
+    if (file.empty())
+        return usage();
+
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "wmc: cannot open %s\n", file.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    auto compiled = driver::compileSource(buf.str(), options);
+    if (!compiled.ok) {
+        std::fprintf(stderr, "%s", compiled.diagnostics.c_str());
+        return 1;
+    }
+
+    if (tracePartitions) {
+        for (const auto &r : compiled.recurrenceReports)
+            for (const auto &dump : r.partitionDumps)
+                std::printf("%s\n", dump.c_str());
+    }
+
+    if (printAsm) {
+        if (options.target == rtl::MachineKind::WM)
+            std::printf("%s", wm::printProgram(*compiled.program).c_str());
+        else
+            std::printf("%s",
+                        m68k::printProgram(*compiled.program).c_str());
+    }
+
+    if (!run)
+        return 0;
+
+    if (options.target == rtl::MachineKind::WM) {
+        auto res = wmsim::simulate(*compiled.program, simCfg);
+        if (!res.ok) {
+            std::fprintf(stderr, "wmc: runtime error: %s\n",
+                         res.error.c_str());
+            return 1;
+        }
+        std::printf("exit value: %lld\n",
+                    static_cast<long long>(res.returnValue));
+        if (stats) {
+            std::printf(
+                "cycles %llu, IEU %llu, FEU %llu, IFU %llu, loads %llu, "
+                "stores %llu,\nstream in %llu, stream out %llu, vector "
+                "%llu\n",
+                static_cast<unsigned long long>(res.stats.cycles),
+                static_cast<unsigned long long>(res.stats.ieuExecuted),
+                static_cast<unsigned long long>(res.stats.feuExecuted),
+                static_cast<unsigned long long>(res.stats.ifuExecuted),
+                static_cast<unsigned long long>(res.stats.loadsIssued),
+                static_cast<unsigned long long>(
+                    res.stats.storesCommitted),
+                static_cast<unsigned long long>(
+                    res.stats.streamElementsIn),
+                static_cast<unsigned long long>(
+                    res.stats.streamElementsOut),
+                static_cast<unsigned long long>(
+                    res.stats.vectorElements));
+        }
+    } else {
+        auto model = timing::sun3_280Model();
+        auto res = timing::runScalar(*compiled.program, model);
+        if (!res.ok) {
+            std::fprintf(stderr, "wmc: runtime error: %s\n",
+                         res.error.c_str());
+            return 1;
+        }
+        std::printf("exit value: %lld\n",
+                    static_cast<long long>(res.returnValue));
+        if (stats)
+            std::printf("weighted cycles %.0f (%s), %llu instructions, "
+                        "%llu memory refs\n",
+                        res.cycles, model.name.c_str(),
+                        static_cast<unsigned long long>(
+                            res.instsExecuted),
+                        static_cast<unsigned long long>(res.memoryRefs));
+    }
+    return 0;
+}
