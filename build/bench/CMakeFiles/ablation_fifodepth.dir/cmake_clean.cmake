@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifodepth.dir/ablation_fifodepth.cc.o"
+  "CMakeFiles/ablation_fifodepth.dir/ablation_fifodepth.cc.o.d"
+  "ablation_fifodepth"
+  "ablation_fifodepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifodepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

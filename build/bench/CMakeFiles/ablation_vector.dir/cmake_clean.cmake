@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vector.dir/ablation_vector.cc.o"
+  "CMakeFiles/ablation_vector.dir/ablation_vector.cc.o.d"
+  "ablation_vector"
+  "ablation_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

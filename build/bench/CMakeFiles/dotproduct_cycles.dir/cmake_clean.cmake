@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotproduct_cycles.dir/dotproduct_cycles.cc.o"
+  "CMakeFiles/dotproduct_cycles.dir/dotproduct_cycles.cc.o.d"
+  "dotproduct_cycles"
+  "dotproduct_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotproduct_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unoptimized_code.dir/fig4_unoptimized_code.cc.o"
+  "CMakeFiles/fig4_unoptimized_code.dir/fig4_unoptimized_code.cc.o.d"
+  "fig4_unoptimized_code"
+  "fig4_unoptimized_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unoptimized_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

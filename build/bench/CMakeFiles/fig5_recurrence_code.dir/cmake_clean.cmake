@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_recurrence_code.dir/fig5_recurrence_code.cc.o"
+  "CMakeFiles/fig5_recurrence_code.dir/fig5_recurrence_code.cc.o.d"
+  "fig5_recurrence_code"
+  "fig5_recurrence_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recurrence_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_m68k_code.dir/fig6_m68k_code.cc.o"
+  "CMakeFiles/fig6_m68k_code.dir/fig6_m68k_code.cc.o.d"
+  "fig6_m68k_code"
+  "fig6_m68k_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_m68k_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stream_code.dir/fig7_stream_code.cc.o"
+  "CMakeFiles/fig7_stream_code.dir/fig7_stream_code.cc.o.d"
+  "fig7_stream_code"
+  "fig7_stream_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stream_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_recurrence.dir/table1_recurrence.cc.o"
+  "CMakeFiles/table1_recurrence.dir/table1_recurrence.cc.o.d"
+  "table1_recurrence"
+  "table1_recurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_streaming.dir/table2_streaming.cc.o"
+  "CMakeFiles/table2_streaming.dir/table2_streaming.cc.o.d"
+  "table2_streaming"
+  "table2_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

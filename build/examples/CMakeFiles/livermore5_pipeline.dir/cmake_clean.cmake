@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livermore5_pipeline.dir/livermore5_pipeline.cpp.o"
+  "CMakeFiles/livermore5_pipeline.dir/livermore5_pipeline.cpp.o.d"
+  "livermore5_pipeline"
+  "livermore5_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livermore5_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

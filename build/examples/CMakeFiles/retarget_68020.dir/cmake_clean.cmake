@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_68020.dir/retarget_68020.cpp.o"
+  "CMakeFiles/retarget_68020.dir/retarget_68020.cpp.o.d"
+  "retarget_68020"
+  "retarget_68020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_68020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

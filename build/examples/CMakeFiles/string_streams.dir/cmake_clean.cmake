@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_streams.dir/string_streams.cpp.o"
+  "CMakeFiles/string_streams.dir/string_streams.cpp.o.d"
+  "string_streams"
+  "string_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

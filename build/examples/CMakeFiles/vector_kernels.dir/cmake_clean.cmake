@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_kernels.dir/vector_kernels.cpp.o"
+  "CMakeFiles/vector_kernels.dir/vector_kernels.cpp.o.d"
+  "vector_kernels"
+  "vector_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

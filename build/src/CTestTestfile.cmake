@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("interp")
+subdirs("rtl")
+subdirs("cfg")
+subdirs("expand")
+subdirs("opt")
+subdirs("recurrence")
+subdirs("streaming")
+subdirs("wm")
+subdirs("m68k")
+subdirs("wmsim")
+subdirs("timing")
+subdirs("driver")
+subdirs("programs")

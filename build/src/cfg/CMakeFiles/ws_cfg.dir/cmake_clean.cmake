@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_cfg.dir/dominators.cc.o"
+  "CMakeFiles/ws_cfg.dir/dominators.cc.o.d"
+  "CMakeFiles/ws_cfg.dir/liveness.cc.o"
+  "CMakeFiles/ws_cfg.dir/liveness.cc.o.d"
+  "CMakeFiles/ws_cfg.dir/loops.cc.o"
+  "CMakeFiles/ws_cfg.dir/loops.cc.o.d"
+  "libws_cfg.a"
+  "libws_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

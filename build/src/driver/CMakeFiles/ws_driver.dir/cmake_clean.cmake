@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_driver.dir/compiler.cc.o"
+  "CMakeFiles/ws_driver.dir/compiler.cc.o.d"
+  "libws_driver.a"
+  "libws_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

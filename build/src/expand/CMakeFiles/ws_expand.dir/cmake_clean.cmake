@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_expand.dir/expander.cc.o"
+  "CMakeFiles/ws_expand.dir/expander.cc.o.d"
+  "libws_expand.a"
+  "libws_expand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

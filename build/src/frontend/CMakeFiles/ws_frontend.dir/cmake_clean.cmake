@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_frontend.dir/lexer.cc.o"
+  "CMakeFiles/ws_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/ws_frontend.dir/parser.cc.o"
+  "CMakeFiles/ws_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/ws_frontend.dir/sema.cc.o"
+  "CMakeFiles/ws_frontend.dir/sema.cc.o.d"
+  "CMakeFiles/ws_frontend.dir/type.cc.o"
+  "CMakeFiles/ws_frontend.dir/type.cc.o.d"
+  "libws_frontend.a"
+  "libws_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_interp.dir/interp.cc.o"
+  "CMakeFiles/ws_interp.dir/interp.cc.o.d"
+  "libws_interp.a"
+  "libws_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_m68k.dir/printer.cc.o"
+  "CMakeFiles/ws_m68k.dir/printer.cc.o.d"
+  "libws_m68k.a"
+  "libws_m68k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_m68k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ws_m68k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/anticipate.cc" "src/opt/CMakeFiles/ws_opt.dir/anticipate.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/anticipate.cc.o.d"
+  "/root/repo/src/opt/branchopt.cc" "src/opt/CMakeFiles/ws_opt.dir/branchopt.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/branchopt.cc.o.d"
+  "/root/repo/src/opt/combine.cc" "src/opt/CMakeFiles/ws_opt.dir/combine.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/combine.cc.o.d"
+  "/root/repo/src/opt/copyprop.cc" "src/opt/CMakeFiles/ws_opt.dir/copyprop.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/copyprop.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/opt/CMakeFiles/ws_opt.dir/cse.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/ws_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/indvars.cc" "src/opt/CMakeFiles/ws_opt.dir/indvars.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/indvars.cc.o.d"
+  "/root/repo/src/opt/legal.cc" "src/opt/CMakeFiles/ws_opt.dir/legal.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/legal.cc.o.d"
+  "/root/repo/src/opt/legalize.cc" "src/opt/CMakeFiles/ws_opt.dir/legalize.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/legalize.cc.o.d"
+  "/root/repo/src/opt/licm.cc" "src/opt/CMakeFiles/ws_opt.dir/licm.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/licm.cc.o.d"
+  "/root/repo/src/opt/pipeline.cc" "src/opt/CMakeFiles/ws_opt.dir/pipeline.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/pipeline.cc.o.d"
+  "/root/repo/src/opt/regalloc.cc" "src/opt/CMakeFiles/ws_opt.dir/regalloc.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/regalloc.cc.o.d"
+  "/root/repo/src/opt/strength.cc" "src/opt/CMakeFiles/ws_opt.dir/strength.cc.o" "gcc" "src/opt/CMakeFiles/ws_opt.dir/strength.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ws_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ws_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_opt.dir/anticipate.cc.o"
+  "CMakeFiles/ws_opt.dir/anticipate.cc.o.d"
+  "CMakeFiles/ws_opt.dir/branchopt.cc.o"
+  "CMakeFiles/ws_opt.dir/branchopt.cc.o.d"
+  "CMakeFiles/ws_opt.dir/combine.cc.o"
+  "CMakeFiles/ws_opt.dir/combine.cc.o.d"
+  "CMakeFiles/ws_opt.dir/copyprop.cc.o"
+  "CMakeFiles/ws_opt.dir/copyprop.cc.o.d"
+  "CMakeFiles/ws_opt.dir/cse.cc.o"
+  "CMakeFiles/ws_opt.dir/cse.cc.o.d"
+  "CMakeFiles/ws_opt.dir/dce.cc.o"
+  "CMakeFiles/ws_opt.dir/dce.cc.o.d"
+  "CMakeFiles/ws_opt.dir/indvars.cc.o"
+  "CMakeFiles/ws_opt.dir/indvars.cc.o.d"
+  "CMakeFiles/ws_opt.dir/legal.cc.o"
+  "CMakeFiles/ws_opt.dir/legal.cc.o.d"
+  "CMakeFiles/ws_opt.dir/legalize.cc.o"
+  "CMakeFiles/ws_opt.dir/legalize.cc.o.d"
+  "CMakeFiles/ws_opt.dir/licm.cc.o"
+  "CMakeFiles/ws_opt.dir/licm.cc.o.d"
+  "CMakeFiles/ws_opt.dir/pipeline.cc.o"
+  "CMakeFiles/ws_opt.dir/pipeline.cc.o.d"
+  "CMakeFiles/ws_opt.dir/regalloc.cc.o"
+  "CMakeFiles/ws_opt.dir/regalloc.cc.o.d"
+  "CMakeFiles/ws_opt.dir/strength.cc.o"
+  "CMakeFiles/ws_opt.dir/strength.cc.o.d"
+  "libws_opt.a"
+  "libws_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

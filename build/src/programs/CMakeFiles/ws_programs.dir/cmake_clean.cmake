@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_programs.dir/programs.cc.o"
+  "CMakeFiles/ws_programs.dir/programs.cc.o.d"
+  "libws_programs.a"
+  "libws_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_recurrence.dir/partitions.cc.o"
+  "CMakeFiles/ws_recurrence.dir/partitions.cc.o.d"
+  "CMakeFiles/ws_recurrence.dir/recurrence.cc.o"
+  "CMakeFiles/ws_recurrence.dir/recurrence.cc.o.d"
+  "libws_recurrence.a"
+  "libws_recurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/expr.cc" "src/rtl/CMakeFiles/ws_rtl.dir/expr.cc.o" "gcc" "src/rtl/CMakeFiles/ws_rtl.dir/expr.cc.o.d"
+  "/root/repo/src/rtl/inst.cc" "src/rtl/CMakeFiles/ws_rtl.dir/inst.cc.o" "gcc" "src/rtl/CMakeFiles/ws_rtl.dir/inst.cc.o.d"
+  "/root/repo/src/rtl/machine.cc" "src/rtl/CMakeFiles/ws_rtl.dir/machine.cc.o" "gcc" "src/rtl/CMakeFiles/ws_rtl.dir/machine.cc.o.d"
+  "/root/repo/src/rtl/program.cc" "src/rtl/CMakeFiles/ws_rtl.dir/program.cc.o" "gcc" "src/rtl/CMakeFiles/ws_rtl.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_rtl.dir/expr.cc.o"
+  "CMakeFiles/ws_rtl.dir/expr.cc.o.d"
+  "CMakeFiles/ws_rtl.dir/inst.cc.o"
+  "CMakeFiles/ws_rtl.dir/inst.cc.o.d"
+  "CMakeFiles/ws_rtl.dir/machine.cc.o"
+  "CMakeFiles/ws_rtl.dir/machine.cc.o.d"
+  "CMakeFiles/ws_rtl.dir/program.cc.o"
+  "CMakeFiles/ws_rtl.dir/program.cc.o.d"
+  "libws_rtl.a"
+  "libws_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/streaming.cc" "src/streaming/CMakeFiles/ws_streaming.dir/streaming.cc.o" "gcc" "src/streaming/CMakeFiles/ws_streaming.dir/streaming.cc.o.d"
+  "/root/repo/src/streaming/vectorize.cc" "src/streaming/CMakeFiles/ws_streaming.dir/vectorize.cc.o" "gcc" "src/streaming/CMakeFiles/ws_streaming.dir/vectorize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recurrence/CMakeFiles/ws_recurrence.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ws_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ws_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ws_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_streaming.dir/streaming.cc.o"
+  "CMakeFiles/ws_streaming.dir/streaming.cc.o.d"
+  "CMakeFiles/ws_streaming.dir/vectorize.cc.o"
+  "CMakeFiles/ws_streaming.dir/vectorize.cc.o.d"
+  "libws_streaming.a"
+  "libws_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_timing.dir/scalar_sim.cc.o"
+  "CMakeFiles/ws_timing.dir/scalar_sim.cc.o.d"
+  "libws_timing.a"
+  "libws_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wm/lowering.cc" "src/wm/CMakeFiles/ws_wm.dir/lowering.cc.o" "gcc" "src/wm/CMakeFiles/ws_wm.dir/lowering.cc.o.d"
+  "/root/repo/src/wm/printer.cc" "src/wm/CMakeFiles/ws_wm.dir/printer.cc.o" "gcc" "src/wm/CMakeFiles/ws_wm.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ws_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ws_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

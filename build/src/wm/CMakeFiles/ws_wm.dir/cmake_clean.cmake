@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_wm.dir/lowering.cc.o"
+  "CMakeFiles/ws_wm.dir/lowering.cc.o.d"
+  "CMakeFiles/ws_wm.dir/printer.cc.o"
+  "CMakeFiles/ws_wm.dir/printer.cc.o.d"
+  "libws_wm.a"
+  "libws_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

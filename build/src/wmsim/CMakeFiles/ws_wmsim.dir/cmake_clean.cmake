@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_wmsim.dir/sim.cc.o"
+  "CMakeFiles/ws_wmsim.dir/sim.cc.o.d"
+  "libws_wmsim.a"
+  "libws_wmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_wmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

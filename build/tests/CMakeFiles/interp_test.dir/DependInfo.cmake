@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp_test.cc" "tests/CMakeFiles/interp_test.dir/interp_test.cc.o" "gcc" "tests/CMakeFiles/interp_test.dir/interp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ws_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/ws_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ws_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wmsim/CMakeFiles/ws_wmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/ws_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/m68k/CMakeFiles/ws_m68k.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/ws_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/ws_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/recurrence/CMakeFiles/ws_recurrence.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ws_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/expand/CMakeFiles/ws_expand.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ws_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ws_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ws_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ws_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopfuzz_test.dir/loopfuzz_test.cc.o"
+  "CMakeFiles/loopfuzz_test.dir/loopfuzz_test.cc.o.d"
+  "loopfuzz_test"
+  "loopfuzz_test.pdb"
+  "loopfuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopfuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopopt_test.dir/loopopt_test.cc.o"
+  "CMakeFiles/loopopt_test.dir/loopopt_test.cc.o.d"
+  "loopopt_test"
+  "loopopt_test.pdb"
+  "loopopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

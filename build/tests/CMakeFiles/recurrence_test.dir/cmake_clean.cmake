@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrence_test.dir/recurrence_test.cc.o"
+  "CMakeFiles/recurrence_test.dir/recurrence_test.cc.o.d"
+  "recurrence_test"
+  "recurrence_test.pdb"
+  "recurrence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

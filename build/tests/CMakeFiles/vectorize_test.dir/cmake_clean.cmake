@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorize_test.dir/vectorize_test.cc.o"
+  "CMakeFiles/vectorize_test.dir/vectorize_test.cc.o.d"
+  "vectorize_test"
+  "vectorize_test.pdb"
+  "vectorize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmsim_test.dir/wmsim_test.cc.o"
+  "CMakeFiles/wmsim_test.dir/wmsim_test.cc.o.d"
+  "wmsim_test"
+  "wmsim_test.pdb"
+  "wmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

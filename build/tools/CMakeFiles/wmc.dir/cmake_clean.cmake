@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmc.dir/wmc.cc.o"
+  "CMakeFiles/wmc.dir/wmc.cc.o.d"
+  "wmc"
+  "wmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
