@@ -1,0 +1,22 @@
+# Run one bench binary with --json-out and check the emitted file is
+# valid JSON. Invoked by the bench-smoke ctest; see CMakeLists.txt.
+execute_process(
+    COMMAND ${BENCH_BIN} --json-out=${OUT_JSON} "--benchmark_filter=^$"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH_BIN} failed (rc=${run_rc}):\n${run_out}${run_err}")
+endif()
+if(NOT EXISTS ${OUT_JSON})
+    message(FATAL_ERROR "${BENCH_BIN} did not write ${OUT_JSON}")
+endif()
+execute_process(
+    COMMAND ${PYTHON} -m json.tool ${OUT_JSON}
+    RESULT_VARIABLE json_rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE json_err)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "invalid JSON in ${OUT_JSON}:\n${json_err}")
+endif()

@@ -13,9 +13,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "driver/compiler.h"
+#include "obs/counters.h"
+#include "obs/json.h"
 #include "wmsim/sim.h"
 
 namespace wsbench {
@@ -45,6 +50,126 @@ inline double
 pctReduction(double base, double opt)
 {
     return 100.0 * (base - opt) / base;
+}
+
+/**
+ * Machine-readable mirror of a harness's printed table: one row per
+ * table line, each a label plus numeric columns, optionally with the
+ * full simulator counter set attached. Build rows while printing, then
+ * serialize with emitJson().
+ */
+class JsonReport
+{
+public:
+    /** Start a new row. Subsequent num()/sim() calls attach to it. */
+    JsonReport &row(std::string label)
+    {
+        rows_.emplace_back();
+        rows_.back().label = std::move(label);
+        return *this;
+    }
+
+    /** Add numeric column @p key = @p v to the current row. */
+    JsonReport &num(std::string key, double v)
+    {
+        rows_.back().nums.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    /** Attach the simulator counters (stall causes etc.) to the row. */
+    JsonReport &sim(const wmstream::wmsim::SimStats &stats)
+    {
+        wmstream::obs::CounterRegistry reg;
+        stats.exportCounters(reg);
+        rows_.back().counters = reg.entries();
+        return *this;
+    }
+
+    bool empty() const { return rows_.empty(); }
+
+    /** Serialize as {"bench": name, "rows": [...]}. */
+    std::string str(const std::string &bench) const
+    {
+        wmstream::obs::JsonWriter w;
+        w.beginObject();
+        w.field("bench", bench);
+        w.key("rows");
+        w.beginArray();
+        for (const auto &r : rows_) {
+            w.beginObject();
+            w.field("label", r.label);
+            for (const auto &kv : r.nums)
+                w.field(kv.first, kv.second);
+            if (!r.counters.empty()) {
+                w.key("sim");
+                w.beginObject();
+                for (const auto &kv : r.counters)
+                    w.field(kv.first,
+                            static_cast<uint64_t>(kv.second));
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return w.str();
+    }
+
+private:
+    struct Row
+    {
+        std::string label;
+        std::vector<std::pair<std::string, double>> nums;
+        std::vector<std::pair<std::string, uint64_t>> counters;
+    };
+    std::vector<Row> rows_;
+};
+
+/**
+ * Pull `--json-out=FILE` out of argv before benchmark::Initialize sees
+ * it (google-benchmark aborts on unknown flags). Returns the FILE
+ * value, or "" when the flag is absent.
+ */
+inline std::string
+extractJsonOutFlag(int *argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0)
+            path = argv[i] + 11;
+        else
+            argv[out++] = argv[i];
+    }
+    *argc = out;
+    return path;
+}
+
+/**
+ * Write @p report to @p path ("-" for stdout); no-op when @p path is
+ * empty. Returns false (after a diagnostic) if the file can't be
+ * written.
+ */
+inline bool
+emitJson(const std::string &path, const std::string &bench,
+         const JsonReport &report)
+{
+    if (path.empty())
+        return true;
+    std::string text = report.str(bench);
+    if (path == "-") {
+        std::printf("%s\n", text.c_str());
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
 }
 
 } // namespace wsbench

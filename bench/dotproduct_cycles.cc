@@ -47,16 +47,16 @@ int main(void)
                      n, reps, n, n);
 }
 
-uint64_t
-cyclesFor(int n, int reps, bool streaming)
+wmsim::SimResult
+resultFor(int n, int reps, bool streaming)
 {
     driver::CompileOptions opts;
     opts.streaming = streaming;
-    return wsbench::runWm(dotSource(n, reps), opts).stats.cycles;
+    return wsbench::runWm(dotSource(n, reps), opts);
 }
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::printf("Dot product cycle rate (paper Section 2: \"the dot "
                 "product in N clock cycles\")\n\n");
@@ -66,14 +66,24 @@ printTable()
     std::printf("Kernel cycles/element at n=%d (marginal over kernel "
                 "repetitions):\n\n", kN);
     std::printf("%10s %22s %22s\n", "", "scalar", "streamed");
-    uint64_t s0a = cyclesFor(kN, 1, false);
-    uint64_t s0b = cyclesFor(kN, 5, false);
-    uint64_t s1a = cyclesFor(kN, 1, true);
-    uint64_t s1b = cyclesFor(kN, 5, true);
+    auto r0a = resultFor(kN, 1, false);
+    auto r0b = resultFor(kN, 5, false);
+    auto r1a = resultFor(kN, 1, true);
+    auto r1b = resultFor(kN, 5, true);
+    uint64_t s0a = r0a.stats.cycles, s0b = r0b.stats.cycles;
+    uint64_t s1a = r1a.stats.cycles, s1b = r1b.stats.cycles;
     double scalarRate = static_cast<double>(s0b - s0a) / (4.0 * kN);
     double streamRate = static_cast<double>(s1b - s1a) / (4.0 * kN);
     std::printf("%10s %22.3f %22.3f\n", "cyc/elem", scalarRate,
                 streamRate);
+    report.row("scalar")
+        .num("n", kN)
+        .num("cycles_per_element", scalarRate)
+        .sim(r0b.stats);
+    report.row("streamed")
+        .num("n", kN)
+        .num("cycles_per_element", streamRate)
+        .sim(r1b.stats);
     std::printf("\nThe streamed kernel sustains ~1 cycle per element: "
                 "one FEU multiply-add\n(f4 := (f0*f1)+f4) plus a "
                 "zero-cost IFU jump — the paper's \"dot product in\n"
@@ -98,7 +108,11 @@ BENCHMARK(BM_SimulateStreamedDot);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "dotproduct_cycles", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

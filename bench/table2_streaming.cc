@@ -25,7 +25,7 @@ namespace {
 const int kPaperNumbers[] = {5, 18, 17, 39, 43, 13, 1, 18, 3};
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::printf("Table II. Execution Performance improvements by "
                 "streaming.\n\n");
@@ -35,25 +35,34 @@ printTable()
     for (size_t i = 0; i < programs.size(); ++i) {
         uint64_t cyc[2];
         int64_t ret[2];
+        wmsim::SimStats streamedStats;
         for (int s = 0; s < 2; ++s) {
             driver::CompileOptions opts;
             opts.streaming = s != 0;
             auto res = wsbench::runWm(programs[i].source, opts);
             cyc[s] = res.stats.cycles;
             ret[s] = res.returnValue;
+            if (s == 1)
+                streamedStats = res.stats;
         }
         if (ret[0] != ret[1]) {
             std::fprintf(stderr, "checksum mismatch for %s!\n",
                          programs[i].name.c_str());
             std::abort();
         }
+        double measured = wsbench::pctReduction(
+            static_cast<double>(cyc[0]), static_cast<double>(cyc[1]));
         std::printf("%-14s %14llu %14llu %12.1f %10d\n",
                     programs[i].name.c_str(),
                     static_cast<unsigned long long>(cyc[0]),
-                    static_cast<unsigned long long>(cyc[1]),
-                    wsbench::pctReduction(static_cast<double>(cyc[0]),
-                                          static_cast<double>(cyc[1])),
+                    static_cast<unsigned long long>(cyc[1]), measured,
                     kPaperNumbers[i]);
+        report.row(programs[i].name)
+            .num("base_cycles", static_cast<double>(cyc[0]))
+            .num("stream_cycles", static_cast<double>(cyc[1]))
+            .num("measured_pct", measured)
+            .num("paper_pct", kPaperNumbers[i])
+            .sim(streamedStats);
     }
     std::printf("\n");
 }
@@ -75,7 +84,11 @@ BENCHMARK(BM_CompileAndSimulateDotProduct);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "table2_streaming", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,23 @@
+/* Double-precision dot product in the mini-C dialect — the paper's
+ * running example. Compile and run with:
+ *
+ *   wmc --run --stats examples/dotproduct.c
+ *   wmc --run --stats-json=- --trace-out=trace.json examples/dotproduct.c
+ */
+int n = 200;
+double a[200];
+double b[200];
+
+int main(void)
+{
+    int i;
+    double s;
+    for (i = 0; i < n; i++) {
+        a[i] = 0.25 + (i & 31) * 0.03125;
+        b[i] = 1.5 - (i & 7) * 0.125;
+    }
+    s = 0.0;
+    for (i = 0; i < n; i++)
+        s = s + a[i] * b[i];
+    return s;
+}

@@ -25,6 +25,37 @@ CompileResult::totalStreams() const
     return n;
 }
 
+int
+CompileResult::totalVectorized() const
+{
+    int n = 0;
+    for (const auto &r : vectorizeReports)
+        n += r.loopsVectorized;
+    return n;
+}
+
+namespace {
+
+int64_t
+countInsts(const rtl::Function &fn)
+{
+    int64_t n = 0;
+    for (const auto &bp : fn.blocks())
+        n += static_cast<int64_t>(bp->insts.size());
+    return n;
+}
+
+int64_t
+countInsts(const rtl::Program &prog)
+{
+    int64_t n = 0;
+    for (const auto &fp : prog.functions())
+        n += countInsts(*fp);
+    return n;
+}
+
+} // anonymous namespace
+
 CompileResult
 compileSource(const std::string &source, const CompileOptions &options)
 {
@@ -33,71 +64,122 @@ compileSource(const std::string &source, const CompileOptions &options)
                      ? rtl::wmTraits()
                      : rtl::scalarTraits();
 
+    obs::PassProfiler prof(options.profilePasses);
+
     DiagEngine diag;
-    auto unit = frontend::parseAndCheck(source, diag);
+    std::unique_ptr<frontend::TranslationUnit> unit;
+    prof.measure(
+        "frontend", [] { return int64_t{0}; },
+        [&] { unit = frontend::parseAndCheck(source, diag); });
     if (!unit) {
         res.diagnostics = diag.str();
+        res.passProfiles = prof.profiles();
         return res;
     }
 
     res.program = std::make_unique<rtl::Program>();
-    expand::expandUnit(*unit, res.traits, *res.program);
+    prof.measure(
+        "expand", [&] { return countInsts(*res.program); },
+        [&] { expand::expandUnit(*unit, res.traits, *res.program); });
 
     for (auto &fn : res.program->functions()) {
+        auto insts = [&] { return countInsts(*fn); };
+
         if (options.optimize)
-            opt::runCleanupPipeline(*fn, res.traits, res.program.get());
+            prof.measure("cleanup", insts, [&] {
+                opt::runCleanupPipeline(*fn, res.traits,
+                                        res.program.get());
+            });
         else
-            opt::runLegalize(*fn, res.traits);
+            prof.measure("legalize", insts, [&] {
+                opt::runLegalize(*fn, res.traits);
+            });
 
         if (options.recurrence) {
-            res.recurrenceReports.push_back(recurrence::runRecurrenceOpt(
-                *fn, res.traits, options.maxRecurrenceDegree));
+            prof.measure("recurrence", insts, [&] {
+                res.recurrenceReports.push_back(
+                    recurrence::runRecurrenceOpt(
+                        *fn, res.traits, options.maxRecurrenceDegree));
+            });
+            const auto &rr = res.recurrenceReports.back();
+            prof.addCounter("recurrence", "loops_examined",
+                            rr.loopsExamined);
+            prof.addCounter("recurrence", "recurrences_optimized",
+                            rr.recurrencesOptimized);
+            prof.addCounter("recurrence", "loads_deleted",
+                            rr.loadsDeleted);
             // The paper: "after performing the recurrence
             // transformations, the optimizer invokes other phases" —
             // copy propagation removes the chain shift when possible.
-            if (options.optimize) {
-                opt::runCopyPropagate(*fn, res.traits);
-                opt::runDeadCodeElim(*fn, res.traits);
-            }
+            if (options.optimize)
+                prof.measure("recurrence-cleanup", insts, [&] {
+                    opt::runCopyPropagate(*fn, res.traits);
+                    opt::runDeadCodeElim(*fn, res.traits);
+                });
         }
 
         if (options.streaming && res.traits.hasStreams) {
-            res.streamingReports.push_back(streaming::runStreaming(
-                *fn, res.traits, options.minStreamTripCount));
-            if (options.optimize) {
-                opt::runCombine(*fn, res.traits);
-                opt::runCopyPropagate(*fn, res.traits);
-                opt::runDeadCodeElim(*fn, res.traits);
-                opt::runBranchOpt(*fn);
-            }
+            prof.measure("streaming", insts, [&] {
+                res.streamingReports.push_back(streaming::runStreaming(
+                    *fn, res.traits, options.minStreamTripCount));
+            });
+            const auto &sr = res.streamingReports.back();
+            prof.addCounter("streaming", "loops_examined",
+                            sr.loopsExamined);
+            prof.addCounter("streaming", "loops_streamed",
+                            sr.loopsStreamed);
+            prof.addCounter("streaming", "streams_in", sr.streamsIn);
+            prof.addCounter("streaming", "streams_out", sr.streamsOut);
+            if (options.optimize)
+                prof.measure("streaming-cleanup", insts, [&] {
+                    opt::runCombine(*fn, res.traits);
+                    opt::runCopyPropagate(*fn, res.traits);
+                    opt::runDeadCodeElim(*fn, res.traits);
+                    opt::runBranchOpt(*fn);
+                });
             // Vectorization recognizes the post-cleanup single-
             // instruction loop bodies.
-            if (options.vectorize)
-                res.vectorizeReports.push_back(
-                    streaming::runVectorize(*fn, res.traits));
+            if (options.vectorize) {
+                prof.measure("vectorize", insts, [&] {
+                    res.vectorizeReports.push_back(
+                        streaming::runVectorize(*fn, res.traits));
+                });
+                prof.addCounter(
+                    "vectorize", "loops_vectorized",
+                    res.vectorizeReports.back().loopsVectorized);
+            }
         }
 
         if (res.traits.isWM() && options.optimize)
-            opt::runBranchAnticipate(*fn, res.traits);
+            prof.measure("branch-anticipate", insts, [&] {
+                opt::runBranchAnticipate(*fn, res.traits);
+            });
 
         if (options.strengthReduce && !res.traits.isWM()) {
-            opt::runStrengthReduce(*fn, res.traits);
-            if (options.optimize) {
-                opt::runCombine(*fn, res.traits);
-                opt::runCopyPropagate(*fn, res.traits);
-                opt::runDeadCodeElim(*fn, res.traits);
-            }
+            prof.measure("strength-reduce", insts, [&] {
+                opt::runStrengthReduce(*fn, res.traits);
+            });
+            if (options.optimize)
+                prof.measure("strength-cleanup", insts, [&] {
+                    opt::runCombine(*fn, res.traits);
+                    opt::runCopyPropagate(*fn, res.traits);
+                    opt::runDeadCodeElim(*fn, res.traits);
+                });
         }
 
-        opt::runRegAlloc(*fn, res.traits);
+        prof.measure("regalloc", insts,
+                     [&] { opt::runRegAlloc(*fn, res.traits); });
     }
 
     if (res.traits.isWM() && options.lowerFifo)
-        wm::lowerProgram(*res.program, res.traits);
+        prof.measure(
+            "lower-fifo", [&] { return countInsts(*res.program); },
+            [&] { wm::lowerProgram(*res.program, res.traits); });
 
     res.program->layout();
     res.ok = true;
     res.diagnostics = diag.str();
+    res.passProfiles = prof.profiles();
     return res;
 }
 

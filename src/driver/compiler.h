@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/pass_profiler.h"
 #include "recurrence/recurrence.h"
 #include "rtl/machine.h"
 #include "rtl/program.h"
@@ -39,6 +40,12 @@ struct CompileOptions
     bool lowerFifo = true;       ///< WM FIFO-form lowering
     int minStreamTripCount = 4;  ///< paper Step 1 threshold
     int maxRecurrenceDegree = 4;
+    /**
+     * Record per-pass wall time, RTL instruction-count deltas, and
+     * pass-specific counters into CompileResult::passProfiles.
+     * Off by default: profiling must not slow down compilation.
+     */
+    bool profilePasses = false;
 };
 
 /** Compilation output plus per-pass reports for the harnesses. */
@@ -51,9 +58,12 @@ struct CompileResult
     std::vector<recurrence::RecurrenceReport> recurrenceReports;
     std::vector<streaming::StreamingReport> streamingReports;
     std::vector<streaming::VectorizeReport> vectorizeReports;
+    /** Filled when CompileOptions::profilePasses; execution order. */
+    std::vector<obs::PassProfile> passProfiles;
 
     int totalRecurrences() const;
     int totalStreams() const;
+    int totalVectorized() const;
 };
 
 /** Compile mini-C @p source with @p options. Lays the program out. */

@@ -1,0 +1,53 @@
+#include "obs/counters.h"
+
+namespace wmstream::obs {
+
+uint64_t &
+CounterRegistry::counter(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return entries_[it->second].second;
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, 0);
+    return entries_.back().second;
+}
+
+uint64_t
+CounterRegistry::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : entries_[it->second].second;
+}
+
+bool
+CounterRegistry::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+uint64_t
+CounterRegistry::sumPrefix(const std::string &prefix) const
+{
+    uint64_t sum = 0;
+    for (const auto &[name, v] : entries_) {
+        if (name == prefix ||
+                (name.size() > prefix.size() + 1 &&
+                 name.compare(0, prefix.size(), prefix) == 0 &&
+                 name[prefix.size()] == '.')) {
+            sum += v;
+        }
+    }
+    return sum;
+}
+
+void
+CounterRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, v] : entries_)
+        w.field(name, v);
+    w.endObject();
+}
+
+} // namespace wmstream::obs

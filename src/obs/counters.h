@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Named counter registry: the interchange format between the
+ * instrumented subsystems and the JSON emitters.
+ *
+ * Hot loops (the cycle simulator, the scalar timing model) keep their
+ * counts in plain struct fields or fixed arrays — a hash lookup per
+ * cycle would violate the "instrumentation off is free" budget. After
+ * a run, each subsystem *exports* its counts into a CounterRegistry
+ * under hierarchical dotted names ("ieu.stall.data_fifo_empty"), and
+ * the registry serializes them uniformly. Insertion order is
+ * preserved so emitted files are stable and diffable.
+ */
+
+#ifndef WMSTREAM_OBS_COUNTERS_H
+#define WMSTREAM_OBS_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wmstream::obs {
+
+/** Ordered map of dotted counter names to uint64 values. */
+class CounterRegistry
+{
+  public:
+    /** Reference to the counter named @p name, creating it at zero. */
+    uint64_t &counter(const std::string &name);
+
+    void set(const std::string &name, uint64_t v) { counter(name) = v; }
+    void add(const std::string &name, uint64_t v) { counter(name) += v; }
+
+    /** Value of @p name, or 0 if it was never registered. */
+    uint64_t get(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+    size_t size() const { return entries_.size(); }
+
+    /** All counters in registration order. */
+    const std::vector<std::pair<std::string, uint64_t>> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Sum of all counters whose dotted name starts with
+     * "@p prefix." (or equals @p prefix exactly).
+     */
+    uint64_t sumPrefix(const std::string &prefix) const;
+
+    /** Emit as one flat JSON object of dotted-name keys. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::vector<std::pair<std::string, uint64_t>> entries_;
+    std::unordered_map<std::string, size_t> index_;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_COUNTERS_H

@@ -1,0 +1,72 @@
+#include "obs/histogram.h"
+
+namespace wmstream::obs {
+
+void
+Histogram::add(int64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value < 0)
+        value = 0;
+    if (static_cast<size_t>(value) >= buckets_.size())
+        buckets_.resize(static_cast<size_t>(value) + 1, 0);
+    buckets_[static_cast<size_t>(value)] += count;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    count_ += count;
+    sum_ += value * static_cast<int64_t>(count);
+}
+
+uint64_t
+Histogram::at(int64_t value) const
+{
+    if (value < 0 || static_cast<size_t>(value) >= buckets_.size())
+        return 0;
+    return buckets_[static_cast<size_t>(value)];
+}
+
+int64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t v = 0; v < buckets_.size(); ++v) {
+        seen += buckets_[v];
+        if (seen >= target)
+            return static_cast<int64_t>(v);
+    }
+    return max_;
+}
+
+void
+Histogram::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("count", count_);
+    w.field("min", min());
+    w.field("max", max());
+    w.field("mean", mean());
+    w.key("buckets");
+    w.beginArray();
+    for (uint64_t b : buckets_)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace wmstream::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dense histogram over small non-negative integers.
+ *
+ * Sized for FIFO occupancies: the value domain is 0..depth (tens at
+ * most), so the buckets are a dense vector indexed by value and an
+ * add() is one bounds check plus an increment — cheap enough to call
+ * once per FIFO per simulated cycle when occupancy tracking is on.
+ */
+
+#ifndef WMSTREAM_OBS_HISTOGRAM_H
+#define WMSTREAM_OBS_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wmstream::obs {
+
+/** Counts of exact values 0..N plus summary moments. */
+class Histogram
+{
+  public:
+    /** Record @p count observations of @p value (negatives clamp to 0). */
+    void add(int64_t value, uint64_t count = 1);
+
+    uint64_t count() const { return count_; }
+    int64_t min() const { return count_ ? min_ : 0; }
+    int64_t max() const { return count_ ? max_ : 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Observations of exactly @p value. */
+    uint64_t at(int64_t value) const;
+
+    /**
+     * Smallest value v such that at least @p p (0..1) of the
+     * observations are <= v; 0 on an empty histogram.
+     */
+    int64_t percentile(double p) const;
+
+    /** Buckets, index = value; trailing zero buckets trimmed. */
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    /** {"count":..,"min":..,"max":..,"mean":..,"buckets":[..]} */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    int64_t sum_ = 0;
+    int64_t min_ = 0;
+    int64_t max_ = 0;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_HISTOGRAM_H

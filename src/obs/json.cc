@@ -1,0 +1,173 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/diag.h"
+
+namespace wmstream::obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty())
+        return; // top-level value (one per document)
+    Level &top = stack_.back();
+    if (top.ctx == Ctx::Object) {
+        WS_ASSERT(top.keyPending, "JSON object value without a key");
+        top.keyPending = false;
+        return;
+    }
+    if (!top.first)
+        out_ += ',';
+    top.first = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    out_ += '{';
+    stack_.push_back({Ctx::Object, true, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    WS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::Object,
+              "unbalanced endObject");
+    WS_ASSERT(!stack_.back().keyPending, "dangling key at endObject");
+    stack_.pop_back();
+    out_ += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    out_ += '[';
+    stack_.push_back({Ctx::Array, true, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    WS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::Array,
+              "unbalanced endArray");
+    stack_.pop_back();
+    out_ += ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    WS_ASSERT(!stack_.empty() && stack_.back().ctx == Ctx::Object,
+              "JSON key outside an object");
+    Level &top = stack_.back();
+    WS_ASSERT(!top.keyPending, "two keys in a row");
+    if (!top.first)
+        out_ += ',';
+    top.first = false;
+    top.keyPending = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+}
+
+void
+JsonWriter::value(const std::string &s)
+{
+    preValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *s)
+{
+    value(std::string(s));
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional substitute.
+        out_ += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::valueNull()
+{
+    preValue();
+    out_ += "null";
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    WS_ASSERT(stack_.empty(), "JSON document has open containers");
+    return out_;
+}
+
+} // namespace wmstream::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability layer.
+ *
+ * Everything machine-readable this repo emits (stats files, Chrome
+ * traces, bench tables) funnels through this one writer so escaping
+ * and number formatting are correct in exactly one place. The writer
+ * is a push API over an in-memory buffer: begin/end containers, keys,
+ * scalar values; commas and nesting are managed by an internal stack,
+ * so callers cannot produce structurally invalid JSON (mismatched
+ * containers panic via WS_ASSERT in debug use).
+ */
+
+#ifndef WMSTREAM_OBS_JSON_H
+#define WMSTREAM_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmstream::obs {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Push-style JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** @name Containers */
+    /// @{
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /// @}
+
+    /** Emit an object key; the next value call supplies its value. */
+    void key(const std::string &k);
+
+    /** @name Scalar values (as the next array element or key's value) */
+    /// @{
+    void value(const std::string &s);
+    void value(const char *s);
+    void value(int64_t v);
+    void value(uint64_t v);
+    void value(int v) { value(static_cast<int64_t>(v)); }
+    void value(double v);
+    void value(bool v);
+    void valueNull();
+    /// @}
+
+    /** @name key+value in one call */
+    /// @{
+    template <typename T>
+    void field(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+    /// @}
+
+    /** Finished document. All containers must be closed. */
+    const std::string &str() const;
+
+    /** True once at least one container or value has been emitted. */
+    bool empty() const { return out_.empty(); }
+
+  private:
+    void preValue();
+
+    enum class Ctx : uint8_t { Object, Array };
+    struct Level
+    {
+        Ctx ctx;
+        bool first = true;
+        bool keyPending = false;
+    };
+    std::string out_;
+    std::vector<Level> stack_;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_JSON_H

@@ -1,0 +1,92 @@
+#include "obs/pass_profiler.h"
+
+#include "support/str.h"
+
+namespace wmstream::obs {
+
+PassProfile &
+PassProfiler::profile(const std::string &name)
+{
+    for (PassProfile &p : profiles_)
+        if (p.name == name)
+            return p;
+    profiles_.push_back({});
+    profiles_.back().name = name;
+    return profiles_.back();
+}
+
+void
+PassProfiler::addCounter(const std::string &name, const std::string &key,
+                         int64_t v)
+{
+    if (!enabled_)
+        return;
+    PassProfile &p = profile(name);
+    for (auto &[k, val] : p.counters)
+        if (k == key) {
+            val += v;
+            return;
+        }
+    p.counters.emplace_back(key, v);
+}
+
+std::string
+PassProfiler::table() const
+{
+    return passProfileTable(profiles_);
+}
+
+void
+PassProfiler::writeJson(JsonWriter &w) const
+{
+    writePassProfilesJson(w, profiles_);
+}
+
+std::string
+passProfileTable(const std::vector<PassProfile> &profiles)
+{
+    std::string out = strFormat("%-22s %5s %10s %8s %8s %7s  %s\n",
+                                "pass", "calls", "wall(ms)", "insts<",
+                                "insts>", "delta", "counters");
+    double totalMs = 0;
+    for (const PassProfile &p : profiles) {
+        std::string extra;
+        for (const auto &[k, v] : p.counters)
+            extra += strFormat("%s%s=%lld", extra.empty() ? "" : " ",
+                               k.c_str(), static_cast<long long>(v));
+        out += strFormat("%-22s %5d %10.3f %8lld %8lld %+7lld  %s\n",
+                         p.name.c_str(), p.calls, p.wallMs,
+                         static_cast<long long>(p.instsBefore),
+                         static_cast<long long>(p.instsAfter),
+                         static_cast<long long>(p.instsDelta()),
+                         extra.c_str());
+        totalMs += p.wallMs;
+    }
+    out += strFormat("%-22s %5s %10.3f\n", "total", "", totalMs);
+    return out;
+}
+
+void
+writePassProfilesJson(JsonWriter &w,
+                      const std::vector<PassProfile> &profiles)
+{
+    w.beginArray();
+    for (const PassProfile &p : profiles) {
+        w.beginObject();
+        w.field("name", p.name);
+        w.field("calls", static_cast<int64_t>(p.calls));
+        w.field("wall_ms", p.wallMs);
+        w.field("insts_before", p.instsBefore);
+        w.field("insts_after", p.instsAfter);
+        w.field("insts_delta", p.instsDelta());
+        w.key("counters");
+        w.beginObject();
+        for (const auto &[k, v] : p.counters)
+            w.field(k, v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace wmstream::obs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-pass compiler profiling: wall time, RTL instruction-count
+ * deltas, and pass-specific counters.
+ *
+ * The driver wraps each optimizer phase in PassProfiler::measure().
+ * Profiles with the same pass name merge (the driver runs each pass
+ * once per function), so a profile row reads "this pass, over the
+ * whole compilation, took X ms and changed the instruction count by
+ * D". When the profiler is disabled, measure() runs the body with no
+ * clock reads at all — profiling off must cost nothing.
+ */
+
+#ifndef WMSTREAM_OBS_PASS_PROFILER_H
+#define WMSTREAM_OBS_PASS_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wmstream::obs {
+
+/** Monotonic wall-clock stopwatch. */
+class PhaseTimer
+{
+  public:
+    PhaseTimer() : start_(Clock::now()) {}
+    void reset() { start_ = Clock::now(); }
+    double elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulated measurements for one named compiler pass. */
+struct PassProfile
+{
+    std::string name;
+    int calls = 0;
+    double wallMs = 0.0;
+    int64_t instsBefore = 0;  ///< summed over calls
+    int64_t instsAfter = 0;   ///< summed over calls
+    /** Pass-specific counters (streams emitted, recurrences, ...). */
+    std::vector<std::pair<std::string, int64_t>> counters;
+
+    int64_t instsDelta() const { return instsAfter - instsBefore; }
+};
+
+/** Collects PassProfiles across a compilation. */
+class PassProfiler
+{
+  public:
+    explicit PassProfiler(bool enabled = false) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Run @p body as pass @p name. @p countInsts is called before and
+     * after the body (only when enabled) to record the RTL
+     * instruction-count delta.
+     */
+    template <typename CountFn, typename BodyFn>
+    void
+    measure(const std::string &name, CountFn &&countInsts, BodyFn &&body)
+    {
+        if (!enabled_) {
+            body();
+            return;
+        }
+        int64_t before = countInsts();
+        PhaseTimer t;
+        body();
+        double ms = t.elapsedMs();
+        PassProfile &p = profile(name);
+        ++p.calls;
+        p.wallMs += ms;
+        p.instsBefore += before;
+        p.instsAfter += countInsts();
+    }
+
+    /** Add @p v to counter @p key of pass @p name (no-op if disabled). */
+    void addCounter(const std::string &name, const std::string &key,
+                    int64_t v);
+
+    const std::vector<PassProfile> &profiles() const { return profiles_; }
+
+    /** Human-readable table for `wmc --profile-passes`. */
+    std::string table() const;
+
+    /** JSON array of profile objects, in pass-execution order. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    PassProfile &profile(const std::string &name);
+
+    bool enabled_;
+    std::vector<PassProfile> profiles_;
+};
+
+/** Render an externally stored profile list (same format as table()). */
+std::string passProfileTable(const std::vector<PassProfile> &profiles);
+void writePassProfilesJson(JsonWriter &w,
+                           const std::vector<PassProfile> &profiles);
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_PASS_PROFILER_H

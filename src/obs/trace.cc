@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace wmstream::obs {
+
+int
+TraceWriter::track(const std::string &name)
+{
+    int tid = nextTid_++;
+    Event e;
+    e.ph = Ph::Meta;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.ts = 0;
+    e.dur = 0;
+    e.value = 0;
+    e.arg = name;
+    events_.push_back(std::move(e));
+    return tid;
+}
+
+void
+TraceWriter::counter(const std::string &name, uint64_t ts, double value)
+{
+    Event e;
+    e.ph = Ph::Counter;
+    e.tid = 0;
+    e.name = name;
+    e.ts = ts;
+    e.dur = 0;
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::complete(int tid, const std::string &name, uint64_t ts,
+                      uint64_t dur)
+{
+    Event e;
+    e.ph = Ph::Complete;
+    e.tid = tid;
+    e.name = name;
+    e.ts = ts;
+    e.dur = dur;
+    e.value = 0;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::instant(int tid, const std::string &name, uint64_t ts)
+{
+    Event e;
+    e.ph = Ph::Instant;
+    e.tid = tid;
+    e.name = name;
+    e.ts = ts;
+    e.dur = 0;
+    e.value = 0;
+    events_.push_back(std::move(e));
+}
+
+std::string
+TraceWriter::str() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.field("pid", static_cast<int64_t>(1));
+        w.field("tid", static_cast<int64_t>(e.tid));
+        switch (e.ph) {
+          case Ph::Counter:
+            w.field("ph", "C");
+            w.field("name", e.name);
+            w.field("ts", e.ts);
+            w.key("args");
+            w.beginObject();
+            w.field("value", e.value);
+            w.endObject();
+            break;
+          case Ph::Complete:
+            w.field("ph", "X");
+            w.field("name", e.name);
+            w.field("ts", e.ts);
+            w.field("dur", e.dur);
+            break;
+          case Ph::Instant:
+            w.field("ph", "i");
+            w.field("s", "t");
+            w.field("name", e.name);
+            w.field("ts", e.ts);
+            break;
+          case Ph::Meta:
+            w.field("ph", "M");
+            w.field("name", e.name);
+            w.key("args");
+            w.beginObject();
+            w.field("name", e.arg);
+            w.endObject();
+            break;
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+TraceWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string doc = str();
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = n == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace wmstream::obs

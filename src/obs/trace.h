@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Chrome trace_event JSON sink.
+ *
+ * Emits the subset of the trace-event format that chrome://tracing
+ * and Perfetto load directly: the "JSON Array Format" with counter
+ * events ("ph":"C"), complete duration events ("ph":"X"), instant
+ * events ("ph":"i"), and thread-name metadata ("ph":"M"). One
+ * simulated cycle maps to one microsecond of trace time, so a
+ * 10k-cycle run renders as a 10ms timeline.
+ *
+ * The simulator deduplicates counter samples (emitting only on
+ * change); the writer just buffers events and serializes on demand.
+ */
+
+#ifndef WMSTREAM_OBS_TRACE_H
+#define WMSTREAM_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wmstream::obs {
+
+/** Buffered trace_event writer. */
+class TraceWriter
+{
+  public:
+    /**
+     * Register a named track (a "thread" in trace-event terms) and
+     * return its tid. Duration/instant events land on tracks;
+     * counter events get their own implicit track per counter name.
+     */
+    int track(const std::string &name);
+
+    /** Counter sample: one series @p name with @p value at @p ts. */
+    void counter(const std::string &name, uint64_t ts, double value);
+
+    /** Complete duration event on @p tid covering [ts, ts+dur]. */
+    void complete(int tid, const std::string &name, uint64_t ts,
+                  uint64_t dur);
+
+    /** Instant event on @p tid. */
+    void instant(int tid, const std::string &name, uint64_t ts);
+
+    size_t eventCount() const { return events_.size(); }
+
+    /** Serialize the full trace document. */
+    std::string str() const;
+
+    /** Write to @p path; false (and errno set) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    enum class Ph : uint8_t { Counter, Complete, Instant, Meta };
+    struct Event
+    {
+        Ph ph;
+        int tid;
+        std::string name;
+        uint64_t ts;
+        uint64_t dur;    // Complete only
+        double value;    // Counter only
+        std::string arg; // Meta: thread name
+    };
+    std::vector<Event> events_;
+    int nextTid_ = 1;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_TRACE_H

@@ -117,6 +117,46 @@ m88100Model()
     return m;
 }
 
+const char *
+costClassName(CostClass c)
+{
+    switch (c) {
+      case CostClass::IntAlu: return "int_alu";
+      case CostClass::IntMul: return "int_mul";
+      case CostClass::IntDiv: return "int_div";
+      case CostClass::FltAdd: return "flt_add";
+      case CostClass::FltMul: return "flt_mul";
+      case CostClass::FltDiv: return "flt_div";
+      case CostClass::Load: return "load";
+      case CostClass::Store: return "store";
+      case CostClass::Compare: return "compare";
+      case CostClass::Branch: return "branch";
+      case CostClass::Materialize: return "materialize";
+      case CostClass::Call: return "call";
+      case CostClass::Move: return "move";
+      case CostClass::Cvt: return "cvt";
+      case CostClass::kCount: break;
+    }
+    return "?";
+}
+
+void
+ScalarRunResult::exportCounters(obs::CounterRegistry &reg) const
+{
+    reg.set("insts_executed", instsExecuted);
+    reg.set("memory_refs", memoryRefs);
+    reg.set("millicycles.total",
+            static_cast<uint64_t>(cycles * 1000.0 + 0.5));
+    for (size_t c = 0; c < static_cast<size_t>(CostClass::kCount); ++c) {
+        if (!instsByClass[c])
+            continue;
+        const char *n = costClassName(static_cast<CostClass>(c));
+        reg.set(std::string("insts.") + n, instsByClass[c]);
+        reg.set(std::string("millicycles.") + n,
+                static_cast<uint64_t>(cyclesByClass[c] * 1000.0 + 0.5));
+    }
+}
+
 namespace {
 
 struct Val
@@ -184,10 +224,10 @@ class ScalarMachine
                     if (inst.dst->regFile() == RegFile::CC) {
                         cc_[inst.dst->regIndex() == 1 ? 1 : 0] =
                             v.isFloat ? v.f != 0.0 : v.i != 0;
-                        res.cycles += model_.cyclesCompare;
+                        charge(res, CostClass::Compare);
                     } else {
                         writeReg(inst.dst, v);
-                        res.cycles += assignCost(inst);
+                        charge(res, assignClass(inst));
                     }
                     ++pc;
                     break;
@@ -195,7 +235,7 @@ class ScalarMachine
                   case InstKind::Load: {
                     Val a = eval(inst.addr);
                     writeReg(inst.dst, memRead(a.i, inst.memType));
-                    res.cycles += model_.cyclesLoad;
+                    charge(res, CostClass::Load);
                     ++res.memoryRefs;
                     ++pc;
                     break;
@@ -204,20 +244,20 @@ class ScalarMachine
                     Val a = eval(inst.addr);
                     Val v = eval(inst.src);
                     memWrite(a.i, inst.memType, v);
-                    res.cycles += model_.cyclesStore;
+                    charge(res, CostClass::Store);
                     ++res.memoryRefs;
                     ++pc;
                     break;
                   }
                   case InstKind::Jump:
                     pc = label(func, inst.target);
-                    res.cycles += model_.cyclesBranch;
+                    charge(res, CostClass::Branch);
                     break;
                   case InstKind::CondJump: {
                     bool c = cc_[inst.side == rtl::UnitSide::Flt ? 1 : 0];
                     pc = (c == inst.when) ? label(func, inst.target)
                                           : pc + 1;
-                    res.cycles += model_.cyclesBranch;
+                    charge(res, CostClass::Branch);
                     break;
                   }
                   case InstKind::Call: {
@@ -226,11 +266,11 @@ class ScalarMachine
                         throw RunError("unknown function " + inst.target);
                     ra_.push_back(pc + 1);
                     pc = fit->second;
-                    res.cycles += model_.cyclesCall;
+                    charge(res, CostClass::Call);
                     break;
                   }
                   case InstKind::Return:
-                    res.cycles += model_.cyclesCall;
+                    charge(res, CostClass::Call);
                     if (ra_.empty()) {
                         res.ok = true;
                         res.returnValue = rreg_[2];
@@ -252,33 +292,65 @@ class ScalarMachine
 
   private:
     double
-    assignCost(const Inst &inst) const
+    rate(CostClass c) const
+    {
+        switch (c) {
+          case CostClass::IntAlu: return model_.cyclesIntAlu;
+          case CostClass::IntMul: return model_.cyclesIntMul;
+          case CostClass::IntDiv: return model_.cyclesIntDiv;
+          case CostClass::FltAdd: return model_.cyclesFltAdd;
+          case CostClass::FltMul: return model_.cyclesFltMul;
+          case CostClass::FltDiv: return model_.cyclesFltDiv;
+          case CostClass::Load: return model_.cyclesLoad;
+          case CostClass::Store: return model_.cyclesStore;
+          case CostClass::Compare: return model_.cyclesCompare;
+          case CostClass::Branch: return model_.cyclesBranch;
+          case CostClass::Materialize: return model_.cyclesMaterialize;
+          case CostClass::Call: return model_.cyclesCall;
+          case CostClass::Move: return model_.cyclesMove;
+          case CostClass::Cvt: return model_.cyclesCvt;
+          case CostClass::kCount: break;
+        }
+        return 0;
+    }
+
+    void
+    charge(ScalarRunResult &res, CostClass c) const
+    {
+        double r = rate(c);
+        res.cycles += r;
+        res.cyclesByClass[static_cast<size_t>(c)] += r;
+        ++res.instsByClass[static_cast<size_t>(c)];
+    }
+
+    CostClass
+    assignClass(const Inst &inst) const
     {
         const ExprPtr &s = inst.src;
         bool flt = inst.dst->regFile() == RegFile::Flt ||
                    inst.dst->regFile() == RegFile::VFlt;
         switch (s->kind()) {
           case Expr::Kind::Reg:
-            return model_.cyclesMove;
+            return CostClass::Move;
           case Expr::Kind::Const:
           case Expr::Kind::Sym:
-            return model_.cyclesMaterialize;
+            return CostClass::Materialize;
           case Expr::Kind::Un:
             if (s->op() == Op::CvtIF || s->op() == Op::CvtFI)
-                return model_.cyclesCvt;
-            return flt ? model_.cyclesFltAdd : model_.cyclesIntAlu;
+                return CostClass::Cvt;
+            return flt ? CostClass::FltAdd : CostClass::IntAlu;
           case Expr::Kind::Bin:
             switch (s->op()) {
               case Op::Mul:
-                return flt ? model_.cyclesFltMul : model_.cyclesIntMul;
+                return flt ? CostClass::FltMul : CostClass::IntMul;
               case Op::Div:
               case Op::Rem:
-                return flt ? model_.cyclesFltDiv : model_.cyclesIntDiv;
+                return flt ? CostClass::FltDiv : CostClass::IntDiv;
               default:
-                return flt ? model_.cyclesFltAdd : model_.cyclesIntAlu;
+                return flt ? CostClass::FltAdd : CostClass::IntAlu;
             }
           default:
-            return model_.cyclesIntAlu;
+            return CostClass::IntAlu;
         }
     }
 

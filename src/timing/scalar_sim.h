@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
 #include "rtl/program.h"
 
 namespace wmstream::timing {
@@ -50,6 +51,20 @@ CostModel hp9000_345Model();
 CostModel vax8600Model();
 CostModel m88100Model();
 
+/**
+ * Where a scalar machine's weighted cycles go: one class per
+ * CostModel rate. Mirrors the wmsim stall-cause attribution so
+ * WM-vs-68020 comparisons break down by cause on both sides.
+ */
+enum class CostClass : uint8_t {
+    IntAlu, IntMul, IntDiv, FltAdd, FltMul, FltDiv, Load, Store,
+    Compare, Branch, Materialize, Call, Move, Cvt,
+    kCount
+};
+
+/** Stable lower_snake_case name of @p c. */
+const char *costClassName(CostClass c);
+
 /** Result of a timed scalar run. */
 struct ScalarRunResult
 {
@@ -59,6 +74,28 @@ struct ScalarRunResult
     double cycles = 0;          ///< weighted cycle count
     uint64_t instsExecuted = 0;
     uint64_t memoryRefs = 0;    ///< loads + stores executed
+
+    /** @name Per-class attribution (sums match the totals above) */
+    /// @{
+    double cyclesByClass[static_cast<size_t>(CostClass::kCount)] = {};
+    uint64_t instsByClass[static_cast<size_t>(CostClass::kCount)] = {};
+    /// @}
+
+    double cyclesOf(CostClass c) const
+    {
+        return cyclesByClass[static_cast<size_t>(c)];
+    }
+    uint64_t instsOf(CostClass c) const
+    {
+        return instsByClass[static_cast<size_t>(c)];
+    }
+
+    /**
+     * Export counters into @p reg under dotted names:
+     * "cycles.load", "insts.branch", ... Weighted cycles are scaled
+     * by 1000 (registry values are integers) under "millicycles.*".
+     */
+    void exportCounters(obs::CounterRegistry &reg) const;
 };
 
 /**

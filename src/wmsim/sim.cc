@@ -79,6 +79,81 @@ struct RunError : std::runtime_error
 
 } // anonymous namespace
 
+const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::None: return "none";
+      case StallCause::DataFifoEmpty: return "data_fifo_empty";
+      case StallCause::DataFifoFull: return "data_fifo_full";
+      case StallCause::CcFifoEmpty: return "cc_fifo_empty";
+      case StallCause::CcFifoFull: return "cc_fifo_full";
+      case StallCause::StoreQueueFull: return "store_queue_full";
+      case StallCause::MemPortContention: return "mem_port_contention";
+      case StallCause::StreamOwnership: return "stream_ownership";
+      case StallCause::DivBusy: return "div_busy";
+      case StallCause::InstQueueEmpty: return "inst_queue_empty";
+      case StallCause::InstQueueFull: return "inst_queue_full";
+      case StallCause::SyncWait: return "sync_wait";
+      case StallCause::VeuBusy: return "veu_busy";
+      case StallCause::ScuDrainWait: return "scu_drain_wait";
+      case StallCause::ScuUnavailable: return "scu_unavailable";
+      case StallCause::ScuFifoBusy: return "scu_fifo_busy";
+      case StallCause::kCount: break;
+    }
+    return "?";
+}
+
+uint64_t
+UnitStallStats::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : byCause)
+        sum += v;
+    return sum;
+}
+
+void
+SimStats::exportCounters(obs::CounterRegistry &reg) const
+{
+    reg.set("cycles", cycles);
+    reg.set("insts_dispatched", instsDispatched);
+    reg.set("loads_issued", loadsIssued);
+    reg.set("stores_committed", storesCommitted);
+    reg.set("stream.elements_in", streamElementsIn);
+    reg.set("stream.elements_out", streamElementsOut);
+    reg.set("vector_elements", vectorElements);
+
+    auto unit = [&](const char *u, uint64_t executed, uint64_t stallTotal,
+                    const UnitStallStats &stalls) {
+        std::string p(u);
+        reg.set(p + ".executed", executed);
+        reg.set(p + ".stall_cycles", stallTotal);
+        for (size_t c = 1; c < static_cast<size_t>(StallCause::kCount);
+             ++c) {
+            uint64_t v = stalls.byCause[c];
+            if (v)
+                reg.set(p + ".stall." +
+                            stallCauseName(static_cast<StallCause>(c)),
+                        v);
+        }
+    };
+    unit("ieu", ieuExecuted, ieuStallCycles, ieuStalls);
+    unit("feu", feuExecuted, feuStallCycles, feuStalls);
+    unit("ifu", ifuExecuted, ifuStallCycles, ifuStalls);
+    reg.set("ieu.idle_empty_cycles", ieuIdleCycles);
+    reg.set("feu.idle_empty_cycles", feuIdleCycles);
+    reg.set("scu.startup_wait_cycles", scuStartupWaitCycles);
+    reg.set("scu.port_contention_cycles", scuPortContentionCycles);
+    reg.set("store.port_contention_cycles", storePortContentionCycles);
+
+    for (const OccupancySeries &s : occupancy) {
+        reg.set("occupancy." + s.name + ".samples", s.hist.count());
+        reg.set("occupancy." + s.name + ".max",
+                static_cast<uint64_t>(s.hist.max()));
+    }
+}
+
 struct Simulator::Impl
 {
     // ---- static program state ----
@@ -187,6 +262,24 @@ struct Simulator::Impl
     std::string pendingError;
     bool trace = std::getenv("WS_TRACE") != nullptr;
 
+    // ---- observability state ----
+    /**
+     * Occupancy series order (fixed, also the sample order):
+     * 0-3 in_fifo[side][f], 4-7 out_fifo[side][f], 8-9 cc_fifo[side],
+     * 10-11 inst_q (ieu, feu), 12-13 store_q[side].
+     */
+    static constexpr int kNumOcc = 14;
+    static const char *const kOccNames[kNumOcc];
+    obs::Histogram occ[kNumOcc];
+
+    /** Per-series last emitted trace counter value (dedup on change). */
+    double traceLast[kNumOcc + 5];
+    /** Trace track ids for the SCU slots; stream start bookkeeping. */
+    std::vector<int> scuTid;
+    std::vector<uint64_t> scuStartCycle;
+    std::vector<std::string> scuEventName;
+    std::vector<bool> scuWasActive;
+
     Impl(const rtl::Program &p, SimConfig c) : prog(p), cfg(c)
     {
         mem.assign(cfg.memBytes, 0);
@@ -194,6 +287,100 @@ struct Simulator::Impl
         flatten();
         loadImage();
         rreg[30] = static_cast<int64_t>(cfg.memBytes) - 64;
+        for (double &v : traceLast)
+            v = -1.0;
+        if (cfg.trace) {
+            scuStartCycle.resize(scus.size(), 0);
+            scuEventName.resize(scus.size());
+            scuWasActive.resize(scus.size(), false);
+            for (size_t i = 0; i < scus.size(); ++i)
+                scuTid.push_back(
+                    cfg.trace->track(strFormat("SCU %zu", i)));
+        }
+    }
+
+    /** Current occupancy of series @p i (see kOccNames). */
+    size_t
+    occValue(int i) const
+    {
+        if (i < 4)
+            return inFifo[i / 2][i % 2].size();
+        if (i < 8)
+            return outFifo[(i - 4) / 2][(i - 4) % 2].size();
+        if (i < 10)
+            return ccFifo[i - 8].size();
+        if (i < 12)
+            return unitQ[i - 10].size();
+        return storeQ[i - 12].size();
+    }
+
+    void
+    sampleOccupancy()
+    {
+        for (int i = 0; i < kNumOcc; ++i)
+            occ[i].add(static_cast<int64_t>(occValue(i)));
+    }
+
+    /**
+     * Emit this cycle's trace samples: occupancy / activity counters
+     * (deduplicated on change) and stream duration events on the SCU
+     * tracks.
+     */
+    void
+    traceCycle(uint64_t dispatched, uint64_t ieuExec, uint64_t feuExec)
+    {
+        obs::TraceWriter &tw = *cfg.trace;
+        auto sample = [&](int slot, const char *name, double v) {
+            if (traceLast[slot] != v) {
+                traceLast[slot] = v;
+                tw.counter(name, now, v);
+            }
+        };
+        for (int i = 0; i < kNumOcc; ++i)
+            sample(i, kOccNames[i],
+                   static_cast<double>(occValue(i)));
+        sample(kNumOcc + 0, "ifu.dispatched",
+               static_cast<double>(dispatched));
+        sample(kNumOcc + 1, "busy.ieu", static_cast<double>(ieuExec));
+        sample(kNumOcc + 2, "busy.feu", static_cast<double>(feuExec));
+        sample(kNumOcc + 3, "busy.veu", veu.active ? 1.0 : 0.0);
+        int activeStreams = 0;
+        for (const Stream &s : scus)
+            activeStreams += s.active ? 1 : 0;
+        sample(kNumOcc + 4, "scu.active",
+               static_cast<double>(activeStreams));
+
+        for (size_t i = 0; i < scus.size(); ++i) {
+            const Stream &s = scus[i];
+            if (s.active && !scuWasActive[i]) {
+                scuStartCycle[i] = now;
+                scuEventName[i] = strFormat(
+                    "%s %s.f%d n=%lld stride=%lld",
+                    s.input ? "Sin" : "Sout",
+                    s.side ? "flt" : "int", s.fifo,
+                    static_cast<long long>(s.count),
+                    static_cast<long long>(s.stride));
+            } else if (!s.active && scuWasActive[i]) {
+                tw.complete(scuTid[i], scuEventName[i],
+                            scuStartCycle[i],
+                            std::max<uint64_t>(now - scuStartCycle[i],
+                                               1));
+            }
+            scuWasActive[i] = s.active;
+        }
+    }
+
+    /** Close out duration events for streams still active at exit. */
+    void
+    traceFinish()
+    {
+        if (!cfg.trace)
+            return;
+        for (size_t i = 0; i < scus.size(); ++i)
+            if (scuWasActive[i])
+                cfg.trace->complete(
+                    scuTid[i], scuEventName[i], scuStartCycle[i],
+                    std::max<uint64_t>(now - scuStartCycle[i], 1));
     }
 
     void
@@ -620,8 +807,11 @@ struct Simulator::Impl
     commitStores()
     {
         for (int side = 0; side < 2; ++side) {
-            if (portsUsed >= cfg.memPorts)
+            if (portsUsed >= cfg.memPorts) {
+                if (!storeQ[0].empty() || !storeQ[1].empty())
+                    ++stats.storePortContentionCycles;
                 return;
+            }
             if (storeQ[side].empty())
                 continue;
             // Output FIFO 0 feeds scalar stores unless a stream claims
@@ -652,10 +842,14 @@ struct Simulator::Impl
             Stream &s = scus[i];
             if (!s.active)
                 continue;
-            if (s.readyAt > now)
+            if (s.readyAt > now) {
+                ++stats.scuStartupWaitCycles;
                 continue; // still spinning up
-            if (portsUsed >= cfg.memPorts)
+            }
+            if (portsUsed >= cfg.memPorts) {
+                ++stats.scuPortContentionCycles;
                 break;
+            }
             if (s.input) {
                 if (s.closed) {
                     s.active = false;
@@ -813,14 +1007,18 @@ struct Simulator::Impl
             veu.active = false;
     }
 
-    /** Execute the head of a unit queue; true on progress. */
-    bool
+    /**
+     * Execute the head of a unit queue. Returns StallCause::None on
+     * progress, otherwise the (single) cause that blocked the unit
+     * this cycle.
+     */
+    StallCause
     stepUnit(int u)
     {
-        if (unitBusyUntil[u] > now)
-            return false;
         if (unitQ[u].empty())
-            return false;
+            return StallCause::InstQueueEmpty;
+        if (unitBusyUntil[u] > now)
+            return StallCause::DivBusy;
         const Inst &inst = *unitQ[u].front().inst;
         int64_t seq = unitQ[u].front().seq;
         bool streamEnq = unitQ[u].front().streamEnq;
@@ -836,7 +1034,7 @@ struct Simulator::Impl
                 int side = inst.dst->regFile() == RegFile::Flt ? 1 : 0;
                 if (findStream(side, inst.dst->regIndex(),
                                /*input=*/false)) {
-                    return false;
+                    return StallCause::StreamOwnership;
                 }
             }
             int needs[2][2] = {{0, 0}, {0, 0}};
@@ -845,13 +1043,13 @@ struct Simulator::Impl
                 for (int f = 0; f < 2; ++f)
                     if (needs[s][f] >
                             static_cast<int>(inFifo[s][f].size())) {
-                        return false; // wait for data
+                        return StallCause::DataFifoEmpty; // wait for data
                     }
             if (inst.dst->regFile() == RegFile::CC &&
                     static_cast<int>(
                         ccFifo[inst.dst->regIndex() == 1 ? 1 : 0]
                             .size()) >= cfg.ccFifoDepth) {
-                return false;
+                return StallCause::CcFifoFull;
             }
             if (inst.dst->regIndex() <= 1 &&
                     (inst.dst->regFile() == RegFile::Int ||
@@ -861,7 +1059,7 @@ struct Simulator::Impl
                                     ? 1
                                     : 0][inst.dst->regIndex()]
                             .size()) >= cfg.dataFifoDepth) {
-                return false;
+                return StallCause::DataFifoFull;
             }
             bool divides = false;
             rtl::forEachNode(inst.src, [&](const Expr &n) {
@@ -878,14 +1076,14 @@ struct Simulator::Impl
           }
           case InstKind::Load: {
             if (portsUsed >= cfg.memPorts)
-                return false;
+                return StallCause::MemPortContention;
             bool flt = rtl::isFloatType(inst.memType);
             int side = flt ? 1 : 0;
             // Input FIFO 0 is the load-data channel; while a stream
             // owns it, scalar loads wait for the stream to retire so
             // the two data sources cannot interleave.
             if (findStream(side, 0, /*input=*/true))
-                return false;
+                return StallCause::StreamOwnership;
             Val a = eval(inst.addr);
             ReadReq req;
             req.deliverAt = now + cfg.memLatency;
@@ -904,7 +1102,7 @@ struct Simulator::Impl
             int side = flt ? 1 : 0;
             if (static_cast<int>(storeQ[side].size()) >=
                     cfg.storeQueueDepth) {
-                return false;
+                return StallCause::StoreQueueFull;
             }
             Val a = eval(inst.addr);
             checkAddr(a.i, rtl::dataTypeSize(inst.memType));
@@ -920,7 +1118,7 @@ struct Simulator::Impl
             ++stats.ieuExecuted;
         else
             ++stats.feuExecuted;
-        return true;
+        return StallCause::None;
     }
 
     bool
@@ -928,6 +1126,14 @@ struct Simulator::Impl
     {
         return unitQ[0].empty() && unitQ[1].empty() &&
                unitBusyUntil[0] <= now && unitBusyUntil[1] <= now;
+    }
+
+    /** Count an IFU stall cycle attributed to @p c. */
+    void
+    ifuStall(StallCause c)
+    {
+        ++stats.ifuStallCycles;
+        ++stats.ifuStalls[c];
     }
 
     int64_t
@@ -960,7 +1166,7 @@ struct Simulator::Impl
                   case InstKind::CondJump: {
                     int side = inst.side == UnitSide::Flt ? 1 : 0;
                     if (ccFifo[side].empty()) {
-                        ++stats.ifuStallCycles;
+                        ifuStall(StallCause::CcFifoEmpty);
                         return; // wait for the compare
                     }
                     bool cc = ccFifo[side].front();
@@ -1009,7 +1215,7 @@ struct Simulator::Impl
                   case InstKind::Assign: {
                     // Synchronizing int/float conversion.
                     if (!unitsIdle()) {
-                        ++stats.ifuStallCycles;
+                        ifuStall(StallCause::SyncWait);
                         return;
                     }
                     // A folded FIFO operand may still be in flight.
@@ -1020,7 +1226,7 @@ struct Simulator::Impl
                             if (needs[s2][f2] >
                                     static_cast<int>(
                                         inFifo[s2][f2].size())) {
-                                ++stats.ifuStallCycles;
+                                ifuStall(StallCause::DataFifoEmpty);
                                 return;
                             }
                     Val v = eval(inst.src);
@@ -1040,7 +1246,8 @@ struct Simulator::Impl
                     // count and any scalar operand hold final values)
                     // and the VEU free.
                     if (!unitsIdle() || veu.active) {
-                        ++stats.ifuStallCycles;
+                        ifuStall(veu.active ? StallCause::VeuBusy
+                                            : StallCause::SyncWait);
                         return;
                     }
                     VeuState v;
@@ -1090,7 +1297,7 @@ struct Simulator::Impl
                 // re-entered loop may dispatch the next instance while
                 // the last one is still draining).
                 if (!unitQ[0].empty() || unitBusyUntil[0] > now) {
-                    ++stats.ifuStallCycles;
+                    ifuStall(StallCause::ScuDrainWait);
                     return;
                 }
                 Stream *free = nullptr;
@@ -1098,13 +1305,13 @@ struct Simulator::Impl
                     if (!s.active)
                         free = &s;
                 if (!free) {
-                    ++stats.ifuStallCycles;
+                    ifuStall(StallCause::ScuUnavailable);
                     return;
                 }
                 int side = inst.side == UnitSide::Flt ? 1 : 0;
                 if (findStream(side, inst.fifo,
                                inst.kind == InstKind::StreamIn)) {
-                    ++stats.ifuStallCycles;
+                    ifuStall(StallCause::ScuFifoBusy);
                     return; // previous stream still draining
                 }
                 Stream s;
@@ -1145,7 +1352,7 @@ struct Simulator::Impl
                 int u = engineOf(inst) == Engine::FEU ? 1 : 0;
                 if (static_cast<int>(unitQ[u].size()) >=
                         cfg.instQueueDepth) {
-                    ++stats.ifuStallCycles;
+                    ifuStall(StallCause::InstQueueFull);
                     return;
                 }
                 int64_t mySeq = seqCounter++;
@@ -1198,6 +1405,18 @@ struct Simulator::Impl
         return true;
     }
 
+    /** Move collected occupancy histograms into the result stats. */
+    void
+    finalizeStats()
+    {
+        stats.cycles = now;
+        if (!cfg.collectOccupancy || !stats.occupancy.empty())
+            return;
+        stats.occupancy.reserve(kNumOcc);
+        for (int i = 0; i < kNumOcc; ++i)
+            stats.occupancy.push_back({kOccNames[i], occ[i]});
+    }
+
     SimResult
     run()
     {
@@ -1208,20 +1427,48 @@ struct Simulator::Impl
             return res;
         }
         pc = it->second;
+        // Instrumentation branches are hoisted out of the common path:
+        // with both knobs off the per-cycle cost is two predictable
+        // untaken branches.
+        const bool sampleOcc = cfg.collectOccupancy;
+        const bool tracing = cfg.trace != nullptr;
         try {
             while (now < cfg.maxCycles) {
                 portsUsed = 0;
+                uint64_t dispatched0 = stats.instsDispatched +
+                                       stats.ifuExecuted;
+                uint64_t ieuExec0 = stats.ieuExecuted;
+                uint64_t feuExec0 = stats.feuExecuted;
                 deliverReads();
-                bool p0 = stepUnit(0);
-                bool p1 = stepUnit(1);
-                if (!p0 && !unitQ[0].empty())
-                    ++stats.ieuStallCycles;
-                if (!p1 && !unitQ[1].empty())
-                    ++stats.feuStallCycles;
+                StallCause c0 = stepUnit(0);
+                StallCause c1 = stepUnit(1);
+                if (c0 != StallCause::None) {
+                    if (c0 == StallCause::InstQueueEmpty)
+                        ++stats.ieuIdleCycles;
+                    else {
+                        ++stats.ieuStallCycles;
+                        ++stats.ieuStalls[c0];
+                    }
+                }
+                if (c1 != StallCause::None) {
+                    if (c1 == StallCause::InstQueueEmpty)
+                        ++stats.feuIdleCycles;
+                    else {
+                        ++stats.feuStallCycles;
+                        ++stats.feuStalls[c1];
+                    }
+                }
                 commitStores();
                 stepVEU();
                 stepSCUs();
                 fetchAndDispatch();
+                if (sampleOcc)
+                    sampleOccupancy();
+                if (tracing)
+                    traceCycle(stats.instsDispatched +
+                                   stats.ifuExecuted - dispatched0,
+                               stats.ieuExecuted - ieuExec0,
+                               stats.feuExecuted - feuExec0);
                 ++now;
                 if (returned && drained())
                     break;
@@ -1277,22 +1524,32 @@ struct Simulator::Impl
                             s.closed ? 1 : 0);
                 res.error = "cycle limit exceeded (livelock or very "
                             "long program): " + state + scuState;
+                traceFinish();
+                finalizeStats();
                 res.stats = stats;
-                res.stats.cycles = now;
                 return res;
             }
         } catch (const RunError &e) {
             res.error = e.what();
+            traceFinish();
+            finalizeStats();
             res.stats = stats;
-            res.stats.cycles = now;
             return res;
         }
         res.ok = true;
         res.returnValue = rreg[2];
-        stats.cycles = now;
+        traceFinish();
+        finalizeStats();
         res.stats = stats;
         return res;
     }
+};
+
+const char *const Simulator::Impl::kOccNames[Simulator::Impl::kNumOcc] = {
+    "in_fifo.int0",  "in_fifo.int1",  "in_fifo.flt0",  "in_fifo.flt1",
+    "out_fifo.int0", "out_fifo.int1", "out_fifo.flt0", "out_fifo.flt1",
+    "cc_fifo.int",   "cc_fifo.flt",   "inst_q.ieu",    "inst_q.feu",
+    "store_q.int",   "store_q.flt",
 };
 
 Simulator::Simulator(const rtl::Program &prog, SimConfig config)

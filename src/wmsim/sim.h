@@ -41,6 +41,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "rtl/program.h"
 
 namespace wmstream::wmsim {
@@ -62,6 +65,74 @@ struct SimConfig
     int divLatency = 8;        ///< integer and float divide occupancy
     uint64_t maxCycles = 2'000'000'000;
     size_t memBytes = 16u << 20;
+
+    /** @name Observability (off by default: the hot loop stays lean) */
+    /// @{
+    /** Sample per-FIFO/queue occupancy histograms every cycle. */
+    bool collectOccupancy = false;
+    /**
+     * Emit a per-cycle pipeline trace (Chrome trace_event format,
+     * one counter track per unit/FIFO, one duration event per
+     * stream) into this sink. The caller owns the writer and its
+     * lifetime must cover the run.
+     */
+    obs::TraceWriter *trace = nullptr;
+    /// @}
+};
+
+/**
+ * Why a unit could not make progress this cycle.
+ *
+ * Each stalled unit-cycle is attributed to exactly one cause — the
+ * first condition, in the unit's own evaluation order, that blocked
+ * it — so per-unit cause counts sum exactly to that unit's total
+ * stall cycles (see DESIGN.md "Stall-cause taxonomy").
+ */
+enum class StallCause : uint8_t {
+    None,              ///< made progress (not a stall)
+    DataFifoEmpty,     ///< input operand FIFO has no data yet
+    DataFifoFull,      ///< output enqueue target FIFO is full
+    CcFifoEmpty,       ///< IFU: conditional jump waits on a compare
+    CcFifoFull,        ///< compare result has nowhere to go
+    StoreQueueFull,    ///< store address queue is full
+    MemPortContention, ///< all memory ports claimed this cycle
+    StreamOwnership,   ///< FIFO owned by an active stream
+    DivBusy,           ///< unit occupied by a multi-cycle divide
+    InstQueueEmpty,    ///< unit has no work (idle, not a stall)
+    InstQueueFull,     ///< IFU: target unit's instruction queue full
+    SyncWait,          ///< IFU: synchronizing op waits for unit drain
+    VeuBusy,           ///< IFU: vector op waits for the VEU
+    ScuDrainWait,      ///< IFU: stream start waits for IEU drain
+    ScuUnavailable,    ///< IFU: no free stream control unit
+    ScuFifoBusy,       ///< IFU: previous stream still owns the FIFO
+    kCount
+};
+
+/** Stable lower_snake_case name of @p c (JSON keys, test messages). */
+const char *stallCauseName(StallCause c);
+
+/** Per-unit stall attribution: one bucket per cause. */
+struct UnitStallStats
+{
+    uint64_t byCause[static_cast<size_t>(StallCause::kCount)] = {};
+
+    uint64_t &operator[](StallCause c)
+    {
+        return byCause[static_cast<size_t>(c)];
+    }
+    uint64_t at(StallCause c) const
+    {
+        return byCause[static_cast<size_t>(c)];
+    }
+    /** Sum over all causes (InstQueueEmpty is tracked as idle, not here). */
+    uint64_t total() const;
+};
+
+/** One sampled occupancy series (a FIFO or queue). */
+struct OccupancySeries
+{
+    std::string name;     ///< e.g. "in_fifo.int0", "inst_q.feu"
+    obs::Histogram hist;  ///< occupancy sampled once per cycle
 };
 
 /** Aggregate run statistics. */
@@ -80,6 +151,29 @@ struct SimStats
     uint64_t ieuStallCycles = 0;
     uint64_t feuStallCycles = 0;
     uint64_t ifuStallCycles = 0;
+
+    /** @name Stall attribution (always on; sums match the totals above) */
+    /// @{
+    UnitStallStats ieuStalls;
+    UnitStallStats feuStalls;
+    UnitStallStats ifuStalls;
+    uint64_t ieuIdleCycles = 0; ///< instruction queue empty
+    uint64_t feuIdleCycles = 0;
+    uint64_t scuStartupWaitCycles = 0;   ///< stream-cycles in startup
+    uint64_t scuPortContentionCycles = 0;///< SCU issue beaten to ports
+    uint64_t storePortContentionCycles = 0; ///< store commit blocked
+    /// @}
+
+    /** Occupancy histograms; empty unless SimConfig::collectOccupancy. */
+    std::vector<OccupancySeries> occupancy;
+
+    /**
+     * Export every counter (and histogram summary stats) into @p reg
+     * under dotted names: "ieu.executed", "ieu.stall.data_fifo_empty",
+     * "scu.startup_wait_cycles", ... The registry is the single
+     * serialization path for stats JSON.
+     */
+    void exportCounters(obs::CounterRegistry &reg) const;
 };
 
 /** Result of a simulation. */

@@ -77,3 +77,50 @@ TEST(Driver, TraitsMatchTarget)
     EXPECT_FALSE(sc.traits.isWM());
     EXPECT_FALSE(sc.traits.hasDualOp);
 }
+
+TEST(Driver, PassProfilesOffByDefault)
+{
+    driver::CompileOptions opts;
+    auto res = driver::compileSource(programs::dotProductSource(16), opts);
+    ASSERT_TRUE(res.ok) << res.diagnostics;
+    EXPECT_TRUE(res.passProfiles.empty());
+}
+
+TEST(Driver, PassProfilesRecordPipeline)
+{
+    driver::CompileOptions opts;
+    opts.profilePasses = true;
+    auto res = driver::compileSource(programs::dotProductSource(16), opts);
+    ASSERT_TRUE(res.ok) << res.diagnostics;
+    ASSERT_FALSE(res.passProfiles.empty());
+
+    auto find = [&](const std::string &name) -> const obs::PassProfile * {
+        for (const auto &p : res.passProfiles)
+            if (p.name == name)
+                return &p;
+        return nullptr;
+    };
+    // The WM pipeline must have run these phases, in this order.
+    const char *expected[] = {"frontend", "expand",    "cleanup",
+                              "recurrence", "streaming", "regalloc",
+                              "lower-fifo"};
+    size_t last = 0;
+    for (const char *name : expected) {
+        const obs::PassProfile *p = find(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_GE(p->calls, 1) << name;
+        EXPECT_GE(p->wallMs, 0.0) << name;
+        size_t idx = static_cast<size_t>(p - res.passProfiles.data());
+        EXPECT_GE(idx, last) << name << " out of order";
+        last = idx;
+    }
+    // Expansion creates the program, so its delta is the whole count.
+    EXPECT_GT(find("expand")->instsDelta(), 0);
+    // Streaming on the dot product finds streams and says so.
+    const obs::PassProfile *streaming = find("streaming");
+    bool sawStreams = false;
+    for (const auto &kv : streaming->counters)
+        if (kv.first == "streams_in" && kv.second > 0)
+            sawStreams = true;
+    EXPECT_TRUE(sawStreams);
+}

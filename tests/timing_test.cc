@@ -112,3 +112,44 @@ TEST(Timing, InstructionBudgetGuardsRunaways)
                                  /*maxInsts=*/10000);
     EXPECT_FALSE(res.ok);
 }
+
+TEST(Timing, CostClassAttributionSumsToTotals)
+{
+    auto res = run(programs::dotProductSource(64), timing::sun3_280Model());
+    ASSERT_TRUE(res.ok) << res.error;
+
+    double cyc = 0;
+    uint64_t insts = 0;
+    for (size_t c = 0;
+         c < static_cast<size_t>(timing::CostClass::kCount); ++c) {
+        cyc += res.cyclesByClass[c];
+        insts += res.instsByClass[c];
+    }
+    EXPECT_NEAR(cyc, res.cycles, 1e-6);
+    EXPECT_EQ(insts, res.instsExecuted);
+    // The kernel is loads + float multiply-adds; those classes must
+    // have been charged.
+    EXPECT_GT(res.instsOf(timing::CostClass::Load), 0u);
+    EXPECT_GT(res.instsOf(timing::CostClass::FltMul), 0u);
+    EXPECT_EQ(res.instsOf(timing::CostClass::Load) +
+                  res.instsOf(timing::CostClass::Store),
+              res.memoryRefs);
+}
+
+TEST(Timing, CounterExportRoundTrips)
+{
+    auto res = run(programs::dotProductSource(64), timing::sun3_280Model());
+    ASSERT_TRUE(res.ok) << res.error;
+    obs::CounterRegistry reg;
+    res.exportCounters(reg);
+    EXPECT_EQ(reg.get("insts_executed"), res.instsExecuted);
+    EXPECT_EQ(reg.get("memory_refs"), res.memoryRefs);
+    EXPECT_EQ(reg.sumPrefix("insts"), res.instsExecuted);
+    // millicycles.* (scaled 1000x) sums back to the weighted total,
+    // within rounding of each class.
+    double milli = static_cast<double>(reg.sumPrefix("millicycles")) -
+                   static_cast<double>(reg.get("millicycles.total"));
+    EXPECT_NEAR(milli / 1000.0, res.cycles,
+                0.001 * static_cast<double>(
+                            timing::CostClass::kCount));
+}

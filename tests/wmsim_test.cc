@@ -261,3 +261,118 @@ int main(void) {
     ASSERT_TRUE(res.ok) << res.error;
     EXPECT_EQ(res.returnValue, (16 * 17 / 2) * 16);
 }
+
+TEST(WmSim, StallCausesSumToUnitStallTotals)
+{
+    // Attribution invariant: every stalled unit-cycle is charged to
+    // exactly one cause, so the per-cause counts must sum to the
+    // legacy per-unit stall totals — streamed and non-streamed.
+    for (bool streaming : {false, true}) {
+        driver::CompileOptions opts;
+        opts.streaming = streaming;
+        auto cr =
+            driver::compileSource(programs::dotProductSource(64), opts);
+        ASSERT_TRUE(cr.ok) << cr.diagnostics;
+        auto res = wmsim::simulate(*cr.program);
+        ASSERT_TRUE(res.ok) << res.error;
+        EXPECT_EQ(res.stats.ieuStalls.total(), res.stats.ieuStallCycles)
+            << "streaming=" << streaming;
+        EXPECT_EQ(res.stats.feuStalls.total(), res.stats.feuStallCycles)
+            << "streaming=" << streaming;
+        EXPECT_EQ(res.stats.ifuStalls.total(), res.stats.ifuStallCycles)
+            << "streaming=" << streaming;
+        // Queue-empty cycles are idleness, not stalls: the unit-queue
+        // causes must never appear in the IEU/FEU stall breakdown.
+        EXPECT_EQ(res.stats.ieuStalls.at(wmsim::StallCause::InstQueueEmpty),
+                  0u);
+        EXPECT_EQ(res.stats.feuStalls.at(wmsim::StallCause::InstQueueEmpty),
+                  0u);
+    }
+}
+
+TEST(WmSim, MemoryLatencyStallsAttributeToDataFifoEmpty)
+{
+    // Non-streamed dot product at high memory latency: the FEU burns
+    // most of its stalled cycles waiting on load data, which the
+    // taxonomy calls data_fifo_empty (the latency is visible as an
+    // empty input FIFO at the consumer).
+    driver::CompileOptions opts;
+    opts.streaming = false;
+    auto cr = driver::compileSource(programs::dotProductSource(128), opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    wmsim::SimConfig cfg;
+    cfg.memLatency = 24;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    uint64_t fifoEmpty =
+        res.stats.feuStalls.at(wmsim::StallCause::DataFifoEmpty);
+    EXPECT_GT(fifoEmpty, 0u);
+    EXPECT_GE(2 * fifoEmpty, res.stats.feuStallCycles)
+        << "data_fifo_empty should dominate FEU stalls at high latency";
+}
+
+TEST(WmSim, OccupancyHistogramsCollectedWhenEnabled)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(programs::dotProductSource(64), opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+
+    auto off = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(off.ok) << off.error;
+    EXPECT_TRUE(off.stats.occupancy.empty());
+
+    wmsim::SimConfig cfg;
+    cfg.collectOccupancy = true;
+    auto on = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(on.ok) << on.error;
+    ASSERT_FALSE(on.stats.occupancy.empty());
+    bool sawFltInFifo = false;
+    for (const auto &s : on.stats.occupancy) {
+        // One sample per series per cycle.
+        EXPECT_EQ(s.hist.count(), on.stats.cycles) << s.name;
+        if (s.name == "in_fifo.flt0" && s.hist.max() > 0)
+            sawFltInFifo = true;
+    }
+    EXPECT_TRUE(sawFltInFifo)
+        << "streamed dot product must enqueue into the float in-FIFO";
+}
+
+TEST(WmSim, TraceWriterReceivesPipelineEvents)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(programs::dotProductSource(64), opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    obs::TraceWriter trace;
+    wmsim::SimConfig cfg;
+    cfg.trace = &trace;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_GT(trace.eventCount(), 0u);
+    std::string doc = trace.str();
+    // At least one event per pipeline unit.
+    for (const char *series :
+         {"busy.ieu", "busy.feu", "ifu.dispatched", "scu.active",
+          "in_fifo.flt0"})
+        EXPECT_NE(doc.find(series), std::string::npos) << series;
+    // The streamed loops must show up as SCU duration events.
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("SCU 0"), std::string::npos);
+}
+
+TEST(WmSim, CounterExportMatchesStats)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(programs::dotProductSource(64), opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+    obs::CounterRegistry reg;
+    res.stats.exportCounters(reg);
+    EXPECT_EQ(reg.get("cycles"), res.stats.cycles);
+    EXPECT_EQ(reg.get("ieu.executed"), res.stats.ieuExecuted);
+    EXPECT_EQ(reg.get("feu.stall_cycles"), res.stats.feuStallCycles);
+    // The dotted stall namespace sums back to the exported total.
+    EXPECT_EQ(reg.sumPrefix("ifu.stall"), reg.get("ifu.stall_cycles"));
+    EXPECT_EQ(reg.sumPrefix("ieu.stall"), reg.get("ieu.stall_cycles"));
+    EXPECT_EQ(reg.sumPrefix("feu.stall"), reg.get("feu.stall_cycles"));
+}

@@ -5,7 +5,11 @@
  * Compiles a mini-C source file for the WM access/execute architecture
  * (or the generic scalar target with 68020 output), optionally runs it
  * on the cycle simulator, and can dump the paper-style
- * memory-reference partition analysis.
+ * memory-reference partition analysis. The observability flags emit
+ * machine-readable artifacts: per-unit stall-cause counters and FIFO
+ * occupancy histograms as JSON, a Chrome trace_event pipeline trace
+ * (load in Perfetto / chrome://tracing), and per-pass compiler
+ * profiles.
  *
  * Usage:
  *   wmc [options] file.c
@@ -21,11 +25,19 @@
  *   --trace-partitions    print the per-loop partition vectors
  *   --run                 execute on the simulator / timing model
  *   --stats               with --run: print cycle statistics
+ *   --stats-json=FILE     with --run: write stats (stall causes, FIFO
+ *                         occupancy, compile reports) as JSON; "-" for
+ *                         stdout
+ *   --trace-out=FILE      with --run: write a Chrome trace-event
+ *                         pipeline trace (WM target only)
+ *   --profile-passes      print per-pass wall time and RTL
+ *                         instruction-count deltas
  *   --mem-latency=N       simulator memory latency    (default 4)
  *   --lanes=N             simulator VEU lanes         (default 4)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -33,6 +45,9 @@
 
 #include "driver/compiler.h"
 #include "m68k/printer.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "timing/scalar_sim.h"
 #include "wm/printer.h"
 #include "wmsim/sim.h"
@@ -51,18 +66,83 @@ usage()
                  "[--min-trip=N]\n"
                  "           [--print-asm] [--trace-partitions] [--run] "
                  "[--stats]\n"
+                 "           [--stats-json=FILE] [--trace-out=FILE] "
+                 "[--profile-passes]\n"
                  "           [--mem-latency=N] [--lanes=N] file.c\n");
     return 2;
 }
 
-bool
+enum class FlagMatch { NoMatch, Ok, BadValue };
+
+/** Match `NAME=N`; reject non-numeric or empty values. */
+FlagMatch
 flagValue(const char *arg, const char *name, int *out)
 {
     size_t n = std::strlen(name);
     if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return FlagMatch::NoMatch;
+    const char *val = arg + n + 1;
+    char *end = nullptr;
+    long v = std::strtol(val, &end, 10);
+    if (end == val || *end != '\0') {
+        std::fprintf(stderr, "wmc: bad numeric value in %s\n", arg);
+        return FlagMatch::BadValue;
+    }
+    *out = static_cast<int>(v);
+    return FlagMatch::Ok;
+}
+
+/** Match `NAME=STRING`; empty values are rejected. */
+FlagMatch
+flagString(const char *arg, const char *name, std::string *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return FlagMatch::NoMatch;
+    if (arg[n + 1] == '\0') {
+        std::fprintf(stderr, "wmc: empty value in %s\n", arg);
+        return FlagMatch::BadValue;
+    }
+    *out = arg + n + 1;
+    return FlagMatch::Ok;
+}
+
+/** Write @p text to @p path, or stdout when @p path is "-". */
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "wmc: cannot write %s\n", path.c_str());
         return false;
-    *out = std::atoi(arg + n + 1);
-    return true;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+void
+writeCompileSection(obs::JsonWriter &w,
+                    const driver::CompileResult &compiled)
+{
+    w.key("compile");
+    w.beginObject();
+    w.field("recurrences_optimized",
+            static_cast<int64_t>(compiled.totalRecurrences()));
+    w.field("streams", static_cast<int64_t>(compiled.totalStreams()));
+    w.field("loops_vectorized",
+            static_cast<int64_t>(compiled.totalVectorized()));
+    if (!compiled.passProfiles.empty()) {
+        w.key("passes");
+        obs::writePassProfilesJson(w, compiled.passProfiles);
+    }
+    w.endObject();
 }
 
 } // namespace
@@ -71,14 +151,23 @@ int
 main(int argc, char **argv)
 {
     driver::CompileOptions options;
-    std::string file;
+    std::string file, statsJsonPath, traceOutPath;
     bool printAsm = false, tracePartitions = false, run = false,
-         stats = false;
+         stats = false, profilePasses = false;
     wmsim::SimConfig simCfg;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         int v = 0;
+        FlagMatch m;
+        auto numeric = [&](const char *name, int *out) {
+            m = flagValue(a, name, out);
+            return m != FlagMatch::NoMatch;
+        };
+        auto stringy = [&](const char *name, std::string *out) {
+            m = flagString(a, name, out);
+            return m != FlagMatch::NoMatch;
+        };
         if (std::strcmp(a, "--target=wm") == 0) {
             options.target = rtl::MachineKind::WM;
         } else if (std::strcmp(a, "--target=68020") == 0) {
@@ -91,7 +180,9 @@ main(int argc, char **argv)
             options.streaming = false;
         } else if (std::strcmp(a, "--vectorize") == 0) {
             options.vectorize = true;
-        } else if (flagValue(a, "--min-trip", &v)) {
+        } else if (numeric("--min-trip", &v)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
             options.minStreamTripCount = v;
         } else if (std::strcmp(a, "--print-asm") == 0) {
             printAsm = true;
@@ -101,9 +192,19 @@ main(int argc, char **argv)
             run = true;
         } else if (std::strcmp(a, "--stats") == 0) {
             stats = true;
-        } else if (flagValue(a, "--mem-latency", &v)) {
+        } else if (std::strcmp(a, "--profile-passes") == 0) {
+            profilePasses = true;
+        } else if (stringy("--stats-json", &statsJsonPath) ||
+                   stringy("--trace-out", &traceOutPath)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if (numeric("--mem-latency", &v)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
             simCfg.memLatency = v;
-        } else if (flagValue(a, "--lanes", &v)) {
+        } else if (numeric("--lanes", &v)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
             simCfg.veuLanes = v;
         } else if (a[0] == '-') {
             std::fprintf(stderr, "wmc: unknown option %s\n", a);
@@ -111,6 +212,9 @@ main(int argc, char **argv)
         } else if (file.empty()) {
             file = a;
         } else {
+            std::fprintf(stderr, "wmc: more than one input file "
+                                 "(%s and %s)\n",
+                         file.c_str(), a);
             return usage();
         }
     }
@@ -125,11 +229,16 @@ main(int argc, char **argv)
     std::ostringstream buf;
     buf << in.rdbuf();
 
+    options.profilePasses = profilePasses;
     auto compiled = driver::compileSource(buf.str(), options);
     if (!compiled.ok) {
         std::fprintf(stderr, "%s", compiled.diagnostics.c_str());
         return 1;
     }
+
+    if (profilePasses)
+        std::printf("%s",
+                    obs::passProfileTable(compiled.passProfiles).c_str());
 
     if (tracePartitions) {
         for (const auto &r : compiled.recurrenceReports)
@@ -148,17 +257,32 @@ main(int argc, char **argv)
     if (!run)
         return 0;
 
+    // With --stats-json=- the JSON document owns stdout; the
+    // human-readable lines move to stderr so the output stays
+    // parseable.
+    std::FILE *human = statsJsonPath == "-" ? stderr : stdout;
+
     if (options.target == rtl::MachineKind::WM) {
+        obs::TraceWriter trace;
+        if (!traceOutPath.empty())
+            simCfg.trace = &trace;
+        if (!statsJsonPath.empty())
+            simCfg.collectOccupancy = true;
         auto res = wmsim::simulate(*compiled.program, simCfg);
+        if (!traceOutPath.empty() && !trace.writeFile(traceOutPath)) {
+            std::fprintf(stderr, "wmc: cannot write %s\n",
+                         traceOutPath.c_str());
+            return 1;
+        }
         if (!res.ok) {
             std::fprintf(stderr, "wmc: runtime error: %s\n",
                          res.error.c_str());
             return 1;
         }
-        std::printf("exit value: %lld\n",
-                    static_cast<long long>(res.returnValue));
+        std::fprintf(human, "exit value: %lld\n",
+                     static_cast<long long>(res.returnValue));
         if (stats) {
-            std::printf(
+            std::fprintf(human,
                 "cycles %llu, IEU %llu, FEU %llu, IFU %llu, loads %llu, "
                 "stores %llu,\nstream in %llu, stream out %llu, vector "
                 "%llu\n",
@@ -176,7 +300,41 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     res.stats.vectorElements));
         }
+        if (!statsJsonPath.empty()) {
+            obs::CounterRegistry reg;
+            res.stats.exportCounters(reg);
+            obs::JsonWriter w;
+            w.beginObject();
+            w.field("source", file);
+            w.field("target", "wm");
+            w.field("exit_value", res.returnValue);
+            w.key("config");
+            w.beginObject();
+            w.field("mem_latency",
+                    static_cast<int64_t>(simCfg.memLatency));
+            w.field("mem_ports", static_cast<int64_t>(simCfg.memPorts));
+            w.field("data_fifo_depth",
+                    static_cast<int64_t>(simCfg.dataFifoDepth));
+            w.field("veu_lanes", static_cast<int64_t>(simCfg.veuLanes));
+            w.endObject();
+            writeCompileSection(w, compiled);
+            w.key("sim");
+            reg.writeJson(w);
+            w.key("occupancy");
+            w.beginObject();
+            for (const auto &s : res.stats.occupancy) {
+                w.key(s.name);
+                s.hist.writeJson(w);
+            }
+            w.endObject();
+            w.endObject();
+            if (!writeTextFile(statsJsonPath, w.str()))
+                return 1;
+        }
     } else {
+        if (!traceOutPath.empty())
+            std::fprintf(stderr, "wmc: --trace-out ignored for the "
+                                 "68020 target\n");
         auto model = timing::sun3_280Model();
         auto res = timing::runScalar(*compiled.program, model);
         if (!res.ok) {
@@ -184,15 +342,32 @@ main(int argc, char **argv)
                          res.error.c_str());
             return 1;
         }
-        std::printf("exit value: %lld\n",
-                    static_cast<long long>(res.returnValue));
+        std::fprintf(human, "exit value: %lld\n",
+                     static_cast<long long>(res.returnValue));
         if (stats)
-            std::printf("weighted cycles %.0f (%s), %llu instructions, "
+            std::fprintf(human, "weighted cycles %.0f (%s), %llu instructions, "
                         "%llu memory refs\n",
                         res.cycles, model.name.c_str(),
                         static_cast<unsigned long long>(
                             res.instsExecuted),
                         static_cast<unsigned long long>(res.memoryRefs));
+        if (!statsJsonPath.empty()) {
+            obs::CounterRegistry reg;
+            res.exportCounters(reg);
+            obs::JsonWriter w;
+            w.beginObject();
+            w.field("source", file);
+            w.field("target", "68020");
+            w.field("model", model.name);
+            w.field("exit_value", res.returnValue);
+            w.field("weighted_cycles", res.cycles);
+            writeCompileSection(w, compiled);
+            w.key("sim");
+            reg.writeJson(w);
+            w.endObject();
+            if (!writeTextFile(statsJsonPath, w.str()))
+                return 1;
+        }
     }
     return 0;
 }
