@@ -99,7 +99,8 @@ compileSource(const std::string &source, const CompileOptions &options)
             prof.measure("recurrence", insts, [&] {
                 res.recurrenceReports.push_back(
                     recurrence::runRecurrenceOpt(
-                        *fn, res.traits, options.maxRecurrenceDegree));
+                        *fn, res.traits, options.maxRecurrenceDegree,
+                        options.injectRecurrenceDistanceBug));
             });
             const auto &rr = res.recurrenceReports.back();
             prof.addCounter("recurrence", "loops_examined",

@@ -46,6 +46,14 @@ struct CompileOptions
      * Off by default: profiling must not slow down compilation.
      */
     bool profilePasses = false;
+    /**
+     * Fault injection for the differential fuzzer's self-test ONLY:
+     * disable the recurrence optimizer's same-cell legality check so
+     * wmfuzz has a real miscompile to catch, deduplicate, and
+     * minimize. Hidden behind `wmfuzz --inject-recurrence-bug`;
+     * nothing else may set it.
+     */
+    bool injectRecurrenceDistanceBug = false;
 };
 
 /** Compilation output plus per-pass reports for the harnesses. */

@@ -1,0 +1,167 @@
+#include "fuzz/generator.h"
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace wmstream::fuzz {
+
+namespace {
+
+const char *const kArrayNames[kNumArrays] = {"A", "B", "C"};
+
+/** The per-array initialization patterns (distinct small moduli so
+ *  different cells rarely collide). */
+struct InitPattern
+{
+    int mul, add, mod;
+};
+const InitPattern kInit[kNumArrays] = {
+    {7, 3, 23}, {5, 1, 19}, {11, 7, 29}};
+
+} // anonymous namespace
+
+bool
+ProgramSpec::usesArray(int a) const
+{
+    for (const StmtSpec &s : stmts)
+        if (s.dst == a || s.src1 == a || s.src2 == a)
+            return true;
+    return false;
+}
+
+ProgramSpec
+generateSpec(support::Rng &rng)
+{
+    ProgramSpec spec;
+    spec.arraySize = 48;
+    spec.countUp = rng.flip();
+    int stmts = rng.range(1, 3);
+    for (int k = 0; k < stmts; ++k) {
+        StmtSpec s;
+        s.dst = rng.range(0, kNumArrays - 1);
+        s.dstOff = rng.range(-2, 2);
+        s.src1 = rng.range(0, kNumArrays - 1);
+        s.off1 = rng.range(-4, 4);
+        s.src2 = rng.range(0, kNumArrays - 1);
+        s.off2 = rng.range(-4, 4);
+        s.subtract = rng.flip();
+        // Conditional statements block streaming of the guarded refs.
+        s.conditional = rng.range(0, 3) == 0;
+        s.accumulate = rng.range(0, 2) == 0;
+        spec.stmts.push_back(s);
+    }
+    return spec;
+}
+
+namespace {
+
+/** Render `N[i + k]` with the `+ 0` elided. */
+std::string
+ref(int array, int off)
+{
+    if (off == 0)
+        return strFormat("%s[i]", kArrayNames[array]);
+    return strFormat("%s[i %s %d]", kArrayNames[array],
+                     off < 0 ? "-" : "+", off < 0 ? -off : off);
+}
+
+} // anonymous namespace
+
+std::string
+renderProgram(const ProgramSpec &spec)
+{
+    WS_ASSERT(!spec.stmts.empty(), "spec with no statements");
+    WS_ASSERT(spec.arraySize >= kMinArraySize, "array too small");
+
+    bool used[kNumArrays] = {};
+    int numUsed = 0;
+    for (int a = 0; a < kNumArrays; ++a)
+        if ((used[a] = spec.usesArray(a)))
+            ++numUsed;
+
+    std::string out = strFormat("int n = %d;\n", spec.arraySize);
+    for (int a = 0; a < kNumArrays; ++a)
+        if (used[a])
+            out += strFormat("int %s[%d];\n", kArrayNames[a],
+                             spec.arraySize);
+    out += "int main(void)\n{\n    int i, acc;\n";
+
+    // Initialization loop; braces only when more than one array.
+    out += strFormat("    for (i = 0; i < n; i++)%s\n",
+                     numUsed > 1 ? " {" : "");
+    for (int a = 0; a < kNumArrays; ++a)
+        if (used[a])
+            out += strFormat("        %s[i] = (i * %d + %d) %% %d;\n",
+                             kArrayNames[a], kInit[a].mul, kInit[a].add,
+                             kInit[a].mod);
+    if (numUsed > 1)
+        out += "    }\n";
+    out += "    acc = 0;\n";
+
+    // The fuzzed loop.
+    int bodyLines = 0;
+    for (const StmtSpec &s : spec.stmts)
+        bodyLines += 1 + (s.conditional ? 1 : 0) + (s.accumulate ? 1 : 0);
+    bool braces = bodyLines > 1;
+    if (spec.countUp)
+        out += strFormat("    for (i = 4; i < n - 4; i++)%s\n",
+                         braces ? " {" : "");
+    else
+        out += strFormat("    for (i = n - 5; i >= 4; i--)%s\n",
+                         braces ? " {" : "");
+    for (const StmtSpec &s : spec.stmts) {
+        std::string assign = strFormat(
+            "%s = %s %s %s;", ref(s.dst, s.dstOff).c_str(),
+            ref(s.src1, s.off1).c_str(), s.subtract ? "-" : "+",
+            ref(s.src2, s.off2).c_str());
+        if (s.conditional) {
+            out += "        if ((i & 1) == 0)\n";
+            out += strFormat("            %s\n", assign.c_str());
+        } else {
+            out += strFormat("        %s\n", assign.c_str());
+        }
+        if (s.accumulate)
+            out += strFormat("        acc = acc + %s;\n",
+                             ref(s.dst, s.dstOff).c_str());
+    }
+    if (braces)
+        out += "    }\n";
+
+    // Checksum every live array so any corrupted cell is observable.
+    out += "    for (i = 0; i < n; i++)\n";
+    std::string sum = "acc";
+    int weight = 1;
+    for (int a = 0; a < kNumArrays; ++a) {
+        if (!used[a])
+            continue;
+        if (weight == 1)
+            sum += strFormat(" + %s[i]", kArrayNames[a]);
+        else
+            sum += strFormat(" + %s[i] * %d", kArrayNames[a], weight);
+        ++weight;
+    }
+    out += strFormat("        acc = %s;\n", sum.c_str());
+    out += "    return acc & 1048575;\n}\n";
+    return out;
+}
+
+int
+sourceLineCount(const std::string &source)
+{
+    int lines = 0;
+    bool blank = true;
+    for (char c : source) {
+        if (c == '\n') {
+            if (!blank)
+                ++lines;
+            blank = true;
+        } else if (c != ' ' && c != '\t') {
+            blank = false;
+        }
+    }
+    if (!blank)
+        ++lines;
+    return lines;
+}
+
+} // namespace wmstream::fuzz

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Random loop-program generation for differential fuzzing.
+ *
+ * Lifted out of tests/loopfuzz_test.cc so the bounded in-gtest fuzz,
+ * the wmfuzz campaign runner, and the reproducer minimizer all share
+ * one generator. The generator is split into two stages:
+ *
+ *   1. generateSpec(rng)  — draw a structured ProgramSpec: loop
+ *      direction, array size, and a list of statement descriptors
+ *      (destination/source arrays, affine offsets, operator,
+ *      conditional guard, accumulator tap);
+ *   2. renderProgram(spec) — deterministically render the spec to
+ *      mini-C source.
+ *
+ * The split is what makes delta-debugging minimization possible: the
+ * minimizer edits the spec (drop a statement, shrink the arrays,
+ * merge source arrays into the destination) and re-renders, instead
+ * of fighting with text.
+ *
+ * Programs are adversarial for the recurrence and streaming passes:
+ * random loop-carried distances, negative-direction loops, multiple
+ * arrays, conditional bodies, and reductions. Index expressions stay
+ * in bounds by construction: the loop runs over [4, n-4) and offsets
+ * are in [-4, 4].
+ */
+
+#ifndef WMSTREAM_FUZZ_GENERATOR_H
+#define WMSTREAM_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace wmstream::fuzz {
+
+/** Number of arrays a spec can reference (named A, B, C). */
+constexpr int kNumArrays = 3;
+
+/** Smallest legal array size: the loop body [4, n-4) runs once. */
+constexpr int kMinArraySize = 9;
+
+/** One loop-body statement: dst[i+dstOff] = src1[i+off1] op src2[i+off2]. */
+struct StmtSpec
+{
+    int dst = 0;             ///< destination array, 0..kNumArrays-1
+    int dstOff = 0;          ///< in [-2, 2]
+    int src1 = 0, off1 = 0;  ///< first operand, offset in [-4, 4]
+    int src2 = 0, off2 = 0;  ///< second operand, offset in [-4, 4]
+    bool subtract = false;   ///< op: false '+', true '-'
+    bool conditional = false;///< guard with `if ((i & 1) == 0)`
+    bool accumulate = false; ///< follow with `acc = acc + dst[i+dstOff]`
+};
+
+/** A whole generated program, ready to render or to minimize. */
+struct ProgramSpec
+{
+    int arraySize = 48;         ///< n; all arrays have this size
+    bool countUp = true;        ///< loop direction
+    std::vector<StmtSpec> stmts;
+
+    bool usesArray(int a) const;
+};
+
+/** Draw a random spec from @p rng (advances it). */
+ProgramSpec generateSpec(support::Rng &rng);
+
+/**
+ * Render @p spec to mini-C source. Deterministic; only arrays the
+ * spec references are declared, initialized, and checksummed, so
+ * minimized reproducers stay small.
+ */
+std::string renderProgram(const ProgramSpec &spec);
+
+/**
+ * Count the non-blank lines of @p source — the "size" the minimizer
+ * and its golden tests talk about.
+ */
+int sourceLineCount(const std::string &source);
+
+} // namespace wmstream::fuzz
+
+#endif // WMSTREAM_FUZZ_GENERATOR_H

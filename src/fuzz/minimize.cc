@@ -1,0 +1,163 @@
+#include "fuzz/minimize.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+
+#include "support/diag.h"
+
+namespace wmstream::fuzz {
+
+namespace {
+
+/** Try @p candidate; on success commit it to @p spec. */
+bool
+tryCandidate(ProgramSpec &spec, const ProgramSpec &candidate,
+             const DivergePredicate &stillDiverges, MinimizeResult &res)
+{
+    ++res.attempts;
+    if (!stillDiverges(candidate))
+        return false;
+    spec = candidate;
+    ++res.accepted;
+    return true;
+}
+
+} // anonymous namespace
+
+MinimizeResult
+minimizeSpec(const ProgramSpec &start, const DivergePredicate &stillDiverges)
+{
+    WS_ASSERT(stillDiverges(start),
+              "minimizeSpec: input does not diverge");
+    MinimizeResult res;
+    res.spec = start;
+    ProgramSpec &spec = res.spec;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // 1. Drop whole statements, last first (erase indexes stay
+        //    valid), keeping at least one.
+        for (size_t i = spec.stmts.size(); i-- > 0 &&
+                                           spec.stmts.size() > 1;) {
+            ProgramSpec cand = spec;
+            cand.stmts.erase(cand.stmts.begin() +
+                             static_cast<ptrdiff_t>(i));
+            changed |= tryCandidate(spec, cand, stillDiverges, res);
+        }
+
+        // 2. Clear per-statement decorations.
+        for (size_t i = 0; i < spec.stmts.size(); ++i) {
+            if (spec.stmts[i].conditional) {
+                ProgramSpec cand = spec;
+                cand.stmts[i].conditional = false;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+            if (spec.stmts[i].accumulate) {
+                ProgramSpec cand = spec;
+                cand.stmts[i].accumulate = false;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+        }
+
+        // 3. Merge source arrays into the destination: a reproducer
+        //    that touches one array renders to far fewer lines.
+        //    (Fields are re-read from `spec` after every commit; a
+        //    successful tryCandidate replaces the whole spec.)
+        for (size_t i = 0; i < spec.stmts.size(); ++i) {
+            if (spec.stmts[i].src1 != spec.stmts[i].dst) {
+                ProgramSpec cand = spec;
+                cand.stmts[i].src1 = cand.stmts[i].dst;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+            if (spec.stmts[i].src2 != spec.stmts[i].dst) {
+                ProgramSpec cand = spec;
+                cand.stmts[i].src2 = cand.stmts[i].dst;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+        }
+
+        // 4. Canonicalize offsets. Termination note: every offset
+        //    transform strictly decreases sum(|offset|) over the
+        //    spec (the other passes strictly decrease statement
+        //    count, set flags to false, or merge arrays), so the
+        //    outer fixpoint loop is well-founded.
+        auto offField = [](StmtSpec &s, int which) -> int & {
+            return which == 0 ? s.dstOff : which == 1 ? s.off1 : s.off2;
+        };
+        for (size_t i = 0; i < spec.stmts.size(); ++i) {
+            // 4a. Translate the whole statement so the destination
+            //     offset becomes 0: relative (loop-carried) distances
+            //     are preserved, so a divergence that keys on them
+            //     usually survives.
+            {
+                int d = spec.stmts[i].dstOff;
+                int a0 = std::abs(d) + std::abs(spec.stmts[i].off1) +
+                         std::abs(spec.stmts[i].off2);
+                int a1 = std::abs(spec.stmts[i].off1 - d) +
+                         std::abs(spec.stmts[i].off2 - d);
+                if (d != 0 && a1 < a0) {
+                    ProgramSpec cand = spec;
+                    cand.stmts[i].dstOff = 0;
+                    cand.stmts[i].off1 -= d;
+                    cand.stmts[i].off2 -= d;
+                    changed |=
+                        tryCandidate(spec, cand, stillDiverges, res);
+                }
+            }
+            // 4b. Zero individual offsets.
+            for (int which = 0; which < 3; ++which) {
+                if (offField(spec.stmts[i], which) == 0)
+                    continue;
+                ProgramSpec cand = spec;
+                offField(cand.stmts[i], which) = 0;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+            // 4c. Pull source offsets onto the destination offset
+            //     (collapses a near-miss into a same-cell pair); only
+            //     when that shrinks the magnitude, or 4b/4c would
+            //     oscillate.
+            for (int which = 1; which < 3; ++which) {
+                int d = spec.stmts[i].dstOff;
+                int off = offField(spec.stmts[i], which);
+                if (off == d || std::abs(d) >= std::abs(off))
+                    continue;
+                ProgramSpec cand = spec;
+                offField(cand.stmts[i], which) = d;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+        }
+
+        // 5. Canonicalize operator and loop direction.
+        for (size_t i = 0; i < spec.stmts.size(); ++i) {
+            if (spec.stmts[i].subtract) {
+                ProgramSpec cand = spec;
+                cand.stmts[i].subtract = false;
+                changed |= tryCandidate(spec, cand, stillDiverges, res);
+            }
+        }
+        if (!spec.countUp) {
+            ProgramSpec cand = spec;
+            cand.countUp = true;
+            changed |= tryCandidate(spec, cand, stillDiverges, res);
+        }
+
+        // 6. Shrink the arrays (and with them the trip count):
+        //    smallest first, then coarse intermediate sizes.
+        for (int size : {kMinArraySize, 12, 16, 24, 32}) {
+            if (size >= spec.arraySize)
+                break;
+            ProgramSpec cand = spec;
+            cand.arraySize = size;
+            if (tryCandidate(spec, cand, stillDiverges, res)) {
+                changed = true;
+                break;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace wmstream::fuzz

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Delta-debugging minimizer for fuzz reproducers.
+ *
+ * Given a ProgramSpec that provokes a divergence and a predicate that
+ * re-checks whether a candidate spec still provokes it, shrink the
+ * spec to a local minimum by structural (AST-level) transformations:
+ *
+ *   - drop whole statements;
+ *   - clear the conditional guard and the accumulator tap;
+ *   - merge source arrays into the destination array (shrinks the set
+ *     of live arrays, so declarations/initialization/checksum lines
+ *     disappear from the rendering);
+ *   - pull offsets toward zero / toward the destination offset
+ *     (preserving any same-cell relation the divergence depends on);
+ *   - canonicalize the operator to '+' and the direction to upward;
+ *   - shrink the array size (and with it the trip count) to the
+ *     smallest size that still diverges.
+ *
+ * Every transformation is validated by re-running the predicate; a
+ * candidate that no longer diverges is discarded. The loop runs to a
+ * fixpoint, so the result cannot be shrunk further by any single step
+ * above.
+ */
+
+#ifndef WMSTREAM_FUZZ_MINIMIZE_H
+#define WMSTREAM_FUZZ_MINIMIZE_H
+
+#include <functional>
+
+#include "fuzz/generator.h"
+
+namespace wmstream::fuzz {
+
+/** Re-check: does @p candidate still provoke the same divergence? */
+using DivergePredicate = std::function<bool(const ProgramSpec &)>;
+
+struct MinimizeResult
+{
+    ProgramSpec spec;  ///< fixpoint reproducer
+    int attempts = 0;  ///< candidate re-checks performed
+    int accepted = 0;  ///< transformations that kept the divergence
+};
+
+/**
+ * Shrink @p start to a 1-minimal reproducer under @p stillDiverges.
+ * @p start must satisfy the predicate.
+ */
+MinimizeResult minimizeSpec(const ProgramSpec &start,
+                            const DivergePredicate &stillDiverges);
+
+} // namespace wmstream::fuzz
+
+#endif // WMSTREAM_FUZZ_MINIMIZE_H

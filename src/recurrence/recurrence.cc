@@ -106,7 +106,8 @@ struct PairInfo
 bool
 optimizePartition(rtl::Function &fn, cfg::Loop &loop,
                   const cfg::DominatorTree &dt, Partition &part,
-                  int maxDegree, RecurrenceReport &report)
+                  int maxDegree, bool skipDistanceCheck,
+                  RecurrenceReport &report)
 {
     if (!part.safe || !part.hasWrite() || !part.hasRead())
         return false;
@@ -136,7 +137,7 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
         if (r->type != write->type)
             return false;
         int64_t delta = write->roffset - r->roffset;
-        if (delta == 0)
+        if (delta == 0 && !skipDistanceCheck)
             return false; // same-cell read+write: ordering-sensitive
         if (delta % stride != 0)
             continue; // interleaved, never the same cell
@@ -315,7 +316,7 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
 
 RecurrenceReport
 runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
-                 int maxDegree)
+                 int maxDegree, bool skipDistanceCheck)
 {
     RecurrenceReport report;
     // Loop structures change when preheaders appear; process one loop
@@ -354,7 +355,7 @@ runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
                 if (parts.unknownReadExists() && p.hasWrite())
                     continue;
                 if (optimizePartition(fn, loop, dt, p, maxDegree,
-                                      report)) {
+                                      skipDistanceCheck, report)) {
                     changed = true;
                     break; // structures stale
                 }

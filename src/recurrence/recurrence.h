@@ -42,10 +42,17 @@ struct RecurrenceReport
  * @p maxRegisters caps the recurrence degree (degree + 1 registers are
  * needed; the paper notes recurrences may be skipped "because there may
  * not be enough registers").
+ *
+ * @p skipDistanceCheck is fault injection for the differential fuzzer's
+ * self-test ONLY: it disables the same-cell (distance-0) legality
+ * check, deliberately miscompiling loops whose write is read back at
+ * the same cell in the same iteration. wmfuzz must catch, deduplicate,
+ * and minimize the resulting divergences; nothing else may set it.
  */
 RecurrenceReport runRecurrenceOpt(rtl::Function &fn,
                                   const rtl::MachineTraits &traits,
-                                  int maxDegree = 4);
+                                  int maxDegree = 4,
+                                  bool skipDistanceCheck = false);
 
 } // namespace wmstream::recurrence
 

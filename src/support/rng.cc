@@ -1,0 +1,96 @@
+#include "support/rng.h"
+
+#include "support/diag.h"
+
+namespace wmstream::support {
+
+namespace {
+
+/** SplitMix64 step: mixes @p x and returns the next output. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // SplitMix64 expansion guarantees a non-zero, well-mixed state
+    // for every seed, as the xoshiro authors recommend.
+    uint64_t x = seed;
+    for (auto &w : s_)
+        w = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    WS_ASSERT(bound != 0, "nextBelow(0)");
+    // Lemire's multiply-shift method with rejection: exactly uniform.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+        const uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = static_cast<unsigned __int128>(next()) * bound;
+            lo = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int
+Rng::range(int lo, int hi)
+{
+    WS_ASSERT(lo <= hi, "range(lo > hi)");
+    const uint64_t span = static_cast<uint64_t>(hi) -
+                          static_cast<uint64_t>(lo) + 1;
+    return static_cast<int>(lo + static_cast<int64_t>(nextBelow(span)));
+}
+
+bool
+Rng::flip()
+{
+    return next() >> 63;
+}
+
+Rng
+Rng::split(uint64_t streamId) const
+{
+    // Fold the parent state and the stream id through SplitMix64 so
+    // child streams are decorrelated from the parent and each other.
+    uint64_t x = s_[0] ^ rotl(s_[2], 29);
+    uint64_t h = splitmix64(x);
+    x ^= streamId * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull;
+    h ^= splitmix64(x);
+    return Rng(h);
+}
+
+} // namespace wmstream::support

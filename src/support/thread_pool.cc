@@ -1,0 +1,114 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+
+namespace wmstream::support {
+
+ThreadPool::ThreadPool(int numThreads)
+{
+    if (numThreads < 1)
+        numThreads = 1;
+    workers_.reserve(static_cast<size_t>(numThreads));
+    for (int i = 0; i < numThreads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] {
+        return queue_.empty() && active_ == 0;
+    });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        workCv_.wait(lock, [this] {
+            return stop_ || !queue_.empty();
+        });
+        if (stop_ && queue_.empty())
+            return;
+        auto job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        job();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, int64_t n,
+            const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    // One shared claim counter, one chunk job per worker: jobs pull
+    // indices until the range is exhausted, so slow indices do not
+    // leave other workers idle. All state the jobs touch is shared,
+    // never borrowed from this frame: a job can outlive this call by
+    // the window between its last claim and its exit.
+    struct State
+    {
+        std::atomic<int64_t> nextIndex{0};
+        std::atomic<int64_t> done{0};
+        int64_t n;
+        std::function<void(int64_t)> fn;
+        std::mutex mu;
+        std::condition_variable cv;
+    };
+    auto st = std::make_shared<State>();
+    st->n = n;
+    st->fn = fn;
+
+    int jobs = pool.numThreads();
+    if (static_cast<int64_t>(jobs) > n)
+        jobs = static_cast<int>(n);
+    for (int j = 0; j < jobs; ++j) {
+        pool.submit([st] {
+            for (;;) {
+                int64_t i = st->nextIndex.fetch_add(1);
+                if (i >= st->n)
+                    break;
+                st->fn(i);
+                if (st->done.fetch_add(1) + 1 == st->n) {
+                    std::lock_guard<std::mutex> lock(st->mu);
+                    st->cv.notify_all();
+                }
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done.load() >= st->n; });
+}
+
+} // namespace wmstream::support

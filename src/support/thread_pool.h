@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a shared FIFO work queue.
+ *
+ * The wmfuzz campaign runner is the first consumer: it submits one
+ * job per generated program and calls wait() before reporting. The
+ * pool is deliberately minimal — no futures, no priorities — because
+ * every present use is "run N independent closures, then join".
+ *
+ * Thread-safety contract: submit() and wait() may be called from any
+ * thread; jobs must synchronize their own access to shared state.
+ * Jobs may submit further jobs. Exceptions escaping a job terminate
+ * the process (the repo's compiler and simulators report failure
+ * through result structs, never exceptions, so an escape is a bug).
+ */
+
+#ifndef WMSTREAM_SUPPORT_THREAD_POOL_H
+#define WMSTREAM_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wmstream::support {
+
+class ThreadPool
+{
+  public:
+    /** Start @p numThreads workers; values < 1 are clamped to 1. */
+    explicit ThreadPool(int numThreads);
+
+    /** Drains outstanding work (wait()), then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job; returns immediately. */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable workCv_; ///< signals workers: job or stop
+    std::condition_variable idleCv_; ///< signals wait(): all drained
+    int active_ = 0;                 ///< jobs currently executing
+    bool stop_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) on the pool and block until all complete.
+ * Indices are claimed dynamically, so uneven job costs still balance.
+ */
+void parallelFor(ThreadPool &pool, int64_t n,
+                 const std::function<void(int64_t)> &fn);
+
+} // namespace wmstream::support
+
+#endif // WMSTREAM_SUPPORT_THREAD_POOL_H

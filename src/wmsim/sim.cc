@@ -1341,8 +1341,15 @@ struct Simulator::Impl
                                  (long long)s.base, (long long)s.count,
                                  (long long)s.stride);
                 *free = s;
-                if (s.input || mirror[side][inst.fifo] <= 0)
-                    mirror[side][inst.fifo] = s.count;
+                // Starting a stream program re-arms the IFU's count
+                // mirror unconditionally. The mirror may still hold a
+                // positive leftover from an earlier multi-stream loop
+                // that was steered by a *different* FIFO's JNI (that
+                // stream's count is never decremented); keeping it
+                // would make the next JNI on this FIFO run the wrong
+                // trip count and over-enqueue past what the new
+                // stream drains (FIFO deadlock at small depths).
+                mirror[side][inst.fifo] = s.count;
                 ++pc;
                 ++stats.ifuExecuted;
                 break;

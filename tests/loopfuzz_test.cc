@@ -2,133 +2,31 @@
  * @file
  * Randomized loop-program differential tests.
  *
- * Generates loops with random affine array accesses — including
- * loop-carried recurrences of random distance, negative-direction
- * loops, multiple arrays, conditional bodies, and accumulator
- * reductions — and checks that every compiled configuration matches
- * the interpreter. This is the adversarial workload for the
- * recurrence and streaming passes: any unsound rewrite shows up as a
- * checksum mismatch.
+ * Draws random loop programs from the shared fuzz generator
+ * (src/fuzz/generator.h) — loop-carried recurrences of random
+ * distance, negative-direction loops, multiple arrays, conditional
+ * bodies, and accumulator reductions — and checks that every compiled
+ * configuration matches the interpreter. This is the adversarial
+ * workload for the recurrence and streaming passes: any unsound
+ * rewrite shows up as a checksum mismatch.
+ *
+ * This is the bounded in-gtest twin of the wmfuzz campaign runner:
+ * same generator, same configuration matrix, same oracle diff, just
+ * few enough seeds to run in CI's ctest budget. The generator used to
+ * live in this file with an ad-hoc xorshift PRNG whose
+ * `next() % (hi - lo + 1)` range sampling was modulo-biased; both now
+ * come from src/support/rng.h (exactly uniform) and src/fuzz.
  */
 
 #include <gtest/gtest.h>
 
-#include "driver/compiler.h"
-#include "frontend/parser.h"
-#include "interp/interp.h"
-#include "support/str.h"
-#include "wmsim/sim.h"
+#include "fuzz/campaign.h"
+#include "fuzz/generator.h"
+#include "support/rng.h"
 
 using namespace wmstream;
 
 namespace {
-
-struct Rng
-{
-    uint64_t s;
-    uint64_t
-    next()
-    {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        return s;
-    }
-    int
-    range(int lo, int hi)
-    {
-        return lo + static_cast<int>(next() % (hi - lo + 1));
-    }
-    bool
-    flip()
-    {
-        return next() & 1;
-    }
-};
-
-/**
- * One random loop nest over int arrays A, B, C of size kArr.
- * Index expressions stay within [0, kArr) by construction: the loop
- * runs over [4, kArr-4) and offsets are in [-4, 4].
- */
-constexpr int kArr = 48;
-
-std::string
-genLoopProgram(uint64_t seed)
-{
-    Rng rng{seed * 0x9E3779B97F4A7C15ull + 1};
-    std::string body;
-
-    // Random loop direction.
-    bool up = rng.flip();
-    if (up) {
-        body += "    for (i = 4; i < n - 4; i++) {\n";
-    } else {
-        body += "    for (i = n - 5; i >= 4; i--) {\n";
-    }
-
-    const char *arrays[3] = {"A", "B", "C"};
-    int stmts = rng.range(1, 3);
-    for (int k = 0; k < stmts; ++k) {
-        const char *dst = arrays[rng.range(0, 2)];
-        int dOff = rng.range(-2, 2);
-        const char *s1 = arrays[rng.range(0, 2)];
-        int o1 = rng.range(-4, 4);
-        const char *s2 = arrays[rng.range(0, 2)];
-        int o2 = rng.range(-4, 4);
-        const char *op = rng.flip() ? "+" : "-";
-        if (rng.range(0, 3) == 0) {
-            // conditional statement: blocks streaming of this ref
-            body += strFormat("        if ((i & 1) == 0)\n"
-                              "            %s[i + %d] = %s[i + %d] %s "
-                              "%s[i + %d];\n",
-                              dst, dOff, s1, o1, op, s2, o2);
-        } else {
-            body += strFormat("        %s[i + %d] = %s[i + %d] %s "
-                              "%s[i + %d];\n",
-                              dst, dOff, s1, o1, op, s2, o2);
-        }
-        if (rng.range(0, 2) == 0)
-            body += strFormat("        acc = acc + %s[i + %d];\n", dst,
-                              dOff);
-    }
-    body += "    }\n";
-
-    return strFormat(R"(
-int n = %d;
-int A[%d];
-int B[%d];
-int C[%d];
-
-int main(void)
-{
-    int i, acc;
-    for (i = 0; i < n; i++) {
-        A[i] = (i * 7 + 3) %% 23;
-        B[i] = (i * 5 + 1) %% 19;
-        C[i] = (i * 11 + 7) %% 29;
-    }
-    acc = 0;
-%s
-    for (i = 0; i < n; i++)
-        acc = acc + A[i] + B[i] * 2 + C[i] * 3;
-    return acc & 1048575;
-}
-)",
-                     kArr, kArr, kArr, kArr, body.c_str());
-}
-
-int64_t
-oracle(const std::string &src)
-{
-    DiagEngine diag;
-    auto unit = frontend::parseAndCheck(src, diag);
-    EXPECT_TRUE(unit != nullptr) << diag.str() << src;
-    interp::Interpreter in(*unit);
-    auto res = in.run();
-    EXPECT_TRUE(res.ok) << res.error;
-    return res.returnValue;
-}
 
 class LoopFuzz : public ::testing::TestWithParam<uint64_t>
 {
@@ -136,32 +34,20 @@ class LoopFuzz : public ::testing::TestWithParam<uint64_t>
 
 } // namespace
 
-TEST_P(LoopFuzz, AllWmConfigsMatchOracle)
+TEST_P(LoopFuzz, AllConfigsMatchOracle)
 {
-    std::string src = genLoopProgram(GetParam());
-    int64_t expect = oracle(src);
-    for (bool rec : {false, true}) {
-        for (bool stream : {false, true}) {
-            driver::CompileOptions opts;
-            opts.recurrence = rec;
-            opts.streaming = stream;
-            opts.vectorize = stream && (GetParam() & 1);
-            // Stress the thresholds too.
-            opts.minStreamTripCount = GetParam() % 3 == 0 ? 0 : 4;
-            auto cr = driver::compileSource(src, opts);
-            ASSERT_TRUE(cr.ok) << cr.diagnostics << src;
-            wmsim::SimConfig cfg;
-            cfg.maxCycles = 100'000'000ull;
-            // Vary the machine a little, seeded by the test parameter.
-            cfg.memLatency = 1 + static_cast<int>(GetParam() % 9);
-            cfg.dataFifoDepth = 2 + static_cast<int>(GetParam() % 7);
-            auto res = wmsim::simulate(*cr.program, cfg);
-            ASSERT_TRUE(res.ok)
-                << res.error << "\nrec=" << rec << " stream=" << stream
-                << "\n" << src;
-            EXPECT_EQ(res.returnValue, expect)
-                << "rec=" << rec << " stream=" << stream << "\n" << src;
-        }
+    // Same derivation as runCampaign: one split child per index, so a
+    // failure here reproduces under `wmfuzz --seed=1` at this index.
+    support::Rng root(1);
+    support::Rng rng = root.split(GetParam());
+    fuzz::ProgramSpec spec = fuzz::generateSpec(rng);
+    for (const fuzz::FuzzConfig &cfg :
+         fuzz::configMatrix(GetParam(), /*injectRecurrenceBug=*/false)) {
+        fuzz::CheckOutcome out = fuzz::checkSpec(spec, cfg);
+        EXPECT_FALSE(out.diverged)
+            << cfg.key << ": " << fuzz::divergenceKindName(out.kind)
+            << " expected=" << out.expected << " actual=" << out.actual
+            << "\n" << out.detail << "\n" << fuzz::renderProgram(spec);
     }
 }
 

@@ -1,12 +1,18 @@
 /**
  * @file
- * Tests for the support utilities and diagnostics engine.
+ * Tests for the support utilities: strings, diagnostics, the seeded
+ * splittable PRNG, and the thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "support/diag.h"
+#include "support/rng.h"
 #include "support/str.h"
+#include "support/thread_pool.h"
 
 using namespace wmstream;
 
@@ -65,4 +71,99 @@ TEST(Diag, PositionRendering)
     EXPECT_EQ(p.str(), "7:12");
     EXPECT_TRUE(p.valid());
     EXPECT_FALSE(SourcePos{}.valid());
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    support::Rng a(5), b(5), c(6);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    support::Rng a2(5);
+    for (int i = 0; i < 64; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+    // A zero seed must not produce a stuck generator.
+    support::Rng z(0);
+    EXPECT_NE(z.next(), z.next());
+}
+
+TEST(Rng, RangeIsInclusiveAndCoversEndpoints)
+{
+    support::Rng rng(1);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+    EXPECT_EQ(rng.range(4, 4), 4); // degenerate single-value range
+}
+
+TEST(Rng, NextBelowIsUnbiased)
+{
+    // With a bound just above a power of two, naive modulo sampling
+    // visibly over-weights small values (the old loopfuzz Rng bug);
+    // Lemire rejection keeps every bucket within a few percent.
+    support::Rng rng(99);
+    constexpr uint64_t kBound = 3;
+    constexpr int kDraws = 30000;
+    int counts[kBound] = {0, 0, 0};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.nextBelow(kBound)];
+    for (uint64_t v = 0; v < kBound; ++v) {
+        EXPECT_GT(counts[v], kDraws / 3 - kDraws / 20) << v;
+        EXPECT_LT(counts[v], kDraws / 3 + kDraws / 20) << v;
+    }
+}
+
+TEST(Rng, SplitIsStableAndIndependent)
+{
+    support::Rng root(7);
+    support::Rng c1 = root.split(1);
+    support::Rng c1again = root.split(1);
+    support::Rng c2 = root.split(2);
+    EXPECT_EQ(c1.next(), c1again.next());   // pure in (seed, id)
+    support::Rng c1b = root.split(1);
+    EXPECT_NE(c1b.next(), c2.next());       // distinct streams
+    // Splitting does not advance the parent.
+    support::Rng fresh(7);
+    EXPECT_EQ(root.next(), fresh.next());
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    support::ThreadPool pool(4);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    support::parallelFor(pool, kN, [&](int64_t i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, SubmitAndWaitDrainsAllTasks)
+{
+    support::ThreadPool pool(3);
+    EXPECT_EQ(pool.numThreads(), 3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndSingleThread)
+{
+    support::ThreadPool pool(1);
+    std::atomic<int> count{0};
+    support::parallelFor(pool, 0, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    support::parallelFor(pool, 7, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 7);
 }

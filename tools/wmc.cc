@@ -33,6 +33,7 @@
  *   --profile-passes      print per-pass wall time and RTL
  *                         instruction-count deltas
  *   --mem-latency=N       simulator memory latency    (default 4)
+ *   --fifo-depth=N        simulator data FIFO depth   (default 8)
  *   --lanes=N             simulator VEU lanes         (default 4)
  */
 
@@ -68,7 +69,8 @@ usage()
                  "[--stats]\n"
                  "           [--stats-json=FILE] [--trace-out=FILE] "
                  "[--profile-passes]\n"
-                 "           [--mem-latency=N] [--lanes=N] file.c\n");
+                 "           [--mem-latency=N] [--fifo-depth=N] "
+                 "[--lanes=N] file.c\n");
     return 2;
 }
 
@@ -202,6 +204,10 @@ main(int argc, char **argv)
             if (m == FlagMatch::BadValue)
                 return usage();
             simCfg.memLatency = v;
+        } else if (numeric("--fifo-depth", &v)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+            simCfg.dataFifoDepth = v;
         } else if (numeric("--lanes", &v)) {
             if (m == FlagMatch::BadValue)
                 return usage();

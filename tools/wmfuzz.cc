@@ -1,0 +1,198 @@
+/**
+ * @file
+ * wmfuzz — the differential-fuzzing campaign runner.
+ *
+ * Generates random loop programs from a single seed, compiles each in
+ * every CompileOptions configuration for both targets (WM on the
+ * cycle simulator, scalar on the executing timing model), and diffs
+ * every result against the AST interpreter oracle across N worker
+ * threads. Divergences are deduplicated by (pass configuration,
+ * divergence signature), delta-debugged down to minimal reproducers,
+ * and written out as self-contained .c files plus a JSON campaign
+ * report.
+ *
+ * Exit status: 0 on a clean campaign, 1 if any divergence survives,
+ * 2 on usage errors. CI runs the time-boxed smoke mode:
+ *
+ *   wmfuzz --max-programs=500 --jobs=$(nproc) --seed=1 \
+ *          --report-json=campaign.json --repro-dir=repros
+ *
+ * Usage:
+ *   wmfuzz [options]
+ *
+ * Options:
+ *   --seed=S           campaign seed (default 1); the program stream
+ *                      is a pure function of the seed, independent of
+ *                      --jobs
+ *   --max-programs=N   programs to generate (default 1000)
+ *   --jobs=N           worker threads (default: hardware concurrency)
+ *   --report-json=FILE write the campaign report as JSON; "-" stdout
+ *   --repro-dir=DIR    write minimized reproducer .c files here
+ *   --no-minimize      keep raw divergences unminimized
+ *   --quiet            suppress the per-100-programs progress line
+ *
+ * Hidden (self-test only):
+ *   --inject-recurrence-bug   disable the recurrence optimizer's
+ *                             same-cell legality check; the campaign
+ *                             must catch the resulting miscompiles
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "fuzz/campaign.h"
+#include "obs/json.h"
+
+using namespace wmstream;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wmfuzz [--seed=S] [--max-programs=N] "
+                 "[--jobs=N]\n"
+                 "              [--report-json=FILE] [--repro-dir=DIR] "
+                 "[--no-minimize]\n"
+                 "              [--quiet]\n");
+    return 2;
+}
+
+bool
+parseUint(const char *arg, const char *name, uint64_t *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    const char *val = arg + n + 1;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(val, &end, 10);
+    if (end == val || *end != '\0') {
+        std::fprintf(stderr, "wmfuzz: bad numeric value in %s\n", arg);
+        std::exit(usage());
+    }
+    *out = v;
+    return true;
+}
+
+bool
+parseString(const char *arg, const char *name, std::string *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    if (arg[n + 1] == '\0') {
+        std::fprintf(stderr, "wmfuzz: empty value in %s\n", arg);
+        std::exit(usage());
+    }
+    *out = arg + n + 1;
+    return true;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fputc('\n', stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "wmfuzz: cannot write %s\n", path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::CampaignOptions opts;
+    opts.jobs =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (opts.jobs < 1)
+        opts.jobs = 1;
+    opts.progress = true;
+    std::string reportJsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        uint64_t v = 0;
+        if (parseUint(a, "--seed", &opts.seed)) {
+        } else if (parseUint(a, "--max-programs", &v)) {
+            opts.maxPrograms = static_cast<int>(v);
+        } else if (parseUint(a, "--jobs", &v)) {
+            if (v < 1 || v > 1024) {
+                std::fprintf(stderr, "wmfuzz: bad --jobs value\n");
+                return usage();
+            }
+            opts.jobs = static_cast<int>(v);
+        } else if (parseString(a, "--report-json", &reportJsonPath)) {
+        } else if (parseString(a, "--repro-dir", &opts.reproDir)) {
+        } else if (std::strcmp(a, "--no-minimize") == 0) {
+            opts.minimize = false;
+        } else if (std::strcmp(a, "--quiet") == 0) {
+            opts.progress = false;
+        } else if (std::strcmp(a, "--inject-recurrence-bug") == 0) {
+            opts.injectRecurrenceBug = true;
+        } else {
+            std::fprintf(stderr, "wmfuzz: unknown option %s\n", a);
+            return usage();
+        }
+    }
+    if (opts.maxPrograms < 1) {
+        std::fprintf(stderr, "wmfuzz: --max-programs must be >= 1\n");
+        return usage();
+    }
+
+    auto res = fuzz::runCampaign(opts);
+
+    if (!reportJsonPath.empty()) {
+        obs::JsonWriter w;
+        fuzz::writeCampaignJson(w, opts, res);
+        if (!writeTextFile(reportJsonPath, w.str()))
+            return 1;
+    }
+
+    std::FILE *human = reportJsonPath == "-" ? stderr : stdout;
+    std::fprintf(human,
+                 "wmfuzz: %d programs x %lld checks in %.1fs "
+                 "(%.0f programs/s, %d jobs, seed %llu)\n",
+                 res.programsRun,
+                 static_cast<long long>(
+                     res.programsRun
+                         ? res.checksRun / res.programsRun
+                         : 0),
+                 res.elapsedSeconds,
+                 res.elapsedSeconds > 0
+                     ? res.programsRun / res.elapsedSeconds
+                     : 0.0,
+                 opts.jobs,
+                 static_cast<unsigned long long>(opts.seed));
+    if (res.clean()) {
+        std::fprintf(human, "wmfuzz: campaign clean, no divergences\n");
+        return 0;
+    }
+    std::fprintf(human,
+                 "wmfuzz: %d raw divergences, %d unique after dedup:\n",
+                 res.rawDivergences,
+                 static_cast<int>(res.divergences.size()));
+    for (const auto &d : res.divergences) {
+        std::fprintf(human, "  [%s] %s (+%d duplicates)",
+                     fuzz::divergenceKindName(d.kind),
+                     d.signature.c_str(), d.duplicates);
+        if (!d.reproPath.empty())
+            std::fprintf(human, " -> %s", d.reproPath.c_str());
+        std::fprintf(human, "\n");
+    }
+    return 1;
+}
