@@ -22,7 +22,7 @@ using namespace wmstream;
 namespace {
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::printf("Ablation: recurrence degree (x[i] = z[i]*(y[i] - "
                 "x[i-d]), n=2000)\n\n");
@@ -57,6 +57,10 @@ printTable()
                     static_cast<unsigned long long>(cyc[1]),
                     wsbench::pctReduction(static_cast<double>(cyc[0]),
                                           static_cast<double>(cyc[1])));
+        report.row("degree=" + std::to_string(d))
+            .num("fired", fired)
+            .num("base_cycles", static_cast<double>(cyc[0]))
+            .num("opt_cycles", static_cast<double>(cyc[1]));
     }
     std::printf("\nDegrees beyond the register budget (4) are left to "
                 "memory, exactly the\npaper's \"not enough registers\" "
@@ -81,7 +85,11 @@ BENCHMARK(BM_RecurrenceAnalysis);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "ablation_degree", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

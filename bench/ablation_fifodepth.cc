@@ -19,7 +19,7 @@ using namespace wmstream;
 namespace {
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     driver::CompileOptions opts;
     auto cr = driver::compileSource(programs::dotProductSource(2000),
@@ -47,6 +47,9 @@ printTable()
         std::printf("%12d %18llu %18llu\n", depth,
                     static_cast<unsigned long long>(cyc[0]),
                     static_cast<unsigned long long>(cyc[1]));
+        report.row("depth=" + std::to_string(depth))
+            .num("cycles_latency4", static_cast<double>(cyc[0]))
+            .num("cycles_latency16", static_cast<double>(cyc[1]));
     }
     std::printf("\nOnce the depth covers the memory latency the "
                 "streamed loop runs at its\ncompute-bound rate; "
@@ -74,7 +77,11 @@ BENCHMARK(BM_ShallowFifoSimulation);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "ablation_fifodepth", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -22,7 +22,7 @@ using namespace wmstream;
 namespace {
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::string src = programs::dotProductSource(2000);
     driver::CompileOptions scalarOpts;
@@ -51,6 +51,10 @@ printTable()
                     static_cast<unsigned long long>(s1.stats.cycles),
                     static_cast<double>(s0.stats.cycles) /
                         static_cast<double>(s1.stats.cycles));
+        report.row("latency=" + std::to_string(lat))
+            .num("scalar_cycles", static_cast<double>(s0.stats.cycles))
+            .num("streamed_cycles",
+                 static_cast<double>(s1.stats.cycles));
     }
     std::printf("\nScalar code already tolerates moderate latency (loads "
                 "issue ahead through the\nFIFOs); streamed code is nearly "
@@ -78,7 +82,11 @@ BENCHMARK(BM_SimulateHighLatency);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "ablation_latency", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -47,7 +47,7 @@ int main(void)
 }
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::printf("Ablation: stream profitability vs. loop trip count\n"
                 "(paper Step 1: trip counts of three or fewer are not "
@@ -79,6 +79,9 @@ printTable()
                     static_cast<unsigned long long>(forced),
                     streams ? "yes" : "no",
                     forced < base ? "yes" : "NO (slower)");
+        report.row("trip=" + std::to_string(trip))
+            .num("scalar_cycles", static_cast<double>(base))
+            .num("streamed_cycles", static_cast<double>(forced));
     }
     std::printf("\nWith the paper's default threshold (4), loops of "
                 "three or fewer iterations\nkeep their scalar code.\n\n");
@@ -101,7 +104,11 @@ BENCHMARK(BM_TinyLoopCompile);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "ablation_tripcount", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

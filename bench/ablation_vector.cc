@@ -49,7 +49,7 @@ int main(void) {
 }
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::string src = kernel(2000);
 
@@ -92,6 +92,12 @@ printTable()
                     static_cast<unsigned long long>(r0.stats.cycles),
                     static_cast<unsigned long long>(r1.stats.cycles),
                     static_cast<unsigned long long>(r2.stats.cycles));
+        report.row("lanes=" + std::to_string(lanes))
+            .num("scalar_cycles", static_cast<double>(r0.stats.cycles))
+            .num("streamed_cycles",
+                 static_cast<double>(r1.stats.cycles))
+            .num("vector_cycles",
+                 static_cast<double>(r2.stats.cycles));
     }
     std::printf("\nThe streamed-scalar loop is pinned at one element "
                 "per cycle by the FEU; the\nVEU scales with its lanes "
@@ -116,7 +122,11 @@ BENCHMARK(BM_VectorizedSimulation);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "ablation_vector", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,5 +1,8 @@
-# Run one bench binary with --json-out and check the emitted file is
-# valid JSON. Invoked by the bench-smoke ctest; see CMakeLists.txt.
+# Run one bench binary with --json-out, check the emitted file is
+# valid JSON, and (when BASELINE/BENCHDIFF are set) diff its cycle
+# metrics against the committed BENCH_baseline.json — more than 5%
+# growth fails the test. Invoked by the bench-smoke ctest; see
+# CMakeLists.txt.
 execute_process(
     COMMAND ${BENCH_BIN} --json-out=${OUT_JSON} "--benchmark_filter=^$"
     RESULT_VARIABLE run_rc
@@ -19,4 +22,16 @@ execute_process(
     ERROR_VARIABLE json_err)
 if(NOT json_rc EQUAL 0)
     message(FATAL_ERROR "invalid JSON in ${OUT_JSON}:\n${json_err}")
+endif()
+if(DEFINED BASELINE AND DEFINED BENCHDIFF)
+    execute_process(
+        COMMAND ${PYTHON} ${BENCHDIFF} diff ${BASELINE} ${OUT_JSON}
+        RESULT_VARIABLE diff_rc
+        OUTPUT_VARIABLE diff_out
+        ERROR_VARIABLE diff_err)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+                "cycle regression vs ${BASELINE}:\n${diff_out}${diff_err}")
+    endif()
+    message(STATUS "${diff_out}")
 endif()

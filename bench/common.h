@@ -87,11 +87,15 @@ public:
 
     bool empty() const { return rows_.empty(); }
 
-    /** Serialize as {"bench": name, "rows": [...]}. */
+    /**
+     * Serialize as {"schema_version":1, "bench": name, "rows": [...]}
+     * (schema documented in DESIGN.md "JSON schemas").
+     */
     std::string str(const std::string &bench) const
     {
         wmstream::obs::JsonWriter w;
         w.beginObject();
+        w.field("schema_version", int64_t{1});
         w.field("bench", bench);
         w.key("rows");
         w.beginArray();

@@ -19,7 +19,7 @@ using namespace wmstream;
 namespace {
 
 void
-printFigure()
+printFigure(wsbench::JsonReport &report)
 {
     driver::CompileOptions opts;
     auto cr = driver::compileSource(programs::livermore5Source(100), opts);
@@ -36,6 +36,13 @@ printFigure()
     std::printf("Streams created: %d, loop tests replaced with "
                 "jump-on-stream: %d\n",
                 streams, tests);
+    auto res = wmsim::simulate(*cr.program);
+    if (!res.ok)
+        std::abort();
+    report.row("livermore5")
+        .num("streams", streams)
+        .num("loop_tests_replaced", tests)
+        .num("cycles", static_cast<double>(res.stats.cycles));
 }
 
 void
@@ -55,7 +62,11 @@ BENCHMARK(BM_FullWmPipeline);
 int
 main(int argc, char **argv)
 {
-    printFigure();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printFigure(report);
+    if (!wsbench::emitJson(jsonOut, "fig7_stream_code", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

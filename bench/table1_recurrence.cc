@@ -83,7 +83,7 @@ computeTable()
 }
 
 void
-printTable()
+printTable(wsbench::JsonReport &report)
 {
     std::printf("Table I. Effect of Recurrence Optimization on Execution "
                 "Time\n");
@@ -91,9 +91,13 @@ printTable()
                 kArraySize, kReps);
     std::printf("%-28s %12s %10s\n", "Machine", "measured %", "paper %");
     auto rows = computeTable();
-    for (const Row &r : rows)
+    for (const Row &r : rows) {
         std::printf("%-28s %12.1f %10d\n", r.machine.c_str(),
                     r.improvement, r.paper);
+        report.row(r.machine)
+            .num("improvement_pct", r.improvement)
+            .num("paper_pct", r.paper);
+    }
     std::printf("\n");
 }
 
@@ -130,7 +134,11 @@ BENCHMARK(BM_ScalarTimingRun);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "table1_recurrence", report))
+        return 1;
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,25 @@
+/* The paper's Figure 7 stream kernel: an element-wise vector sum
+ * c[i] = a[i] + b[i]. Both loads and the store stream, so the loop
+ * body reduces to one FIFO-to-FIFO add. Try:
+ *
+ *   wmc --remarks examples/fig7.c
+ *   wmc --remarks=json examples/fig7.c
+ *   wmc --run --stats-json=stats.json examples/fig7.c
+ *   wmreport remarks.json stats.json
+ */
+int n = 100;
+double a[100];
+double b[100];
+double c[100];
+
+int main(void)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = 1.0 + i * 0.5;
+        b[i] = 2.0 + i * 0.25;
+    }
+    for (i = 0; i < n; i++)
+        c[i] = a[i] + b[i];
+    return c[99];
+}

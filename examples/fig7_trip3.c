@@ -1,0 +1,21 @@
+/* The Figure 7 kernel with a trip count of 3 — below the streaming
+ * threshold (paper Step 1: at least 4 iterations), so the optimizer
+ * must reject the loops and `wmc --remarks` reports missed remarks
+ * with reason `trip-count-too-small`.
+ */
+double a[3];
+double b[3];
+double c[3];
+
+int main(void)
+{
+    int i;
+    int j;
+    for (j = 0; j < 3; j++) {
+        a[j] = 1.0 + j * 0.5;
+        b[j] = 2.0 + j * 0.25;
+    }
+    for (i = 0; i < 3; i++)
+        c[i] = a[i] + b[i];
+    return c[2];
+}

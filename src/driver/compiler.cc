@@ -1,5 +1,9 @@
 #include "driver/compiler.h"
 
+#include <algorithm>
+
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
 #include "expand/expander.h"
 #include "frontend/parser.h"
 #include "opt/passes.h"
@@ -54,6 +58,75 @@ countInsts(const rtl::Program &prog)
     return n;
 }
 
+/** First stamped source position in the loop (header first). */
+SourcePos
+loopPos(const cfg::Loop &loop)
+{
+    for (const rtl::Inst &inst : loop.header->insts)
+        if (inst.pos.valid())
+            return inst.pos;
+    for (rtl::Block *b : loop.blocks)
+        for (const rtl::Inst &inst : b->insts)
+            if (inst.pos.valid())
+                return inst.pos;
+    return {};
+}
+
+/**
+ * Registry id for a final-code loop. Header labels normally survive
+ * every phase, but block merges can retire them, so fall back to
+ * matching any block label of the loop before registering it as new.
+ */
+int
+resolveLoopId(obs::RemarkCollector &rc, const rtl::Function &fn,
+              const cfg::Loop &loop)
+{
+    for (const obs::LoopRecord &l : rc.loops())
+        if (l.function == fn.name() && l.header == loop.header->label())
+            return l.id;
+    for (const obs::LoopRecord &l : rc.loops()) {
+        if (l.function != fn.name())
+            continue;
+        for (rtl::Block *b : loop.blocks)
+            if (b->label() == l.header)
+                return l.id;
+    }
+    return rc.loopId(fn.name(), loop.header->label(), loopPos(loop));
+}
+
+/**
+ * The loop-tagging step: after all optimization and lowering, stamp
+ * every instruction with the id of the innermost loop containing it.
+ * Instructions outside every loop keep a pass-assigned id if they have
+ * one (stream setup and recurrence priming in preheaders charge to the
+ * loop they feed), else stay -1. Runs before layout so the simulator
+ * sees the ids; this is the join key between optimization remarks and
+ * per-loop cycle buckets.
+ */
+void
+tagLoops(rtl::Program &program, obs::RemarkCollector &rc)
+{
+    for (auto &fn : program.functions()) {
+        fn->recomputeCfg();
+        cfg::DominatorTree dt(*fn);
+        cfg::LoopInfo li(*fn, dt);
+        // Outermost first so inner loops overwrite shared blocks.
+        std::vector<cfg::Loop *> order;
+        for (cfg::Loop &loop : li.loops())
+            order.push_back(&loop);
+        std::sort(order.begin(), order.end(),
+                  [](const cfg::Loop *a, const cfg::Loop *b) {
+                      return a->blocks.size() > b->blocks.size();
+                  });
+        for (cfg::Loop *loop : order) {
+            int id = resolveLoopId(rc, *fn, *loop);
+            for (rtl::Block *b : loop->blocks)
+                for (rtl::Inst &inst : b->insts)
+                    inst.loopId = id;
+        }
+    }
+}
+
 } // anonymous namespace
 
 CompileResult
@@ -80,7 +153,10 @@ compileSource(const std::string &source, const CompileOptions &options)
     res.program = std::make_unique<rtl::Program>();
     prof.measure(
         "expand", [&] { return countInsts(*res.program); },
-        [&] { expand::expandUnit(*unit, res.traits, *res.program); });
+        [&] {
+            expand::expandUnit(*unit, res.traits, *res.program,
+                               &res.remarks);
+        });
 
     for (auto &fn : res.program->functions()) {
         auto insts = [&] { return countInsts(*fn); };
@@ -100,7 +176,8 @@ compileSource(const std::string &source, const CompileOptions &options)
                 res.recurrenceReports.push_back(
                     recurrence::runRecurrenceOpt(
                         *fn, res.traits, options.maxRecurrenceDegree,
-                        options.injectRecurrenceDistanceBug));
+                        options.injectRecurrenceDistanceBug,
+                        &res.remarks));
             });
             const auto &rr = res.recurrenceReports.back();
             prof.addCounter("recurrence", "loops_examined",
@@ -122,7 +199,8 @@ compileSource(const std::string &source, const CompileOptions &options)
         if (options.streaming && res.traits.hasStreams) {
             prof.measure("streaming", insts, [&] {
                 res.streamingReports.push_back(streaming::runStreaming(
-                    *fn, res.traits, options.minStreamTripCount));
+                    *fn, res.traits, options.minStreamTripCount,
+                    &res.remarks));
             });
             const auto &sr = res.streamingReports.back();
             prof.addCounter("streaming", "loops_examined",
@@ -177,6 +255,7 @@ compileSource(const std::string &source, const CompileOptions &options)
             "lower-fifo", [&] { return countInsts(*res.program); },
             [&] { wm::lowerProgram(*res.program, res.traits); });
 
+    tagLoops(*res.program, res.remarks);
     res.program->layout();
     res.ok = true;
     res.diagnostics = diag.str();

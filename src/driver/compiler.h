@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/pass_profiler.h"
+#include "obs/remarks.h"
 #include "recurrence/recurrence.h"
 #include "rtl/machine.h"
 #include "rtl/program.h"
@@ -68,6 +69,14 @@ struct CompileResult
     std::vector<streaming::VectorizeReport> vectorizeReports;
     /** Filled when CompileOptions::profilePasses; execution order. */
     std::vector<obs::PassProfile> passProfiles;
+    /**
+     * Always collected (cost is proportional to the number of loops):
+     * structured optimization remarks from the recurrence and streaming
+     * passes plus the loop-id registry. After compilation every RTL
+     * instruction inside a loop carries the matching loop id
+     * (Inst::loopId), so simulator cycle buckets join remarks on it.
+     */
+    obs::RemarkCollector remarks;
 
     int totalRecurrences() const;
     int totalStreams() const;

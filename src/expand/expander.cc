@@ -60,8 +60,8 @@ class Expander
 {
   public:
     Expander(const TranslationUnit &unit, const rtl::MachineTraits &traits,
-             rtl::Program &out)
-        : unit_(unit), traits_(traits), out_(out)
+             rtl::Program &out, obs::RemarkCollector *remarks)
+        : unit_(unit), traits_(traits), out_(out), remarks_(remarks)
     {
     }
 
@@ -84,7 +84,12 @@ class Expander
     void expandFunction(const FuncDecl &fd);
 
     // ---- emission helpers ----
-    void emit(Inst inst) { cur_->insts.push_back(std::move(inst)); }
+    void emit(Inst inst)
+    {
+        if (!inst.pos.valid())
+            inst.pos = curPos_;
+        cur_->insts.push_back(std::move(inst));
+    }
     /** Start a new block (targets of branches need stable labels). */
     rtl::Block *startBlock(const std::string &label = "")
     {
@@ -155,8 +160,11 @@ class Expander
     const TranslationUnit &unit_;
     const rtl::MachineTraits traits_;
     rtl::Program &out_;
+    obs::RemarkCollector *remarks_;
     std::unordered_map<uint64_t, std::string> floatPool_;
     int nextFloat_ = 0;
+    /** Position of the construct being expanded; emit() stamps it. */
+    SourcePos curPos_;
 };
 
 void
@@ -241,6 +249,7 @@ Expander::expandFunction(const FuncDecl &fd)
     fn_ = out_.addFunction(fd.name);
     regVars_.clear();
     slots_.clear();
+    curPos_ = fd.pos();
     cur_ = fn_->addBlock(fd.name + "_entry");
 
     // Parameters arrive in the argument registers; copy them out
@@ -521,6 +530,8 @@ Expander::emitCondJump(const Expr &e, const std::string &target,
 ExprPtr
 Expander::evalExpr(const Expr &e)
 {
+    if (e.pos().valid())
+        curPos_ = e.pos();
     switch (e.kind()) {
       case NodeKind::IntLit:
         return makeConst(static_cast<const IntLitExpr &>(e).value,
@@ -784,6 +795,8 @@ Expander::evalExpr(const Expr &e)
 void
 Expander::expandStmt(const Stmt &s)
 {
+    if (s.pos().valid())
+        curPos_ = s.pos();
     switch (s.kind()) {
       case NodeKind::BlockStmt: {
         const auto &b = static_cast<const BlockStmt &>(s);
@@ -854,6 +867,8 @@ Expander::expandStmt(const Stmt &s)
         std::string headL = fn_->newLabel();
         std::string contL = fn_->newLabel();
         std::string exitL = fn_->newLabel();
+        if (remarks_)
+            remarks_->loopId(fn_->name(), headL, w.pos());
         emitCondJump(*w.cond, exitL, false); // guard
         startBlock(headL);
         breakLabels_.push_back(exitL);
@@ -871,6 +886,8 @@ Expander::expandStmt(const Stmt &s)
         std::string headL = fn_->newLabel();
         std::string contL = fn_->newLabel();
         std::string exitL = fn_->newLabel();
+        if (remarks_)
+            remarks_->loopId(fn_->name(), headL, w.pos());
         startBlock(headL);
         breakLabels_.push_back(exitL);
         continueLabels_.push_back(contL);
@@ -887,6 +904,8 @@ Expander::expandStmt(const Stmt &s)
         std::string headL = fn_->newLabel();
         std::string contL = fn_->newLabel();
         std::string exitL = fn_->newLabel();
+        if (remarks_)
+            remarks_->loopId(fn_->name(), headL, f.pos());
         if (f.init)
             evalExpr(*f.init);
         if (f.cond)
@@ -944,9 +963,9 @@ Expander::expandStmt(const Stmt &s)
 
 void
 expandUnit(const TranslationUnit &unit, const rtl::MachineTraits &traits,
-           rtl::Program &out)
+           rtl::Program &out, obs::RemarkCollector *remarks)
 {
-    Expander e(unit, traits, out);
+    Expander e(unit, traits, out, remarks);
     e.run();
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "frontend/ast.h"
+#include "obs/remarks.h"
 #include "rtl/machine.h"
 #include "rtl/program.h"
 
@@ -35,9 +36,17 @@ namespace wmstream::expand {
  * Adds one rtl::Function per defined function, one GlobalVar per global
  * and string-pool entry (with initial bytes), and constant-pool entries
  * for floating literals. Call after Sema succeeded.
+ *
+ * Every emitted instruction is stamped with the source position of the
+ * statement/expression it came from (Inst::pos). When @p remarks is
+ * given, each source loop is registered in its loop-id registry (keyed
+ * by function + header label) in source order, so optimization remarks
+ * and per-loop cycle attribution share ids numbered the way a reader
+ * of the source would number the loops.
  */
 void expandUnit(const frontend::TranslationUnit &unit,
-                const rtl::MachineTraits &traits, rtl::Program &out);
+                const rtl::MachineTraits &traits, rtl::Program &out,
+                obs::RemarkCollector *remarks = nullptr);
 
 } // namespace wmstream::expand
 

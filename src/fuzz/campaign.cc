@@ -458,6 +458,7 @@ writeCampaignJson(obs::JsonWriter &w, const CampaignOptions &opts,
                   const CampaignResult &res)
 {
     w.beginObject();
+    w.field("schema_version", int64_t{1});
     w.key("campaign");
     w.beginObject();
     w.field("seed", static_cast<uint64_t>(opts.seed));

@@ -1,0 +1,336 @@
+#include "obs/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace wmstream::obs {
+
+const JsonValue *JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+int64_t JsonValue::getInt(const std::string &key, int64_t dflt) const
+{
+    const JsonValue *v = get(key);
+    if (!v || v->kind != Kind::Number)
+        return dflt;
+    return v->isInt ? v->intVal : static_cast<int64_t>(v->numVal);
+}
+
+double JsonValue::getNum(const std::string &key, double dflt) const
+{
+    const JsonValue *v = get(key);
+    return (v && v->kind == Kind::Number) ? v->numVal : dflt;
+}
+
+std::string JsonValue::getStr(const std::string &key,
+                              const std::string &dflt) const
+{
+    const JsonValue *v = get(key);
+    return (v && v->kind == Kind::String) ? v->strVal : dflt;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : s_(text) {}
+
+    bool parse(JsonValue &out, std::string &error)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return fail(error);
+        skipWs();
+        if (pos_ != s_.size()) {
+            err_ = "trailing characters after document";
+            return fail(error);
+        }
+        return true;
+    }
+
+  private:
+    bool fail(std::string &error)
+    {
+        if (err_.empty())
+            return true;
+        std::ostringstream os;
+        os << "offset " << pos_ << ": " << err_;
+        error = os.str();
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool eat(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool expect(char c)
+    {
+        if (eat(c))
+            return true;
+        err_ = std::string("expected '") + c + "'";
+        return false;
+    }
+
+    bool literal(const char *word, size_t n)
+    {
+        if (s_.compare(pos_, n, word) != 0) {
+            err_ = std::string("bad literal, expected ") + word;
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (pos_ >= s_.size()) {
+            err_ = "unexpected end of input";
+            return false;
+        }
+        switch (s_[pos_]) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.strVal);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolVal = true;
+            return literal("true", 4);
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolVal = false;
+            return literal("false", 5);
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (eat('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                err_ = "expected object key string";
+                return false;
+            }
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            return expect('}');
+        }
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (eat(']'))
+            return true;
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (eat(','))
+                continue;
+            return expect(']');
+        }
+    }
+
+    static void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > s_.size()) {
+            err_ = "truncated \\u escape";
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = s_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else {
+                err_ = "bad hex digit in \\u escape";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= s_.size()) {
+                err_ = "unterminated string";
+                return false;
+            }
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                err_ = "unterminated escape";
+                return false;
+            }
+            char e = s_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp;
+                if (!parseHex4(cp))
+                    return false;
+                // Surrogate pair: \uD800-\uDBFF followed by \uDC00-\uDFFF.
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    pos_ + 1 < s_.size() && s_[pos_] == '\\' &&
+                    s_[pos_ + 1] == 'u') {
+                    pos_ += 2;
+                    unsigned lo;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo >= 0xDC00 && lo <= 0xDFFF)
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                err_ = "bad escape character";
+                return false;
+            }
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (eat('-')) {
+        }
+        while (pos_ < s_.size() && std::isdigit(
+                   static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        bool isInt = true;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            isInt = false;
+            ++pos_;
+            while (pos_ < s_.size() && std::isdigit(
+                       static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            isInt = false;
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < s_.size() && std::isdigit(
+                       static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+            err_ = "bad number";
+            return false;
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        out.kind = JsonValue::Kind::Number;
+        out.numVal = std::strtod(tok.c_str(), nullptr);
+        out.isInt = isInt;
+        if (isInt)
+            out.intVal = std::strtoll(tok.c_str(), nullptr, 10);
+        return true;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+bool parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser p(text);
+    return p.parse(out, error);
+}
+
+} // namespace wmstream::obs

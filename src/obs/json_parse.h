@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * The observability layer writes JSON through JsonWriter; tools/wmreport
+ * needs to read two of those documents back (remarks + sim stats) and
+ * join them. The repo takes no third-party dependencies, so this is the
+ * matching reader: a small DOM (JsonValue) covering exactly the JSON
+ * our own emitters produce — objects, arrays, strings with the standard
+ * escapes (including \uXXXX), numbers, booleans, null. Numbers are kept
+ * as doubles plus an exact int64 when representable.
+ */
+
+#ifndef WMSTREAM_OBS_JSON_PARSE_H
+#define WMSTREAM_OBS_JSON_PARSE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wmstream::obs {
+
+/** One parsed JSON value (a small DOM node). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+
+    bool boolVal = false;
+    double numVal = 0.0;
+    int64_t intVal = 0;     ///< exact when isInt
+    bool isInt = false;     ///< numVal came from an integer literal
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    /** Insertion-ordered members (our emitters never repeat keys). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** @name Typed member accessors with defaults */
+    /// @{
+    int64_t getInt(const std::string &key, int64_t dflt = 0) const;
+    double getNum(const std::string &key, double dflt = 0.0) const;
+    std::string getStr(const std::string &key,
+                       const std::string &dflt = "") const;
+    /// @}
+};
+
+/**
+ * Parse @p text as one JSON document. Returns false (and fills
+ * @p error with "offset N: message") on malformed input; trailing
+ * non-whitespace after the document is an error.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_JSON_PARSE_H

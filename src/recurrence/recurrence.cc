@@ -103,14 +103,57 @@ struct PairInfo
     int distance; ///< iterations between write and read
 };
 
+/** Source position of a memory reference's instruction. */
+SourcePos
+refPos(const MemRef &ref)
+{
+    return ref.block->insts[ref.index].pos;
+}
+
+/** Remark factory bound to one pass/function/loop. */
+struct RemarkSite
+{
+    obs::RemarkCollector *remarks = nullptr;
+    std::string function;
+    int loopId = -1;
+    SourcePos loopLoc;
+
+    obs::Remark make(obs::RemarkVerdict v, const char *reason,
+                     SourcePos at = {}) const
+    {
+        obs::Remark r;
+        r.pass = "recurrence";
+        r.function = function;
+        r.loopId = loopId;
+        r.loc = at.valid() ? at : loopLoc;
+        r.verdict = v;
+        r.reason = reason;
+        return r;
+    }
+    void missed(const char *reason, SourcePos at = {},
+                const std::string &partition = "") const
+    {
+        if (!remarks)
+            return;
+        obs::Remark r = make(obs::RemarkVerdict::Missed, reason, at);
+        if (!partition.empty())
+            r.arg("partition", partition);
+        remarks->add(std::move(r));
+    }
+};
+
 bool
 optimizePartition(rtl::Function &fn, cfg::Loop &loop,
                   const cfg::DominatorTree &dt, Partition &part,
                   int maxDegree, bool skipDistanceCheck,
-                  RecurrenceReport &report)
+                  RecurrenceReport &report, const RemarkSite &site)
 {
-    if (!part.safe || !part.hasWrite() || !part.hasRead())
+    if (!part.hasWrite() || !part.hasRead())
+        return false; // nothing to carry: not a recurrence candidate
+    if (!part.safe) {
+        site.missed("partition-not-safe", {}, part.key);
         return false;
+    }
 
     // Single write, one or more reads; all same element type and a
     // moving (cee != 0) access pattern.
@@ -118,15 +161,20 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
     std::vector<MemRef *> reads;
     for (MemRef &r : part.refs) {
         if (r.isWrite) {
-            if (write)
+            if (write) {
+                site.missed("multiple-writes", refPos(r), part.key);
                 return false; // multiple writes: skip
+            }
             write = &r;
         } else {
             reads.push_back(&r);
         }
     }
-    if (!write || !write->iv || write->cee == 0)
+    if (!write || !write->iv || write->cee == 0) {
+        site.missed("address-not-induction",
+                    write ? refPos(*write) : SourcePos{}, part.key);
         return false;
+    }
 
     int64_t stride = write->cee * write->iv->step;
     WS_ASSERT(stride != 0, "zero stride with nonzero cee");
@@ -134,27 +182,43 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
     // Step 4a: identify read/write pairs and the recurrence degree.
     std::vector<PairInfo> pairs;
     for (MemRef *r : reads) {
-        if (r->type != write->type)
+        if (r->type != write->type) {
+            site.missed("mixed-element-types", refPos(*r), part.key);
             return false;
+        }
         int64_t delta = write->roffset - r->roffset;
-        if (delta == 0 && !skipDistanceCheck)
+        if (delta == 0 && !skipDistanceCheck) {
+            site.missed("same-cell-read-write", refPos(*r), part.key);
             return false; // same-cell read+write: ordering-sensitive
+        }
         if (delta % stride != 0)
             continue; // interleaved, never the same cell
         int64_t dist = delta / stride;
-        if (dist < 0)
+        if (dist < 0) {
+            site.missed("read-ahead-of-write", refPos(*r), part.key);
             return false; // read runs ahead of the write: a true
                           // dependence we must not break
+        }
         pairs.push_back({r, static_cast<int>(dist)});
     }
-    if (pairs.empty())
+    if (pairs.empty()) {
+        site.missed("no-recurrence-found", refPos(*write), part.key);
         return false;
+    }
 
     int degree = 0;
     for (const PairInfo &p : pairs)
         degree = std::max(degree, p.distance);
-    if (degree > maxDegree)
+    if (degree > maxDegree) {
+        if (site.remarks)
+            site.remarks->add(
+                site.make(obs::RemarkVerdict::Missed,
+                          "degree-exceeds-registers", refPos(*write))
+                    .arg("partition", part.key)
+                    .arg("degree", degree)
+                    .arg("max_degree", maxDegree));
         return false; // not enough registers (paper Step 2a remark)
+    }
 
     // Every participating reference must execute on every iteration.
     auto everyIteration = [&](const MemRef &r) {
@@ -163,21 +227,41 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
                 return false;
         return true;
     };
-    if (!everyIteration(*write))
+    if (!everyIteration(*write)) {
+        site.missed("not-every-iteration", refPos(*write), part.key);
         return false;
+    }
     for (const PairInfo &p : pairs)
-        if (!everyIteration(*p.read))
+        if (!everyIteration(*p.read)) {
+            site.missed("not-every-iteration", refPos(*p.read), part.key);
             return false;
+        }
 
     // The loaded registers must be replaceable: virtual, and defined
     // only by the load.
     for (const PairInfo &p : pairs) {
         const Inst &load = p.read->block->insts[p.read->index];
-        if (!rtl::isVirtualFile(load.dst->regFile()))
+        if (!rtl::isVirtualFile(load.dst->regFile())) {
+            site.missed("load-register-not-virtual", refPos(*p.read),
+                        part.key);
             return false;
+        }
     }
 
+    // All checks passed; the rewrite below always completes. Record the
+    // applied remark now, while block/index pairs are still valid.
+    if (site.remarks)
+        site.remarks->add(
+            site.make(obs::RemarkVerdict::Applied, "recurrence-optimized",
+                      refPos(*write))
+                .arg("partition", part.key)
+                .arg("degree", degree)
+                .arg("stride", stride)
+                .arg("loads_replaced",
+                     static_cast<int64_t>(pairs.size())));
+
     // ---- rewrite ----
+    SourcePos writePos = refPos(*write);
     bool flt = rtl::isFloatType(write->type);
     DataType dt2 = flt ? DataType::F64 : DataType::I64;
     std::vector<ExprPtr> chain; // chain[k] holds the value of k iterations ago
@@ -291,10 +375,15 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
             size_t at = pre->insts.size();
             if (pre->terminator())
                 --at;
+            Inst prime = rtl::makeLoad(chain[k - 1], addr, write->type,
+                                       "prime recurrence chain");
+            // Priming lives in the preheader but belongs to the loop
+            // for per-loop attribution.
+            prime.pos = writePos;
+            prime.loopId = site.loopId;
             pre->insts.insert(
                 pre->insts.begin() + static_cast<ptrdiff_t>(at),
-                rtl::makeLoad(chain[k - 1], addr, write->type,
-                              "prime recurrence chain"));
+                std::move(prime));
         }
     }
 
@@ -314,9 +403,25 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
 
 } // anonymous namespace
 
+/** Best source position for a loop: first stamped inst in the header,
+ *  else first stamped inst anywhere in the loop. */
+static SourcePos
+loopPos(const cfg::Loop &loop)
+{
+    for (const Inst &inst : loop.header->insts)
+        if (inst.pos.valid())
+            return inst.pos;
+    for (rtl::Block *b : loop.blocks)
+        for (const Inst &inst : b->insts)
+            if (inst.pos.valid())
+                return inst.pos;
+    return {};
+}
+
 RecurrenceReport
 runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
-                 int maxDegree, bool skipDistanceCheck)
+                 int maxDegree, bool skipDistanceCheck,
+                 obs::RemarkCollector *remarks)
 {
     RecurrenceReport report;
     // Loop structures change when preheaders appear; process one loop
@@ -340,6 +445,19 @@ runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
             }
             ++report.loopsExamined;
 
+            RemarkSite site;
+            site.remarks = remarks;
+            site.function = fn.name();
+            site.loopLoc = loopPos(loop);
+            if (remarks) {
+                site.loopId = remarks->loopId(
+                    fn.name(), loop.header->label(), site.loopLoc);
+                if (const obs::LoopRecord *lr =
+                        remarks->findLoop(site.loopId);
+                    lr && lr->loc.valid())
+                    site.loopLoc = lr->loc;
+            }
+
             opt::IndVarAnalysis ivs(fn, loop, dt, traits);
             PartitionSet parts = buildPartitions(fn, loop, dt, ivs,
                                                  traits);
@@ -347,15 +465,19 @@ runRecurrenceOpt(rtl::Function &fn, const rtl::MachineTraits &traits,
 
             // The paper's aliasing caveat: an unknown write may alias
             // any partition, so no rewrite is safe.
-            if (parts.unknownWriteExists())
+            if (parts.unknownWriteExists()) {
+                site.missed("unknown-memory-write");
                 continue;
+            }
             for (Partition &p : parts.parts) {
                 // An unknown read may observe any write; rewriting a
                 // write-carrying partition would change what it sees.
-                if (parts.unknownReadExists() && p.hasWrite())
+                if (parts.unknownReadExists() && p.hasWrite()) {
+                    site.missed("unknown-memory-read", {}, p.key);
                     continue;
+                }
                 if (optimizePartition(fn, loop, dt, p, maxDegree,
-                                      skipDistanceCheck, report)) {
+                                      skipDistanceCheck, report, site)) {
                     changed = true;
                     break; // structures stale
                 }

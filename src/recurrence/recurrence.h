@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/remarks.h"
 #include "recurrence/partitions.h"
 #include "rtl/machine.h"
 
@@ -48,11 +49,17 @@ struct RecurrenceReport
  * check, deliberately miscompiling loops whose write is read back at
  * the same cell in the same iteration. wmfuzz must catch, deduplicate,
  * and minimize the resulting divergences; nothing else may set it.
+ *
+ * When @p remarks is given, each partition-level accept/reject decision
+ * is recorded with a stable reason code (`recurrence-optimized`,
+ * `degree-exceeds-registers`, `read-ahead-of-write`, ...) at the source
+ * position of the responsible memory reference.
  */
 RecurrenceReport runRecurrenceOpt(rtl::Function &fn,
                                   const rtl::MachineTraits &traits,
                                   int maxDegree = 4,
-                                  bool skipDistanceCheck = false);
+                                  bool skipDistanceCheck = false,
+                                  obs::RemarkCollector *remarks = nullptr);
 
 } // namespace wmstream::recurrence
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "rtl/expr.h"
+#include "support/diag.h"
 
 namespace wmstream::rtl {
 
@@ -83,6 +84,24 @@ struct Inst
 
     int id = -1;            ///< stable id ("lno"), set by renumber()
     std::string comment;    ///< carried into listings
+
+    /**
+     * Source provenance: the mini-C position this instruction was
+     * expanded from (invalid for synthesized code). The expander stamps
+     * it; phases that rewrite an instruction in place keep it, and
+     * phases that synthesize replacements copy it from the instruction
+     * they replace. Optimization remarks and the per-loop cycle
+     * attribution both key off it.
+     */
+    SourcePos pos;
+    /**
+     * Innermost source loop this instruction belongs to in the final
+     * code, or -1 when outside every loop. Assigned by the driver's
+     * loop-tagging step (after all optimization and lowering) using the
+     * same loop-id registry the optimization remarks use, so simulator
+     * cycles and compiler decisions join on one key.
+     */
+    int loopId = -1;
 
     /**
      * Implicit register uses not visible in the other operand fields:

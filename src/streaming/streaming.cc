@@ -166,6 +166,28 @@ deriveTripCount(cfg::Loop &loop, const cfg::DominatorTree &dt,
     return tc;
 }
 
+/** Source position of a memory reference's instruction. */
+SourcePos
+refPos(const MemRef &ref)
+{
+    return ref.block->insts[ref.index].pos;
+}
+
+/** Best source position for a loop: first stamped inst in the header,
+ *  else first stamped inst anywhere in the loop. */
+SourcePos
+loopPos(const cfg::Loop &loop)
+{
+    for (const Inst &inst : loop.header->insts)
+        if (inst.pos.valid())
+            return inst.pos;
+    for (rtl::Block *b : loop.blocks)
+        for (const Inst &inst : b->insts)
+            if (inst.pos.valid())
+                return inst.pos;
+    return {};
+}
+
 /** One stream the pass decided to create. */
 struct PlannedStream
 {
@@ -229,8 +251,31 @@ materializeBase(rtl::Function &fn, rtl::Block *pre, const LinForm &base,
 bool
 streamLoop(rtl::Function &fn, cfg::Loop &loop,
            const cfg::DominatorTree &dt, const rtl::MachineTraits &traits,
-           int minTripCount, StreamingReport &report)
+           int minTripCount, StreamingReport &report,
+           obs::RemarkCollector *remarks)
 {
+    // Remark plumbing: resolve the loop's registry id (get-or-create,
+    // upgrading the record with a position recovered from instruction
+    // provenance) and build remarks against it.
+    int loopId = -1;
+    SourcePos loopLoc = loopPos(loop);
+    if (remarks) {
+        loopId = remarks->loopId(fn.name(), loop.header->label(), loopLoc);
+        if (const obs::LoopRecord *lr = remarks->findLoop(loopId);
+            lr && lr->loc.valid())
+            loopLoc = lr->loc;
+    }
+    auto missed = [&](const char *reason, SourcePos at = {}) {
+        obs::Remark r;
+        r.pass = "streaming";
+        r.function = fn.name();
+        r.loopId = loopId;
+        r.loc = at.valid() ? at : loopLoc;
+        r.verdict = obs::RemarkVerdict::Missed;
+        r.reason = reason;
+        return r;
+    };
+
     // Loops containing calls cannot stream: the callee's own loads and
     // stores share the data FIFOs.
     for (rtl::Block *b : loop.blocks)
@@ -238,6 +283,9 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
             if (inst.kind == InstKind::Call ||
                     inst.kind == InstKind::StreamIn ||
                     inst.kind == InstKind::StreamOut) {
+                if (remarks && inst.kind == InstKind::Call)
+                    remarks->add(missed("contains-call", inst.pos)
+                                     .arg("callee", inst.target));
                 return false;
             }
 
@@ -275,8 +323,13 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
                           tc.addend;
         }
     }
-    if (tc.kind == TripCount::Kind::Const && tc.constVal < minTripCount)
+    if (tc.kind == TripCount::Kind::Const && tc.constVal < minTripCount) {
+        if (remarks)
+            remarks->add(missed("trip-count-too-small")
+                             .arg("trip_count", tc.constVal)
+                             .arg("min_trip_count", minTripCount));
         return false;
+    }
 
     bool singleExit = loop.exiting.size() == 1 && tc.latch &&
                       loop.exiting[0] == tc.latch;
@@ -293,8 +346,11 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
             }
 
     // ---- Step 2: pick streamable references ----
-    if (parts.unknownWriteExists())
+    if (parts.unknownWriteExists()) {
+        if (remarks)
+            remarks->add(missed("unknown-memory-write"));
         return false;
+    }
 
     auto everyIteration = [&](const MemRef &r) {
         for (rtl::Block *latch : loop.latches)
@@ -330,6 +386,7 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
         // write/write pairs: two output streams would race on the
         // shared cells, with the final value decided by SCU timing.
         bool recurrenceLeft = false;
+        const MemRef *recWrite = nullptr;
         for (const MemRef &w : p.refs) {
             if (!w.isWrite || w.cee == 0)
                 continue;
@@ -344,27 +401,54 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
                     if (delta == 0 ||
                             (delta % stride == 0 && delta / stride > 0)) {
                         recurrenceLeft = true;
+                        recWrite = &w;
                     }
                 } else if (delta % stride == 0) {
                     recurrenceLeft = true; // write-after-write overlap
+                    recWrite = &w;
                 }
             }
         }
-        if (recurrenceLeft)
+        if (recurrenceLeft) {
+            if (remarks)
+                remarks->add(missed("memory-recurrence-remains",
+                                    refPos(*recWrite))
+                                 .arg("partition", p.key));
             continue;
+        }
         // Writes cannot stream if an unanalyzed read might observe the
         // buffered values.
         for (const MemRef &ref : p.refs) {
-            if (!ref.analyzable || !ref.iv || ref.cee == 0)
+            if (!ref.analyzable || !ref.iv || ref.cee == 0) {
+                if (remarks)
+                    remarks->add(missed("address-not-induction",
+                                        refPos(ref))
+                                     .arg("partition", p.key));
                 continue;
-            if (ref.isWrite && parts.unknownReadExists())
+            }
+            if (ref.isWrite && parts.unknownReadExists()) {
+                if (remarks)
+                    remarks->add(missed("unknown-memory-read",
+                                        refPos(ref))
+                                     .arg("partition", p.key));
                 continue;
+            }
             // Step 2b/2c: stride and every-iteration execution.
             int64_t stride = ref.cee * ref.iv->step;
-            if (stride == 0)
+            if (stride == 0) {
+                if (remarks)
+                    remarks->add(missed("zero-stride", refPos(ref))
+                                     .arg("partition", p.key));
                 continue;
-            if (!everyIteration(ref))
+            }
+            if (!everyIteration(ref)) {
+                if (remarks)
+                    remarks->add(missed("not-every-iteration",
+                                        refPos(ref))
+                                     .arg("partition", p.key)
+                                     .arg("stride", stride));
                 continue;
+            }
             // Step 2d: executed loop_count times. With the bottom-test
             // shape every reference dominating the latch runs exactly
             // loop_count times; anything else is skipped.
@@ -377,20 +461,37 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
             if (!ref.isWrite) {
                 // Load: its destination must be virtual with a single
                 // use executed once per iteration.
-                if (!rtl::isVirtualFile(inst.dst->regFile()))
+                if (!rtl::isVirtualFile(inst.dst->regFile())) {
+                    if (remarks)
+                        remarks->add(missed("load-register-not-virtual",
+                                            refPos(ref)));
                     continue;
+                }
                 rtl::Block *ub = nullptr;
                 size_t ui = 0;
-                if (countUses(inst.dst, &ub, &ui) != 1)
+                if (countUses(inst.dst, &ub, &ui) != 1) {
+                    if (remarks)
+                        remarks->add(missed("load-multiple-uses",
+                                            refPos(ref)));
                     continue;
-                if (!loop.contains(ub))
+                }
+                if (!loop.contains(ub)) {
+                    if (remarks)
+                        remarks->add(missed("use-outside-loop",
+                                            refPos(ref)));
                     continue;
+                }
                 bool dominatesLatches = true;
                 for (rtl::Block *latch : loop.latches)
                     if (!dt.dominates(ub, latch))
                         dominatesLatches = false;
-                if (!dominatesLatches)
+                if (!dominatesLatches) {
+                    if (remarks)
+                        remarks->add(missed("not-every-iteration",
+                                            refPos(ref))
+                                         .arg("what", "use"));
                     continue;
+                }
                 // The use must not sit between other dequeues in a way
                 // we cannot order; with one FIFO per stream this is
                 // automatically consistent.
@@ -398,14 +499,21 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
                 ps.useIndex = ui;
             } else {
                 // Store: its value must be a register (enqueue source).
-                if (!inst.src->isReg())
+                if (!inst.src->isReg()) {
+                    if (remarks)
+                        remarks->add(missed("store-value-not-register",
+                                            refPos(ref)));
                     continue;
+                }
             }
             candidates.push_back(std::move(ps));
         }
     }
-    if (candidates.empty())
+    if (candidates.empty()) {
+        if (remarks)
+            remarks->add(missed("no-streamable-references"));
         return false;
+    }
 
     // ---- Step 2e: FIFO allocation ----
     // Scalar (non-streamed) loads and stores keep FIFO 0 of their side.
@@ -439,17 +547,27 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
     }
     bool droppedLoad[2] = {false, false};
     bool droppedStore[2] = {false, false};
+    auto noFifo = [&](const PlannedStream &ps) {
+        if (remarks)
+            remarks->add(
+                missed("no-fifo-available", refPos(ps.ref))
+                    .arg("side", ps.side == UnitSide::Flt ? "float" : "int")
+                    .arg("direction", ps.ref.isWrite ? "out" : "in")
+                    .arg("stride", ps.stride));
+    };
     for (PlannedStream &ps : candidates) {
         int s = ps.side == UnitSide::Flt ? 1 : 0;
         if (!ps.ref.isWrite) {
             if (nextIn[s] >= limitIn[s]) {
                 droppedLoad[s] = true;
+                noFifo(ps);
                 continue;
             }
             ps.fifo = nextIn[s]++;
         } else {
             if (nextOut[s] >= limitOut[s]) {
                 droppedStore[s] = true;
+                noFifo(ps);
                 continue;
             }
             ps.fifo = nextOut[s]++;
@@ -461,29 +579,41 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
     // the ones that stole it (conservative: drop streams on fifo 0 of
     // that side and class).
     for (int s = 0; s < 2; ++s) {
-        if (droppedLoad[s] && !scalarLoad[s]) {
-            chosen.erase(std::remove_if(
-                             chosen.begin(), chosen.end(),
-                             [&](const PlannedStream &ps) {
-                                 return !ps.ref.isWrite && ps.fifo == 0 &&
-                                        (ps.side == UnitSide::Flt) ==
-                                            (s == 1);
-                             }),
-                         chosen.end());
-        }
-        if (droppedStore[s] && !scalarStore[s]) {
-            chosen.erase(std::remove_if(
-                             chosen.begin(), chosen.end(),
-                             [&](const PlannedStream &ps) {
-                                 return ps.ref.isWrite && ps.fifo == 0 &&
-                                        (ps.side == UnitSide::Flt) ==
-                                            (s == 1);
-                             }),
-                         chosen.end());
-        }
+        auto evict = [&](bool writes) {
+            for (auto it = chosen.begin(); it != chosen.end();) {
+                if (it->ref.isWrite == writes && it->fifo == 0 &&
+                        (it->side == UnitSide::Flt) == (s == 1)) {
+                    noFifo(*it);
+                    it = chosen.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        };
+        if (droppedLoad[s] && !scalarLoad[s])
+            evict(false);
+        if (droppedStore[s] && !scalarStore[s])
+            evict(true);
     }
     if (chosen.empty())
         return false;
+
+    // Past this point the rewrite always completes: record the applied
+    // per-stream remarks now, while MemRef block/index pairs are still
+    // valid (the rewrite below erases streamed loads).
+    if (remarks) {
+        for (const PlannedStream &ps : chosen) {
+            obs::Remark r = missed("streamed", refPos(ps.ref));
+            r.verdict = obs::RemarkVerdict::Applied;
+            r.arg("side", ps.side == UnitSide::Flt ? "float" : "int")
+                .arg("fifo", ps.fifo)
+                .arg("stride", ps.stride)
+                .arg("direction", ps.ref.isWrite ? "out" : "in");
+            if (tc.kind == TripCount::Kind::Const)
+                r.arg("trip_count", tc.constVal);
+            remarks->add(std::move(r));
+        }
+    }
 
     // ---- Steps f/g: preheader code ----
     rtl::Block *pre = cfg::ensurePreheader(fn, loop);
@@ -562,6 +692,11 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
                                         "stream in");
             if (!finite)
                 stream.count = nullptr;
+            // Stream setup lives in the preheader but belongs to the
+            // loop: carry the reference's provenance and loop id so
+            // per-loop attribution charges it to the right loop.
+            stream.pos = refPos(ps.ref);
+            stream.loopId = loopId;
             insert(std::move(stream));
         }
     }
@@ -700,6 +835,18 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
     }
 
     ++report.loopsStreamed;
+    if (remarks) {
+        obs::Remark r = missed("loop-streamed");
+        r.verdict = obs::RemarkVerdict::Applied;
+        int nin = 0, nout = 0;
+        for (const PlannedStream &ps : chosen)
+            (ps.ref.isWrite ? nout : nin)++;
+        r.arg("streams_in", nin).arg("streams_out", nout);
+        if (tc.kind == TripCount::Kind::Const)
+            r.arg("trip_count", tc.constVal);
+        r.arg("finite", finite ? "true" : "false");
+        remarks->add(std::move(r));
+    }
     fn.recomputeCfg();
     return true;
 }
@@ -708,7 +855,7 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
 
 StreamingReport
 runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
-             int minTripCount)
+             int minTripCount, obs::RemarkCollector *remarks)
 {
     StreamingReport report;
     if (!traits.hasStreams)
@@ -733,7 +880,8 @@ runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
             }
             doneLoops.push_back(loop.header->label());
             ++report.loopsExamined;
-            if (streamLoop(fn, loop, dt, traits, minTripCount, report)) {
+            if (streamLoop(fn, loop, dt, traits, minTripCount, report,
+                           remarks)) {
                 changed = true;
                 break; // structures stale
             }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/remarks.h"
 #include "rtl/machine.h"
 #include "rtl/program.h"
 
@@ -44,10 +45,18 @@ struct StreamingReport
  * Only meaningful when @p traits.hasStreams; returns an empty report
  * otherwise. @p minTripCount implements the paper's Step 1: loops with
  * a known trip count of three or fewer are not streamed.
+ *
+ * When @p remarks is given, every accept/reject decision is recorded:
+ * an `applied` remark per created stream and per streamed loop, and a
+ * `missed` remark with a stable reason code (`trip-count-too-small`,
+ * `memory-recurrence-remains`, `not-every-iteration`,
+ * `no-fifo-available`, ...) for each rejection, located at the source
+ * position of the loop or memory reference that caused it.
  */
 StreamingReport runStreaming(rtl::Function &fn,
                              const rtl::MachineTraits &traits,
-                             int minTripCount = 4);
+                             int minTripCount = 4,
+                             obs::RemarkCollector *remarks = nullptr);
 
 } // namespace wmstream::streaming
 

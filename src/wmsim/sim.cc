@@ -113,6 +113,19 @@ UnitStallStats::total() const
     return sum;
 }
 
+StallCause
+LoopCycleStats::dominantStall() const
+{
+    size_t best = 0;
+    uint64_t bestCount = 0;
+    for (size_t c = 1; c < static_cast<size_t>(StallCause::kCount); ++c)
+        if (stalls.byCause[c] > bestCount) {
+            best = c;
+            bestCount = stalls.byCause[c];
+        }
+    return static_cast<StallCause>(best);
+}
+
 void
 SimStats::exportCounters(obs::CounterRegistry &reg) const
 {
@@ -151,6 +164,28 @@ SimStats::exportCounters(obs::CounterRegistry &reg) const
         reg.set("occupancy." + s.name + ".samples", s.hist.count());
         reg.set("occupancy." + s.name + ".max",
                 static_cast<uint64_t>(s.hist.max()));
+    }
+
+    // Per-loop buckets, "loop.<id>.*" ("loop.-1" = outside every loop).
+    // Bucket cycles sum exactly to "cycles" (the attribution invariant
+    // wmreport checks).
+    for (const LoopCycleStats &l : loops) {
+        std::string p = "loop." + std::to_string(l.loopId);
+        reg.set(p + ".cycles", l.cycles);
+        if (l.ieuStallCycles)
+            reg.set(p + ".ieu_stall_cycles", l.ieuStallCycles);
+        if (l.feuStallCycles)
+            reg.set(p + ".feu_stall_cycles", l.feuStallCycles);
+        if (l.ifuStallCycles)
+            reg.set(p + ".ifu_stall_cycles", l.ifuStallCycles);
+        for (size_t c = 1; c < static_cast<size_t>(StallCause::kCount);
+             ++c) {
+            uint64_t v = l.stalls.byCause[c];
+            if (v)
+                reg.set(p + ".stall." +
+                            stallCauseName(static_cast<StallCause>(c)),
+                        v);
+        }
     }
 }
 
@@ -1134,6 +1169,27 @@ struct Simulator::Impl
     {
         ++stats.ifuStallCycles;
         ++stats.ifuStalls[c];
+        if (curBucket) {
+            ++curBucket->ifuStallCycles;
+            ++curBucket->stalls[c];
+        }
+    }
+
+    // ---- per-loop cycle attribution ----
+    /** One bucket per loop id seen; few loops, linear search is fine. */
+    std::vector<LoopCycleStats> loopBuckets;
+    /** This cycle's bucket; valid only within one run() iteration. */
+    LoopCycleStats *curBucket = nullptr;
+
+    LoopCycleStats &
+    loopBucket(int id)
+    {
+        for (LoopCycleStats &b : loopBuckets)
+            if (b.loopId == id)
+                return b;
+        loopBuckets.emplace_back();
+        loopBuckets.back().loopId = id;
+        return loopBuckets.back();
     }
 
     int64_t
@@ -1417,6 +1473,11 @@ struct Simulator::Impl
     finalizeStats()
     {
         stats.cycles = now;
+        stats.loops = loopBuckets;
+        std::sort(stats.loops.begin(), stats.loops.end(),
+                  [](const LoopCycleStats &a, const LoopCycleStats &b) {
+                      return a.loopId < b.loopId;
+                  });
         if (!cfg.collectOccupancy || !stats.occupancy.empty())
             return;
         stats.occupancy.reserve(kNumOcc);
@@ -1442,6 +1503,16 @@ struct Simulator::Impl
         try {
             while (now < cfg.maxCycles) {
                 portsUsed = 0;
+                // Attribute this whole cycle to the loop owning the
+                // fetch PC as the cycle begins (bucket -1 outside any
+                // loop / after return). One bucket per cycle is what
+                // makes the buckets sum exactly to total cycles.
+                curBucket = &loopBucket(
+                    !returned && pc >= 0 &&
+                            pc < static_cast<int64_t>(code.size())
+                        ? code[pc].inst->loopId
+                        : -1);
+                ++curBucket->cycles;
                 uint64_t dispatched0 = stats.instsDispatched +
                                        stats.ifuExecuted;
                 uint64_t ieuExec0 = stats.ieuExecuted;
@@ -1455,6 +1526,8 @@ struct Simulator::Impl
                     else {
                         ++stats.ieuStallCycles;
                         ++stats.ieuStalls[c0];
+                        ++curBucket->ieuStallCycles;
+                        ++curBucket->stalls[c0];
                     }
                 }
                 if (c1 != StallCause::None) {
@@ -1463,6 +1536,8 @@ struct Simulator::Impl
                     else {
                         ++stats.feuStallCycles;
                         ++stats.feuStalls[c1];
+                        ++curBucket->feuStallCycles;
+                        ++curBucket->stalls[c1];
                     }
                 }
                 commitStores();

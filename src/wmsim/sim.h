@@ -135,6 +135,30 @@ struct OccupancySeries
     obs::Histogram hist;  ///< occupancy sampled once per cycle
 };
 
+/**
+ * Cycles attributed to one source loop (joined on rtl::Inst::loopId,
+ * the id the compiler's remark registry assigned).
+ *
+ * Every simulated cycle is attributed to exactly one bucket — the loop
+ * id of the instruction at the fetch PC when the cycle begins, or -1
+ * when the PC is outside every loop — so bucket cycles sum exactly to
+ * SimStats::cycles. Unit stall causes observed during the cycle land
+ * in the same bucket (merged over IFU/IEU/FEU in `stalls`), which is
+ * what lets wmreport name each loop's dominant stall cause.
+ */
+struct LoopCycleStats
+{
+    int loopId = -1;             ///< -1 = outside every loop
+    uint64_t cycles = 0;
+    uint64_t ieuStallCycles = 0;
+    uint64_t feuStallCycles = 0;
+    uint64_t ifuStallCycles = 0;
+    UnitStallStats stalls;       ///< per-cause, merged over all units
+
+    /** The stall cause with the highest count, or None. */
+    StallCause dominantStall() const;
+};
+
 /** Aggregate run statistics. */
 struct SimStats
 {
@@ -166,6 +190,12 @@ struct SimStats
 
     /** Occupancy histograms; empty unless SimConfig::collectOccupancy. */
     std::vector<OccupancySeries> occupancy;
+
+    /**
+     * Per-loop cycle attribution, sorted by loopId ascending (bucket
+     * -1 first when present). Always collected; see LoopCycleStats.
+     */
+    std::vector<LoopCycleStats> loops;
 
     /**
      * Export every counter (and histogram summary stats) into @p reg

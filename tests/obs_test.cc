@@ -15,6 +15,7 @@
 #include "obs/counters.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/json_parse.h"
 #include "obs/pass_profiler.h"
 #include "obs/trace.h"
 
@@ -398,6 +399,196 @@ TEST(TraceWriter, ValidTraceDocument)
     EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
     EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
     EXPECT_NE(s.find("\"dur\":100"), std::string::npos);
+}
+
+TEST(JsonEscape, EveryControlCharacterEscapes)
+{
+    // All 32 C0 control characters must come out as an escape — either
+    // a short one (\n, \t, ...) or \u00XX — never as a raw byte.
+    for (int c = 0; c < 0x20; ++c) {
+        std::string in(1, static_cast<char>(c));
+        std::string out = jsonEscape(in);
+        ASSERT_GE(out.size(), 2u) << "control char " << c;
+        EXPECT_EQ(out[0], '\\') << "control char " << c;
+        std::string doc = "\"" + out + "\"";
+        EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    }
+    // NUL in the middle of a string survives as  .
+    std::string withNul = std::string("a") + '\0' + "b";
+    EXPECT_EQ(jsonEscape(withNul), "a\\u0000b");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThrough)
+{
+    // UTF-8 multibyte sequences are passed through verbatim (JSON
+    // strings are UTF-8; no escaping required).
+    EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+    EXPECT_EQ(jsonEscape("\xe2\x86\x92"), "\xe2\x86\x92"); // U+2192
+    // 0x7F (DEL) is not a C0 control and passes through too.
+    EXPECT_EQ(jsonEscape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscape, RoundTripsThroughParser)
+{
+    const std::string nasty =
+        std::string("quote\" back\\slash \n\t\r\b\f ctrl") + '\x01' +
+        " caf\xc3\xa9 end";
+    std::string doc = "\"" + jsonEscape(nasty) + "\"";
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(doc, v, err)) << err;
+    EXPECT_EQ(v.kind, JsonValue::Kind::String);
+    EXPECT_EQ(v.strVal, nasty);
+}
+
+TEST(Histogram, EmptyHistogram)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0);
+    EXPECT_EQ(h.percentile(1.0), 0);
+    EXPECT_EQ(h.at(0), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+
+    JsonWriter w;
+    h.writeJson(w);
+    EXPECT_TRUE(JsonChecker(w.str()).valid()) << w.str();
+    EXPECT_NE(w.str().find("\"buckets\":[]"), std::string::npos);
+}
+
+TEST(Histogram, SingleBucket)
+{
+    Histogram h;
+    h.add(5, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.min(), 5);
+    EXPECT_EQ(h.max(), 5);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    // Every percentile of a one-valued distribution is that value.
+    EXPECT_EQ(h.percentile(0.0), 5);
+    EXPECT_EQ(h.percentile(0.5), 5);
+    EXPECT_EQ(h.percentile(1.0), 5);
+    // Leading buckets 0..4 exist but are empty.
+    EXPECT_EQ(h.buckets().size(), 6u);
+    EXPECT_EQ(h.at(4), 0u);
+    EXPECT_EQ(h.at(5), 10u);
+}
+
+TEST(Histogram, OverflowBucketGrowsOnDemand)
+{
+    Histogram h;
+    h.add(0);
+    EXPECT_EQ(h.buckets().size(), 1u);
+    // A value past the current range grows the bucket vector instead
+    // of dropping the sample.
+    h.add(40);
+    EXPECT_EQ(h.buckets().size(), 41u);
+    EXPECT_EQ(h.at(40), 1u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), 40);
+    // Out-of-range and negative queries answer zero, not UB.
+    EXPECT_EQ(h.at(41), 0u);
+    EXPECT_EQ(h.at(-1), 0u);
+}
+
+TEST(Histogram, ZeroCountAndClampedPercentiles)
+{
+    Histogram h;
+    h.add(3, 0); // count 0: a no-op, not a bucket
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+
+    h.add(1);
+    h.add(2);
+    // Out-of-domain p clamps instead of reading out of bounds.
+    EXPECT_EQ(h.percentile(-0.5), 1);
+    EXPECT_EQ(h.percentile(2.0), 2);
+}
+
+TEST(JsonParse, ScalarsAndNesting)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        R"({"a": 1, "b": -2.5, "c": "x", "d": [true, false, null],
+            "e": {"nested": 9007199254740993}})",
+        v, err))
+        << err;
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.getInt("a"), 1);
+    ASSERT_NE(v.get("a"), nullptr);
+    EXPECT_TRUE(v.get("a")->isInt);
+    EXPECT_DOUBLE_EQ(v.getNum("b"), -2.5);
+    EXPECT_FALSE(v.get("b")->isInt);
+    EXPECT_EQ(v.getStr("c"), "x");
+    const JsonValue *d = v.get("d");
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->isArray());
+    ASSERT_EQ(d->arr.size(), 3u);
+    EXPECT_TRUE(d->arr[0].boolVal);
+    EXPECT_FALSE(d->arr[1].boolVal);
+    EXPECT_TRUE(d->arr[2].isNull());
+    // Integers beyond double precision stay exact in intVal.
+    EXPECT_EQ(v.get("e")->getInt("nested"), 9007199254740993LL);
+    // Typed accessors fall back to defaults on absent keys.
+    EXPECT_EQ(v.getInt("missing", -7), -7);
+    EXPECT_EQ(v.getStr("missing", "dflt"), "dflt");
+    EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(R"("Aé→😀")", v, err))
+        << err;
+    // A, é, →, 😀 (surrogate pair) as UTF-8.
+    EXPECT_EQ(v.strVal, "A\xc3\xa9\xe2\x86\x92\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("", v, err));
+    EXPECT_FALSE(parseJson("{", v, err));
+    EXPECT_FALSE(parseJson("{\"a\":}", v, err));
+    EXPECT_FALSE(parseJson("[1,]", v, err));
+    EXPECT_FALSE(parseJson("\"unterminated", v, err));
+    EXPECT_FALSE(parseJson("tru", v, err));
+    EXPECT_FALSE(parseJson("{} trailing", v, err));
+    EXPECT_FALSE(parseJson("nan", v, err)); // no lenient extensions
+    // Errors carry an offset for debugging.
+    ASSERT_FALSE(parseJson("[1, x]", v, err));
+    EXPECT_NE(err.find("offset"), std::string::npos) << err;
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("name", "weird \"name\"\n");
+    w.key("hist");
+    Histogram h;
+    h.add(0, 2);
+    h.add(3);
+    h.writeJson(w);
+    w.endObject();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), v, err)) << err;
+    EXPECT_EQ(v.getInt("schema_version"), 1);
+    EXPECT_EQ(v.getStr("name"), "weird \"name\"\n");
+    const JsonValue *hist = v.get("hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->getInt("count"), 3);
+    ASSERT_TRUE(hist->get("buckets")->isArray());
+    EXPECT_EQ(hist->get("buckets")->arr.size(), 4u);
 }
 
 } // namespace

@@ -23,11 +23,14 @@
  *   --min-trip=N          streaming trip-count threshold (default 4)
  *   --print-asm           print the generated assembly
  *   --trace-partitions    print the per-loop partition vectors
+ *   --remarks[=text|json] print optimization remarks: every streaming /
+ *                         recurrence decision with source location,
+ *                         verdict, and reason code (default: text)
  *   --run                 execute on the simulator / timing model
  *   --stats               with --run: print cycle statistics
  *   --stats-json=FILE     with --run: write stats (stall causes, FIFO
- *                         occupancy, compile reports) as JSON; "-" for
- *                         stdout
+ *                         occupancy, per-loop cycles, compile reports)
+ *                         as JSON; "-" for stdout
  *   --trace-out=FILE      with --run: write a Chrome trace-event
  *                         pipeline trace (WM target only)
  *   --profile-passes      print per-pass wall time and RTL
@@ -35,6 +38,7 @@
  *   --mem-latency=N       simulator memory latency    (default 4)
  *   --fifo-depth=N        simulator data FIFO depth   (default 8)
  *   --lanes=N             simulator VEU lanes         (default 4)
+ *   --version             print the version and exit
  */
 
 #include <cstdio>
@@ -57,20 +61,53 @@ using namespace wmstream;
 
 namespace {
 
+const char kVersion[] = "0.3.0";
+
+/**
+ * Every flag wmc accepts, with its value shape. The table is the
+ * single source of truth: usage(), the unknown-option error, and the
+ * doc comment above must all agree with it.
+ */
+const struct {
+    const char *flag;
+    const char *help;
+} kFlags[] = {
+    {"--target=wm|68020", "target machine (default: wm)"},
+    {"--no-opt", "disable the classic optimizer phases"},
+    {"--no-recurrence", "disable recurrence detection/optimization"},
+    {"--no-streaming", "disable streaming"},
+    {"--vectorize", "enable VEU vectorization"},
+    {"--min-trip=N", "streaming trip-count threshold (default 4)"},
+    {"--print-asm", "print the generated assembly"},
+    {"--trace-partitions", "print the per-loop partition vectors"},
+    {"--remarks[=text|json]",
+     "print optimization remarks (default: text)"},
+    {"--run", "execute on the simulator / timing model"},
+    {"--stats", "with --run: print cycle statistics"},
+    {"--stats-json=FILE",
+     "with --run: write stats as JSON (\"-\" for stdout)"},
+    {"--trace-out=FILE",
+     "with --run: write a Chrome trace-event pipeline trace"},
+    {"--profile-passes", "print per-pass wall time and size deltas"},
+    {"--mem-latency=N", "simulator memory latency (default 4)"},
+    {"--fifo-depth=N", "simulator data FIFO depth (default 8)"},
+    {"--lanes=N", "simulator VEU lanes (default 4)"},
+    {"--version", "print the version and exit"},
+};
+
+void
+printFlagList(std::FILE *out)
+{
+    std::fprintf(out, "valid options:\n");
+    for (const auto &f : kFlags)
+        std::fprintf(out, "  %-22s %s\n", f.flag, f.help);
+}
+
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: wmc [--target=wm|68020] [--no-opt] "
-                 "[--no-recurrence]\n"
-                 "           [--no-streaming] [--vectorize] "
-                 "[--min-trip=N]\n"
-                 "           [--print-asm] [--trace-partitions] [--run] "
-                 "[--stats]\n"
-                 "           [--stats-json=FILE] [--trace-out=FILE] "
-                 "[--profile-passes]\n"
-                 "           [--mem-latency=N] [--fifo-depth=N] "
-                 "[--lanes=N] file.c\n");
+    std::fprintf(stderr, "usage: wmc [options] file.c\n");
+    printFlagList(stderr);
     return 2;
 }
 
@@ -156,6 +193,8 @@ main(int argc, char **argv)
     std::string file, statsJsonPath, traceOutPath;
     bool printAsm = false, tracePartitions = false, run = false,
          stats = false, profilePasses = false;
+    enum class RemarkFormat { Off, Text, Json };
+    RemarkFormat remarkFormat = RemarkFormat::Off;
     wmsim::SimConfig simCfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -190,6 +229,14 @@ main(int argc, char **argv)
             printAsm = true;
         } else if (std::strcmp(a, "--trace-partitions") == 0) {
             tracePartitions = true;
+        } else if (std::strcmp(a, "--remarks") == 0 ||
+                   std::strcmp(a, "--remarks=text") == 0) {
+            remarkFormat = RemarkFormat::Text;
+        } else if (std::strcmp(a, "--remarks=json") == 0) {
+            remarkFormat = RemarkFormat::Json;
+        } else if (std::strcmp(a, "--version") == 0) {
+            std::printf("wmc (wmstream) %s\n", kVersion);
+            return 0;
         } else if (std::strcmp(a, "--run") == 0) {
             run = true;
         } else if (std::strcmp(a, "--stats") == 0) {
@@ -214,7 +261,8 @@ main(int argc, char **argv)
             simCfg.veuLanes = v;
         } else if (a[0] == '-') {
             std::fprintf(stderr, "wmc: unknown option %s\n", a);
-            return usage();
+            printFlagList(stderr);
+            return 2;
         } else if (file.empty()) {
             file = a;
         } else {
@@ -250,6 +298,14 @@ main(int argc, char **argv)
         for (const auto &r : compiled.recurrenceReports)
             for (const auto &dump : r.partitionDumps)
                 std::printf("%s\n", dump.c_str());
+    }
+
+    if (remarkFormat == RemarkFormat::Json) {
+        obs::JsonWriter w;
+        compiled.remarks.writeJson(w, file);
+        std::printf("%s\n", w.str().c_str());
+    } else if (remarkFormat == RemarkFormat::Text) {
+        std::printf("%s", compiled.remarks.text(file).c_str());
     }
 
     if (printAsm) {
@@ -311,6 +367,7 @@ main(int argc, char **argv)
             res.stats.exportCounters(reg);
             obs::JsonWriter w;
             w.beginObject();
+            w.field("schema_version", int64_t{1});
             w.field("source", file);
             w.field("target", "wm");
             w.field("exit_value", res.returnValue);
@@ -326,6 +383,36 @@ main(int argc, char **argv)
             writeCompileSection(w, compiled);
             w.key("sim");
             reg.writeJson(w);
+            // Per-loop cycle attribution, keyed by the same loop ids
+            // the --remarks output uses; wmreport joins the two.
+            w.key("loops");
+            w.beginArray();
+            for (const auto &lb : res.stats.loops) {
+                w.beginObject();
+                w.field("loop", static_cast<int64_t>(lb.loopId));
+                w.field("cycles", static_cast<int64_t>(lb.cycles));
+                w.field("ieu_stall_cycles",
+                        static_cast<int64_t>(lb.ieuStallCycles));
+                w.field("feu_stall_cycles",
+                        static_cast<int64_t>(lb.feuStallCycles));
+                w.field("ifu_stall_cycles",
+                        static_cast<int64_t>(lb.ifuStallCycles));
+                w.field("dominant_stall",
+                        wmsim::stallCauseName(lb.dominantStall()));
+                w.key("stalls");
+                w.beginObject();
+                for (size_t c = 1;
+                     c < static_cast<size_t>(wmsim::StallCause::kCount);
+                     ++c)
+                    if (lb.stalls.byCause[c])
+                        w.field(wmsim::stallCauseName(
+                                    static_cast<wmsim::StallCause>(c)),
+                                static_cast<int64_t>(
+                                    lb.stalls.byCause[c]));
+                w.endObject();
+                w.endObject();
+            }
+            w.endArray();
             w.key("occupancy");
             w.beginObject();
             for (const auto &s : res.stats.occupancy) {
@@ -362,6 +449,7 @@ main(int argc, char **argv)
             res.exportCounters(reg);
             obs::JsonWriter w;
             w.beginObject();
+            w.field("schema_version", int64_t{1});
             w.field("source", file);
             w.field("target", "68020");
             w.field("model", model.name);

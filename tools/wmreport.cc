@@ -1,0 +1,295 @@
+/**
+ * @file
+ * wmreport — join optimization remarks with simulator statistics into
+ * a per-loop report.
+ *
+ * Takes the two JSON documents wmc emits for the same source file:
+ *
+ *   wmc --remarks=json prog.c            > remarks.json
+ *   wmc --run --stats-json=stats.json prog.c
+ *   wmreport remarks.json stats.json
+ *
+ * and joins them on the loop id (the remark collector's registry id,
+ * which the compiler also stamps onto every RTL instruction so the
+ * simulator can bucket cycles per source loop). The report shows, for
+ * each source loop: where it is, what the optimizer did or refused to
+ * do (with reason codes), how many cycles the loop cost, and the
+ * dominant stall cause inside it.
+ *
+ * wmreport also checks the attribution invariant — per-loop cycle
+ * buckets must sum exactly to the total simulated cycles — and exits
+ * nonzero when it does not hold, so the CI smoke test catches any
+ * regression in the join.
+ *
+ * Exit status: 0 on success, 1 on I/O, parse, schema, or invariant
+ * errors, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+using wmstream::obs::JsonValue;
+using wmstream::obs::parseJson;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: wmreport remarks.json stats.json\n"
+                         "       (\"-\" reads that document from stdin)\n");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        out = buf.str();
+        return true;
+    }
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+/** Load and parse one JSON document, with diagnostics on stderr. */
+bool
+loadJson(const std::string &path, JsonValue &doc)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "wmreport: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string err;
+    if (!parseJson(text, doc, err)) {
+        std::fprintf(stderr, "wmreport: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "wmreport: %s: not a JSON object\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** One remark, reduced to what the report shows. */
+struct RemarkRow
+{
+    std::string pass;
+    std::string verdict; ///< "applied" / "missed"
+    std::string reason;
+    int line = 0;
+    int column = 0;
+    std::string argText; ///< "k=v k=v" in emission order
+};
+
+/** Everything known about one loop id after the join. */
+struct LoopRow
+{
+    int id = -1;
+    std::string function;
+    int line = 0;
+    int column = 0;
+    uint64_t cycles = 0;
+    uint64_t ieuStall = 0, feuStall = 0, ifuStall = 0;
+    std::string dominantStall;
+    bool inStats = false;
+    std::vector<RemarkRow> remarks;
+};
+
+std::string
+loc(const std::string &file, int line, int column)
+{
+    if (line <= 0)
+        return "<unknown>";
+    std::string s = file + ":" + std::to_string(line);
+    if (column > 0)
+        s += ":" + std::to_string(column);
+    return s;
+}
+
+std::string
+percent(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return "0.0%";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  100.0 * static_cast<double>(part) /
+                      static_cast<double>(whole));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage();
+
+    JsonValue remarksDoc, statsDoc;
+    if (!loadJson(argv[1], remarksDoc) || !loadJson(argv[2], statsDoc))
+        return 1;
+
+    for (const auto *doc : {&remarksDoc, &statsDoc}) {
+        int64_t v = doc->getInt("schema_version", -1);
+        if (v != 1) {
+            std::fprintf(stderr,
+                         "wmreport: unsupported schema_version %lld "
+                         "(expected 1)\n",
+                         static_cast<long long>(v));
+            return 1;
+        }
+    }
+
+    std::string sourceFile = remarksDoc.getStr("file", "<unknown>");
+    std::string statsSource = statsDoc.getStr("source");
+    if (!statsSource.empty() && statsSource != sourceFile)
+        std::fprintf(stderr,
+                     "wmreport: warning: remarks are for %s but stats "
+                     "are for %s\n",
+                     sourceFile.c_str(), statsSource.c_str());
+
+    // Loop registry from the remarks document.
+    std::map<int, LoopRow> loops;
+    if (const JsonValue *ls = remarksDoc.get("loops"); ls && ls->isArray())
+        for (const JsonValue &l : ls->arr) {
+            LoopRow row;
+            row.id = static_cast<int>(l.getInt("id", -1));
+            row.function = l.getStr("function");
+            row.line = static_cast<int>(l.getInt("line"));
+            row.column = static_cast<int>(l.getInt("column"));
+            loops[row.id] = row;
+        }
+
+    // Attach remarks to their loops.
+    if (const JsonValue *rs = remarksDoc.get("remarks");
+        rs && rs->isArray())
+        for (const JsonValue &r : rs->arr) {
+            RemarkRow row;
+            row.pass = r.getStr("pass");
+            row.verdict = r.getStr("verdict");
+            row.reason = r.getStr("reason");
+            row.line = static_cast<int>(r.getInt("line"));
+            row.column = static_cast<int>(r.getInt("column"));
+            if (const JsonValue *args = r.get("args");
+                args && args->isObject())
+                for (const auto &kv : args->members) {
+                    if (!row.argText.empty())
+                        row.argText += " ";
+                    row.argText += kv.first + "=";
+                    row.argText += kv.second.kind ==
+                                           JsonValue::Kind::String
+                                       ? kv.second.strVal
+                                       : (kv.second.isInt
+                                              ? std::to_string(
+                                                    kv.second.intVal)
+                                              : std::to_string(
+                                                    kv.second.numVal));
+                }
+            int id = static_cast<int>(r.getInt("loop", -1));
+            LoopRow &lr = loops[id]; // loop-less remarks land on id -1
+            lr.id = id;
+            if (lr.function.empty())
+                lr.function = r.getStr("function");
+            loops[id].remarks.push_back(std::move(row));
+        }
+
+    // Per-loop cycle buckets from the stats document.
+    uint64_t attributed = 0;
+    if (const JsonValue *ls = statsDoc.get("loops"); ls && ls->isArray())
+        for (const JsonValue &l : ls->arr) {
+            int id = static_cast<int>(l.getInt("loop", -1));
+            LoopRow &row = loops[id];
+            row.id = id;
+            row.inStats = true;
+            row.cycles = static_cast<uint64_t>(l.getInt("cycles"));
+            row.ieuStall =
+                static_cast<uint64_t>(l.getInt("ieu_stall_cycles"));
+            row.feuStall =
+                static_cast<uint64_t>(l.getInt("feu_stall_cycles"));
+            row.ifuStall =
+                static_cast<uint64_t>(l.getInt("ifu_stall_cycles"));
+            row.dominantStall = l.getStr("dominant_stall", "none");
+            attributed += row.cycles;
+        }
+    else {
+        std::fprintf(stderr,
+                     "wmreport: %s has no \"loops\" section (need "
+                     "wmc --run --stats-json for the wm target)\n",
+                     argv[2]);
+        return 1;
+    }
+
+    uint64_t totalCycles = 0;
+    if (const JsonValue *sim = statsDoc.get("sim"); sim && sim->isObject())
+        totalCycles = static_cast<uint64_t>(sim->getInt("cycles"));
+
+    std::printf("per-loop report for %s (%llu cycles)\n\n",
+                sourceFile.c_str(),
+                static_cast<unsigned long long>(totalCycles));
+    std::printf("%5s  %-28s %10s %7s  %-18s %s\n", "loop", "location",
+                "cycles", "share", "dominant stall", "decisions");
+
+    for (const auto &[id, row] : loops) {
+        int applied = 0, missedCnt = 0;
+        for (const RemarkRow &r : row.remarks)
+            (r.verdict == "applied" ? applied : missedCnt) += 1;
+        std::string decisions;
+        if (id >= 0) {
+            decisions = std::to_string(applied) + " applied, " +
+                        std::to_string(missedCnt) + " missed";
+        } else {
+            decisions = "(outside loops)";
+        }
+        std::string where =
+            id >= 0 ? loc(sourceFile, row.line, row.column) : "-";
+        std::printf("%5d  %-28s %10llu %7s  %-18s %s\n", id,
+                    where.c_str(),
+                    static_cast<unsigned long long>(row.cycles),
+                    percent(row.cycles, totalCycles).c_str(),
+                    row.cycles ? row.dominantStall.c_str() : "-",
+                    decisions.c_str());
+        for (const RemarkRow &r : row.remarks) {
+            std::printf("       %s %s: %s", r.pass.c_str(),
+                        r.verdict.c_str(), r.reason.c_str());
+            if (!r.argText.empty())
+                std::printf(" [%s]", r.argText.c_str());
+            if (r.line > 0)
+                std::printf("  (%s)",
+                            loc(sourceFile, r.line, r.column).c_str());
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nattributed %llu of %llu cycles\n",
+                static_cast<unsigned long long>(attributed),
+                static_cast<unsigned long long>(totalCycles));
+    if (attributed != totalCycles) {
+        std::fprintf(stderr,
+                     "wmreport: attribution broken: per-loop buckets "
+                     "sum to %llu, total is %llu\n",
+                     static_cast<unsigned long long>(attributed),
+                     static_cast<unsigned long long>(totalCycles));
+        return 1;
+    }
+    return 0;
+}
