@@ -200,7 +200,7 @@ compileSource(const std::string &source, const CompileOptions &options)
             prof.measure("streaming", insts, [&] {
                 res.streamingReports.push_back(streaming::runStreaming(
                     *fn, res.traits, options.minStreamTripCount,
-                    &res.remarks));
+                    &res.remarks, options.injectStreamCountBug));
             });
             const auto &sr = res.streamingReports.back();
             prof.addCounter("streaming", "loops_examined",

@@ -55,6 +55,15 @@ struct CompileOptions
      * nothing else may set it.
      */
     bool injectRecurrenceDistanceBug = false;
+    /**
+     * Fault injection for the deadlock watchdog's self-test ONLY:
+     * under-count every input stream except the loop-steering one by
+     * one element, so the consumer's final dequeue blocks forever
+     * (FIFO-imbalance miscompile). Hidden behind
+     * `wmfuzz --inject-deadlock-bug` / `wmc --inject-deadlock-bug`;
+     * nothing else may set it.
+     */
+    bool injectStreamCountBug = false;
 };
 
 /** Compilation output plus per-pass reports for the harnesses. */

@@ -106,6 +106,8 @@ Sema::checkVarDecl(VarDecl &v)
             checkExpr(e);
             if (v.isGlobal && !isConstInit(*e))
                 diag_.error(e->pos(), "global initializer must be constant");
+            else if (v.isGlobal)
+                checkConstDivisors(*e);
             convertTo(e, v.type->base());
         }
         return;
@@ -115,6 +117,8 @@ Sema::checkVarDecl(VarDecl &v)
     if (v.isGlobal && !isConstInit(*v.init.scalar))
         diag_.error(v.init.scalar->pos(),
                     "global initializer must be constant");
+    else if (v.isGlobal)
+        checkConstDivisors(*v.init.scalar);
     convertTo(v.init.scalar, v.type);
 }
 
@@ -167,12 +171,16 @@ Sema::checkStmt(Stmt &s)
       case NodeKind::WhileStmt: {
         auto &w = static_cast<WhileStmt &>(s);
         checkCondition(w.cond);
+        ++loopDepth_;
         checkStmt(*w.body);
+        --loopDepth_;
         break;
       }
       case NodeKind::DoWhileStmt: {
         auto &w = static_cast<DoWhileStmt &>(s);
+        ++loopDepth_;
         checkStmt(*w.body);
+        --loopDepth_;
         checkCondition(w.cond);
         break;
       }
@@ -184,7 +192,9 @@ Sema::checkStmt(Stmt &s)
             checkCondition(f.cond);
         if (f.step)
             checkExpr(f.step);
+        ++loopDepth_;
         checkStmt(*f.body);
+        --loopDepth_;
         break;
       }
       case NodeKind::ReturnStmt: {
@@ -204,7 +214,14 @@ Sema::checkStmt(Stmt &s)
         break;
       }
       case NodeKind::BreakStmt:
+        // The expander asserts on loopless break/continue; reject
+        // them here so malformed input gets a positioned diagnostic.
+        if (loopDepth_ == 0)
+            diag_.error(s.pos(), "break statement outside a loop");
+        break;
       case NodeKind::ContinueStmt:
+        if (loopDepth_ == 0)
+            diag_.error(s.pos(), "continue statement outside a loop");
         break;
       default:
         WS_PANIC("checkStmt: unexpected node kind");
@@ -298,6 +315,138 @@ Sema::isConstInit(const Expr &e) const
       }
       default:
         return false;
+    }
+}
+
+namespace {
+
+/** A constant value during initializer divisor checking. */
+struct CVal
+{
+    bool isFloat = false;
+    int64_t i = 0;
+    double f = 0.0;
+};
+
+/**
+ * Best-effort constant evaluation mirroring the expander's folder
+ * (interp::evalConstExpr, which the frontend cannot link against).
+ * Returns false for anything unknown — including division by zero,
+ * which the caller diagnoses separately.
+ */
+bool
+evalConst(const Expr &e, CVal &out)
+{
+    switch (e.kind()) {
+      case NodeKind::IntLit:
+        out = {false, static_cast<const IntLitExpr &>(e).value, 0.0};
+        return true;
+      case NodeKind::FloatLit:
+        out = {true, 0, static_cast<const FloatLitExpr &>(e).value};
+        return true;
+      case NodeKind::Unary: {
+        const auto &u = static_cast<const UnaryExpr &>(e);
+        if (u.op != UnOp::Neg || !evalConst(*u.operand, out))
+            return false;
+        if (out.isFloat)
+            out.f = -out.f;
+        else
+            out.i = -out.i;
+        return true;
+      }
+      case NodeKind::Cast: {
+        const auto &c = static_cast<const CastExpr &>(e);
+        if (!evalConst(*c.operand, out))
+            return false;
+        if (c.type->isDouble() && !out.isFloat)
+            out = {true, 0, static_cast<double>(out.i)};
+        else if (!c.type->isDouble() && out.isFloat)
+            out = {false, static_cast<int64_t>(out.f), 0.0};
+        return true;
+      }
+      case NodeKind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(e);
+        CVal l, r;
+        if (!evalConst(*b.lhs, l) || !evalConst(*b.rhs, r))
+            return false;
+        if (l.isFloat || r.isFloat) {
+            double a = l.isFloat ? l.f : static_cast<double>(l.i);
+            double c = r.isFloat ? r.f : static_cast<double>(r.i);
+            switch (b.op) {
+              case BinOp::Add: out = {true, 0, a + c}; return true;
+              case BinOp::Sub: out = {true, 0, a - c}; return true;
+              case BinOp::Mul: out = {true, 0, a * c}; return true;
+              default: return false;
+            }
+        }
+        auto u = [](int64_t x) { return static_cast<uint64_t>(x); };
+        int64_t a = l.i, c = r.i;
+        switch (b.op) {
+          case BinOp::Add:
+            out = {false, static_cast<int64_t>(u(a) + u(c)), 0.0};
+            return true;
+          case BinOp::Sub:
+            out = {false, static_cast<int64_t>(u(a) - u(c)), 0.0};
+            return true;
+          case BinOp::Mul:
+            out = {false, static_cast<int64_t>(u(a) * u(c)), 0.0};
+            return true;
+          case BinOp::Div:
+            if (c == 0)
+                return false;
+            out = {false, a / c, 0.0};
+            return true;
+          case BinOp::Rem:
+            if (c == 0)
+                return false;
+            out = {false, a % c, 0.0};
+            return true;
+          case BinOp::Shl: out = {false, a << (c & 63), 0.0}; return true;
+          case BinOp::Shr: out = {false, a >> (c & 63), 0.0}; return true;
+          case BinOp::BitAnd: out = {false, a & c, 0.0}; return true;
+          case BinOp::BitOr: out = {false, a | c, 0.0}; return true;
+          case BinOp::BitXor: out = {false, a ^ c, 0.0}; return true;
+          case BinOp::Eq: out = {false, a == c, 0.0}; return true;
+          case BinOp::Ne: out = {false, a != c, 0.0}; return true;
+          case BinOp::Lt: out = {false, a < c, 0.0}; return true;
+          case BinOp::Le: out = {false, a <= c, 0.0}; return true;
+          case BinOp::Gt: out = {false, a > c, 0.0}; return true;
+          case BinOp::Ge: out = {false, a >= c, 0.0}; return true;
+          default:
+            return false;
+        }
+      }
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+void
+Sema::checkConstDivisors(const Expr &e)
+{
+    switch (e.kind()) {
+      case NodeKind::Unary:
+        checkConstDivisors(*static_cast<const UnaryExpr &>(e).operand);
+        break;
+      case NodeKind::Cast:
+        checkConstDivisors(*static_cast<const CastExpr &>(e).operand);
+        break;
+      case NodeKind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(e);
+        checkConstDivisors(*b.lhs);
+        checkConstDivisors(*b.rhs);
+        if (b.op == BinOp::Div || b.op == BinOp::Rem) {
+            CVal v;
+            if (evalConst(*b.rhs, v) && !v.isFloat && v.i == 0)
+                diag_.error(b.pos(), "division by zero in constant "
+                                     "initializer");
+        }
+        break;
+      }
+      default:
+        break;
     }
 }
 

@@ -53,12 +53,19 @@ class Sema
 
     bool isLValue(const Expr &e) const;
     bool isConstInit(const Expr &e) const;
+    /**
+     * Diagnose integer division/remainder by a constant zero inside a
+     * (constness-validated) global initializer, so the expander's
+     * constant folder never sees one.
+     */
+    void checkConstDivisors(const Expr &e);
 
     std::string internString(const std::string &value);
 
     DiagEngine &diag_;
     TranslationUnit *unit_ = nullptr;
     FuncDecl *currentFn_ = nullptr;
+    int loopDepth_ = 0; ///< break/continue are valid only when > 0
     std::vector<std::unordered_map<std::string, Decl *>> scopes_;
     std::unordered_map<std::string, FuncDecl *> functions_;
     int nextString_ = 0;

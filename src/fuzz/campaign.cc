@@ -23,9 +23,10 @@ namespace {
 
 // Generated programs are tiny (<= 48-element arrays, <= 3-statement
 // bodies), so a well-compiled program finishes in well under a
-// million cycles at any simulated latency. A tight budget makes a
-// miscompile that deadlocks the FIFO machine surface as a fast
-// run_error divergence instead of burning minutes of simulation.
+// million cycles at any simulated latency. A genuine wedge is caught
+// by the simulator's no-progress watchdog within its window; the
+// cycle budget only bounds true livelocks (still making progress),
+// which then classify as livelock instead of burning minutes.
 constexpr uint64_t kSimMaxCycles = 2'000'000ull;
 constexpr uint64_t kScalarMaxInsts = 2'000'000ull;
 
@@ -58,48 +59,6 @@ runOracle(const std::string &source)
     return res;
 }
 
-/** Compile+run @p source under @p cfg and diff against @p expect. */
-CheckOutcome
-checkAgainstOracle(const std::string &source, int64_t expect,
-                   const FuzzConfig &cfg)
-{
-    CheckOutcome out;
-    out.expected = expect;
-    auto cr = driver::compileSource(source, cfg.opts);
-    if (!cr.ok) {
-        out.diverged = true;
-        out.kind = DivergenceKind::CompileError;
-        out.detail = cr.diagnostics;
-        return out;
-    }
-    if (cfg.opts.target == rtl::MachineKind::WM) {
-        auto res = wmsim::simulate(*cr.program, cfg.simCfg);
-        if (!res.ok) {
-            out.diverged = true;
-            out.kind = DivergenceKind::RunError;
-            out.detail = res.error;
-            return out;
-        }
-        out.actual = res.returnValue;
-    } else {
-        auto model = timing::m88100Model();
-        auto res = timing::runScalar(*cr.program, model,
-                                     kScalarMaxInsts);
-        if (!res.ok) {
-            out.diverged = true;
-            out.kind = DivergenceKind::RunError;
-            out.detail = res.error;
-            return out;
-        }
-        out.actual = res.returnValue;
-    }
-    if (out.actual != expect) {
-        out.diverged = true;
-        out.kind = DivergenceKind::Mismatch;
-    }
-    return out;
-}
-
 uint64_t
 fnv1a64(const std::string &s)
 {
@@ -119,6 +78,86 @@ mix64(uint64_t z)
     return z ^ (z >> 31);
 }
 
+/** Compile+run @p source under @p cfg and diff against @p expect. */
+CheckOutcome
+checkAgainstOracle(const std::string &source, int64_t expect,
+                   const FuzzConfig &cfg)
+{
+    CheckOutcome out;
+    out.expected = expect;
+    auto cr = driver::compileSource(source, cfg.opts);
+    if (!cr.ok) {
+        out.diverged = true;
+        out.kind = DivergenceKind::CompileError;
+        out.detail = cr.diagnostics;
+        return out;
+    }
+    if (cfg.opts.target == rtl::MachineKind::WM) {
+        auto res = wmsim::simulate(*cr.program, cfg.simCfg);
+        if (!res.ok) {
+            out.diverged = true;
+            if (res.fault == wmsim::SimFault::Deadlock ||
+                res.fault == wmsim::SimFault::Livelock) {
+                out.kind = DivergenceKind::Deadlock;
+                out.faultSignature = res.faultReport.signature();
+            } else {
+                out.kind = DivergenceKind::RunError;
+            }
+            out.detail = res.error;
+            return out;
+        }
+        out.actual = res.returnValue;
+        // Chaos oracle: the same program under perturbed timing must
+        // return the same architectural result.
+        for (int k = 1; k <= cfg.chaosSeeds; ++k) {
+            wmsim::SimConfig cc = cfg.simCfg;
+            cc.chaosSeed =
+                mix64(cfg.chaosBaseSeed + static_cast<uint64_t>(k));
+            if (cc.chaosSeed == 0)
+                cc.chaosSeed = 1;
+            auto cres = wmsim::simulate(*cr.program, cc);
+            if (cres.ok && cres.returnValue == res.returnValue)
+                continue;
+            out.diverged = true;
+            out.kind = DivergenceKind::ChaosBreak;
+            if (!cres.ok) {
+                out.detail = strFormat("chaos seed %llu: %s",
+                                       static_cast<unsigned long long>(
+                                           cc.chaosSeed),
+                                       cres.error.c_str());
+                if (cres.fault == wmsim::SimFault::Deadlock ||
+                    cres.fault == wmsim::SimFault::Livelock)
+                    out.faultSignature = cres.faultReport.signature();
+            } else {
+                out.detail = strFormat(
+                    "chaos seed %llu: returned %lld, deterministic "
+                    "run returned %lld",
+                    static_cast<unsigned long long>(cc.chaosSeed),
+                    static_cast<long long>(cres.returnValue),
+                    static_cast<long long>(res.returnValue));
+                out.actual = cres.returnValue;
+            }
+            return out;
+        }
+    } else {
+        auto model = timing::m88100Model();
+        auto res = timing::runScalar(*cr.program, model,
+                                     kScalarMaxInsts);
+        if (!res.ok) {
+            out.diverged = true;
+            out.kind = DivergenceKind::RunError;
+            out.detail = res.error;
+            return out;
+        }
+        out.actual = res.returnValue;
+    }
+    if (out.actual != expect) {
+        out.diverged = true;
+        out.kind = DivergenceKind::Mismatch;
+    }
+    return out;
+}
+
 std::string
 wmcFlags(const FuzzConfig &cfg)
 {
@@ -135,6 +174,8 @@ wmcFlags(const FuzzConfig &cfg)
         f += " --vectorize";
     if (cfg.opts.minStreamTripCount != 4)
         f += strFormat(" --min-trip=%d", cfg.opts.minStreamTripCount);
+    if (cfg.opts.injectStreamCountBug)
+        f += " --inject-deadlock-bug";
     if (cfg.opts.target == rtl::MachineKind::WM)
         f += strFormat(" --mem-latency=%d --fifo-depth=%d",
                        cfg.simCfg.memLatency, cfg.simCfg.dataFifoDepth);
@@ -151,12 +192,15 @@ divergenceKindName(DivergenceKind k)
       case DivergenceKind::CompileError: return "compile_error";
       case DivergenceKind::RunError: return "run_error";
       case DivergenceKind::OracleError: return "oracle_error";
+      case DivergenceKind::Deadlock: return "deadlock";
+      case DivergenceKind::ChaosBreak: return "chaos_break";
     }
     return "unknown";
 }
 
 std::vector<FuzzConfig>
-configMatrix(uint64_t programIndex, bool injectRecurrenceBug)
+configMatrix(uint64_t programIndex, bool injectRecurrenceBug,
+             bool injectStreamCountBug, int chaosSeeds)
 {
     std::vector<FuzzConfig> configs;
 
@@ -176,7 +220,10 @@ configMatrix(uint64_t programIndex, bool injectRecurrenceBug)
         // Stress the streaming threshold too.
         c.opts.minStreamTripCount = programIndex % 3 == 0 ? 0 : 4;
         c.opts.injectRecurrenceDistanceBug = injectRecurrenceBug;
+        c.opts.injectStreamCountBug = injectStreamCountBug;
         c.simCfg = simCfg;
+        c.chaosSeeds = chaosSeeds;
+        c.chaosBaseSeed = mix64(programIndex ^ 0x5DEECE66Dull);
         c.key = "wm/";
         c.key += rec ? "rec" : "norec";
         c.key += stream ? "+stream" : "";
@@ -197,6 +244,8 @@ configMatrix(uint64_t programIndex, bool injectRecurrenceBug)
         c.opts.streaming = false;
         c.opts.injectRecurrenceDistanceBug = injectRecurrenceBug;
         c.simCfg = simCfg;
+        c.chaosSeeds = chaosSeeds;
+        c.chaosBaseSeed = mix64(programIndex ^ 0x5DEECE66Dull);
         c.key = "wm/noopt";
         configs.push_back(std::move(c));
     }
@@ -232,6 +281,12 @@ std::string
 divergenceSignature(const ProgramSpec &spec, const FuzzConfig &cfg,
                     const CheckOutcome &outcome)
 {
+    // Deadlocks and livelocks dedup by the wait-for-graph shape the
+    // watchdog reported, not by program structure: one FIFO-imbalance
+    // bug wedges hundreds of generated programs the same way.
+    if (!outcome.faultSignature.empty())
+        return cfg.key + '/' + divergenceKindName(outcome.kind) + ':' +
+               outcome.faultSignature;
     // Structural features the loop transforms key on. Offsets are
     // expressed as iteration distances (normalized by direction) so
     // an up-loop and a down-loop instance of the same bug collide.
@@ -302,7 +357,9 @@ runCampaign(const CampaignOptions &opts)
 
             auto oracle = runOracle(source);
             for (const FuzzConfig &cfg :
-                 configMatrix(idx, opts.injectRecurrenceBug)) {
+                 configMatrix(idx, opts.injectRecurrenceBug,
+                              opts.injectStreamCountBug,
+                              opts.chaosSeeds)) {
                 CheckOutcome out;
                 if (!oracle.ok) {
                     out.diverged = true;
@@ -436,14 +493,18 @@ renderReproducer(const Divergence &d, const CampaignOptions &opts)
     else if (!d.detail.empty())
         out += strFormat(" * error: %s\n",
                          trimString(d.detail).c_str());
+    std::string extraFlags;
+    if (opts.injectRecurrenceBug)
+        extraFlags += " --inject-recurrence-bug";
+    if (opts.injectStreamCountBug)
+        extraFlags += " --inject-deadlock-bug";
+    if (opts.chaosSeeds > 0)
+        extraFlags += strFormat(" --chaos-seeds=%d", opts.chaosSeeds);
     out += strFormat(" * found by: wmfuzz --seed=%llu "
                      "--max-programs=%d%s (program #%llu, %d "
                      "duplicates folded)\n",
                      static_cast<unsigned long long>(opts.seed),
-                     opts.maxPrograms,
-                     opts.injectRecurrenceBug
-                         ? " --inject-recurrence-bug"
-                         : "",
+                     opts.maxPrograms, extraFlags.c_str(),
                      static_cast<unsigned long long>(d.programIndex),
                      d.duplicates);
     out += strFormat(" * re-check: wmc --run%s <this file>\n",
@@ -465,6 +526,8 @@ writeCampaignJson(obs::JsonWriter &w, const CampaignOptions &opts,
     w.field("max_programs", opts.maxPrograms);
     w.field("jobs", opts.jobs);
     w.field("inject_recurrence_bug", opts.injectRecurrenceBug);
+    w.field("inject_deadlock_bug", opts.injectStreamCountBug);
+    w.field("chaos_seeds", static_cast<int64_t>(opts.chaosSeeds));
     w.field("minimize", opts.minimize);
     w.endObject();
     w.field("programs_run", res.programsRun);

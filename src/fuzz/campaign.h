@@ -45,6 +45,14 @@ struct FuzzConfig
     std::string key;             ///< stable id, e.g. "wm/rec+stream"
     driver::CompileOptions opts;
     wmsim::SimConfig simCfg;     ///< used when opts.target == WM
+    /**
+     * Chaos oracle: after a clean deterministic WM run, re-simulate
+     * with this many chaos seeds (derived from chaosBaseSeed) and
+     * require bit-identical return values — timing perturbation must
+     * never change architectural results.
+     */
+    int chaosSeeds = 0;
+    uint64_t chaosBaseSeed = 0;
 };
 
 /**
@@ -54,16 +62,23 @@ struct FuzzConfig
  * with recurrence on/off. Simulator parameters (memory latency, FIFO
  * depth) are varied deterministically by index, like the original
  * loopfuzz test. @p injectRecurrenceBug threads the fault-injection
- * flag into every configuration (it only bites where recurrence runs).
+ * flag into every configuration (it only bites where recurrence runs);
+ * @p injectStreamCountBug likewise threads the deadlock self-test
+ * miscompile (it only bites where streaming runs). @p chaosSeeds > 0
+ * arms the chaos determinism oracle on every WM configuration.
  */
 std::vector<FuzzConfig> configMatrix(uint64_t programIndex,
-                                     bool injectRecurrenceBug);
+                                     bool injectRecurrenceBug,
+                                     bool injectStreamCountBug = false,
+                                     int chaosSeeds = 0);
 
 enum class DivergenceKind : uint8_t {
     Mismatch,     ///< compiled result != oracle checksum
     CompileError, ///< compiler rejected a generator-valid program
     RunError,     ///< simulator/timing model failed or timed out
     OracleError,  ///< the interpreter itself failed (generator bug)
+    Deadlock,     ///< watchdog fault (deadlock or livelock) in wmsim
+    ChaosBreak,   ///< chaos-perturbed run changed the result
 };
 
 const char *divergenceKindName(DivergenceKind k);
@@ -76,6 +91,12 @@ struct CheckOutcome
     int64_t expected = 0;
     int64_t actual = 0;
     std::string detail; ///< compiler/simulator error text
+    /**
+     * FaultReport::signature() when the simulator reported a deadlock
+     * or livelock: the wait-for-graph shape, used as the dedup key so
+     * one FIFO-imbalance bug folds into one finding across programs.
+     */
+    std::string faultSignature;
 };
 
 /**
@@ -119,6 +140,10 @@ struct CampaignOptions
     int maxPrograms = 1000;
     int jobs = 1;
     bool injectRecurrenceBug = false; ///< self-test fault injection
+    /** Self-test for the deadlock watchdog: under-count streams. */
+    bool injectStreamCountBug = false;
+    /** Chaos seeds per WM config (0 disables the chaos oracle). */
+    int chaosSeeds = 0;
     bool minimize = true;
     std::string reproDir;  ///< write reproducer .c files here if set
     bool progress = false; ///< print a progress line per 100 programs

@@ -68,6 +68,16 @@ evalConstExpr(const Expr &e)
               case BinOp::Sub: return Value::ofFloat(a - c);
               case BinOp::Mul: return Value::ofFloat(a * c);
               case BinOp::Div: return Value::ofFloat(a / c);
+              case BinOp::Eq: return Value::ofInt(a == c);
+              case BinOp::Ne: return Value::ofInt(a != c);
+              case BinOp::Lt: return Value::ofInt(a < c);
+              case BinOp::Le: return Value::ofInt(a <= c);
+              case BinOp::Gt: return Value::ofInt(a > c);
+              case BinOp::Ge: return Value::ofInt(a >= c);
+              case BinOp::LogAnd:
+                return Value::ofInt(a != 0.0 && c != 0.0);
+              case BinOp::LogOr:
+                return Value::ofInt(a != 0.0 || c != 0.0);
               default: WS_PANIC("bad constant float operator");
             }
         }
@@ -76,13 +86,25 @@ evalConstExpr(const Expr &e)
           case BinOp::Sub: return Value::ofInt(wrapSub(l.i, r.i));
           case BinOp::Mul: return Value::ofInt(wrapMul(l.i, r.i));
           case BinOp::Div:
+            // Sema rejects constant zero divisors before expansion.
             WS_ASSERT(r.i != 0, "constant division by zero");
             return Value::ofInt(l.i / r.i);
+          case BinOp::Rem:
+            WS_ASSERT(r.i != 0, "constant remainder by zero");
+            return Value::ofInt(l.i % r.i);
           case BinOp::Shl: return Value::ofInt(l.i << (r.i & 63));
           case BinOp::Shr: return Value::ofInt(l.i >> (r.i & 63));
           case BinOp::BitAnd: return Value::ofInt(l.i & r.i);
           case BinOp::BitOr: return Value::ofInt(l.i | r.i);
           case BinOp::BitXor: return Value::ofInt(l.i ^ r.i);
+          case BinOp::Eq: return Value::ofInt(l.i == r.i);
+          case BinOp::Ne: return Value::ofInt(l.i != r.i);
+          case BinOp::Lt: return Value::ofInt(l.i < r.i);
+          case BinOp::Le: return Value::ofInt(l.i <= r.i);
+          case BinOp::Gt: return Value::ofInt(l.i > r.i);
+          case BinOp::Ge: return Value::ofInt(l.i >= r.i);
+          case BinOp::LogAnd: return Value::ofInt(l.i && r.i);
+          case BinOp::LogOr: return Value::ofInt(l.i || r.i);
           default: WS_PANIC("bad constant integer operator");
         }
       }

@@ -252,7 +252,7 @@ bool
 streamLoop(rtl::Function &fn, cfg::Loop &loop,
            const cfg::DominatorTree &dt, const rtl::MachineTraits &traits,
            int minTripCount, StreamingReport &report,
-           obs::RemarkCollector *remarks)
+           obs::RemarkCollector *remarks, bool injectCountBug)
 {
     // Remark plumbing: resolve the loop's registry id (get-or-create,
     // upgrading the record with a position recovered from instruction
@@ -682,12 +682,29 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
                                    "first element address"));
             base = t3;
 
+            // Hidden fault injection (--inject-deadlock-bug): give
+            // every input stream except the loop-steering one
+            // (chosen.front(), whose count feeds the JNI mirror) one
+            // element too few. The loop still runs the full trip
+            // count, so the consumer's final dequeue waits on a FIFO
+            // no producer will ever fill — the FIFO-imbalance
+            // miscompile the watchdog self-test must detect.
+            ExprPtr cnt = countReg;
+            if (injectCountBug && finite && !ps.ref.isWrite &&
+                    &ps != &chosen.front()) {
+                ExprPtr t4 = fn.newVReg(DataType::I64);
+                insert(rtl::makeAssign(
+                    t4,
+                    rtl::makeBin(Op::Sub, countReg, rtl::makeConst(1)),
+                    "injected stream under-count"));
+                cnt = t4;
+            }
             Inst stream =
                 ps.ref.isWrite
-                    ? rtl::makeStreamOut(ps.side, ps.fifo, base, countReg,
+                    ? rtl::makeStreamOut(ps.side, ps.fifo, base, cnt,
                                          ps.stride, ps.ref.type,
                                          "stream out")
-                    : rtl::makeStreamIn(ps.side, ps.fifo, base, countReg,
+                    : rtl::makeStreamIn(ps.side, ps.fifo, base, cnt,
                                         ps.stride, ps.ref.type,
                                         "stream in");
             if (!finite)
@@ -855,7 +872,8 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
 
 StreamingReport
 runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
-             int minTripCount, obs::RemarkCollector *remarks)
+             int minTripCount, obs::RemarkCollector *remarks,
+             bool injectStreamCountBug)
 {
     StreamingReport report;
     if (!traits.hasStreams)
@@ -881,7 +899,7 @@ runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
             doneLoops.push_back(loop.header->label());
             ++report.loopsExamined;
             if (streamLoop(fn, loop, dt, traits, minTripCount, report,
-                           remarks)) {
+                           remarks, injectStreamCountBug)) {
                 changed = true;
                 break; // structures stale
             }

@@ -53,10 +53,18 @@ struct StreamingReport
  * `no-fifo-available`, ...) for each rejection, located at the source
  * position of the loop or memory reference that caused it.
  */
+/**
+ * @p injectStreamCountBug is the deadlock watchdog's hidden self-test
+ * (wmfuzz/wmc --inject-deadlock-bug): every input stream except the
+ * loop-steering one is started one element short, a deliberate
+ * FIFO-imbalance miscompile. Nothing but the fault-injection harness
+ * may set it.
+ */
 StreamingReport runStreaming(rtl::Function &fn,
                              const rtl::MachineTraits &traits,
                              int minTripCount = 4,
-                             obs::RemarkCollector *remarks = nullptr);
+                             obs::RemarkCollector *remarks = nullptr,
+                             bool injectStreamCountBug = false);
 
 } // namespace wmstream::streaming
 

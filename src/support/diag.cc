@@ -62,7 +62,10 @@ wsPanic(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "wmstream panic at %s:%d: %s\n", file, line,
                  msg.c_str());
-    std::abort();
+    // Exit with a recognizable "internal error" status instead of
+    // SIGABRT so drivers and CI can tell a compiler bug apart from a
+    // crash and from user-error exits (see wmc exit-code table).
+    std::exit(70);
 }
 
 } // namespace wmstream

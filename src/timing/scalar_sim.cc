@@ -193,6 +193,14 @@ class ScalarMachine
         }
         for (const auto &g : prog.globals()) {
             WS_ASSERT(g.address >= 0, "program not laid out");
+            if (g.address + g.size > static_cast<int64_t>(mem_.size())) {
+                loadError_ = strFormat(
+                    "global %s (%lld bytes at %lld) exceeds simulated "
+                    "memory (%zu bytes)",
+                    g.name.c_str(), static_cast<long long>(g.size),
+                    static_cast<long long>(g.address), mem_.size());
+                return;
+            }
             if (!g.init.empty())
                 std::memcpy(&mem_[g.address], g.init.data(),
                             g.init.size());
@@ -204,6 +212,10 @@ class ScalarMachine
     run()
     {
         ScalarRunResult res;
+        if (!loadError_.empty()) {
+            res.error = loadError_;
+            return res;
+        }
         auto it = funcEntry_.find("main");
         if (it == funcEntry_.end()) {
             res.error = "no main function";
@@ -550,6 +562,7 @@ class ScalarMachine
     const CostModel &model_;
     uint64_t maxInsts_;
     std::vector<uint8_t> mem_;
+    std::string loadError_; ///< image didn't fit; reported by run()
     std::vector<FlatInst> code_;
     std::unordered_map<std::string, int64_t> funcEntry_;
     std::vector<std::unordered_map<std::string, int64_t>> labels_;

@@ -1,0 +1,270 @@
+#include "wmsim/fault.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "support/str.h"
+
+namespace wmstream::wmsim {
+
+const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::None: return "none";
+      case StallCause::DataFifoEmpty: return "data_fifo_empty";
+      case StallCause::DataFifoFull: return "data_fifo_full";
+      case StallCause::CcFifoEmpty: return "cc_fifo_empty";
+      case StallCause::CcFifoFull: return "cc_fifo_full";
+      case StallCause::StoreQueueFull: return "store_queue_full";
+      case StallCause::MemPortContention: return "mem_port_contention";
+      case StallCause::StreamOwnership: return "stream_ownership";
+      case StallCause::DivBusy: return "div_busy";
+      case StallCause::InstQueueEmpty: return "inst_queue_empty";
+      case StallCause::InstQueueFull: return "inst_queue_full";
+      case StallCause::SyncWait: return "sync_wait";
+      case StallCause::VeuBusy: return "veu_busy";
+      case StallCause::ScuDrainWait: return "scu_drain_wait";
+      case StallCause::ScuUnavailable: return "scu_unavailable";
+      case StallCause::ScuFifoBusy: return "scu_fifo_busy";
+      case StallCause::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+simFaultName(SimFault f)
+{
+    switch (f) {
+      case SimFault::None: return "none";
+      case SimFault::RuntimeError: return "runtime_error";
+      case SimFault::Deadlock: return "deadlock";
+      case SimFault::Livelock: return "livelock";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+findWaitCycle(const std::vector<WaitForEdge> &edges)
+{
+    // Adjacency over node names. The graphs here are tiny (a handful
+    // of units and resources), so an iterative DFS with an explicit
+    // color map is plenty.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const WaitForEdge &e : edges)
+        adj[e.from].push_back(e.to);
+
+    enum class Color : uint8_t { White, Grey, Black };
+    std::map<std::string, Color> color;
+    for (const auto &kv : adj)
+        color[kv.first] = Color::White;
+
+    std::vector<std::string> path;
+    // Recursive lambda over a graph of at most a dozen nodes.
+    std::function<std::vector<std::string>(const std::string &)> dfs =
+        [&](const std::string &n) -> std::vector<std::string> {
+        color[n] = Color::Grey;
+        path.push_back(n);
+        auto it = adj.find(n);
+        if (it != adj.end())
+            for (const std::string &m : it->second) {
+                auto c = color.find(m);
+                if (c != color.end() && c->second == Color::Grey) {
+                    // Found a back edge: slice the cycle out of path.
+                    auto start = std::find(path.begin(), path.end(), m);
+                    std::vector<std::string> cyc(start, path.end());
+                    cyc.push_back(m);
+                    return cyc;
+                }
+                if (c == color.end() || c->second == Color::White) {
+                    if (c == color.end())
+                        color[m] = Color::White;
+                    auto cyc = dfs(m);
+                    if (!cyc.empty())
+                        return cyc;
+                }
+            }
+        path.pop_back();
+        color[n] = Color::Black;
+        return {};
+    };
+
+    for (const auto &kv : adj)
+        if (color[kv.first] == Color::White) {
+            path.clear();
+            auto cyc = dfs(kv.first);
+            if (!cyc.empty())
+                return cyc;
+        }
+    return {};
+}
+
+std::string
+FaultReport::signature() const
+{
+    // Shape, not incident: sorted blocked-unit/cause pairs plus the
+    // wait chain. Cycle numbers, addresses, and counts are excluded
+    // so one FIFO-imbalance bug yields one signature across programs
+    // and configs.
+    std::vector<std::string> parts;
+    for (const FaultUnitState &u : units)
+        if (u.blocked)
+            parts.push_back(u.unit + "=" + stallCauseName(u.cause));
+    std::sort(parts.begin(), parts.end());
+    std::string sig = simFaultName(kind);
+    sig += "|";
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            sig += ",";
+        sig += parts[i];
+    }
+    if (!waitChain.empty()) {
+        sig += cycleFound ? "|cycle:" : "|chain:";
+        for (size_t i = 0; i < waitChain.size(); ++i) {
+            if (i)
+                sig += "->";
+            sig += waitChain[i];
+        }
+    }
+    return sig;
+}
+
+std::string
+FaultReport::text() const
+{
+    std::string s = strFormat(
+        "%s at cycle %llu (last progress at cycle %llu, window %llu)\n",
+        simFaultName(kind), static_cast<unsigned long long>(cycle),
+        static_cast<unsigned long long>(lastProgressCycle),
+        static_cast<unsigned long long>(window));
+    if (!message.empty())
+        s += "  " + message + "\n";
+    if (!waitChain.empty()) {
+        s += cycleFound ? "  wait-for cycle: " : "  wait-for chain: ";
+        for (size_t i = 0; i < waitChain.size(); ++i) {
+            if (i)
+                s += " -> ";
+            s += waitChain[i];
+        }
+        s += "\n";
+    }
+    s += "  units:\n";
+    for (const FaultUnitState &u : units) {
+        s += strFormat("    %-5s %s", u.unit.c_str(),
+                       u.blocked ? stallCauseName(u.cause) : "idle");
+        if (u.pc >= 0)
+            s += strFormat("  pc=%lld", static_cast<long long>(u.pc));
+        if (!u.inst.empty())
+            s += "  [" + u.inst + "]";
+        if (u.loopId >= 0)
+            s += strFormat("  loop=%d", u.loopId);
+        s += "\n";
+    }
+    bool anyQ = false;
+    for (const FaultQueueState &q : queues)
+        if (q.occupancy) {
+            if (!anyQ) {
+                s += "  queues:\n";
+                anyQ = true;
+            }
+            s += strFormat("    %-13s %d/%d\n", q.name.c_str(),
+                           q.occupancy, q.capacity);
+        }
+    if (!streams.empty())
+        s += "  streams:\n";
+    for (const FaultStreamState &st : streams)
+        s += strFormat("    scu%d %s %s.f%d base=%lld stride=%lld "
+                       "count=%lld issued=%lld done=%lld enq=%lld%s\n",
+                       st.scu, st.input ? "in" : "out",
+                       st.side ? "flt" : "int", st.fifo,
+                       static_cast<long long>(st.base),
+                       static_cast<long long>(st.stride),
+                       static_cast<long long>(st.count),
+                       static_cast<long long>(st.issued),
+                       static_cast<long long>(st.done),
+                       static_cast<long long>(st.dispatchedEnqueues),
+                       st.closed ? " closed" : "");
+    for (const WaitForEdge &e : edges)
+        s += strFormat("  edge: %s -> %s (%s)\n", e.from.c_str(),
+                       e.to.c_str(), e.why.c_str());
+    return s;
+}
+
+void
+FaultReport::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("schema_version", kSchemaVersion);
+    w.field("kind", simFaultName(kind));
+    w.field("cycle", cycle);
+    w.field("last_progress_cycle", lastProgressCycle);
+    w.field("window", window);
+    w.field("message", message);
+    w.field("signature", signature());
+    w.key("units");
+    w.beginArray();
+    for (const FaultUnitState &u : units) {
+        w.beginObject();
+        w.field("unit", u.unit);
+        w.field("blocked", u.blocked);
+        w.field("cause", stallCauseName(u.cause));
+        if (u.pc >= 0)
+            w.field("pc", u.pc);
+        if (!u.inst.empty())
+            w.field("inst", u.inst);
+        w.field("loop", static_cast<int64_t>(u.loopId));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("queues");
+    w.beginArray();
+    for (const FaultQueueState &q : queues) {
+        w.beginObject();
+        w.field("name", q.name);
+        w.field("occupancy", static_cast<int64_t>(q.occupancy));
+        w.field("capacity", static_cast<int64_t>(q.capacity));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("streams");
+    w.beginArray();
+    for (const FaultStreamState &st : streams) {
+        w.beginObject();
+        w.field("scu", static_cast<int64_t>(st.scu));
+        w.field("direction", st.input ? "in" : "out");
+        w.field("side", st.side ? "flt" : "int");
+        w.field("fifo", static_cast<int64_t>(st.fifo));
+        w.field("base", st.base);
+        w.field("stride", st.stride);
+        w.field("count", st.count);
+        w.field("issued", st.issued);
+        w.field("done", st.done);
+        w.field("dispatched_enqueues", st.dispatchedEnqueues);
+        w.field("closed", st.closed);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("wait_for");
+    w.beginObject();
+    w.field("cycle_found", cycleFound);
+    w.key("chain");
+    w.beginArray();
+    for (const std::string &n : waitChain)
+        w.value(n);
+    w.endArray();
+    w.key("edges");
+    w.beginArray();
+    for (const WaitForEdge &e : edges) {
+        w.beginObject();
+        w.field("from", e.from);
+        w.field("to", e.to);
+        w.field("why", e.why);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace wmstream::wmsim

@@ -1,11 +1,13 @@
 #include "wmsim/sim.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 
 #include "support/diag.h"
+#include "support/rng.h"
 #include "support/str.h"
 
 namespace wmstream::wmsim {
@@ -79,30 +81,7 @@ struct RunError : std::runtime_error
 
 } // anonymous namespace
 
-const char *
-stallCauseName(StallCause c)
-{
-    switch (c) {
-      case StallCause::None: return "none";
-      case StallCause::DataFifoEmpty: return "data_fifo_empty";
-      case StallCause::DataFifoFull: return "data_fifo_full";
-      case StallCause::CcFifoEmpty: return "cc_fifo_empty";
-      case StallCause::CcFifoFull: return "cc_fifo_full";
-      case StallCause::StoreQueueFull: return "store_queue_full";
-      case StallCause::MemPortContention: return "mem_port_contention";
-      case StallCause::StreamOwnership: return "stream_ownership";
-      case StallCause::DivBusy: return "div_busy";
-      case StallCause::InstQueueEmpty: return "inst_queue_empty";
-      case StallCause::InstQueueFull: return "inst_queue_full";
-      case StallCause::SyncWait: return "sync_wait";
-      case StallCause::VeuBusy: return "veu_busy";
-      case StallCause::ScuDrainWait: return "scu_drain_wait";
-      case StallCause::ScuUnavailable: return "scu_unavailable";
-      case StallCause::ScuFifoBusy: return "scu_fifo_busy";
-      case StallCause::kCount: break;
-    }
-    return "?";
-}
+// stallCauseName lives in fault.cc with the rest of the fault layer.
 
 uint64_t
 UnitStallStats::total() const
@@ -297,6 +276,45 @@ struct Simulator::Impl
     std::string pendingError;
     bool trace = std::getenv("WS_TRACE") != nullptr;
 
+    // ---- watchdog state ----
+    /**
+     * Progress events the SimStats counters miss: values delivered
+     * from memory into input FIFOs (a scalar load's delivery bumps
+     * nothing else) and stream read requests issued. Together with
+     * the dispatch/retire/store/stream counters these make the
+     * watchdog's progress sum monotone over every way the machine
+     * can move.
+     */
+    uint64_t deliveredValues = 0;
+    uint64_t scuReadsIssued = 0;
+    uint64_t lastProgressSum = 0;
+    uint64_t lastProgressCycle = 0;
+    /** Last observed per-unit stall causes (for fault forensics). */
+    StallCause lastUnitCause[2] = {StallCause::None, StallCause::None};
+    StallCause lastIfuCause = StallCause::None;
+
+    // ---- chaos state ----
+    /** Timing-only perturbation; architectural results must not move. */
+    bool chaos = false;
+    support::Rng chaosRng{0};
+
+    /** Per-request memory latency jitter under chaos (0 otherwise). */
+    uint64_t
+    chaosLatency()
+    {
+        return chaos ? chaosRng.nextBelow(4) : 0;
+    }
+
+    uint64_t
+    progressSum() const
+    {
+        return stats.instsDispatched + stats.ifuExecuted +
+               stats.ieuExecuted + stats.feuExecuted +
+               stats.storesCommitted + stats.streamElementsIn +
+               stats.streamElementsOut + stats.vectorElements +
+               stats.loadsIssued + deliveredValues + scuReadsIssued;
+    }
+
     // ---- observability state ----
     /**
      * Occupancy series order (fixed, also the sample order):
@@ -315,7 +333,9 @@ struct Simulator::Impl
     std::vector<std::string> scuEventName;
     std::vector<bool> scuWasActive;
 
-    Impl(const rtl::Program &p, SimConfig c) : prog(p), cfg(c)
+    Impl(const rtl::Program &p, SimConfig c)
+        : prog(p), cfg(c), chaos(c.chaosSeed != 0),
+          chaosRng(c.chaosSeed)
     {
         mem.assign(cfg.memBytes, 0);
         scus.resize(cfg.numSCUs);
@@ -442,9 +462,19 @@ struct Simulator::Impl
     {
         for (const auto &g : prog.globals()) {
             WS_ASSERT(g.address >= 0, "program not laid out");
-            WS_ASSERT(g.address + g.size <=
-                          static_cast<int64_t>(mem.size()),
-                      "globals exceed memory");
+            // Globals that do not fit the configured memory are a
+            // property of the user's program (e.g. a huge array), not
+            // an internal invariant: fail the run gracefully.
+            if (g.address + g.size >
+                    static_cast<int64_t>(mem.size())) {
+                pendingError = strFormat(
+                    "global '%s' (%lld bytes at %lld) exceeds "
+                    "simulated memory (%zu bytes); raise "
+                    "SimConfig::memBytes or shrink the data",
+                    g.name.c_str(), static_cast<long long>(g.size),
+                    static_cast<long long>(g.address), mem.size());
+                return;
+            }
             if (!g.init.empty())
                 std::memcpy(&mem[g.address], g.init.data(),
                             g.init.size());
@@ -821,6 +851,7 @@ struct Simulator::Impl
                                                ? DataType::I8
                                                : DataType::I32));
                     inFifo[side][f].push_back(v);
+                    ++deliveredValues;
                     if (trace)
                         std::fprintf(stderr,
                                      "[%llu] deliver side=%d f=%d addr=%lld "
@@ -904,7 +935,8 @@ struct Simulator::Impl
                     if (inflightHere + fifoHere >= cfg.dataFifoDepth)
                         break; // no space reserved
                     ReadReq req;
-                    req.deliverAt = now + cfg.memLatency;
+                    req.deliverAt = now + cfg.memLatency +
+                                    chaosLatency();
                     req.addr = s.base + s.issued * s.stride;
                     req.size = rtl::dataTypeSize(s.type);
                     req.isFloat = rtl::isFloatType(s.type);
@@ -921,6 +953,7 @@ struct Simulator::Impl
                     }
                     inflight[s.side][s.fifo].push_back(req);
                     ++s.issued;
+                    ++scuReadsIssued;
                     ++portsUsed;
                 }
                 if (s.issued >= limit && s.done >= limit)
@@ -1121,7 +1154,7 @@ struct Simulator::Impl
                 return StallCause::StreamOwnership;
             Val a = eval(inst.addr);
             ReadReq req;
-            req.deliverAt = now + cfg.memLatency;
+            req.deliverAt = now + cfg.memLatency + chaosLatency();
             req.addr = a.i;
             req.size = rtl::dataTypeSize(inst.memType);
             req.isFloat = flt;
@@ -1167,6 +1200,7 @@ struct Simulator::Impl
     void
     ifuStall(StallCause c)
     {
+        lastIfuCause = c;
         ++stats.ifuStallCycles;
         ++stats.ifuStalls[c];
         if (curBucket) {
@@ -1204,9 +1238,16 @@ struct Simulator::Impl
     void
     fetchAndDispatch()
     {
+        lastIfuCause = StallCause::None;
         if (returned)
             return;
-        for (int budget = cfg.fetchWidth; budget > 0; --budget) {
+        // Chaos jitters how many instructions the IFU processes this
+        // cycle (at least one, so forward progress is preserved).
+        int width = chaos ? 1 + static_cast<int>(chaosRng.nextBelow(
+                                    static_cast<uint64_t>(
+                                        cfg.fetchWidth)))
+                          : cfg.fetchWidth;
+        for (int budget = width; budget > 0; --budget) {
             if (returned)
                 return;
             if (pc < 0 || pc >= static_cast<int64_t>(code.size()))
@@ -1265,6 +1306,16 @@ struct Simulator::Impl
                     }
                     break;
                   case InstKind::StreamStop:
+                    // Cancelling an input stream discards buffered
+                    // data, but the anticipated exit compare lets the
+                    // IFU reach the stop while the final body's
+                    // dequeue is still queued behind it. Drain the
+                    // execute units first so a dispatched consumer
+                    // never loses data it was promised.
+                    if (inst.when && !unitsIdle()) {
+                        ifuStall(StallCause::SyncWait);
+                        return;
+                    }
                     applyStreamStop(inst);
                     ++pc;
                     break;
@@ -1380,7 +1431,8 @@ struct Simulator::Impl
                 s.count = inst.count ? eval(inst.count).i : -1;
                 s.type = inst.memType;
                 s.seq = seqCounter++;
-                s.readyAt = now + cfg.scuStartupCycles;
+                s.readyAt = now + cfg.scuStartupCycles +
+                            (chaos ? chaosRng.nextBelow(4) : 0);
                 if (s.count == 0) {
                     // Empty stream: nothing to do, but the mirror must
                     // still say "exhausted".
@@ -1485,13 +1537,518 @@ struct Simulator::Impl
             stats.occupancy.push_back({kOccNames[i], occ[i]});
     }
 
+    // ---- deadlock forensics ----
+
+    static std::string
+    unitName(int u)
+    {
+        return u ? "feu" : "ieu";
+    }
+
+    std::string
+    scuName(size_t i) const
+    {
+        return strFormat("scu%zu", i);
+    }
+
+    /** FIFO-read demand of @p inst (src and addr operands). */
+    void
+    instNeeds(const Inst &inst, int needs[2][2])
+    {
+        fifoNeeds(inst.src, needs);
+        fifoNeeds(inst.addr, needs);
+    }
+
+    /** Edges from @p from to whoever can fill inFifo[s][f]. */
+    void
+    addInFifoProducerEdges(std::vector<WaitForEdge> &edges,
+                           const std::string &from, int s, int f,
+                           const std::string &why)
+    {
+        bool any = false;
+        for (size_t i = 0; i < scus.size(); ++i)
+            if (scus[i].active && scus[i].input &&
+                    scus[i].side == s && scus[i].fifo == f) {
+                edges.push_back({from, scuName(i), why});
+                any = true;
+            }
+        if (!inflight[s][f].empty()) {
+            edges.push_back({from, "mem", why});
+            any = true;
+        }
+        if (f == 0)
+            // Scalar loads deliver into FIFO 0; they execute on the
+            // IEU regardless of the data's side.
+            for (const QEntry &q : unitQ[0])
+                if (q.inst->kind == InstKind::Load &&
+                        (rtl::isFloatType(q.inst->memType) ? 1 : 0) ==
+                            s) {
+                    edges.push_back({from, "ieu", why});
+                    any = true;
+                    break;
+                }
+        if (!any)
+            edges.push_back({from, returned ? "<no-producer>" : "ifu",
+                             why});
+    }
+
+    /** Edges from @p from to whoever can drain outFifo[s][f]. */
+    void
+    addOutFifoDrainerEdges(std::vector<WaitForEdge> &edges,
+                           const std::string &from, int s, int f,
+                           const std::string &why)
+    {
+        bool any = false;
+        for (size_t i = 0; i < scus.size(); ++i)
+            if (scus[i].active && !scus[i].input &&
+                    scus[i].side == s && scus[i].fifo == f) {
+                edges.push_back({from, scuName(i), why});
+                any = true;
+            }
+        if (f == 0) {
+            // The store-commit path pairs storeQ addresses with
+            // FIFO-0 data.
+            if (!storeQ[s].empty()) {
+                edges.push_back({from, "mem", why});
+                any = true;
+            }
+            for (const QEntry &q : unitQ[0])
+                if (q.inst->kind == InstKind::Store &&
+                        (rtl::isFloatType(q.inst->memType) ? 1 : 0) ==
+                            s) {
+                    edges.push_back({from, "ieu", why});
+                    any = true;
+                    break;
+                }
+        }
+        if (!any)
+            edges.push_back({from, returned ? "<no-drainer>" : "ifu",
+                             why});
+    }
+
+    /** Edges from @p from to whoever can dequeue inFifo[s][f]. */
+    void
+    addInFifoConsumerEdges(std::vector<WaitForEdge> &edges,
+                           const std::string &from, int s, int f,
+                           const std::string &why)
+    {
+        bool any = false;
+        for (int u = 0; u < 2; ++u)
+            for (const QEntry &q : unitQ[u]) {
+                int needs[2][2] = {{0, 0}, {0, 0}};
+                instNeeds(*q.inst, needs);
+                if (needs[s][f]) {
+                    edges.push_back({from, unitName(u), why});
+                    any = true;
+                    break;
+                }
+            }
+        if (veu.active &&
+                ((veu.s1Side == s && veu.s1Fifo == f) ||
+                 (veu.src2IsFifo && veu.s2Side == s &&
+                  veu.s2Fifo == f))) {
+            edges.push_back({from, "veu", why});
+            any = true;
+        }
+        if (!any)
+            edges.push_back({from, returned ? "<no-consumer>" : "ifu",
+                             why});
+    }
+
+    /** Edges from @p from to whoever can enqueue into outFifo[s][f]. */
+    void
+    addOutFifoProducerEdges(std::vector<WaitForEdge> &edges,
+                            const std::string &from, int s, int f,
+                            const std::string &why)
+    {
+        bool any = false;
+        for (int u = 0; u < 2; ++u)
+            for (const QEntry &q : unitQ[u])
+                if (q.inst->kind == InstKind::Assign &&
+                        q.inst->dst->isReg() &&
+                        q.inst->dst->regIndex() == f &&
+                        q.inst->dst->regFile() ==
+                            (s ? RegFile::Flt : RegFile::Int)) {
+                    edges.push_back({from, unitName(u), why});
+                    any = true;
+                    break;
+                }
+        if (veu.active && veu.dstSide == s && veu.dstFifo == f) {
+            edges.push_back({from, "veu", why});
+            any = true;
+        }
+        if (!any)
+            edges.push_back({from, returned ? "<no-producer>" : "ifu",
+                             why});
+    }
+
+    /** Wait-for edges out of a blocked IEU/FEU (@p un) head. */
+    void
+    addUnitEdges(std::vector<WaitForEdge> &edges, int un, StallCause c)
+    {
+        if (unitQ[un].empty())
+            return;
+        const Inst &head = *unitQ[un].front().inst;
+        const std::string from = unitName(un);
+        const std::string why = stallCauseName(c);
+        switch (c) {
+          case StallCause::DataFifoEmpty: {
+            int needs[2][2] = {{0, 0}, {0, 0}};
+            instNeeds(head, needs);
+            for (int s = 0; s < 2; ++s)
+                for (int f = 0; f < 2; ++f)
+                    if (needs[s][f] >
+                            static_cast<int>(inFifo[s][f].size()))
+                        addInFifoProducerEdges(
+                            edges, from, s, f,
+                            why + strFormat(": in_fifo.%s%d",
+                                            s ? "flt" : "int", f));
+            break;
+          }
+          case StallCause::DataFifoFull: {
+            int s = head.dst->regFile() == RegFile::Flt ? 1 : 0;
+            addOutFifoDrainerEdges(
+                edges, from, s, head.dst->regIndex(),
+                why + strFormat(": out_fifo.%s%d", s ? "flt" : "int",
+                                head.dst->regIndex()));
+            break;
+          }
+          case StallCause::CcFifoFull:
+            // Only conditional jumps (on the IFU) pop CC FIFOs.
+            edges.push_back({from, "ifu", why});
+            break;
+          case StallCause::StoreQueueFull: {
+            int s = rtl::isFloatType(head.memType) ? 1 : 0;
+            if (Stream *owner = findStream(s, 0, /*input=*/false))
+                edges.push_back(
+                    {from,
+                     scuName(static_cast<size_t>(owner - &scus[0])),
+                     why + ": store commit blocked by out-stream"});
+            else if (outFifo[s][0].empty())
+                addOutFifoProducerEdges(edges, from, s, 0,
+                                        why + ": store data missing");
+            else
+                edges.push_back({from, "mem", why});
+            break;
+          }
+          case StallCause::StreamOwnership: {
+            bool isLoad = head.kind == InstKind::Load;
+            int s = isLoad
+                        ? (rtl::isFloatType(head.memType) ? 1 : 0)
+                        : (head.dst->regFile() == RegFile::Flt ? 1
+                                                               : 0);
+            Stream *owner =
+                isLoad ? findStream(s, 0, /*input=*/true)
+                       : findStream(s, head.dst->regIndex(),
+                                    /*input=*/false);
+            if (owner)
+                edges.push_back(
+                    {from,
+                     scuName(static_cast<size_t>(owner - &scus[0])),
+                     why});
+            break;
+          }
+          default:
+            break; // DivBusy/MemPortContention: transient
+        }
+    }
+
+    /** Wait-for edges out of a blocked IFU. */
+    void
+    addIfuEdges(std::vector<WaitForEdge> &edges, StallCause c)
+    {
+        if (returned || pc < 0 || pc >= static_cast<int64_t>(code.size()))
+            return;
+        const Inst &inst = *code[pc].inst;
+        const std::string why = stallCauseName(c);
+        switch (c) {
+          case StallCause::CcFifoEmpty: {
+            // cc0 is written by the IEU, cc1 by the FEU.
+            int s = inst.side == UnitSide::Flt ? 1 : 0;
+            edges.push_back({"ifu", unitName(s), why});
+            break;
+          }
+          case StallCause::InstQueueFull: {
+            int u = engineOf(inst) == Engine::FEU ? 1 : 0;
+            edges.push_back({"ifu", unitName(u), why});
+            break;
+          }
+          case StallCause::SyncWait:
+          case StallCause::ScuDrainWait:
+            for (int u = 0; u < 2; ++u)
+                if (!unitQ[u].empty() || unitBusyUntil[u] > now)
+                    edges.push_back({"ifu", unitName(u), why});
+            break;
+          case StallCause::VeuBusy:
+            edges.push_back({"ifu", "veu", why});
+            break;
+          case StallCause::ScuUnavailable:
+            for (size_t i = 0; i < scus.size(); ++i)
+                if (scus[i].active)
+                    edges.push_back({"ifu", scuName(i), why});
+            break;
+          case StallCause::ScuFifoBusy: {
+            int s = inst.side == UnitSide::Flt ? 1 : 0;
+            if (Stream *owner =
+                    findStream(s, inst.fifo,
+                               inst.kind == InstKind::StreamIn))
+                edges.push_back(
+                    {"ifu",
+                     scuName(static_cast<size_t>(owner - &scus[0])),
+                     why});
+            break;
+          }
+          case StallCause::DataFifoEmpty: {
+            // Synchronizing conversion with a folded FIFO operand.
+            int needs[2][2] = {{0, 0}, {0, 0}};
+            instNeeds(inst, needs);
+            for (int s = 0; s < 2; ++s)
+                for (int f = 0; f < 2; ++f)
+                    if (needs[s][f] >
+                            static_cast<int>(inFifo[s][f].size()))
+                        addInFifoProducerEdges(edges, "ifu", s, f,
+                                               why);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    /** Snapshot the machine and derive the wait-for graph. */
+    FaultReport
+    buildFaultReport(SimFault kind)
+    {
+        FaultReport r;
+        r.kind = kind;
+        r.cycle = now;
+        r.lastProgressCycle = lastProgressCycle;
+        r.window = cfg.watchdogWindow;
+
+        // Unit snapshots.
+        {
+            FaultUnitState u;
+            u.unit = "ifu";
+            u.pc = pc;
+            if (!returned && pc >= 0 &&
+                    pc < static_cast<int64_t>(code.size())) {
+                u.inst = code[pc].inst->str();
+                u.loopId = code[pc].inst->loopId;
+            }
+            u.blocked = !returned && lastIfuCause != StallCause::None;
+            u.cause = u.blocked ? lastIfuCause : StallCause::None;
+            r.units.push_back(u);
+            if (u.blocked)
+                addIfuEdges(r.edges, u.cause);
+        }
+        for (int un = 0; un < 2; ++un) {
+            FaultUnitState u;
+            u.unit = unitName(un);
+            if (!unitQ[un].empty()) {
+                const Inst &head = *unitQ[un].front().inst;
+                u.inst = head.str();
+                u.loopId = head.loopId;
+            }
+            StallCause c = lastUnitCause[un];
+            u.blocked = !unitQ[un].empty() &&
+                        c != StallCause::None &&
+                        c != StallCause::InstQueueEmpty;
+            u.cause = u.blocked ? c : StallCause::None;
+            r.units.push_back(u);
+            if (u.blocked)
+                addUnitEdges(r.edges, un, c);
+        }
+        if (veu.active) {
+            FaultUnitState u;
+            u.unit = "veu";
+            u.blocked = true;
+            if (inFifo[veu.s1Side][veu.s1Fifo].empty() ||
+                    (veu.src2IsFifo &&
+                     inFifo[veu.s2Side][veu.s2Fifo].empty())) {
+                u.cause = StallCause::DataFifoEmpty;
+                if (inFifo[veu.s1Side][veu.s1Fifo].empty())
+                    addInFifoProducerEdges(r.edges, "veu", veu.s1Side,
+                                           veu.s1Fifo,
+                                           "data_fifo_empty");
+                if (veu.src2IsFifo &&
+                        inFifo[veu.s2Side][veu.s2Fifo].empty())
+                    addInFifoProducerEdges(r.edges, "veu", veu.s2Side,
+                                           veu.s2Fifo,
+                                           "data_fifo_empty");
+            } else {
+                u.cause = StallCause::DataFifoFull;
+                addOutFifoDrainerEdges(r.edges, "veu", veu.dstSide,
+                                       veu.dstFifo, "data_fifo_full");
+            }
+            r.units.push_back(u);
+        }
+
+        // Memory: a delivery stuck at the head of an inflight queue
+        // waits on an older store (whose data a unit still owes) or
+        // on space in the target FIFO.
+        for (int s = 0; s < 2; ++s)
+            for (int f = 0; f < 2; ++f) {
+                if (inflight[s][f].empty())
+                    continue;
+                const ReadReq &req = inflight[s][f].front();
+                if (req.deliverAt > now)
+                    continue;
+                if (olderStorePending(req.addr, req.size, req.seq)) {
+                    for (int s2 = 0; s2 < 2; ++s2)
+                        if (!storeQ[s2].empty()) {
+                            if (Stream *owner = findStream(
+                                    s2, 0, /*input=*/false))
+                                r.edges.push_back(
+                                    {"mem",
+                                     scuName(static_cast<size_t>(
+                                         owner - &scus[0])),
+                                     "older store blocked by "
+                                     "out-stream"});
+                            else if (outFifo[s2][0].empty())
+                                addOutFifoProducerEdges(
+                                    r.edges, "mem", s2, 0,
+                                    "older store waits for data");
+                        }
+                } else if (static_cast<int>(inFifo[s][f].size()) >=
+                           cfg.dataFifoDepth) {
+                    addInFifoConsumerEdges(
+                        r.edges, "mem", s, f,
+                        strFormat("delivery blocked: in_fifo.%s%d "
+                                  "full",
+                                  s ? "flt" : "int", f));
+                }
+            }
+
+        // Queue occupancies.
+        for (int i = 0; i < kNumOcc; ++i) {
+            FaultQueueState q;
+            q.name = kOccNames[i];
+            q.occupancy = static_cast<int>(occValue(i));
+            q.capacity = i < 8 ? cfg.dataFifoDepth
+                         : i < 10 ? cfg.ccFifoDepth
+                         : i < 12 ? cfg.instQueueDepth
+                                  : cfg.storeQueueDepth;
+            r.queues.push_back(q);
+        }
+
+        // Stream snapshots + blocked-SCU edges.
+        for (size_t i = 0; i < scus.size(); ++i) {
+            const Stream &s = scus[i];
+            if (!s.active)
+                continue;
+            FaultStreamState st;
+            st.scu = static_cast<int>(i);
+            st.input = s.input;
+            st.side = s.side;
+            st.fifo = s.fifo;
+            st.base = s.base;
+            st.stride = s.stride;
+            st.count = s.count;
+            st.issued = s.issued;
+            st.done = s.done;
+            st.dispatchedEnqueues = s.dispatchedEnqueues;
+            st.closed = s.closed;
+            r.streams.push_back(st);
+
+            FaultUnitState u;
+            u.unit = scuName(i);
+            if (s.input) {
+                int64_t limit =
+                    s.count >= 0 ? s.count : INT64_MAX / 2;
+                bool full =
+                    static_cast<int>(inflight[s.side][s.fifo].size() +
+                                     inFifo[s.side][s.fifo].size()) >=
+                    cfg.dataFifoDepth;
+                if (!s.closed && s.issued < limit && full) {
+                    u.blocked = true;
+                    u.cause = StallCause::DataFifoFull;
+                    addInFifoConsumerEdges(
+                        r.edges, u.unit, s.side, s.fifo,
+                        strFormat("in-stream blocked: in_fifo.%s%d "
+                                  "full",
+                                  s.side ? "flt" : "int", s.fifo));
+                }
+            } else {
+                bool drained =
+                    (s.count >= 0 && s.done >= s.count) || s.closed;
+                if (!drained && outFifo[s.side][s.fifo].empty()) {
+                    u.blocked = true;
+                    u.cause = StallCause::DataFifoEmpty;
+                    addOutFifoProducerEdges(
+                        r.edges, u.unit, s.side, s.fifo,
+                        strFormat("out-stream starved: out_fifo.%s%d "
+                                  "empty",
+                                  s.side ? "flt" : "int", s.fifo));
+                }
+            }
+            r.units.push_back(u);
+        }
+
+        r.waitChain = findWaitCycle(r.edges);
+        r.cycleFound = !r.waitChain.empty();
+        if (!r.cycleFound && !r.edges.empty()) {
+            // No cycle: report the chain from the first blocked unit
+            // to its dead-end resource instead.
+            std::string cur;
+            for (const FaultUnitState &u : r.units)
+                if (u.blocked) {
+                    cur = u.unit;
+                    break;
+                }
+            std::vector<std::string> seen;
+            while (!cur.empty()) {
+                if (std::find(seen.begin(), seen.end(), cur) !=
+                        seen.end())
+                    break;
+                seen.push_back(cur);
+                std::string next;
+                for (const WaitForEdge &e : r.edges)
+                    if (e.from == cur) {
+                        next = e.to;
+                        break;
+                    }
+                cur = next;
+            }
+            r.waitChain = seen;
+        }
+
+        std::string blocked;
+        for (const FaultUnitState &u : r.units)
+            if (u.blocked) {
+                if (!blocked.empty())
+                    blocked += ", ";
+                blocked += u.unit + " on " +
+                           stallCauseName(u.cause);
+            }
+        if (kind == SimFault::Deadlock)
+            r.message = strFormat(
+                            "no progress for %llu cycles; blocked: ",
+                            static_cast<unsigned long long>(
+                                now - lastProgressCycle)) +
+                        (blocked.empty() ? "(none)" : blocked);
+        else
+            r.message =
+                strFormat("cycle limit (%llu) reached while still "
+                          "making progress",
+                          static_cast<unsigned long long>(
+                              cfg.maxCycles)) +
+                (blocked.empty() ? "" : "; blocked: " + blocked);
+        return r;
+    }
+
     SimResult
     run()
     {
         SimResult res;
+        if (!pendingError.empty()) {
+            res.error = pendingError;
+            res.fault = SimFault::RuntimeError;
+            return res;
+        }
         auto it = funcEntry.find("main");
         if (it == funcEntry.end()) {
             res.error = "no main function";
+            res.fault = SimFault::RuntimeError;
             return res;
         }
         pc = it->second;
@@ -1503,6 +2060,14 @@ struct Simulator::Impl
         try {
             while (now < cfg.maxCycles) {
                 portsUsed = 0;
+                // Chaos withholds a random subset of memory ports
+                // this cycle (always granting at least one).
+                if (chaos)
+                    portsUsed =
+                        cfg.memPorts -
+                        1 -
+                        static_cast<int>(chaosRng.nextBelow(
+                            static_cast<uint64_t>(cfg.memPorts)));
                 // Attribute this whole cycle to the loop owning the
                 // fetch PC as the cycle begins (bucket -1 outside any
                 // loop / after return). One bucket per cycle is what
@@ -1520,6 +2085,8 @@ struct Simulator::Impl
                 deliverReads();
                 StallCause c0 = stepUnit(0);
                 StallCause c1 = stepUnit(1);
+                lastUnitCause[0] = c0;
+                lastUnitCause[1] = c1;
                 if (c0 != StallCause::None) {
                     if (c0 == StallCause::InstQueueEmpty)
                         ++stats.ieuIdleCycles;
@@ -1554,58 +2121,34 @@ struct Simulator::Impl
                 ++now;
                 if (returned && drained())
                     break;
+                // Watchdog: the progress sum moves whenever anything
+                // architectural or memory-visible happens. A full
+                // window without movement is a deadlock; snapshot and
+                // diagnose instead of burning to the cycle limit.
+                uint64_t p = progressSum();
+                if (p != lastProgressSum) {
+                    lastProgressSum = p;
+                    lastProgressCycle = now;
+                } else if (cfg.watchdogWindow != 0 &&
+                           now - lastProgressCycle >=
+                               cfg.watchdogWindow) {
+                    res.fault = SimFault::Deadlock;
+                    res.faultReport =
+                        buildFaultReport(SimFault::Deadlock);
+                    res.error = "deadlock: " + res.faultReport.message;
+                    traceFinish();
+                    finalizeStats();
+                    res.stats = stats;
+                    return res;
+                }
             }
             if (now >= cfg.maxCycles) {
-                std::string state = strFormat(
-                    "pc=%lld inst=[%s] ieuQ=%zu feuQ=%zu "
-                    "storeQ=%zu/%zu inFifo=%zu,%zu/%zu,%zu "
-                    "outFifo=%zu,%zu/%zu,%zu cc=%zu,%zu "
-                    "inflight=%zu,%zu,%zu,%zu returned=%d",
-                    static_cast<long long>(pc),
-                    pc >= 0 && pc < static_cast<int64_t>(code.size())
-                        ? code[pc].inst->str().c_str()
-                        : "?",
-                    unitQ[0].size(), unitQ[1].size(), storeQ[0].size(),
-                    // (see ieuHead/feuHead below)
-                    storeQ[1].size(), inFifo[0][0].size(),
-                    inFifo[0][1].size(), inFifo[1][0].size(),
-                    inFifo[1][1].size(), outFifo[0][0].size(),
-                    outFifo[0][1].size(), outFifo[1][0].size(),
-                    outFifo[1][1].size(), ccFifo[0].size(),
-                    ccFifo[1].size(), inflight[0][0].size(),
-                    inflight[0][1].size(), inflight[1][0].size(),
-                    inflight[1][1].size(), returned ? 1 : 0);
-                std::string scuState;
-                if (!unitQ[0].empty())
-                    scuState += " ieuHead=[" +
-                                unitQ[0].front().inst->str() + "]";
-                if (!unitQ[1].empty())
-                    scuState += " feuHead=[" +
-                                unitQ[1].front().inst->str() + "]";
-                for (int s2 = 0; s2 < 2; ++s2)
-                    for (int f2 = 0; f2 < 2; ++f2)
-                        if (!inflight[s2][f2].empty())
-                            scuState += strFormat(
-                                " req[%d][%d]=addr %lld at %llu seq %lld",
-                                s2, f2,
-                                (long long)inflight[s2][f2].front().addr,
-                                (unsigned long long)
-                                    inflight[s2][f2].front().deliverAt,
-                                (long long)
-                                    inflight[s2][f2].front().seq);
-                for (const Stream &s : scus)
-                    if (s.active)
-                        scuState += strFormat(
-                            " [scu %s side=%d fifo=%d issued=%lld "
-                            "done=%lld count=%lld enq=%lld closed=%d]",
-                            s.input ? "in" : "out", s.side, s.fifo,
-                            static_cast<long long>(s.issued),
-                            static_cast<long long>(s.done),
-                            static_cast<long long>(s.count),
-                            static_cast<long long>(s.dispatchedEnqueues),
-                            s.closed ? 1 : 0);
-                res.error = "cycle limit exceeded (livelock or very "
-                            "long program): " + state + scuState;
+                // Still making progress at the limit (the watchdog
+                // would have fired otherwise): a livelock or an
+                // unreasonably long program.
+                res.fault = SimFault::Livelock;
+                res.faultReport = buildFaultReport(SimFault::Livelock);
+                res.error = "livelock: " + res.faultReport.message;
                 traceFinish();
                 finalizeStats();
                 res.stats = stats;
@@ -1613,6 +2156,7 @@ struct Simulator::Impl
             }
         } catch (const RunError &e) {
             res.error = e.what();
+            res.fault = SimFault::RuntimeError;
             traceFinish();
             finalizeStats();
             res.stats = stats;

@@ -45,6 +45,7 @@
 #include "obs/histogram.h"
 #include "obs/trace.h"
 #include "rtl/program.h"
+#include "wmsim/fault.h"
 
 namespace wmstream::wmsim {
 
@@ -63,7 +64,29 @@ struct SimConfig
     int veuLanes = 4;          ///< vector unit elements per cycle
     int fetchWidth = 4;        ///< IFU instructions processed per cycle
     int divLatency = 8;        ///< integer and float divide occupancy
-    uint64_t maxCycles = 2'000'000'000;
+    /**
+     * Hard cycle budget. A run that is still making progress at the
+     * limit ends with SimFault::Livelock; genuine deadlocks are
+     * caught long before this by the watchdog. The default bounds a
+     * runaway test at seconds, not hours.
+     */
+    uint64_t maxCycles = 50'000'000;
+    /**
+     * Deadlock watchdog: cycles of zero progress (no dispatch, no
+     * retire, no memory delivery, no stream or store movement) before
+     * the run is declared deadlocked and forensics are captured.
+     * Must exceed every architectural latency (memLatency,
+     * divLatency, scuStartupCycles); 0 disables the watchdog.
+     */
+    uint64_t watchdogWindow = 4096;
+    /**
+     * Chaos mode: when nonzero, seed a per-cycle perturbation of
+     * timing-only parameters (memory latency jitter, port grants,
+     * SCU startup, fetch width). Architectural results must be
+     * identical to the deterministic run — the fuzz harness enforces
+     * this; see DESIGN.md §11.
+     */
+    uint64_t chaosSeed = 0;
     size_t memBytes = 16u << 20;
 
     /** @name Observability (off by default: the hot loop stays lean) */
@@ -80,36 +103,9 @@ struct SimConfig
     /// @}
 };
 
-/**
- * Why a unit could not make progress this cycle.
- *
- * Each stalled unit-cycle is attributed to exactly one cause — the
- * first condition, in the unit's own evaluation order, that blocked
- * it — so per-unit cause counts sum exactly to that unit's total
- * stall cycles (see DESIGN.md "Stall-cause taxonomy").
- */
-enum class StallCause : uint8_t {
-    None,              ///< made progress (not a stall)
-    DataFifoEmpty,     ///< input operand FIFO has no data yet
-    DataFifoFull,      ///< output enqueue target FIFO is full
-    CcFifoEmpty,       ///< IFU: conditional jump waits on a compare
-    CcFifoFull,        ///< compare result has nowhere to go
-    StoreQueueFull,    ///< store address queue is full
-    MemPortContention, ///< all memory ports claimed this cycle
-    StreamOwnership,   ///< FIFO owned by an active stream
-    DivBusy,           ///< unit occupied by a multi-cycle divide
-    InstQueueEmpty,    ///< unit has no work (idle, not a stall)
-    InstQueueFull,     ///< IFU: target unit's instruction queue full
-    SyncWait,          ///< IFU: synchronizing op waits for unit drain
-    VeuBusy,           ///< IFU: vector op waits for the VEU
-    ScuDrainWait,      ///< IFU: stream start waits for IEU drain
-    ScuUnavailable,    ///< IFU: no free stream control unit
-    ScuFifoBusy,       ///< IFU: previous stream still owns the FIFO
-    kCount
-};
-
-/** Stable lower_snake_case name of @p c (JSON keys, test messages). */
-const char *stallCauseName(StallCause c);
+// StallCause and its name table live in wmsim/fault.h (included
+// above) so the fault-forensics layer can label wait-for edges
+// without a circular include.
 
 /** Per-unit stall attribution: one bucket per cause. */
 struct UnitStallStats
@@ -212,6 +208,15 @@ struct SimResult
     bool ok = false;
     int64_t returnValue = 0;
     std::string error;
+    /**
+     * Typed fault classification: None when ok, RuntimeError for
+     * program errors, Deadlock/Livelock from the watchdog and cycle
+     * limit. `error` keeps a one-line rendering for callers that only
+     * print strings.
+     */
+    SimFault fault = SimFault::None;
+    /** Forensics; populated when fault is Deadlock or Livelock. */
+    FaultReport faultReport;
     SimStats stats;
 };
 

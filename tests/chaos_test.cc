@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Chaos-mode property test: seeded timing perturbation (memory-latency
+ * jitter, port withholding, SCU startup delay, fetch-width wobble)
+ * must never change architectural results. Every seed must produce the
+ * same return value and the same final memory image as the
+ * deterministic run, over a program that exercises integer and float
+ * streams, vectorization, a data-dependent while loop, and stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+
+namespace {
+
+const char *kMixedProgram = R"(
+int a[48]; int b[48]; int c[48];
+double x[48]; double y[48];
+int main(void) {
+    int i; int n; int r;
+    for (i = 0; i < 48; i = i + 1) {
+        b[i] = i * 3;
+        c[i] = 48 - i;
+        y[i] = i * 1.5;
+    }
+    for (i = 0; i < 48; i = i + 1)
+        a[i] = b[i] + c[i];
+    for (i = 0; i < 48; i = i + 1)
+        x[i] = y[i] * 2.0;
+    n = 0;
+    r = 0;
+    while (n < 40) {
+        r = r + a[n];
+        n = n + 3;
+    }
+    return r;
+})";
+
+} // namespace
+
+TEST(Chaos, ArchitecturalResultsIdenticalOverHundredSeeds)
+{
+    driver::CompileOptions opts;
+    opts.vectorize = true;
+    auto cr = driver::compileSource(kMixedProgram, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+
+    // Reference: deterministic run, return value plus memory oracle.
+    wmsim::SimConfig ref;
+    wmsim::Simulator refSim(*cr.program, ref);
+    auto refRes = refSim.run();
+    ASSERT_TRUE(refRes.ok) << refRes.error;
+    int64_t aAddr = cr.program->globalAddress("a");
+    int64_t xAddr = cr.program->globalAddress("x");
+    ASSERT_GE(aAddr, 0);
+    ASSERT_GE(xAddr, 0);
+
+    int divergent = 0;
+    for (uint64_t seed = 1; seed <= 120; ++seed) {
+        wmsim::SimConfig cfg;
+        cfg.chaosSeed = seed * 0x9E3779B97F4A7C15ull | 1;
+        wmsim::Simulator sim(*cr.program, cfg);
+        auto res = sim.run();
+        ASSERT_TRUE(res.ok)
+            << "seed " << seed << ": " << res.error;
+        if (res.returnValue != refRes.returnValue)
+            ++divergent;
+        for (int i = 0; i < 48; ++i) {
+            if (sim.readInt(aAddr + 8 * i) !=
+                refSim.readInt(aAddr + 8 * i))
+                ++divergent;
+            if (sim.readDouble(xAddr + 8 * i) !=
+                refSim.readDouble(xAddr + 8 * i))
+                ++divergent;
+        }
+    }
+    EXPECT_EQ(divergent, 0);
+}
+
+TEST(Chaos, PerturbationActuallyChangesTiming)
+{
+    // Guard against the jitter silently becoming a no-op: chaos runs
+    // must (almost always) take a different number of cycles than the
+    // deterministic run.
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(kMixedProgram, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+
+    auto det = wmsim::simulate(*cr.program, wmsim::SimConfig{});
+    ASSERT_TRUE(det.ok);
+    int changed = 0;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        wmsim::SimConfig cfg;
+        cfg.chaosSeed = seed;
+        auto res = wmsim::simulate(*cr.program, cfg);
+        ASSERT_TRUE(res.ok) << res.error;
+        if (res.stats.cycles != det.stats.cycles)
+            ++changed;
+    }
+    EXPECT_GT(changed, 0);
+}
+
+TEST(Chaos, SameSeedIsReproducible)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(kMixedProgram, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    wmsim::SimConfig cfg;
+    cfg.chaosSeed = 777;
+    auto a = wmsim::simulate(*cr.program, cfg);
+    auto b = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.returnValue, b.returnValue);
+}
+
+TEST(Chaos, WatchdogStillCatchesWedgesUnderChaos)
+{
+    driver::CompileOptions opts;
+    opts.injectStreamCountBug = true;
+    auto cr = driver::compileSource(R"(
+int a[64]; int b[64]; int c[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i = i + 1)
+        a[i] = b[i] + c[i];
+    return 0;
+})",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    wmsim::SimConfig cfg;
+    cfg.chaosSeed = 99;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+}

@@ -50,7 +50,7 @@ TEST_P(DifferentialTest, WmAllConfigs)
             auto cr = driver::compileSource(prog.source, opts);
             ASSERT_TRUE(cr.ok) << prog.name << ": " << cr.diagnostics;
             wmsim::SimConfig cfg;
-            cfg.maxCycles = 400'000'000ull;
+            cfg.maxCycles = 10'000'000ull;
             auto res = wmsim::simulate(*cr.program, cfg);
             ASSERT_TRUE(res.ok)
                 << prog.name << " rec=" << rec << " stream=" << stream
@@ -91,7 +91,7 @@ TEST_P(DifferentialTest, UnoptimizedWmStillCorrect)
     auto cr = driver::compileSource(prog.source, opts);
     ASSERT_TRUE(cr.ok) << prog.name;
     wmsim::SimConfig cfg;
-    cfg.maxCycles = 2'000'000'000ull;
+    cfg.maxCycles = 10'000'000ull;
     auto res = wmsim::simulate(*cr.program, cfg);
     ASSERT_TRUE(res.ok) << prog.name << ": " << res.error;
     EXPECT_EQ(res.returnValue, expect) << prog.name;

@@ -253,3 +253,73 @@ TEST(Campaign, CatchesInjectedRecurrenceBug)
             << renderProgram(d.minimizedSpec);
     }
 }
+
+TEST(Campaign, CatchesInjectedDeadlockBug)
+{
+    // The watchdog's end-to-end self-test: with input streams started
+    // one element short, streamed programs wedge; the campaign must
+    // classify every finding as a deadlock and dedup by the wait-for
+    // signature, not per program.
+    CampaignOptions opts;
+    opts.seed = 21;
+    opts.maxPrograms = 40;
+    opts.jobs = 2;
+    opts.injectStreamCountBug = true;
+    CampaignResult res = runCampaign(opts);
+    ASSERT_FALSE(res.clean());
+    EXPECT_GT(res.rawDivergences,
+              static_cast<int>(res.divergences.size()))
+        << "expected wait-for-signature dedup to fold duplicates";
+    bool sawDeadlock = false;
+    for (const Divergence &d : res.divergences) {
+        EXPECT_EQ(d.kind, DivergenceKind::Deadlock) << d.signature;
+        EXPECT_NE(d.signature.find("deadlock"), std::string::npos)
+            << d.signature;
+        if (d.signature.find("data_fifo_empty") != std::string::npos)
+            sawDeadlock = true;
+    }
+    EXPECT_TRUE(sawDeadlock);
+}
+
+TEST(Campaign, ChaosOracleCleanOnHealthyCompiler)
+{
+    CampaignOptions opts;
+    opts.seed = 5;
+    opts.maxPrograms = 8;
+    opts.jobs = 2;
+    opts.chaosSeeds = 2;
+    opts.minimize = false;
+    CampaignResult res = runCampaign(opts);
+    EXPECT_TRUE(res.clean())
+        << res.divergences.size() << " divergences, first: "
+        << (res.divergences.empty() ? ""
+                                    : res.divergences[0].signature +
+                                          "\n" +
+                                          res.divergences[0].detail);
+}
+
+TEST(Signature, DeadlockKeysOnWaitForShape)
+{
+    FuzzConfig cfg;
+    cfg.key = "wm/rec+stream";
+    CheckOutcome out;
+    out.diverged = true;
+    out.kind = DivergenceKind::Deadlock;
+    out.faultSignature =
+        "deadlock|ieu=data_fifo_empty|chain:ieu-><no-producer>";
+
+    // Two structurally different programs with the same wait-for
+    // shape must collide; program features are ignored.
+    ProgramSpec p1;
+    p1.stmts.push_back(StmtSpec{});
+    ProgramSpec p2;
+    StmtSpec s;
+    s.off1 = -1;
+    s.conditional = true;
+    p2.stmts.push_back(s);
+    EXPECT_EQ(divergenceSignature(p1, cfg, out),
+              divergenceSignature(p2, cfg, out));
+    EXPECT_NE(divergenceSignature(p1, cfg, out)
+                  .find("data_fifo_empty"),
+              std::string::npos);
+}

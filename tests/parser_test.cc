@@ -332,3 +332,92 @@ int main(void) {
 }
 )");
 }
+
+TEST(Sema, BreakOutsideLoopRejected)
+{
+    // The expander would otherwise hit an internal assert on a
+    // loopless break; Sema must reject it with a positioned error.
+    parseFail(R"(
+int main(void) {
+    break;
+    return 0;
+}
+)");
+}
+
+TEST(Sema, ContinueOutsideLoopRejected)
+{
+    parseFail(R"(
+int main(void) {
+    if (1)
+        continue;
+    return 0;
+}
+)");
+}
+
+TEST(Sema, BreakAndContinueInsideLoopsAccepted)
+{
+    parseOk(R"(
+int main(void) {
+    int i; int n;
+    n = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i == 3)
+            continue;
+        while (n < 100) {
+            n = n + i;
+            if (n > 50)
+                break;
+        }
+        if (i == 7)
+            break;
+    }
+    return n;
+}
+)");
+}
+
+TEST(Sema, ConstDivisionByZeroRejected)
+{
+    parseFail(R"(
+int g = 1 / 0;
+int main(void) { return g; }
+)");
+}
+
+TEST(Sema, ConstRemainderByZeroRejected)
+{
+    parseFail(R"(
+int g = 7 % 0;
+int main(void) { return g; }
+)");
+}
+
+TEST(Sema, ConstZeroDivisorThroughFoldingRejected)
+{
+    // The divisor is constant zero only after folding (3 - 3) and a
+    // float-to-int cast; the checker evaluates, not pattern-matches.
+    parseFail(R"(
+int g = 10 / (3 - 3);
+int main(void) { return g; }
+)");
+    parseFail(R"(
+int g = 10 / (int)0.5;
+int main(void) { return g; }
+)");
+}
+
+TEST(Sema, ConstFoldedInitializersAccepted)
+{
+    // Valid constant arithmetic — including %, comparisons, and
+    // logical operators — must still be accepted and expanded.
+    parseOk(R"(
+int g = 7 % 2;
+int h = (1 < 2) && (3 > 1);
+int k = -6 / 3;
+int m = 10 / (5 - 3);
+double d = 1.0 / 4.0;
+int main(void) { return g + h + k + m; }
+)");
+}

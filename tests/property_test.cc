@@ -44,7 +44,7 @@ wmValue(const std::string &src, bool streaming = true)
     auto cr = driver::compileSource(src, opts);
     EXPECT_TRUE(cr.ok) << cr.diagnostics;
     wmsim::SimConfig cfg;
-    cfg.maxCycles = 400'000'000ull;
+    cfg.maxCycles = 10'000'000ull;
     auto res = wmsim::simulate(*cr.program, cfg);
     EXPECT_TRUE(res.ok) << res.error;
     return res.returnValue;
@@ -123,7 +123,7 @@ TEST_P(SimConfigSweep, ResultsAreConfigurationIndependent)
     cfg.dataFifoDepth = p.fifoDepth;
     cfg.memPorts = p.ports;
     cfg.instQueueDepth = p.queueDepth;
-    cfg.maxCycles = 400'000'000ull;
+    cfg.maxCycles = 10'000'000ull;
     auto res = wmsim::simulate(*cr.program, cfg);
     ASSERT_TRUE(res.ok) << res.error;
     EXPECT_EQ(res.returnValue, expect);

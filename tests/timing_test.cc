@@ -153,3 +153,20 @@ TEST(Timing, CounterExportRoundTrips)
                 0.001 * static_cast<double>(
                             timing::CostClass::kCount));
 }
+
+TEST(ScalarSim, OversizedGlobalFailsGracefully)
+{
+    driver::CompileOptions opts;
+    opts.target = rtl::MachineKind::Scalar;
+    auto cr = driver::compileSource(R"(
+int a[9000000];
+int main(void) { return 0; }
+)",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = timing::runScalar(*cr.program, timing::sun3_280Model());
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("exceeds simulated memory"),
+              std::string::npos)
+        << res.error;
+}

@@ -212,7 +212,7 @@ TEST(Vectorize, AllTableIIProgramsCorrectWithVectorizeOn)
         auto cr = driver::compileSource(p.source, opts);
         ASSERT_TRUE(cr.ok) << p.name;
         wmsim::SimConfig cfg;
-        cfg.maxCycles = 400'000'000ull;
+        cfg.maxCycles = 10'000'000ull;
         auto res = wmsim::simulate(*cr.program, cfg);
         ASSERT_TRUE(res.ok) << p.name << ": " << res.error;
         EXPECT_EQ(res.returnValue, expect) << p.name;

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the simulator's deadlock watchdog and wait-for forensics:
+ * each canonical wedge shape (data-FIFO cycle, CC-FIFO starvation,
+ * SCU ownership, store-queue wedge) must be detected within one
+ * no-progress window and classified with the right blocked units,
+ * stall causes, and wait-for chain; true livelocks must classify as
+ * livelock at the cycle limit; and the hidden stream-under-count
+ * miscompile must be caught end to end through the compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "driver/compiler.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+using namespace wmstream::rtl;
+
+namespace {
+
+/** Hand-build a program: one function around the given block filler. */
+std::unique_ptr<Program>
+handProgram(const std::function<void(Function &, Block *)> &fill)
+{
+    auto prog = std::make_unique<Program>();
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    fill(*fn, b);
+    fn->recomputeCfg();
+    prog->layout();
+    return prog;
+}
+
+/** Short watchdog window so wedge tests finish in microseconds. */
+wmsim::SimConfig
+watchdogCfg(uint64_t window = 256)
+{
+    wmsim::SimConfig cfg;
+    cfg.watchdogWindow = window;
+    cfg.maxCycles = 1'000'000;
+    return cfg;
+}
+
+bool
+hasBlockedUnit(const wmsim::FaultReport &r, const std::string &unit,
+               wmsim::StallCause cause)
+{
+    for (const auto &u : r.units)
+        if (u.unit == unit && u.blocked && u.cause == cause)
+            return true;
+    return false;
+}
+
+std::string
+chainString(const wmsim::FaultReport &r)
+{
+    std::string s;
+    for (size_t i = 0; i < r.waitChain.size(); ++i) {
+        if (i)
+            s += " -> ";
+        s += r.waitChain[i];
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Watchdog, DataFifoCycleBetweenQueuedInstructions)
+{
+    // The IEU's head instruction dequeues in_fifo.int0, but the Load
+    // that would fill it is queued *behind* it in the same unit: a
+    // genuine wait-for cycle ieu -> ieu.
+    auto prog = std::make_unique<Program>();
+    prog->addGlobal("g", 8, 8);
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    auto r0 = makeReg(RegFile::Int, 0, DataType::I64);
+    auto r2 = makeReg(RegFile::Int, 2, DataType::I64);
+    auto addr = makeReg(RegFile::Int, 4, DataType::I64);
+    b->insts.push_back(makeAssign(addr, makeSym("g")));
+    b->insts.push_back(makeAssign(r2, r0)); // dequeue before produce
+    b->insts.push_back(makeLoad(r0, addr, DataType::I64));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+
+    auto res = wmsim::simulate(*prog, watchdogCfg());
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    const auto &r = res.faultReport;
+    EXPECT_TRUE(hasBlockedUnit(r, "ieu",
+                               wmsim::StallCause::DataFifoEmpty))
+        << r.text();
+    EXPECT_TRUE(r.cycleFound) << r.text();
+    EXPECT_NE(chainString(r).find("ieu"), std::string::npos)
+        << r.text();
+    // Detection within one no-progress window.
+    EXPECT_EQ(r.cycle, r.lastProgressCycle + r.window);
+    EXPECT_NE(res.error.find("deadlock"), std::string::npos);
+}
+
+TEST(Watchdog, CcFifoStarvationBlocksIfu)
+{
+    // A conditional branch waits on a CC cell that no relational
+    // assign ever enqueues: the IFU starves on the CC FIFO.
+    auto prog = std::make_unique<Program>();
+    Function *fn = prog->addFunction("main");
+    Block *entry = fn->addBlock("entry");
+    Block *out = fn->addBlock("out");
+    entry->insts.push_back(
+        makeCondJump(UnitSide::Int, true, "out"));
+    out->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                   makeConst(0)));
+    out->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+
+    auto res = wmsim::simulate(*prog, watchdogCfg());
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    EXPECT_TRUE(hasBlockedUnit(res.faultReport, "ifu",
+                               wmsim::StallCause::CcFifoEmpty))
+        << res.faultReport.text();
+    EXPECT_FALSE(res.faultReport.waitChain.empty())
+        << res.faultReport.text();
+}
+
+TEST(Watchdog, ScuOwnershipWedge)
+{
+    // The first stream fills in_fifo.int0 (nobody dequeues) and never
+    // finishes; the second Sin on the same FIFO then wedges the IFU
+    // behind the busy stream.
+    auto prog = std::make_unique<Program>();
+    prog->addGlobal("g", 8 * 64, 8);
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    auto base = makeReg(RegFile::Int, 4, DataType::I64);
+    auto cnt = makeReg(RegFile::Int, 5, DataType::I64);
+    b->insts.push_back(makeAssign(base, makeSym("g")));
+    b->insts.push_back(makeAssign(cnt, makeConst(64)));
+    b->insts.push_back(makeStreamIn(UnitSide::Int, 0, base, cnt, 8,
+                                    DataType::I64));
+    b->insts.push_back(makeStreamIn(UnitSide::Int, 0, base, cnt, 8,
+                                    DataType::I64));
+    b->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                   makeConst(0)));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+
+    auto res = wmsim::simulate(*prog, watchdogCfg());
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    const auto &r = res.faultReport;
+    // The IFU is wedged behind the owning SCU, and the stream state
+    // (with its FIFO) is part of the report.
+    EXPECT_TRUE(hasBlockedUnit(r, "ifu",
+                               wmsim::StallCause::ScuFifoBusy) ||
+                hasBlockedUnit(r, "ifu",
+                               wmsim::StallCause::ScuUnavailable))
+        << r.text();
+    ASSERT_FALSE(r.streams.empty()) << r.text();
+    bool fifoShown = false;
+    for (const auto &q : r.queues)
+        if (q.name == "in_fifo.int0" && q.occupancy == q.capacity)
+            fifoShown = true;
+    EXPECT_TRUE(fifoShown) << r.text();
+}
+
+TEST(Watchdog, StoreQueueWedgeOnMissingData)
+{
+    // A store whose datum is dequeued from out_fifo.int0 that nothing
+    // ever enqueues: the store queue holds the address forever and
+    // the program can never drain.
+    auto prog = std::make_unique<Program>();
+    prog->addGlobal("g", 8, 8);
+    Function *fn = prog->addFunction("main");
+    Block *b = fn->addBlock("entry");
+    auto addr = makeReg(RegFile::Int, 4, DataType::I64);
+    auto r0 = makeReg(RegFile::Int, 0, DataType::I64);
+    b->insts.push_back(makeAssign(addr, makeSym("g")));
+    b->insts.push_back(makeStore(addr, r0, DataType::I64));
+    b->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64),
+                   makeConst(0)));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+    prog->layout();
+
+    auto res = wmsim::simulate(*prog, watchdogCfg());
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    bool storeQueueShown = false;
+    for (const auto &q : res.faultReport.queues)
+        if (q.name.find("store") != std::string::npos && q.occupancy)
+            storeQueueShown = true;
+    EXPECT_TRUE(storeQueueShown) << res.faultReport.text();
+}
+
+TEST(Watchdog, InfiniteLoopClassifiesAsLivelock)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(R"(
+int main(void) {
+    int i;
+    i = 0;
+    while (i < 10) { i = i * 1; }
+    return i;
+})",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    wmsim::SimConfig cfg;
+    cfg.maxCycles = 50'000;
+    cfg.watchdogWindow = 4096;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_FALSE(res.ok);
+    // The loop keeps fetching and executing, so the watchdog never
+    // fires; the cycle limit classifies it as livelock instead.
+    EXPECT_EQ(res.fault, wmsim::SimFault::Livelock);
+    EXPECT_NE(res.error.find("livelock"), std::string::npos);
+    EXPECT_EQ(res.faultReport.kind, wmsim::SimFault::Livelock);
+}
+
+TEST(Watchdog, DisabledWindowFallsBackToCycleLimit)
+{
+    // watchdogWindow = 0 disables detection; the wedge then surfaces
+    // only at the cycle limit.
+    auto prog = handProgram([](Function &, Block *b) {
+        auto r0 = makeReg(RegFile::Int, 0, DataType::I64);
+        b->insts.push_back(
+            makeAssign(makeReg(RegFile::Int, 2, DataType::I64), r0));
+        b->insts.push_back(makeReturn());
+    });
+    wmsim::SimConfig cfg;
+    cfg.watchdogWindow = 0;
+    cfg.maxCycles = 20'000;
+    auto res = wmsim::simulate(*prog, cfg);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Livelock);
+}
+
+TEST(Watchdog, InjectedStreamUnderCountCaughtEndToEnd)
+{
+    driver::CompileOptions opts;
+    opts.injectStreamCountBug = true;
+    auto cr = driver::compileSource(R"(
+int a[64]; int b[64]; int c[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i = i + 1)
+        a[i] = b[i] + c[i];
+    return a[63];
+})",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = wmsim::simulate(*cr.program, wmsim::SimConfig{});
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    const auto &r = res.faultReport;
+    // Detected within exactly one no-progress window.
+    EXPECT_EQ(r.cycle, r.lastProgressCycle + r.window);
+    EXPECT_TRUE(hasBlockedUnit(r, "ieu",
+                               wmsim::StallCause::DataFifoEmpty))
+        << r.text();
+    EXPECT_FALSE(r.waitChain.empty()) << r.text();
+    EXPECT_FALSE(r.edges.empty()) << r.text();
+    // The signature is the dedup key: kind + blocked units + chain.
+    std::string sig = r.signature();
+    EXPECT_NE(sig.find("deadlock|"), std::string::npos) << sig;
+    EXPECT_NE(sig.find("ieu=data_fifo_empty"), std::string::npos)
+        << sig;
+}
+
+TEST(Watchdog, SignatureStableAcrossIncidentDetails)
+{
+    // Same shape at different cycles/occupancies must dedup together:
+    // the signature ignores cycle numbers and counts.
+    wmsim::FaultReport a, b;
+    a.kind = b.kind = wmsim::SimFault::Deadlock;
+    a.cycle = 1000;
+    b.cycle = 99999;
+    a.units.push_back({"ieu", true,
+                       wmsim::StallCause::DataFifoEmpty, 5, "x", 0});
+    b.units.push_back({"ieu", true,
+                       wmsim::StallCause::DataFifoEmpty, 77, "y", 3});
+    a.waitChain = {"ieu", "<no-producer>"};
+    b.waitChain = {"ieu", "<no-producer>"};
+    EXPECT_EQ(a.signature(), b.signature());
+
+    b.units[0].cause = wmsim::StallCause::DataFifoFull;
+    EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Watchdog, CleanProgramsUnaffected)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(R"(
+int a[64]; int b[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i = i + 1)
+        a[i] = b[i] * 2;
+    return a[10];
+})",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    // Tight window: a healthy streamed loop must never trip it.
+    wmsim::SimConfig cfg;
+    cfg.watchdogWindow = 256;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.fault, wmsim::SimFault::None);
+    EXPECT_EQ(res.returnValue, 0);
+}
+
+TEST(Watchdog, JsonReportRoundTrips)
+{
+    driver::CompileOptions opts;
+    opts.injectStreamCountBug = true;
+    auto cr = driver::compileSource(R"(
+int a[32]; int b[32]; int c[32];
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i = i + 1)
+        a[i] = b[i] + c[i];
+    return 0;
+})",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = wmsim::simulate(*cr.program, wmsim::SimConfig{});
+    ASSERT_EQ(res.fault, wmsim::SimFault::Deadlock);
+    obs::JsonWriter w;
+    res.faultReport.writeJson(w);
+    std::string json = w.str();
+    EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"kind\":\"deadlock\""), std::string::npos);
+    EXPECT_NE(json.find("\"wait_for\""), std::string::npos);
+    EXPECT_NE(json.find("\"units\""), std::string::npos);
+    EXPECT_NE(json.find("\"streams\""), std::string::npos);
+}

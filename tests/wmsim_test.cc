@@ -24,7 +24,7 @@ runSrc(const std::string &src, wmsim::SimConfig cfg = {})
     driver::CompileOptions opts;
     auto cr = driver::compileSource(src, opts);
     EXPECT_TRUE(cr.ok) << cr.diagnostics;
-    cfg.maxCycles = 200'000'000ull;
+    cfg.maxCycles = 10'000'000ull;
     return wmsim::simulate(*cr.program, cfg);
 }
 
@@ -375,4 +375,37 @@ TEST(WmSim, CounterExportMatchesStats)
     EXPECT_EQ(reg.sumPrefix("ifu.stall"), reg.get("ifu.stall_cycles"));
     EXPECT_EQ(reg.sumPrefix("ieu.stall"), reg.get("ieu.stall_cycles"));
     EXPECT_EQ(reg.sumPrefix("feu.stall"), reg.get("feu.stall_cycles"));
+}
+
+TEST(WmSim, ConstFoldedGlobalInitializersExecute)
+{
+    // %, comparisons, and logical operators in constant initializers
+    // fold at expand time and must survive a full simulation.
+    auto res = runSrc(R"(
+int g = 7 % 2;
+int h = (1 < 2) && (3 > 1);
+int k = 10 / (5 - 2);
+int main(void) { return g + h + k; }
+)");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.returnValue, 5);
+}
+
+TEST(WmSim, OversizedGlobalFailsGracefully)
+{
+    // A data segment larger than simulated memory must surface as a
+    // runtime error, not an assert/abort.
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(R"(
+int a[9000000];
+int main(void) { return 0; }
+)",
+                                    opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto res = wmsim::simulate(*cr.program);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, wmsim::SimFault::RuntimeError);
+    EXPECT_NE(res.error.find("exceeds simulated memory"),
+              std::string::npos)
+        << res.error;
 }

@@ -38,7 +38,30 @@
  *   --mem-latency=N       simulator memory latency    (default 4)
  *   --fifo-depth=N        simulator data FIFO depth   (default 8)
  *   --lanes=N             simulator VEU lanes         (default 4)
+ *   --max-cycles=N        simulator cycle budget
+ *   --watchdog-window=N   deadlock watchdog no-progress window in
+ *                         cycles (0 disables; default 4096)
+ *   --chaos-seed=N        nonzero: perturb simulator timing (latency
+ *                         jitter, port withholding, fetch-width
+ *                         wobble) from seed N; architectural results
+ *                         must not change
+ *   --fault-report[=text|json]
+ *                         with --run: on deadlock/livelock print the
+ *                         watchdog's forensic report (blocked units,
+ *                         stall causes, wait-for graph, FIFO/stream
+ *                         state); text goes to stderr, json to stdout
+ *   --inject-deadlock-bug (self-test) miscompile: start every
+ *                         non-steering input stream one element short
  *   --version             print the version and exit
+ *
+ * Exit status:
+ *   0   success
+ *   1   user error (unreadable input, compile diagnostics, unwritable
+ *       output file)
+ *   2   usage error (unknown flag, bad value, no input)
+ *   3   simulation runtime fault (out-of-bounds access, bad PC, ...)
+ *   4   deadlock or livelock (watchdog / cycle-limit classification)
+ *   70  internal compiler error (panic/assert; see support/diag.h)
  */
 
 #include <cstdio>
@@ -92,6 +115,15 @@ const struct {
     {"--mem-latency=N", "simulator memory latency (default 4)"},
     {"--fifo-depth=N", "simulator data FIFO depth (default 8)"},
     {"--lanes=N", "simulator VEU lanes (default 4)"},
+    {"--max-cycles=N", "simulator cycle budget"},
+    {"--watchdog-window=N",
+     "deadlock watchdog window, cycles (0 disables; default 4096)"},
+    {"--chaos-seed=N",
+     "perturb simulator timing from seed N (0 = off)"},
+    {"--fault-report[=text|json]",
+     "with --run: print deadlock/livelock forensics"},
+    {"--inject-deadlock-bug",
+     "(self-test) under-count input streams to force a deadlock"},
     {"--version", "print the version and exit"},
 };
 
@@ -128,6 +160,24 @@ flagValue(const char *arg, const char *name, int *out)
         return FlagMatch::BadValue;
     }
     *out = static_cast<int>(v);
+    return FlagMatch::Ok;
+}
+
+/** Match `NAME=N` for 64-bit unsigned values (cycle counts, seeds). */
+FlagMatch
+flagValue64(const char *arg, const char *name, uint64_t *out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return FlagMatch::NoMatch;
+    const char *val = arg + n + 1;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(val, &end, 10);
+    if (end == val || *end != '\0') {
+        std::fprintf(stderr, "wmc: bad numeric value in %s\n", arg);
+        return FlagMatch::BadValue;
+    }
+    *out = v;
     return FlagMatch::Ok;
 }
 
@@ -195,6 +245,8 @@ main(int argc, char **argv)
          stats = false, profilePasses = false;
     enum class RemarkFormat { Off, Text, Json };
     RemarkFormat remarkFormat = RemarkFormat::Off;
+    enum class FaultFormat { Off, Text, Json };
+    FaultFormat faultFormat = FaultFormat::Off;
     wmsim::SimConfig simCfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -259,6 +311,28 @@ main(int argc, char **argv)
             if (m == FlagMatch::BadValue)
                 return usage();
             simCfg.veuLanes = v;
+        } else if ((m = flagValue64(a, "--max-cycles",
+                                    &simCfg.maxCycles)) !=
+                   FlagMatch::NoMatch) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if ((m = flagValue64(a, "--watchdog-window",
+                                    &simCfg.watchdogWindow)) !=
+                   FlagMatch::NoMatch) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if ((m = flagValue64(a, "--chaos-seed",
+                                    &simCfg.chaosSeed)) !=
+                   FlagMatch::NoMatch) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if (std::strcmp(a, "--fault-report") == 0 ||
+                   std::strcmp(a, "--fault-report=text") == 0) {
+            faultFormat = FaultFormat::Text;
+        } else if (std::strcmp(a, "--fault-report=json") == 0) {
+            faultFormat = FaultFormat::Json;
+        } else if (std::strcmp(a, "--inject-deadlock-bug") == 0) {
+            options.injectStreamCountBug = true;
         } else if (a[0] == '-') {
             std::fprintf(stderr, "wmc: unknown option %s\n", a);
             printFlagList(stderr);
@@ -339,7 +413,38 @@ main(int argc, char **argv)
         if (!res.ok) {
             std::fprintf(stderr, "wmc: runtime error: %s\n",
                          res.error.c_str());
-            return 1;
+            bool wedge = res.fault == wmsim::SimFault::Deadlock ||
+                         res.fault == wmsim::SimFault::Livelock;
+            if (wedge && faultFormat == FaultFormat::Text)
+                std::fprintf(stderr, "%s",
+                             res.faultReport.text().c_str());
+            if (wedge && faultFormat == FaultFormat::Json) {
+                obs::JsonWriter w;
+                res.faultReport.writeJson(w);
+                std::printf("%s\n", w.str().c_str());
+            }
+            // Even a faulted run leaves a machine-readable artifact
+            // for CI: kind, message, and the full forensic report.
+            if (!statsJsonPath.empty()) {
+                obs::JsonWriter w;
+                w.beginObject();
+                w.field("schema_version", int64_t{1});
+                w.field("source", file);
+                w.field("target", "wm");
+                w.field("error", res.error);
+                w.key("fault");
+                w.beginObject();
+                w.field("kind", wmsim::simFaultName(res.fault));
+                if (wedge) {
+                    w.key("report");
+                    res.faultReport.writeJson(w);
+                }
+                w.endObject();
+                w.endObject();
+                if (!writeTextFile(statsJsonPath, w.str()))
+                    return 1;
+            }
+            return wedge ? 4 : 3;
         }
         std::fprintf(human, "exit value: %lld\n",
                      static_cast<long long>(res.returnValue));
@@ -433,7 +538,7 @@ main(int argc, char **argv)
         if (!res.ok) {
             std::fprintf(stderr, "wmc: runtime error: %s\n",
                          res.error.c_str());
-            return 1;
+            return 3;
         }
         std::fprintf(human, "exit value: %lld\n",
                      static_cast<long long>(res.returnValue));

@@ -30,11 +30,20 @@
  *   --repro-dir=DIR    write minimized reproducer .c files here
  *   --no-minimize      keep raw divergences unminimized
  *   --quiet            suppress the per-100-programs progress line
+ *   --chaos-seeds=N    arm the chaos determinism oracle: re-run every
+ *                      clean WM simulation N more times under seeded
+ *                      timing perturbation (memory latency jitter,
+ *                      port withholding, fetch-width wobble) and
+ *                      report any architectural divergence
  *
  * Hidden (self-test only):
  *   --inject-recurrence-bug   disable the recurrence optimizer's
  *                             same-cell legality check; the campaign
  *                             must catch the resulting miscompiles
+ *   --inject-deadlock-bug     start every non-steering input stream
+ *                             one element short; the watchdog must
+ *                             classify the wedge and the campaign
+ *                             must dedup it by wait-for signature
  */
 
 #include <cstdio>
@@ -57,7 +66,7 @@ usage()
                  "[--jobs=N]\n"
                  "              [--report-json=FILE] [--repro-dir=DIR] "
                  "[--no-minimize]\n"
-                 "              [--quiet]\n");
+                 "              [--quiet] [--chaos-seeds=N]\n");
     return 2;
 }
 
@@ -142,8 +151,17 @@ main(int argc, char **argv)
             opts.minimize = false;
         } else if (std::strcmp(a, "--quiet") == 0) {
             opts.progress = false;
+        } else if (parseUint(a, "--chaos-seeds", &v)) {
+            if (v > 10000) {
+                std::fprintf(stderr,
+                             "wmfuzz: bad --chaos-seeds value\n");
+                return usage();
+            }
+            opts.chaosSeeds = static_cast<int>(v);
         } else if (std::strcmp(a, "--inject-recurrence-bug") == 0) {
             opts.injectRecurrenceBug = true;
+        } else if (std::strcmp(a, "--inject-deadlock-bug") == 0) {
+            opts.injectStreamCountBug = true;
         } else {
             std::fprintf(stderr, "wmfuzz: unknown option %s\n", a);
             return usage();

@@ -213,6 +213,41 @@ main(int argc, char **argv)
             loops[id].remarks.push_back(std::move(row));
         }
 
+    // A faulted run writes a "fault" section instead of stats;
+    // surface the watchdog forensics instead of complaining about the
+    // missing join key.
+    if (const JsonValue *fault = statsDoc.get("fault");
+        fault && fault->isObject()) {
+        std::printf("simulation fault for %s: %s\n", sourceFile.c_str(),
+                    fault->getStr("kind", "?").c_str());
+        std::string err = statsDoc.getStr("error");
+        if (!err.empty())
+            std::printf("  %s\n", err.c_str());
+        if (const JsonValue *rep = fault->get("report");
+            rep && rep->isObject()) {
+            std::printf("  signature: %s\n",
+                        rep->getStr("signature").c_str());
+            if (const JsonValue *wf = rep->get("wait_for");
+                wf && wf->isObject())
+                if (const JsonValue *chain = wf->get("chain");
+                    chain && chain->isArray() && !chain->arr.empty()) {
+                    std::printf("  wait-for:");
+                    for (size_t i = 0; i < chain->arr.size(); ++i)
+                        std::printf("%s%s", i ? " -> " : " ",
+                                    chain->arr[i].strVal.c_str());
+                    std::printf("\n");
+                }
+            if (const JsonValue *units = rep->get("units");
+                units && units->isArray())
+                for (const JsonValue &u : units->arr)
+                    if (u.get("blocked") && u.get("blocked")->boolVal)
+                        std::printf("  blocked: %-5s %s\n",
+                                    u.getStr("unit").c_str(),
+                                    u.getStr("cause").c_str());
+        }
+        return 1;
+    }
+
     // Per-loop cycle buckets from the stats document.
     uint64_t attributed = 0;
     if (const JsonValue *ls = statsDoc.get("loops"); ls && ls->isArray())
