@@ -38,6 +38,15 @@ CompileResult::totalVectorized() const
     return n;
 }
 
+std::string
+CompileResult::verifyText() const
+{
+    std::string s;
+    for (const auto &rep : verifyReports)
+        s += rep.str();
+    return s;
+}
+
 namespace {
 
 int64_t
@@ -158,18 +167,69 @@ compileSource(const std::string &source, const CompileOptions &options)
                                &res.remarks);
         });
 
+    // Verifier checkpoints (CompileOptions::verify). Violations are
+    // compiler bugs: they are kept verbatim in res.verifyReports and
+    // mirrored into the remarks stream so wmreport joins them with the
+    // provoking pass and loop like any other remark.
+    auto recordVerify = [&](verify::VerifyReport rep) {
+        ++res.verifyCheckpoints;
+        if (rep.ok())
+            return;
+        for (const verify::Violation &v : rep.violations) {
+            obs::Remark r;
+            r.pass = "verify";
+            r.function = v.function;
+            r.loc = v.pos;
+            r.verdict = obs::RemarkVerdict::Missed;
+            r.reason = v.reason;
+            if (!v.loopHeader.empty())
+                r.loopId =
+                    res.remarks.loopId(v.function, v.loopHeader, v.pos);
+            r.arg("after_pass", rep.pass)
+                .arg("stage", verify::stageName(rep.stage))
+                .arg("invariant", v.invariant);
+            res.remarks.add(std::move(r));
+        }
+        res.verifyReports.push_back(std::move(rep));
+    };
+    // Per-function checkpoint after one pass in Each mode. Pre-regalloc
+    // passes check at PostOpt (virtual registers still legal, data-FIFO
+    // depths not yet meaningful); regalloc checks at PostRegalloc.
+    auto verifyAfter = [&](rtl::Function &fn, const char *passName,
+                           verify::Stage stage) {
+        if (options.verify != VerifyMode::Each)
+            return;
+        verify::VerifyOptions vo;
+        vo.stage = stage;
+        vo.pass = passName;
+        recordVerify(verify::verifyFunction(fn, res.traits, vo,
+                                            res.program.get()));
+    };
+    constexpr auto kPostOpt = verify::Stage::PostOpt;
+
+    if (options.verify == VerifyMode::Each) {
+        verify::VerifyOptions vo;
+        vo.stage = verify::Stage::PostExpand;
+        vo.pass = "expand";
+        recordVerify(verify::verifyProgram(*res.program, res.traits,
+                                           vo));
+    }
+
     for (auto &fn : res.program->functions()) {
         auto insts = [&] { return countInsts(*fn); };
 
-        if (options.optimize)
+        if (options.optimize) {
             prof.measure("cleanup", insts, [&] {
                 opt::runCleanupPipeline(*fn, res.traits,
                                         res.program.get());
             });
-        else
+            verifyAfter(*fn, "cleanup", kPostOpt);
+        } else {
             prof.measure("legalize", insts, [&] {
                 opt::runLegalize(*fn, res.traits);
             });
+            verifyAfter(*fn, "legalize", kPostOpt);
+        }
 
         if (options.recurrence) {
             prof.measure("recurrence", insts, [&] {
@@ -186,21 +246,32 @@ compileSource(const std::string &source, const CompileOptions &options)
                             rr.recurrencesOptimized);
             prof.addCounter("recurrence", "loads_deleted",
                             rr.loadsDeleted);
+            verifyAfter(*fn, "recurrence", kPostOpt);
+            // The chain shape only exists right after the pass: copy
+            // propagation legitimately dissolves it, so legality is
+            // checked here regardless of mode (the check is cheap and
+            // the shape is unrecoverable later).
+            if (options.verify != VerifyMode::Off)
+                recordVerify(verify::verifyRecurrenceChains(
+                    *fn, res.traits, rr.chains, "recurrence"));
             // The paper: "after performing the recurrence
             // transformations, the optimizer invokes other phases" —
             // copy propagation removes the chain shift when possible.
-            if (options.optimize)
+            if (options.optimize) {
                 prof.measure("recurrence-cleanup", insts, [&] {
                     opt::runCopyPropagate(*fn, res.traits);
                     opt::runDeadCodeElim(*fn, res.traits);
                 });
+                verifyAfter(*fn, "recurrence-cleanup", kPostOpt);
+            }
         }
 
         if (options.streaming && res.traits.hasStreams) {
             prof.measure("streaming", insts, [&] {
                 res.streamingReports.push_back(streaming::runStreaming(
                     *fn, res.traits, options.minStreamTripCount,
-                    &res.remarks, options.injectStreamCountBug));
+                    &res.remarks, options.injectStreamCountBug,
+                    options.injectVerifierBug));
             });
             const auto &sr = res.streamingReports.back();
             prof.addCounter("streaming", "loops_examined",
@@ -209,13 +280,20 @@ compileSource(const std::string &source, const CompileOptions &options)
                             sr.loopsStreamed);
             prof.addCounter("streaming", "streams_in", sr.streamsIn);
             prof.addCounter("streaming", "streams_out", sr.streamsOut);
-            if (options.optimize)
+            verifyAfter(*fn, "streaming", kPostOpt);
+            if (options.optimize) {
                 prof.measure("streaming-cleanup", insts, [&] {
                     opt::runCombine(*fn, res.traits);
                     opt::runCopyPropagate(*fn, res.traits);
-                    opt::runDeadCodeElim(*fn, res.traits);
+                    // Branch optimization before DCE: deleting a
+                    // fallthrough CondJump leaves its compare — a
+                    // CC-FIFO enqueue nothing will ever dequeue — and
+                    // this is the last DCE that can collect it.
                     opt::runBranchOpt(*fn);
+                    opt::runDeadCodeElim(*fn, res.traits);
                 });
+                verifyAfter(*fn, "streaming-cleanup", kPostOpt);
+            }
             // Vectorization recognizes the post-cleanup single-
             // instruction loop bodies.
             if (options.vectorize) {
@@ -226,34 +304,54 @@ compileSource(const std::string &source, const CompileOptions &options)
                 prof.addCounter(
                     "vectorize", "loops_vectorized",
                     res.vectorizeReports.back().loopsVectorized);
+                verifyAfter(*fn, "vectorize", kPostOpt);
             }
         }
 
-        if (res.traits.isWM() && options.optimize)
+        if (res.traits.isWM() && options.optimize) {
             prof.measure("branch-anticipate", insts, [&] {
                 opt::runBranchAnticipate(*fn, res.traits);
             });
+            verifyAfter(*fn, "branch-anticipate", kPostOpt);
+        }
 
         if (options.strengthReduce && !res.traits.isWM()) {
             prof.measure("strength-reduce", insts, [&] {
                 opt::runStrengthReduce(*fn, res.traits);
             });
-            if (options.optimize)
+            verifyAfter(*fn, "strength-reduce", kPostOpt);
+            if (options.optimize) {
                 prof.measure("strength-cleanup", insts, [&] {
                     opt::runCombine(*fn, res.traits);
                     opt::runCopyPropagate(*fn, res.traits);
                     opt::runDeadCodeElim(*fn, res.traits);
                 });
+                verifyAfter(*fn, "strength-cleanup", kPostOpt);
+            }
         }
 
         prof.measure("regalloc", insts,
                      [&] { opt::runRegAlloc(*fn, res.traits); });
+        verifyAfter(*fn, "regalloc", verify::Stage::PostRegalloc);
     }
 
     if (res.traits.isWM() && options.lowerFifo)
         prof.measure(
             "lower-fifo", [&] { return countInsts(*res.program); },
             [&] { wm::lowerProgram(*res.program, res.traits); });
+
+    // End-of-pipeline checkpoint: the only one in Final mode, and the
+    // one place data-FIFO depths are tracked (PostLower) in Each mode.
+    if (options.verify != VerifyMode::Off) {
+        verify::VerifyOptions vo;
+        vo.stage = res.traits.isWM() && options.lowerFifo
+                       ? verify::Stage::PostLower
+                       : verify::Stage::PostRegalloc;
+        vo.pass = options.verify == VerifyMode::Each ? "lower-fifo"
+                                                     : "final";
+        recordVerify(
+            verify::verifyProgram(*res.program, res.traits, vo));
+    }
 
     tagLoops(*res.program, res.remarks);
     res.program->layout();

@@ -26,8 +26,21 @@
 #include "streaming/streaming.h"
 #include "streaming/vectorize.h"
 #include "support/diag.h"
+#include "verify/verify.h"
 
 namespace wmstream::driver {
+
+/** When the IR verifier (src/verify) runs during compilation. */
+enum class VerifyMode : uint8_t {
+    Off,   ///< no verification (the default)
+    Final, ///< once, on the finished program
+    /**
+     * After expansion and after every pass, per function — LLVM's
+     * -verify-each in spirit: a violation is attributed to the pass
+     * that ran just before the failing checkpoint.
+     */
+    Each,
+};
 
 /** Per-compilation switches. */
 struct CompileOptions
@@ -64,6 +77,25 @@ struct CompileOptions
      * nothing else may set it.
      */
     bool injectStreamCountBug = false;
+    /**
+     * Run the IR verifier (structural validity, FIFO discipline,
+     * recurrence legality; see verify/verify.h). Violations land in
+     * CompileResult::verifyReports and are mirrored into the remarks
+     * stream under pass "verify". A violation always means a
+     * compiler bug, never a user error: wmc exits 70 on any.
+     */
+    VerifyMode verify = VerifyMode::Off;
+    /**
+     * Fault injection for the IR verifier's self-test ONLY: after
+     * streaming, drop the FIFO dequeue of one non-steering input
+     * stream (its single use reads the zero register instead), so
+     * the static FIFO-balance linter has a real miscompile to catch
+     * at compile time — one the deadlock watchdog could previously
+     * only catch at cycle four thousand. Hidden behind
+     * `wmc --inject-verifier-bug` / `wmfuzz --inject-verifier-bug`;
+     * nothing else may set it.
+     */
+    bool injectVerifierBug = false;
 };
 
 /** Compilation output plus per-pass reports for the harnesses. */
@@ -86,6 +118,18 @@ struct CompileResult
      * (Inst::loopId), so simulator cycle buckets join remarks on it.
      */
     obs::RemarkCollector remarks;
+    /**
+     * IR-verifier findings (CompileOptions::verify): one report per
+     * checkpoint that found violations; clean checkpoints are only
+     * counted. Violations are also mirrored into `remarks` under
+     * pass "verify" with the provoking pass as an argument.
+     */
+    std::vector<verify::VerifyReport> verifyReports;
+    int verifyCheckpoints = 0; ///< checkpoints run (clean included)
+
+    bool verifyClean() const { return verifyReports.empty(); }
+    /** Every verifier violation as diagnostic lines ("" if clean). */
+    std::string verifyText() const;
 
     int totalRecurrences() const;
     int totalStreams() const;

@@ -92,6 +92,29 @@ checkAgainstOracle(const std::string &source, int64_t expect,
         out.detail = cr.diagnostics;
         return out;
     }
+    if (!cr.verifyClean()) {
+        // Third oracle: the IR verifier flagged the compiled program.
+        // A compile-time verdict — no simulation needed (and none
+        // wanted: the code is known-broken). Dedup by the sorted
+        // unique violation signatures (reason@invariant), which are
+        // program-independent, so one compiler bug folds into one
+        // finding across hundreds of generated programs.
+        out.diverged = true;
+        out.kind = DivergenceKind::VerifyError;
+        out.detail = cr.verifyText();
+        std::vector<std::string> sigs;
+        for (const auto &rep : cr.verifyReports)
+            for (const auto &v : rep.violations)
+                sigs.push_back(v.signature());
+        std::sort(sigs.begin(), sigs.end());
+        sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+        for (size_t i = 0; i < sigs.size(); ++i) {
+            if (i)
+                out.faultSignature += ',';
+            out.faultSignature += sigs[i];
+        }
+        return out;
+    }
     if (cfg.opts.target == rtl::MachineKind::WM) {
         auto res = wmsim::simulate(*cr.program, cfg.simCfg);
         if (!res.ok) {
@@ -176,6 +199,12 @@ wmcFlags(const FuzzConfig &cfg)
         f += strFormat(" --min-trip=%d", cfg.opts.minStreamTripCount);
     if (cfg.opts.injectStreamCountBug)
         f += " --inject-deadlock-bug";
+    if (cfg.opts.injectVerifierBug)
+        f += " --inject-verifier-bug";
+    if (cfg.opts.verify == driver::VerifyMode::Each)
+        f += " --verify=each";
+    else if (cfg.opts.verify == driver::VerifyMode::Final)
+        f += " --verify=final";
     if (cfg.opts.target == rtl::MachineKind::WM)
         f += strFormat(" --mem-latency=%d --fifo-depth=%d",
                        cfg.simCfg.memLatency, cfg.simCfg.dataFifoDepth);
@@ -194,15 +223,29 @@ divergenceKindName(DivergenceKind k)
       case DivergenceKind::OracleError: return "oracle_error";
       case DivergenceKind::Deadlock: return "deadlock";
       case DivergenceKind::ChaosBreak: return "chaos_break";
+      case DivergenceKind::VerifyError: return "verify_error";
     }
     return "unknown";
 }
 
 std::vector<FuzzConfig>
 configMatrix(uint64_t programIndex, bool injectRecurrenceBug,
-             bool injectStreamCountBug, int chaosSeeds)
+             bool injectStreamCountBug, int chaosSeeds,
+             bool injectVerifierBug)
 {
     std::vector<FuzzConfig> configs;
+
+    // The verifier oracle runs in every configuration, except under
+    // the fault-injection self-tests: each planted miscompile must
+    // reach the oracle it exists to prove (the watchdog for the
+    // deadlock bug, the differential diff for the recurrence bug),
+    // and the static linter would now reject both at compile time
+    // first — the stream under-count as stream-count-mismatch, the
+    // illegal same-cell rewrite as use-before-def.
+    driver::VerifyMode verify =
+        injectStreamCountBug || injectRecurrenceBug
+            ? driver::VerifyMode::Off
+            : driver::VerifyMode::Each;
 
     wmsim::SimConfig simCfg;
     simCfg.maxCycles = kSimMaxCycles;
@@ -221,6 +264,8 @@ configMatrix(uint64_t programIndex, bool injectRecurrenceBug,
         c.opts.minStreamTripCount = programIndex % 3 == 0 ? 0 : 4;
         c.opts.injectRecurrenceDistanceBug = injectRecurrenceBug;
         c.opts.injectStreamCountBug = injectStreamCountBug;
+        c.opts.injectVerifierBug = injectVerifierBug;
+        c.opts.verify = verify;
         c.simCfg = simCfg;
         c.chaosSeeds = chaosSeeds;
         c.chaosBaseSeed = mix64(programIndex ^ 0x5DEECE66Dull);
@@ -243,6 +288,7 @@ configMatrix(uint64_t programIndex, bool injectRecurrenceBug,
         c.opts.recurrence = false;
         c.opts.streaming = false;
         c.opts.injectRecurrenceDistanceBug = injectRecurrenceBug;
+        c.opts.verify = verify;
         c.simCfg = simCfg;
         c.chaosSeeds = chaosSeeds;
         c.chaosBaseSeed = mix64(programIndex ^ 0x5DEECE66Dull);
@@ -256,6 +302,7 @@ configMatrix(uint64_t programIndex, bool injectRecurrenceBug,
         c.opts.recurrence = rec;
         c.opts.streaming = false;
         c.opts.injectRecurrenceDistanceBug = injectRecurrenceBug;
+        c.opts.verify = verify;
         c.key = rec ? "scalar/rec" : "scalar/norec";
         configs.push_back(std::move(c));
     }
@@ -359,7 +406,8 @@ runCampaign(const CampaignOptions &opts)
             for (const FuzzConfig &cfg :
                  configMatrix(idx, opts.injectRecurrenceBug,
                               opts.injectStreamCountBug,
-                              opts.chaosSeeds)) {
+                              opts.chaosSeeds,
+                              opts.injectVerifierBug)) {
                 CheckOutcome out;
                 if (!oracle.ok) {
                     out.diverged = true;
@@ -498,6 +546,8 @@ renderReproducer(const Divergence &d, const CampaignOptions &opts)
         extraFlags += " --inject-recurrence-bug";
     if (opts.injectStreamCountBug)
         extraFlags += " --inject-deadlock-bug";
+    if (opts.injectVerifierBug)
+        extraFlags += " --inject-verifier-bug";
     if (opts.chaosSeeds > 0)
         extraFlags += strFormat(" --chaos-seeds=%d", opts.chaosSeeds);
     out += strFormat(" * found by: wmfuzz --seed=%llu "
@@ -527,6 +577,7 @@ writeCampaignJson(obs::JsonWriter &w, const CampaignOptions &opts,
     w.field("jobs", opts.jobs);
     w.field("inject_recurrence_bug", opts.injectRecurrenceBug);
     w.field("inject_deadlock_bug", opts.injectStreamCountBug);
+    w.field("inject_verifier_bug", opts.injectVerifierBug);
     w.field("chaos_seeds", static_cast<int64_t>(opts.chaosSeeds));
     w.field("minimize", opts.minimize);
     w.endObject();

@@ -66,11 +66,22 @@ struct FuzzConfig
  * @p injectStreamCountBug likewise threads the deadlock self-test
  * miscompile (it only bites where streaming runs). @p chaosSeeds > 0
  * arms the chaos determinism oracle on every WM configuration.
+ * @p injectVerifierBug threads the IR verifier's self-test miscompile
+ * (a dropped stream dequeue; it only bites where streaming runs).
+ *
+ * Every configuration also arms the IR verifier (--verify=each) as a
+ * third oracle — a verifier violation is a divergence even when the
+ * program would have simulated correctly — except when
+ * @p injectStreamCountBug or @p injectRecurrenceBug is set: those
+ * self-tests need their planted miscompiles to reach the watchdog and
+ * the differential diff respectively, and the verifier would now
+ * catch both statically first.
  */
 std::vector<FuzzConfig> configMatrix(uint64_t programIndex,
                                      bool injectRecurrenceBug,
                                      bool injectStreamCountBug = false,
-                                     int chaosSeeds = 0);
+                                     int chaosSeeds = 0,
+                                     bool injectVerifierBug = false);
 
 enum class DivergenceKind : uint8_t {
     Mismatch,     ///< compiled result != oracle checksum
@@ -79,6 +90,7 @@ enum class DivergenceKind : uint8_t {
     OracleError,  ///< the interpreter itself failed (generator bug)
     Deadlock,     ///< watchdog fault (deadlock or livelock) in wmsim
     ChaosBreak,   ///< chaos-perturbed run changed the result
+    VerifyError,  ///< IR verifier violation (compile-time oracle)
 };
 
 const char *divergenceKindName(DivergenceKind k);
@@ -95,6 +107,9 @@ struct CheckOutcome
      * FaultReport::signature() when the simulator reported a deadlock
      * or livelock: the wait-for-graph shape, used as the dedup key so
      * one FIFO-imbalance bug folds into one finding across programs.
+     * For VerifyError: the sorted unique verifier-violation signatures
+     * (reason@invariant), program-independent for the same dedup
+     * purpose.
      */
     std::string faultSignature;
 };
@@ -142,6 +157,8 @@ struct CampaignOptions
     bool injectRecurrenceBug = false; ///< self-test fault injection
     /** Self-test for the deadlock watchdog: under-count streams. */
     bool injectStreamCountBug = false;
+    /** Self-test for the IR verifier: drop one stream dequeue. */
+    bool injectVerifierBug = false;
     /** Chaos seeds per WM config (0 disables the chaos oracle). */
     int chaosSeeds = 0;
     bool minimize = true;

@@ -77,8 +77,12 @@ runBranchOpt(rtl::Function &fn)
         if ((last.kind == InstKind::Jump ||
              last.kind == InstKind::CondJump) &&
                 last.target == blocks[i + 1]->label()) {
-            // Removing a CondJump leaves its compare unconsumed; dead
-            // code elimination deletes the compare afterwards.
+            // Removing a CondJump leaves its compare unconsumed — on
+            // WM that is a CC-FIFO enqueue nothing will ever dequeue,
+            // not just dead code. Every cleanup round therefore runs
+            // dead-code elimination after this pass (never before it
+            // as the round's last step), so the compare is always
+            // collected before the verifier or the hardware sees it.
             b->insts.pop_back();
             ++changes;
         }

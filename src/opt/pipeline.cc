@@ -20,13 +20,18 @@ runCleanupPipeline(rtl::Function &fn, const rtl::MachineTraits &traits,
             break;
     }
     runLoopInvariantCodeMotion(fn, traits, prog);
+    // Branch optimization must precede dead-code elimination inside a
+    // round: deleting a fallthrough CondJump leaves its compare — on
+    // WM a CC-FIFO enqueue nothing will ever dequeue — for DCE to
+    // collect, and the round cap means a later round is not
+    // guaranteed to run.
     for (int round = 0; round < 4; ++round) {
         int changes = 0;
+        changes += runBranchOpt(fn);
         changes += runCombine(fn, traits);
         changes += runCopyPropagate(fn, traits);
         changes += runLocalCSE(fn, traits);
         changes += runDeadCodeElim(fn, traits);
-        changes += runBranchOpt(fn);
         if (!changes)
             break;
     }

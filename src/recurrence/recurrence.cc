@@ -385,6 +385,18 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
                 pre->insts.begin() + static_cast<ptrdiff_t>(at),
                 std::move(prime));
         }
+
+        // Record the chain shape for the IR verifier, which checks it
+        // right after this pass (cleanup may dissolve it later).
+        RecurrenceChain meta;
+        meta.function = fn.name();
+        meta.header = loop.header->label();
+        meta.preheader = pre->label();
+        meta.flt = flt;
+        meta.degree = degree;
+        for (const ExprPtr &c : chain)
+            meta.chainRegs.push_back(c->regIndex());
+        report.chains.push_back(std::move(meta));
     }
 
     // The reads are now register references: drop them from the

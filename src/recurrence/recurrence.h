@@ -28,6 +28,24 @@
 
 namespace wmstream::recurrence {
 
+/**
+ * Metadata for one rewritten recurrence, recorded so the IR verifier
+ * can check chain legality right after the pass runs (cleanup later
+ * dissolves chains legitimately): the shift chain must sit at the top
+ * of the loop header in oldest-first order — chain[k] := chain[k-1]
+ * for k = degree..1, each old value read before it is clobbered — and
+ * the preheader must prime chain[0..degree-1] from memory.
+ */
+struct RecurrenceChain
+{
+    std::string function;
+    std::string header;         ///< loop header block label
+    std::string preheader;      ///< block holding the priming loads
+    bool flt = false;           ///< VFlt chain (else VInt)
+    int degree = 0;             ///< iteration distance ("dee - cee")
+    std::vector<int> chainRegs; ///< virtual indices, chain[0..degree]
+};
+
 /** What the pass did, for tests and the experiment harnesses. */
 struct RecurrenceReport
 {
@@ -36,6 +54,7 @@ struct RecurrenceReport
     int loadsDeleted = 0;
     int maxDegree = 0;
     std::vector<std::string> partitionDumps; ///< per-loop Step 1-3 output
+    std::vector<RecurrenceChain> chains;     ///< for the IR verifier
 };
 
 /**

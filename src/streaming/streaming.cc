@@ -252,7 +252,8 @@ bool
 streamLoop(rtl::Function &fn, cfg::Loop &loop,
            const cfg::DominatorTree &dt, const rtl::MachineTraits &traits,
            int minTripCount, StreamingReport &report,
-           obs::RemarkCollector *remarks, bool injectCountBug)
+           obs::RemarkCollector *remarks, bool injectCountBug,
+           bool injectPopBug)
 {
     // Remark plumbing: resolve the loop's registry id (get-or-create,
     // upgrading the record with a position recovered from instruction
@@ -739,6 +740,18 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
             // shifted the indexes captured during planning), replace it
             // with the FIFO register, and delete the load.
             ExprPtr f = fifoReg(ps->side, ps->fifo, flt);
+            // Verifier self-test: one non-steering input stream's use
+            // reads the zero register instead, so its dequeue silently
+            // disappears — the producer still enqueues `count`
+            // elements nobody pops. The static FIFO-balance linter
+            // must flag this at compile time (fifo-pop-imbalance).
+            if (injectPopBug && ps != &chosen.front()) {
+                f = rtl::makeReg(flt ? rtl::RegFile::Flt
+                                     : rtl::RegFile::Int,
+                                 traits.zeroReg,
+                                 flt ? DataType::F64 : DataType::I64);
+                injectPopBug = false; // one stream is enough
+            }
             bool replaced = false;
             for (auto &bp : fn.blocks()) {
                 for (Inst &use : bp->insts) {
@@ -873,7 +886,7 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
 StreamingReport
 runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
              int minTripCount, obs::RemarkCollector *remarks,
-             bool injectStreamCountBug)
+             bool injectStreamCountBug, bool injectVerifierBug)
 {
     StreamingReport report;
     if (!traits.hasStreams)
@@ -899,7 +912,8 @@ runStreaming(rtl::Function &fn, const rtl::MachineTraits &traits,
             doneLoops.push_back(loop.header->label());
             ++report.loopsExamined;
             if (streamLoop(fn, loop, dt, traits, minTripCount, report,
-                           remarks, injectStreamCountBug)) {
+                           remarks, injectStreamCountBug,
+                           injectVerifierBug)) {
                 changed = true;
                 break; // structures stale
             }

@@ -59,12 +59,21 @@ struct StreamingReport
  * loop-steering one is started one element short, a deliberate
  * FIFO-imbalance miscompile. Nothing but the fault-injection harness
  * may set it.
+ *
+ * @p injectVerifierBug is the IR verifier's hidden self-test
+ * (wmfuzz/wmc --inject-verifier-bug): the single use of one
+ * non-steering input stream reads the zero register instead of the
+ * FIFO register, so one dequeue silently disappears from the loop
+ * body — a FIFO-pop-imbalance miscompile the static linter must
+ * catch at compile time. Nothing but the fault-injection harness may
+ * set it.
  */
 StreamingReport runStreaming(rtl::Function &fn,
                              const rtl::MachineTraits &traits,
                              int minTripCount = 4,
                              obs::RemarkCollector *remarks = nullptr,
-                             bool injectStreamCountBug = false);
+                             bool injectStreamCountBug = false,
+                             bool injectVerifierBug = false);
 
 } // namespace wmstream::streaming
 

@@ -1,0 +1,924 @@
+/**
+ * @file
+ * The WM FIFO-discipline linter: abstract queue-depth dataflow.
+ *
+ * WM has ten architecturally visible queues: per execution unit
+ * (integer, float) an input data FIFO pair (registers r0/r1, f0/f1
+ * read side), an output data FIFO pair (same registers, write side —
+ * input and output queues on one register index are DISTINCT pieces
+ * of hardware), and one condition-code FIFO per unit (CC cells 0 and
+ * 1). The FIFO-balance lattice is a vector of abstract depths, one
+ * per queue; the transfer function of an instruction is derived from
+ * its operand shape:
+ *
+ *   pop  in(side,i):  any read of FIFO register i inside an operand
+ *                     expression (Assign/Store sources, Load/Store
+ *                     addresses, implicit uses);
+ *   push in(side,i):  a scalar Load whose destination is FIFO reg i;
+ *   push out(side,i): an Assign whose destination is FIFO reg i
+ *                     (the lowered enqueue);
+ *   pop  out(side,i): a Store whose source is EXACTLY FIFO reg i
+ *                     (the lowered dequeue-to-memory);
+ *   push cc(side):    an Assign whose destination is CC cell `side`
+ *                     (a compare);
+ *   pop  cc(side):    a CondJump on that unit.
+ *
+ * Stream instructions (StreamIn/StreamOut/StreamStop/JumpStream/
+ * VecOp) move elements on the SCU/VEU side and are inert in this
+ * lattice; their balance is checked per streamed region instead: the
+ * region analysis proves every iteration of a streamed loop pops
+ * exactly one element from each claimed input queue and pushes
+ * exactly one to each claimed output queue — so a loop running
+ * `count` iterations consumes exactly the `count` elements its
+ * preheader SinX primes — and that all stream counts feeding one
+ * region agree (resolved through preheader copies, which is how the
+ * deliberately injected under-count miscompile is caught statically).
+ *
+ * Joins require exact depth equality (a queue cannot hold a
+ * path-dependent number of elements), calls and returns require all
+ * depths zero, and no instruction may pop the same queue twice (the
+ * relative order of two dequeues inside one instruction is
+ * unspecified, so FIFO reads must never be reordered across a pop on
+ * the same unit).
+ */
+
+#include "verify/verify.h"
+
+#include <array>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
+#include "rtl/inst.h"
+#include "support/str.h"
+
+namespace wmstream::verify {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Inst;
+using rtl::InstKind;
+using rtl::RegFile;
+using rtl::UnitSide;
+
+using detail::addViolation;
+
+// ---- queue identities ----------------------------------------------
+
+constexpr int kDataQueues = 8; ///< {in,out} x {int,flt} x {fifo 0,1}
+constexpr int kQueues = kDataQueues + 2; ///< + cc0, cc1
+
+int
+dataQ(bool output, int side, int fifo)
+{
+    return (output ? 4 : 0) + side * 2 + fifo;
+}
+
+int
+ccQ(int side)
+{
+    return kDataQueues + side;
+}
+
+std::string
+queueName(int q)
+{
+    if (q >= kDataQueues)
+        return strFormat("cc%d", q - kDataQueues);
+    bool output = q >= 4;
+    int side = (q / 2) % 2;
+    int fifo = q % 2;
+    return strFormat("%s:%c%d", output ? "out" : "in",
+                     side ? 'f' : 'r', fifo);
+}
+
+bool
+isDataFifoReg(const Expr &e)
+{
+    return e.kind() == Expr::Kind::Reg &&
+           (e.regFile() == RegFile::Int ||
+            e.regFile() == RegFile::Flt) &&
+           (e.regIndex() == 0 || e.regIndex() == 1);
+}
+
+int
+fifoSide(const Expr &e)
+{
+    return e.regFile() == RegFile::Flt ? 1 : 0;
+}
+
+// ---- per-instruction transfer shape --------------------------------
+
+enum class Field : uint8_t { Src, Addr, Extra };
+
+const char *
+fieldName(Field f)
+{
+    switch (f) {
+      case Field::Src: return "source";
+      case Field::Addr: return "address";
+      case Field::Extra: return "implicit-use";
+    }
+    return "?";
+}
+
+struct QueueUse
+{
+    int q;
+    Field field;
+};
+
+struct InstQueueOps
+{
+    std::vector<QueueUse> pops;
+    std::vector<int> pushes;
+};
+
+void
+collectInputPops(const ExprPtr &e, Field field, InstQueueOps &ops)
+{
+    if (!e)
+        return;
+    rtl::forEachNode(e, [&](const Expr &n) {
+        if (isDataFifoReg(n))
+            ops.pops.push_back(
+                {dataQ(false, fifoSide(n), n.regIndex()), field});
+    });
+}
+
+/** Queue pushes/pops performed by @p inst (file comment, bullet
+ *  list). Stream machinery is inert here. */
+InstQueueOps
+queueOps(const Inst &inst)
+{
+    InstQueueOps ops;
+    switch (inst.kind) {
+      case InstKind::StreamIn:
+      case InstKind::StreamOut:
+      case InstKind::StreamStop:
+      case InstKind::JumpStream:
+      case InstKind::VecOp:
+        return ops; // SCU/VEU side: checked per streamed region
+      case InstKind::Load:
+        collectInputPops(inst.addr, Field::Addr, ops);
+        if (inst.dst && inst.dst->isReg() && isDataFifoReg(*inst.dst))
+            ops.pushes.push_back(
+                dataQ(false, fifoSide(*inst.dst),
+                      inst.dst->regIndex()));
+        break;
+      case InstKind::Assign:
+        collectInputPops(inst.src, Field::Src, ops);
+        if (inst.dst && inst.dst->isReg()) {
+            if (isDataFifoReg(*inst.dst))
+                ops.pushes.push_back(
+                    dataQ(true, fifoSide(*inst.dst),
+                          inst.dst->regIndex()));
+            else if (inst.dst->regFile() == RegFile::CC)
+                ops.pushes.push_back(
+                    ccQ(inst.dst->regIndex() == 1 ? 1 : 0));
+        }
+        break;
+      case InstKind::Store:
+        collectInputPops(inst.addr, Field::Addr, ops);
+        if (inst.src && inst.src->isReg() && isDataFifoReg(*inst.src))
+            ops.pops.push_back(
+                {dataQ(true, fifoSide(*inst.src),
+                       inst.src->regIndex()),
+                 Field::Src});
+        else
+            collectInputPops(inst.src, Field::Src, ops);
+        break;
+      case InstKind::CondJump:
+        ops.pops.push_back(
+            {ccQ(inst.side == UnitSide::Int ? 0 : 1), Field::Src});
+        break;
+      default:
+        break;
+    }
+    for (const ExprPtr &e : inst.extraUses)
+        collectInputPops(e, Field::Extra, ops);
+    return ops;
+}
+
+// ---- local backward value resolution -------------------------------
+
+/**
+ * Resolve @p e to the value it holds just before instruction @p idx
+ * of @p b, by substituting straight-line Assign definitions backward
+ * through the block. Registers defined by loads or clobbered by calls
+ * freeze (stay symbolic, and earlier definitions of them must not
+ * leak forward past the freeze point). Used to compare stream counts
+ * that differ syntactically but were materialized from the same
+ * preheader computation.
+ */
+ExprPtr
+resolveAt(const rtl::Block *b, size_t idx, ExprPtr e,
+          const rtl::MachineTraits &traits)
+{
+    if (!e)
+        return e;
+    std::set<std::pair<int, int>> frozen;
+    for (size_t i = idx; i-- > 0;) {
+        const Inst &inst = b->insts[i];
+        if (inst.kind == InstKind::Call)
+            break; // clobbers caller-saved state: stop resolving
+        ExprPtr d = rtl::instDef(inst);
+        if (!d || !d->isReg())
+            continue;
+        RegFile f = d->regFile();
+        int ri = d->regIndex();
+        if ((f == RegFile::Int || f == RegFile::Flt) &&
+                ri == traits.zeroReg)
+            continue; // writes to the zero register are discarded
+        if (!rtl::usesReg(e, f, ri))
+            continue;
+        auto key = std::make_pair(static_cast<int>(f), ri);
+        if (frozen.count(key))
+            continue;
+        if (inst.kind == InstKind::Assign && inst.src &&
+                !rtl::containsMem(inst.src))
+            e = rtl::substReg(e, f, ri, inst.src);
+        else
+            frozen.insert(key); // load or non-copyable def
+    }
+    return e;
+}
+
+// ---- streamed regions ----------------------------------------------
+
+struct StreamSite
+{
+    const Inst *inst = nullptr;
+    const rtl::Block *block = nullptr;
+    size_t index = 0;
+
+    bool output() const { return inst->kind == InstKind::StreamOut; }
+    int q() const
+    {
+        return dataQ(output(), inst->side == UnitSide::Int ? 0 : 1,
+                     inst->fifo);
+    }
+};
+
+struct StreamRegion
+{
+    cfg::Loop *loop = nullptr;
+    std::string header;
+    std::vector<StreamSite> streams;
+    bool finite = false;
+    std::map<int, size_t> slotOf; ///< claimed queue -> streams index
+};
+
+/** Fill the violation's loop context fields. */
+void
+inLoop(Violation &v, const StreamRegion &r)
+{
+    v.loopHeader = r.header;
+}
+
+/**
+ * Compare two count expressions: structurally equal as written, or
+ * equal after resolving both backward through their blocks. Returns
+ * the rendered resolved pair on mismatch.
+ */
+bool
+countsAgree(const StreamSite &a, const rtl::Block *bBlock,
+            size_t bIndex, const ExprPtr &bCount,
+            const rtl::MachineTraits &traits, std::string *why)
+{
+    if (rtl::exprEqual(a.inst->count, bCount))
+        return true;
+    ExprPtr ra = resolveAt(a.block, a.index, a.inst->count, traits);
+    ExprPtr rb = resolveAt(bBlock, bIndex, bCount, traits);
+    if (rtl::exprEqual(ra, rb))
+        return true;
+    *why = strFormat("counts resolve to %s vs %s",
+                     ra ? ra->str().c_str() : "<null>",
+                     rb ? rb->str().c_str() : "<null>");
+    return false;
+}
+
+/** Per-iteration pop/push balance inside one streamed loop. */
+void
+checkRegionBalance(const StreamRegion &r, const rtl::Function &fn,
+                   VerifyReport &out)
+{
+    const cfg::Loop &loop = *r.loop;
+    size_t n = r.streams.size();
+    if (n == 0)
+        return;
+    // State: per claimed stream, (pops, pushes) of its queue on the
+    // path from the header to here, back edges excluded.
+    using State = std::vector<int8_t>;
+    State zero(2 * n, 0);
+
+    auto transfer = [&](const rtl::Block *b, State s) {
+        for (const Inst &inst : b->insts) {
+            InstQueueOps ops = queueOps(inst);
+            for (const QueueUse &p : ops.pops) {
+                auto it = r.slotOf.find(p.q);
+                if (it != r.slotOf.end() && s[2 * it->second] < 100)
+                    ++s[2 * it->second];
+            }
+            for (int q : ops.pushes) {
+                auto it = r.slotOf.find(q);
+                if (it != r.slotOf.end() &&
+                        s[2 * it->second + 1] < 100)
+                    ++s[2 * it->second + 1];
+            }
+        }
+        return s;
+    };
+
+    // Forward walk from the header, join = must-be-equal, keep-first.
+    std::map<const rtl::Block *, State> inState;
+    inState[loop.header] = zero;
+    std::map<const rtl::Block *, std::set<size_t>> joinBad;
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &bp : fn.blocks()) {
+            rtl::Block *b = bp.get();
+            auto it = inState.find(b);
+            if (it == inState.end() || !loop.contains(b))
+                continue;
+            State s = transfer(b, it->second);
+            for (rtl::Block *succ : b->succs) {
+                if (!loop.contains(succ) || succ == loop.header)
+                    continue;
+                auto jt = inState.find(succ);
+                if (jt == inState.end()) {
+                    inState.emplace(succ, s);
+                    grew = true;
+                } else if (jt->second != s) {
+                    for (size_t k = 0; k < n; ++k)
+                        if (jt->second[2 * k] != s[2 * k] ||
+                                jt->second[2 * k + 1] != s[2 * k + 1])
+                            joinBad[succ].insert(k);
+                }
+            }
+        }
+    }
+
+    for (const auto &bp : fn.blocks()) {
+        rtl::Block *b = bp.get();
+        auto jb = joinBad.find(b);
+        if (jb == joinBad.end())
+            continue;
+        for (size_t k : jb->second) {
+            Violation &v =
+                addViolation(out, "fifo-join-mismatch", fn);
+            v.block = b->label();
+            inLoop(v, r);
+            v.invariant = queueName(r.streams[k].q());
+            v.detail = "streamed-loop paths disagree on elements "
+                       "moved per iteration at this join";
+        }
+    }
+
+    // Every latch must arrive with exactly one pop per claimed input
+    // queue and one push per claimed output queue — the loop body
+    // moves exactly one element per queue per iteration, so `count`
+    // iterations consume exactly the `count` elements primed.
+    for (rtl::Block *latch : loop.latches) {
+        auto it = inState.find(latch);
+        if (it == inState.end())
+            continue; // unreachable from header without back edges
+        State s = transfer(latch, it->second);
+        for (size_t k = 0; k < n; ++k) {
+            bool output = r.streams[k].output();
+            int pops = s[2 * k];
+            int pushes = s[2 * k + 1];
+            std::string qn = queueName(r.streams[k].q());
+            int want = output ? pushes : pops;
+            if (want != 1) {
+                Violation &v = addViolation(
+                    out, output ? "fifo-push-imbalance"
+                                : "fifo-pop-imbalance",
+                    fn);
+                v.block = latch->label();
+                inLoop(v, r);
+                v.invariant = qn;
+                v.detail = strFormat(
+                    "%d %s(s) of %s per iteration on the path "
+                    "through latch %s; a streamed loop must %s "
+                    "exactly one element per iteration",
+                    want, output ? "push" : "pop", qn.c_str(),
+                    latch->label().c_str(),
+                    output ? "enqueue" : "dequeue");
+            }
+            int other = output ? pops : pushes;
+            if (other != 0) {
+                Violation &v = addViolation(
+                    out, output ? "fifo-pop-imbalance"
+                                : "fifo-push-imbalance",
+                    fn);
+                v.block = latch->label();
+                inLoop(v, r);
+                v.invariant = qn;
+                v.detail = strFormat(
+                    "%s %s inside the streamed loop that claims it "
+                    "as a%s queue",
+                    qn.c_str(), output ? "popped" : "pushed",
+                    output ? "n output" : "n input");
+            }
+        }
+    }
+}
+
+// ---- the global depth walk -----------------------------------------
+
+using DepthState = std::array<int16_t, kQueues>;
+
+struct WalkCtx
+{
+    bool trackData = false; ///< PostLower: scalar FIFO traffic legal
+    const std::set<std::pair<const rtl::Block *, int>> *exempt;
+};
+
+DepthState
+depthTransfer(const rtl::Block *b, DepthState s, const WalkCtx &ctx,
+              const rtl::Function &fn, VerifyReport *out)
+{
+    auto emit = [&](std::string reason, const Inst &inst,
+                    int q) -> Violation & {
+        Violation &v = addViolation(*out, std::move(reason), fn);
+        v.block = b->label();
+        v.instId = inst.id;
+        v.pos = inst.pos;
+        v.invariant = queueName(q);
+        return v;
+    };
+    for (const Inst &inst : b->insts) {
+        InstQueueOps ops = queueOps(inst);
+        for (const QueueUse &p : ops.pops) {
+            bool cc = p.q >= kDataQueues;
+            if (!cc) {
+                if (ctx.exempt->count({b, p.q}))
+                    continue;
+                if (!ctx.trackData) {
+                    if (out)
+                        emit("fifo-outside-stream", inst, p.q)
+                            .detail = strFormat(
+                            "FIFO register read in %s operand outside "
+                            "any streamed region before lowering",
+                            fieldName(p.field));
+                    continue;
+                }
+            }
+            if (s[p.q] == 0) {
+                if (out)
+                    emit(cc ? "cc-underflow" : "fifo-underflow", inst,
+                         p.q)
+                        .detail = cc
+                        ? std::string(
+                              "branch consumes a condition code no "
+                              "compare produced on this path")
+                        : std::string(
+                              "dequeue from an empty queue on this "
+                              "path");
+            } else {
+                --s[p.q];
+            }
+        }
+        for (int q : ops.pushes) {
+            bool cc = q >= kDataQueues;
+            if (!cc) {
+                if (ctx.exempt->count({b, q}))
+                    continue;
+                if (!ctx.trackData) {
+                    if (out)
+                        emit("fifo-outside-stream", inst, q).detail =
+                            "FIFO register written outside any "
+                            "streamed region before lowering";
+                    continue;
+                }
+            }
+            if (s[q] < 1000)
+                ++s[q];
+        }
+        if (inst.kind == InstKind::Call) {
+            for (int q = 0; q < kQueues; ++q) {
+                if (s[q] == 0)
+                    continue;
+                if (out)
+                    emit(q >= kDataQueues ? "cc-held-across-call"
+                                          : "fifo-held-across-call",
+                         inst, q)
+                        .detail = strFormat(
+                        "%d element(s) in %s across a call; the "
+                        "callee's queue traffic would interleave",
+                        s[q], queueName(q).c_str());
+                s[q] = 0;
+            }
+        }
+        if (inst.kind == InstKind::Return) {
+            for (int q = 0; q < kQueues; ++q) {
+                if (s[q] == 0)
+                    continue;
+                if (out)
+                    emit(q >= kDataQueues ? "cc-overproduction"
+                                          : "fifo-leak",
+                         inst, q)
+                        .detail = strFormat(
+                        "%d element(s) left in %s at return", s[q],
+                        queueName(q).c_str());
+                s[q] = 0;
+            }
+        }
+    }
+    return s;
+}
+
+void
+depthWalk(rtl::Function &fn, const std::vector<rtl::Block *> &rpo,
+          const WalkCtx &ctx, VerifyReport &out)
+{
+    std::map<const rtl::Block *, DepthState> inState;
+    if (!fn.entry())
+        return;
+    DepthState zero{};
+    inState[fn.entry()] = zero;
+    std::map<const rtl::Block *, std::set<int>> joinBad;
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (rtl::Block *b : rpo) {
+            auto it = inState.find(b);
+            if (it == inState.end())
+                continue;
+            DepthState s =
+                depthTransfer(b, it->second, ctx, fn, nullptr);
+            for (rtl::Block *succ : b->succs) {
+                auto jt = inState.find(succ);
+                if (jt == inState.end()) {
+                    inState.emplace(succ, s);
+                    grew = true;
+                } else if (jt->second != s) {
+                    for (int q = 0; q < kQueues; ++q)
+                        if (jt->second[q] != s[q])
+                            joinBad[succ].insert(q);
+                }
+            }
+        }
+    }
+    // Emission pass: every reachable block once, from its (stable)
+    // in-state, in reverse post-order for deterministic output.
+    for (rtl::Block *b : rpo) {
+        auto it = inState.find(b);
+        if (it == inState.end())
+            continue;
+        (void)depthTransfer(b, it->second, ctx, fn, &out);
+        auto jb = joinBad.find(b);
+        if (jb == joinBad.end())
+            continue;
+        for (int q : jb->second) {
+            Violation &v = addViolation(
+                out, q >= kDataQueues ? "cc-join-mismatch"
+                                      : "fifo-join-mismatch",
+                fn);
+            v.block = b->label();
+            v.invariant = queueName(q);
+            v.detail = "queue depth differs between predecessor "
+                       "paths at this join";
+        }
+        joinBad.erase(jb);
+    }
+}
+
+} // anonymous namespace
+
+namespace detail {
+
+void
+checkQueueDiscipline(rtl::Function &fn,
+                     const rtl::MachineTraits &traits,
+                     const VerifyOptions &opts, VerifyReport &out)
+{
+    cfg::DominatorTree dt(fn);
+    cfg::LoopInfo li(fn, dt);
+
+    // ---- per-instruction: no double pop of one queue ----
+    // Two dequeues of the same queue inside one instruction have an
+    // unspecified relative order: FIFO reads must never be reordered
+    // across a pop on the same unit.
+    for (const auto &bp : fn.blocks()) {
+        for (const Inst &inst : bp->insts) {
+            InstQueueOps ops = queueOps(inst);
+            std::map<int, int> perQueue;
+            for (const QueueUse &p : ops.pops)
+                ++perQueue[p.q];
+            for (const auto &kv : perQueue) {
+                if (kv.second < 2 || kv.first >= kDataQueues)
+                    continue;
+                Violation &v =
+                    addViolation(out, "ambiguous-pop-order", fn);
+                v.block = bp->label();
+                v.instId = inst.id;
+                v.pos = inst.pos;
+                v.invariant = queueName(kv.first);
+                v.detail = strFormat(
+                    "%d dequeues of %s in one instruction; their "
+                    "relative order is unspecified",
+                    kv.second, queueName(kv.first).c_str());
+            }
+        }
+    }
+
+    // ---- streamed regions ----
+    std::vector<StreamRegion> regions;
+    std::set<const Inst *> matchedSteering;
+    for (cfg::Loop &loop : li.loops()) {
+        StreamRegion r;
+        r.loop = &loop;
+        r.header = loop.header->label();
+        for (rtl::Block *p : loop.header->preds) {
+            if (loop.contains(p))
+                continue;
+            for (size_t i = 0; i < p->insts.size(); ++i) {
+                const Inst &inst = p->insts[i];
+                if (inst.kind == InstKind::StreamIn ||
+                        inst.kind == InstKind::StreamOut)
+                    r.streams.push_back({&inst, p, i});
+            }
+        }
+        bool jsLatch = false;
+        for (rtl::Block *l : loop.latches)
+            if (const Inst *t = l->terminator())
+                if (t->kind == InstKind::JumpStream)
+                    jsLatch = true;
+        if (r.streams.empty() && !jsLatch)
+            continue;
+
+        // Claim queues; two streams on one queue cannot coexist.
+        for (size_t i = 0; i < r.streams.size(); ++i) {
+            int q = r.streams[i].q();
+            if (!r.slotOf.emplace(q, i).second) {
+                Violation &v =
+                    addViolation(out, "stream-fifo-conflict", fn);
+                v.block = r.streams[i].block->label();
+                inLoop(v, r);
+                v.invariant = queueName(q);
+                v.detail = "two streams feeding one loop claim the "
+                           "same queue";
+            }
+        }
+
+        // All counts null (data-dependent, "infinite") or all
+        // non-null (counted); a mix can never balance.
+        size_t counted = 0;
+        for (const StreamSite &s : r.streams)
+            if (s.inst->count)
+                ++counted;
+        if (counted != 0 && counted != r.streams.size()) {
+            Violation &v =
+                addViolation(out, "stream-count-mismatch", fn);
+            inLoop(v, r);
+            v.block = r.streams[0].block->label();
+            v.invariant = queueName(r.streams[0].q());
+            v.detail = "counted and uncounted streams feed the same "
+                       "loop";
+        }
+        r.finite = !r.streams.empty() && counted == r.streams.size();
+
+        // Counted loops iterate under a JumpStream latch; uncounted
+        // ones exit on a data-dependent CondJump.
+        if (!r.streams.empty() && r.finite != jsLatch) {
+            Violation &v =
+                addViolation(out, "stream-loop-shape", fn);
+            inLoop(v, r);
+            v.block = r.header;
+            v.invariant = queueName(r.streams[0].q());
+            v.detail = r.finite
+                ? "counted streams but the latch is not steered by "
+                  "a jump-stream"
+                : "jump-stream latch over uncounted streams";
+        }
+
+        // Counted streams feeding one loop must agree on the count —
+        // the loop pops one element per queue per iteration, so
+        // differing counts starve or wedge a queue. Resolved through
+        // preheader copies so syntactic differences don't matter.
+        if (r.finite) {
+            const StreamSite &ref = r.streams[0];
+            for (size_t i = 1; i < r.streams.size(); ++i) {
+                const StreamSite &s = r.streams[i];
+                std::string why;
+                if (countsAgree(ref, s.block, s.index, s.inst->count,
+                                traits, &why))
+                    continue;
+                Violation &v =
+                    addViolation(out, "stream-count-mismatch", fn);
+                v.block = s.block->label();
+                inLoop(v, r);
+                v.invariant = queueName(s.q());
+                v.pos = s.inst->pos;
+                v.detail = strFormat(
+                    "stream on %s disagrees with the stream on %s: "
+                    "%s",
+                    queueName(s.q()).c_str(),
+                    queueName(ref.q()).c_str(), why.c_str());
+            }
+        }
+
+        // Each JumpStream latch must be steered by a claimed stream.
+        for (rtl::Block *l : loop.latches) {
+            const Inst *t = l->terminator();
+            if (!t || t->kind != InstKind::JumpStream)
+                continue;
+            int side = t->side == UnitSide::Int ? 0 : 1;
+            bool found = r.slotOf.count(dataQ(false, side, t->fifo)) ||
+                         r.slotOf.count(dataQ(true, side, t->fifo));
+            if (found) {
+                matchedSteering.insert(t);
+            } else {
+                Violation &v =
+                    addViolation(out, "jumpstream-no-stream", fn);
+                v.block = l->label();
+                inLoop(v, r);
+                v.instId = t->id;
+                v.pos = t->pos;
+                v.invariant =
+                    strFormat("%c%d", side ? 'f' : 'r', t->fifo);
+                v.detail = "jump-stream latch steered by a FIFO no "
+                           "stream feeds";
+            }
+        }
+
+        // A counted streamed loop has exactly one way out: the
+        // steering latch falling through when the stream is done.
+        // Any other exit abandons unconsumed elements.
+        if (r.finite) {
+            for (rtl::Block *b : loop.exiting) {
+                const Inst *t = b->terminator();
+                if (t && t->kind == InstKind::JumpStream)
+                    continue;
+                for (const StreamSite &s : r.streams) {
+                    Violation &v =
+                        addViolation(out, "fifo-leak", fn);
+                    v.block = b->label();
+                    inLoop(v, r);
+                    v.invariant = queueName(s.q());
+                    v.detail = strFormat(
+                        "counted stream loop can exit early via %s, "
+                        "abandoning queued elements",
+                        b->label().c_str());
+                }
+            }
+        }
+
+        // An uncounted stream runs until cancelled: every exit
+        // target must stop every claimed stream.
+        if (!r.finite && !r.streams.empty()) {
+            for (rtl::Block *b : loop.exiting) {
+                for (rtl::Block *succ : b->succs) {
+                    if (loop.contains(succ))
+                        continue;
+                    for (const StreamSite &s : r.streams) {
+                        bool input = !s.output();
+                        bool stopped = false;
+                        for (const Inst &inst : succ->insts)
+                            if (inst.kind == InstKind::StreamStop &&
+                                    inst.side == s.inst->side &&
+                                    inst.fifo == s.inst->fifo &&
+                                    inst.when == input)
+                                stopped = true;
+                        if (stopped)
+                            continue;
+                        Violation &v = addViolation(
+                            out, "stream-stop-missing", fn);
+                        v.block = succ->label();
+                        inLoop(v, r);
+                        v.invariant = queueName(s.q());
+                        v.detail = strFormat(
+                            "loop exit %s does not cancel the "
+                            "uncounted stream on %s",
+                            succ->label().c_str(),
+                            queueName(s.q()).c_str());
+                    }
+                }
+            }
+        }
+
+        checkRegionBalance(r, fn, out);
+        regions.push_back(std::move(r));
+    }
+
+    // A JumpStream that is not the steering latch of any streamed
+    // loop spins on a stream nothing primes.
+    for (const auto &bp : fn.blocks()) {
+        for (const Inst &inst : bp->insts) {
+            if (inst.kind != InstKind::JumpStream ||
+                    matchedSteering.count(&inst))
+                continue;
+            Violation &v =
+                addViolation(out, "jumpstream-no-stream", fn);
+            v.block = bp->label();
+            v.instId = inst.id;
+            v.pos = inst.pos;
+            v.invariant =
+                strFormat("%c%d",
+                          inst.side == UnitSide::Flt ? 'f' : 'r',
+                          inst.fifo);
+            v.detail =
+                "jump-stream outside any streamed loop latch";
+        }
+    }
+
+    // ---- vectorized regions ----
+    // A VecOp consumes whole streams on the VEU: every FIFO operand
+    // must be fed by a stream in this or a predecessor block, and the
+    // element counts must agree.
+    const auto &blocks = fn.blocks();
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        rtl::Block *b = blocks[bi].get();
+        for (size_t i = 0; i < b->insts.size(); ++i) {
+            const Inst &inst = b->insts[i];
+            if (inst.kind != InstKind::VecOp)
+                continue;
+            // Gather candidate stream sites: earlier in this block,
+            // in CFG predecessors, and in the layout predecessor.
+            std::vector<StreamSite> sites;
+            auto scan = [&](const rtl::Block *sb, size_t limit) {
+                for (size_t k = 0; k < limit; ++k) {
+                    const Inst &cand = sb->insts[k];
+                    if (cand.kind == InstKind::StreamIn ||
+                            cand.kind == InstKind::StreamOut)
+                        sites.push_back({&cand, sb, k});
+                }
+            };
+            scan(b, i);
+            for (const rtl::Block *p : b->preds)
+                scan(p, p->insts.size());
+            if (bi > 0)
+                scan(blocks[bi - 1].get(),
+                     blocks[bi - 1]->insts.size());
+
+            auto need = [&](const ExprPtr &opnd, bool output) {
+                if (!opnd || !opnd->isReg() || !isDataFifoReg(*opnd))
+                    return;
+                int q = dataQ(output, fifoSide(*opnd),
+                              opnd->regIndex());
+                const StreamSite *feed = nullptr;
+                for (const StreamSite &s : sites)
+                    if (s.q() == q)
+                        feed = &s;
+                if (!feed) {
+                    Violation &v =
+                        addViolation(out, "vec-no-stream", fn);
+                    v.block = b->label();
+                    v.instId = inst.id;
+                    v.pos = inst.pos;
+                    v.invariant = queueName(q);
+                    v.detail = strFormat(
+                        "vector operation %s %s but no stream feeds "
+                        "it",
+                        output ? "writes" : "reads",
+                        queueName(q).c_str());
+                    return;
+                }
+                std::string why;
+                if (!inst.count || countsAgree(*feed, b, i, inst.count,
+                                               traits, &why)) {
+                    return;
+                }
+                Violation &v =
+                    addViolation(out, "stream-count-mismatch", fn);
+                v.block = b->label();
+                v.instId = inst.id;
+                v.pos = inst.pos;
+                v.invariant = queueName(q);
+                v.detail = strFormat(
+                    "vector element count disagrees with the stream "
+                    "on %s: %s",
+                    queueName(q).c_str(), why.c_str());
+            };
+            need(inst.src, false);
+            need(inst.vecSrc2, false);
+            need(inst.dst, true);
+        }
+    }
+
+    // ---- the global depth walk ----
+    // Claimed queues inside their streamed loop are the streams'
+    // business (checked per region above); exempt them here.
+    std::set<std::pair<const rtl::Block *, int>> exempt;
+    for (const StreamRegion &r : regions)
+        for (rtl::Block *b : r.loop->blocks)
+            for (const auto &kv : r.slotOf)
+                exempt.insert({b, kv.first});
+
+    WalkCtx ctx;
+    ctx.trackData = opts.stage == Stage::PostLower;
+    ctx.exempt = &exempt;
+    depthWalk(fn, dt.reversePostOrder(), ctx, out);
+}
+
+} // namespace detail
+
+} // namespace wmstream::verify

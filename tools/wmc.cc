@@ -50,8 +50,17 @@
  *                         watchdog's forensic report (blocked units,
  *                         stall causes, wait-for graph, FIFO/stream
  *                         state); text goes to stderr, json to stdout
+ *   --verify[=each|final] run the IR verifier (structural validity,
+ *                         FIFO discipline, recurrence legality):
+ *                         `each` re-checks after expansion and after
+ *                         every pass, `final` once at the end
+ *                         (default: each). Any violation is an
+ *                         internal compiler error: exit 70
  *   --inject-deadlock-bug (self-test) miscompile: start every
  *                         non-steering input stream one element short
+ *   --inject-verifier-bug (self-test) miscompile: drop one input
+ *                         stream's FIFO dequeue after streaming, for
+ *                         the static linter to catch at compile time
  *   --version             print the version and exit
  *
  * Exit status:
@@ -61,7 +70,8 @@
  *   2   usage error (unknown flag, bad value, no input)
  *   3   simulation runtime fault (out-of-bounds access, bad PC, ...)
  *   4   deadlock or livelock (watchdog / cycle-limit classification)
- *   70  internal compiler error (panic/assert; see support/diag.h)
+ *   70  internal compiler error (panic/assert — see support/diag.h —
+ *       or --verify violations)
  */
 
 #include <cstdio>
@@ -122,8 +132,12 @@ const struct {
      "perturb simulator timing from seed N (0 = off)"},
     {"--fault-report[=text|json]",
      "with --run: print deadlock/livelock forensics"},
+    {"--verify[=each|final]",
+     "run the IR verifier; any violation exits 70 (default: each)"},
     {"--inject-deadlock-bug",
      "(self-test) under-count input streams to force a deadlock"},
+    {"--inject-verifier-bug",
+     "(self-test) drop one stream dequeue for --verify to catch"},
     {"--version", "print the version and exit"},
 };
 
@@ -331,8 +345,15 @@ main(int argc, char **argv)
             faultFormat = FaultFormat::Text;
         } else if (std::strcmp(a, "--fault-report=json") == 0) {
             faultFormat = FaultFormat::Json;
+        } else if (std::strcmp(a, "--verify") == 0 ||
+                   std::strcmp(a, "--verify=each") == 0) {
+            options.verify = driver::VerifyMode::Each;
+        } else if (std::strcmp(a, "--verify=final") == 0) {
+            options.verify = driver::VerifyMode::Final;
         } else if (std::strcmp(a, "--inject-deadlock-bug") == 0) {
             options.injectStreamCountBug = true;
+        } else if (std::strcmp(a, "--inject-verifier-bug") == 0) {
+            options.injectVerifierBug = true;
         } else if (a[0] == '-') {
             std::fprintf(stderr, "wmc: unknown option %s\n", a);
             printFlagList(stderr);
@@ -362,6 +383,16 @@ main(int argc, char **argv)
     if (!compiled.ok) {
         std::fprintf(stderr, "%s", compiled.diagnostics.c_str());
         return 1;
+    }
+    if (!compiled.verifyClean()) {
+        // A verifier violation is a compiler bug, never a user error:
+        // report every checkpoint's findings and refuse the output.
+        std::fprintf(stderr,
+                     "wmc: internal error: IR verifier found "
+                     "violations (%d checkpoint(s) run)\n",
+                     compiled.verifyCheckpoints);
+        std::fprintf(stderr, "%s", compiled.verifyText().c_str());
+        return 70;
     }
 
     if (profilePasses)

@@ -44,6 +44,11 @@
  *                             one element short; the watchdog must
  *                             classify the wedge and the campaign
  *                             must dedup it by wait-for signature
+ *   --inject-verifier-bug     drop one input stream's FIFO dequeue;
+ *                             the IR-verifier oracle must flag it at
+ *                             compile time (verify_error) and the
+ *                             campaign must dedup it by violation
+ *                             signature
  */
 
 #include <cstdio>
@@ -162,6 +167,8 @@ main(int argc, char **argv)
             opts.injectRecurrenceBug = true;
         } else if (std::strcmp(a, "--inject-deadlock-bug") == 0) {
             opts.injectStreamCountBug = true;
+        } else if (std::strcmp(a, "--inject-verifier-bug") == 0) {
+            opts.injectVerifierBug = true;
         } else {
             std::fprintf(stderr, "wmfuzz: unknown option %s\n", a);
             return usage();
