@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Simulator throughput: simulated cycles per wall-clock second over
+ * the Table II programs.
+ *
+ * Not a paper table — a harness health metric. ROADMAP's planned
+ * event-driven simulator core needs a wall-clock baseline to beat;
+ * this harness is that baseline. Each program is compiled once
+ * (streaming on) and then timed through the cycle simulator alone, so
+ * the rate is pure simulator throughput, not compile time.
+ *
+ * The per-row "cycles" column is deterministic and participates in
+ * the benchdiff regression gate; "wall_ms" and "sim_cycles_per_sec"
+ * are host-dependent and explicitly excluded from it (see
+ * tools/benchdiff.py).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "obs/pass_profiler.h"
+#include "programs/programs.h"
+
+using namespace wmstream;
+
+namespace {
+
+/** Compile @p source for WM with streaming on; aborts on error. */
+driver::CompileResult
+compileWm(const std::string &source)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(source, opts);
+    if (!cr.ok) {
+        std::fprintf(stderr, "compile failed:\n%s\n",
+                     cr.diagnostics.c_str());
+        std::abort();
+    }
+    return cr;
+}
+
+void
+printTable(wsbench::JsonReport &report)
+{
+    std::printf("Simulator throughput over the Table II programs "
+                "(streaming on).\n\n");
+    std::printf("%-14s %12s %10s %16s\n", "Program", "cycles",
+                "wall ms", "sim cycles/sec");
+    uint64_t totalCycles = 0;
+    double totalMs = 0.0;
+    for (const auto &prog : programs::tableIIPrograms()) {
+        auto cr = compileWm(prog.source);
+        wmsim::SimConfig cfg;
+        cfg.maxCycles = 4'000'000'000ull;
+        obs::PhaseTimer timer;
+        auto res = wmsim::simulate(*cr.program, cfg);
+        double ms = timer.elapsedMs();
+        if (!res.ok) {
+            std::fprintf(stderr, "simulation failed for %s: %s\n",
+                         prog.name.c_str(), res.error.c_str());
+            std::abort();
+        }
+        double rate = ms > 0.0
+                          ? static_cast<double>(res.stats.cycles) /
+                                (ms / 1000.0)
+                          : 0.0;
+        std::printf("%-14s %12llu %10.2f %16.0f\n", prog.name.c_str(),
+                    static_cast<unsigned long long>(res.stats.cycles),
+                    ms, rate);
+        report.row(prog.name)
+            .num("cycles", static_cast<double>(res.stats.cycles))
+            .num("wall_ms", ms)
+            .num("sim_cycles_per_sec", rate);
+        totalCycles += res.stats.cycles;
+        totalMs += ms;
+    }
+    double totalRate =
+        totalMs > 0.0
+            ? static_cast<double>(totalCycles) / (totalMs / 1000.0)
+            : 0.0;
+    std::printf("%-14s %12llu %10.2f %16.0f\n\n", "total",
+                static_cast<unsigned long long>(totalCycles), totalMs,
+                totalRate);
+    report.row("total")
+        .num("cycles", static_cast<double>(totalCycles))
+        .num("wall_ms", totalMs)
+        .num("sim_cycles_per_sec", totalRate);
+}
+
+/** Simulator-only throughput on a streamed kernel (no compile). */
+void
+BM_SimulateDotProduct(benchmark::State &state)
+{
+    auto cr = compileWm(programs::dotProductSource(
+        static_cast<int>(state.range(0))));
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto res = wmsim::simulate(*cr.program);
+        cycles = res.stats.cycles;
+        benchmark::DoNotOptimize(res.returnValue);
+    }
+    state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimulateDotProduct)->Arg(512)->Arg(4096);
+
+/** Flight recorder overhead: the same kernel with sampling on. */
+void
+BM_SimulateDotProductSampled(benchmark::State &state)
+{
+    auto cr = compileWm(programs::dotProductSource(
+        static_cast<int>(state.range(0))));
+    auto channels = wmsim::simTimeSeriesChannels();
+    for (auto _ : state) {
+        obs::TimeSeries ts(channels, 1024);
+        wmsim::SimConfig cfg;
+        cfg.timeseries = &ts;
+        auto res = wmsim::simulate(*cr.program, cfg);
+        benchmark::DoNotOptimize(res.returnValue);
+    }
+}
+BENCHMARK(BM_SimulateDotProductSampled)->Arg(512)->Arg(4096);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "simthroughput", report))
+        return 1;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

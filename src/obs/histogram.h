@@ -26,6 +26,7 @@ class Histogram
     void add(int64_t value, uint64_t count = 1);
 
     uint64_t count() const { return count_; }
+    int64_t sum() const { return sum_; }
     int64_t min() const { return count_ ? min_ : 0; }
     int64_t max() const { return count_ ? max_ : 0; }
     double mean() const

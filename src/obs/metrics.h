@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Metrics registry with Prometheus-style text exposition.
+ *
+ * The CounterRegistry is the repo's internal interchange format
+ * (dotted names, insertion-ordered, JSON). This registry is the
+ * *external* face of the same numbers: metric families with a type
+ * (counter/gauge), optional help text, and label sets, rendered in
+ * the Prometheus text exposition format. Today `wmc --metrics-out`
+ * writes one scrape-shaped file per invocation; the planned
+ * `wmc --server` serves the same registry over /metrics without
+ * touching the instrumentation again.
+ *
+ * Naming: dotted internal names are sanitized to snake_case
+ * ("ieu.stall.data_fifo_empty" -> "ieu_stall_data_fifo_empty") and
+ * prefixed with "wm_" so every exported series lives in one
+ * namespace; cumulative metrics follow the "_total" convention via
+ * their counter type.
+ */
+
+#ifndef WMSTREAM_OBS_METRICS_H
+#define WMSTREAM_OBS_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace wmstream::obs {
+
+/** A key="value" label pair on a metric sample. */
+using MetricLabel = std::pair<std::string, std::string>;
+
+/** Prometheus-facing metric registry. */
+class MetricsRegistry
+{
+  public:
+    /** Monotone count (rendered with TYPE counter). */
+    void counter(const std::string &name, double v,
+                 const std::vector<MetricLabel> &labels = {},
+                 const std::string &help = "");
+
+    /** Point-in-time value (rendered with TYPE gauge). */
+    void gauge(const std::string &name, double v,
+               const std::vector<MetricLabel> &labels = {},
+               const std::string &help = "");
+
+    /**
+     * Export every entry of @p reg as a counter named
+     * "wm_<prefix><sanitized dotted name>", attaching @p labels to
+     * each sample.
+     */
+    void fromCounters(const CounterRegistry &reg,
+                      const std::string &prefix = "",
+                      const std::vector<MetricLabel> &labels = {});
+
+    size_t size() const { return samples_.size(); }
+
+    /**
+     * Prometheus text exposition: "# HELP"/"# TYPE" once per family
+     * (first-seen order), then one "name{labels} value" line per
+     * sample. Ends with a newline; safe to concatenate with other
+     * exposition fragments.
+     */
+    std::string renderText() const;
+
+    /** "wm_" + @p name with every non-[a-zA-Z0-9_] mapped to '_'. */
+    static std::string metricName(const std::string &name);
+
+  private:
+    struct Sample
+    {
+        std::string name; ///< full metric name (already sanitized)
+        bool isCounter = true;
+        std::string help;
+        std::vector<MetricLabel> labels;
+        double value = 0.0;
+    };
+    void add(const std::string &name, bool isCounter, double v,
+             const std::vector<MetricLabel> &labels,
+             const std::string &help);
+
+    std::vector<Sample> samples_;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_METRICS_H

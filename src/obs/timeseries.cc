@@ -1,0 +1,132 @@
+#include "obs/timeseries.h"
+
+#include "support/diag.h"
+
+namespace wmstream::obs {
+
+TimeSeries::TimeSeries(std::vector<std::string> channelNames,
+                       uint64_t windowCycles, size_t maxWindows)
+    : names_(std::move(channelNames)),
+      initialSpan_(windowCycles > 0 ? windowCycles : 1),
+      span_(initialSpan_),
+      maxWindows_(maxWindows < 2 ? 2 : maxWindows + (maxWindows & 1)),
+      cur_(names_.size(), 0)
+{
+    WS_ASSERT(!names_.empty(), "time series needs channels");
+}
+
+int
+TimeSeries::channelIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+TimeSeries::closeWindow(uint64_t cycles)
+{
+    Window w;
+    w.start = curStart_;
+    w.cycles = cycles;
+    w.counts = cur_;
+    windows_.push_back(std::move(w));
+    curStart_ += cycles;
+    cur_.assign(names_.size(), 0);
+}
+
+void
+TimeSeries::decimate()
+{
+    // Merge adjacent pairs in place and double the span. This runs
+    // only when exactly maxWindows_ (even) same-span windows are
+    // closed, so the merged windows are contiguous, equal-span, and
+    // the next boundary (curStart_) stays aligned to the new span.
+    size_t half = windows_.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+        Window &a = windows_[2 * i];
+        const Window &b = windows_[2 * i + 1];
+        a.cycles += b.cycles;
+        for (size_t c = 0; c < a.counts.size(); ++c)
+            a.counts[c] += b.counts[c];
+        if (i != 2 * i)
+            windows_[i] = std::move(windows_[2 * i]);
+    }
+    windows_.resize(half);
+    span_ *= 2;
+    ++decimations_;
+}
+
+void
+TimeSeries::advanceTo(uint64_t cycle)
+{
+    WS_ASSERT(!finished_, "advanceTo after finish");
+    while (cycle >= curStart_ + span_) {
+        closeWindow(span_);
+        if (windows_.size() >= maxWindows_)
+            decimate();
+    }
+}
+
+void
+TimeSeries::finish(uint64_t totalCycles)
+{
+    if (finished_)
+        return;
+    advanceTo(totalCycles == 0 ? 0 : totalCycles - 1);
+    if (totalCycles > curStart_)
+        closeWindow(totalCycles - curStart_);
+    finished_ = true;
+}
+
+uint64_t
+TimeSeries::channelTotal(size_t c) const
+{
+    uint64_t sum = cur_[c];
+    for (const Window &w : windows_)
+        sum += w.counts[c];
+    return sum;
+}
+
+uint64_t
+TimeSeries::totalCycles() const
+{
+    uint64_t sum = 0;
+    for (const Window &w : windows_)
+        sum += w.cycles;
+    return sum;
+}
+
+void
+TimeSeries::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("kind", "timeseries");
+    w.field("window_cycles", windowCycles());
+    w.field("initial_window_cycles", initialWindowCycles());
+    w.field("decimations", static_cast<int64_t>(decimations_));
+    w.key("channels");
+    w.beginArray();
+    for (const std::string &n : names_)
+        w.value(n);
+    w.endArray();
+    w.key("samples");
+    w.beginArray();
+    for (const Window &win : windows_) {
+        w.beginObject();
+        w.field("start", win.start);
+        w.field("cycles", win.cycles);
+        w.key("counts");
+        w.beginArray();
+        for (uint64_t v : win.counts)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace wmstream::obs

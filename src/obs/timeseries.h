@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Flight-recorder time series: ring-buffered interval sampling over
+ * fixed simulated-cycle windows.
+ *
+ * End-of-run aggregates show *that* a unit stalled; this sampler
+ * records *when*. The producer (the cycle simulator) declares a fixed
+ * set of named channels up front and, once per cycle, adds counts to
+ * the window covering the current cycle. Every channel is a plain sum
+ * over the window — event counts (instructions executed, stall
+ * cycles) and level sums (FIFO occupancy sampled once per cycle, so
+ * mean occupancy = sum / window cycles) alike — which is what makes
+ * the two core invariants hold by construction:
+ *
+ *  - channel totals over all windows equal the end-of-run aggregate
+ *    counters (asserted by tests and `wmreport --timeline`), and
+ *  - decimation is exact: merging two adjacent windows adds their
+ *    sums, losing resolution but never mass.
+ *
+ * Memory stays bounded on arbitrarily long runs by adaptive
+ * decimation: when the closed-window count reaches the configured
+ * cap, adjacent pairs merge and the window span doubles. A 50M-cycle
+ * run with a 1024-cycle initial window and a 512-window cap ends at a
+ * 131072-cycle span after seven decimations — still 380+ points of
+ * phase resolution at a fixed ~300 KB of storage.
+ */
+
+#ifndef WMSTREAM_OBS_TIMESERIES_H
+#define WMSTREAM_OBS_TIMESERIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wmstream::obs {
+
+/** Interval sampler over fixed simulated-cycle windows. */
+class TimeSeries
+{
+  public:
+    /**
+     * @p channelNames fixes the channel set and its order for the
+     * lifetime of the series. @p windowCycles is the initial window
+     * span (must be > 0); @p maxWindows caps memory and must be even
+     * (it is rounded up) so decimation can merge exact pairs.
+     */
+    explicit TimeSeries(std::vector<std::string> channelNames,
+                        uint64_t windowCycles = 1024,
+                        size_t maxWindows = 512);
+
+    size_t channels() const { return names_.size(); }
+    const std::vector<std::string> &channelNames() const
+    {
+        return names_;
+    }
+    /** Index of channel @p name, or -1 when unknown. */
+    int channelIndex(const std::string &name) const;
+
+    /** Current window span; doubles on every decimation. */
+    uint64_t windowCycles() const { return span_; }
+    uint64_t initialWindowCycles() const { return initialSpan_; }
+    size_t maxWindows() const { return maxWindows_; }
+    /** How many pair-merges have happened (0 = full resolution). */
+    int decimations() const { return decimations_; }
+
+    /**
+     * Advance simulated time to @p cycle (monotone; the producer
+     * calls this once per cycle before its add() calls). Closes every
+     * window whose span @p cycle has passed, decimating when the
+     * closed count reaches the cap.
+     */
+    void advanceTo(uint64_t cycle);
+
+    /** Add @p v to channel @p c of the current window. */
+    void add(size_t c, uint64_t v = 1)
+    {
+        cur_[c] += v;
+    }
+
+    /**
+     * Close the final (possibly partial) window so it covers exactly
+     * [lastBoundary, @p totalCycles). Call once, after the run; a
+     * zero-cycle run produces zero windows.
+     */
+    void finish(uint64_t totalCycles);
+
+    /** One closed window: [start, start+cycles) and its sums. */
+    struct Window
+    {
+        uint64_t start = 0;
+        uint64_t cycles = 0;
+        std::vector<uint64_t> counts; ///< parallel to channelNames()
+    };
+    const std::vector<Window> &windows() const { return windows_; }
+
+    /** Sum of channel @p c over every closed window. */
+    uint64_t channelTotal(size_t c) const;
+    /** Sum of window spans (equals total cycles after finish()). */
+    uint64_t totalCycles() const;
+
+    /**
+     * One schema_version'd document:
+     * {"schema_version":1, "kind":"timeseries", "window_cycles":W,
+     *  "decimations":D, "channels":[names...],
+     *  "samples":[{"start":..,"cycles":..,"counts":[..]}, ...]}
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    void closeWindow(uint64_t cycles);
+    void decimate();
+
+    std::vector<std::string> names_;
+    uint64_t initialSpan_;
+    uint64_t span_;
+    size_t maxWindows_;
+    int decimations_ = 0;
+    uint64_t curStart_ = 0;        ///< first cycle of the open window
+    std::vector<uint64_t> cur_;    ///< open-window accumulators
+    std::vector<Window> windows_;  ///< closed windows
+    bool finished_ = false;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_TIMESERIES_H

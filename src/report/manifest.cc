@@ -1,0 +1,247 @@
+#include "report/manifest.h"
+
+#include "obs/counters.h"
+#include "support/diag.h"
+
+namespace wmstream::report {
+
+double
+HostMetrics::simCyclesPerSec() const
+{
+    if (simWallMs <= 0.0)
+        return 0.0;
+    return static_cast<double>(simCycles) / (simWallMs / 1000.0);
+}
+
+void
+HostMetrics::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("compile_wall_ms", compileWallMs);
+    w.field("sim_wall_ms", simWallMs);
+    w.field("sim_cycles", simCycles);
+    w.field("sim_cycles_per_sec", simCyclesPerSec());
+    w.endObject();
+}
+
+void
+writeCompileSection(obs::JsonWriter &w,
+                    const driver::CompileResult &compiled)
+{
+    w.key("compile");
+    w.beginObject();
+    w.field("recurrences_optimized",
+            static_cast<int64_t>(compiled.totalRecurrences()));
+    w.field("streams", static_cast<int64_t>(compiled.totalStreams()));
+    w.field("loops_vectorized",
+            static_cast<int64_t>(compiled.totalVectorized()));
+    if (!compiled.passProfiles.empty()) {
+        w.key("passes");
+        obs::writePassProfilesJson(w, compiled.passProfiles);
+    }
+    w.endObject();
+}
+
+void
+writeWmStatsDoc(obs::JsonWriter &w, const std::string &source,
+                const driver::CompileResult &compiled,
+                const wmsim::SimConfig &cfg, const wmsim::SimResult &res)
+{
+    obs::CounterRegistry reg;
+    res.stats.exportCounters(reg);
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("source", source);
+    w.field("target", "wm");
+    w.field("exit_value", res.returnValue);
+    w.key("config");
+    w.beginObject();
+    w.field("mem_latency", static_cast<int64_t>(cfg.memLatency));
+    w.field("mem_ports", static_cast<int64_t>(cfg.memPorts));
+    w.field("data_fifo_depth",
+            static_cast<int64_t>(cfg.dataFifoDepth));
+    w.field("veu_lanes", static_cast<int64_t>(cfg.veuLanes));
+    w.endObject();
+    writeCompileSection(w, compiled);
+    w.key("sim");
+    reg.writeJson(w);
+    // Per-loop cycle attribution, keyed by the same loop ids the
+    // --remarks output uses; wmreport joins the two.
+    w.key("loops");
+    w.beginArray();
+    for (const auto &lb : res.stats.loops) {
+        w.beginObject();
+        w.field("loop", static_cast<int64_t>(lb.loopId));
+        w.field("cycles", static_cast<int64_t>(lb.cycles));
+        w.field("ieu_stall_cycles",
+                static_cast<int64_t>(lb.ieuStallCycles));
+        w.field("feu_stall_cycles",
+                static_cast<int64_t>(lb.feuStallCycles));
+        w.field("ifu_stall_cycles",
+                static_cast<int64_t>(lb.ifuStallCycles));
+        w.field("dominant_stall",
+                wmsim::stallCauseName(lb.dominantStall()));
+        w.key("stalls");
+        w.beginObject();
+        for (size_t c = 1;
+             c < static_cast<size_t>(wmsim::StallCause::kCount); ++c)
+            if (lb.stalls.byCause[c])
+                w.field(wmsim::stallCauseName(
+                            static_cast<wmsim::StallCause>(c)),
+                        static_cast<int64_t>(lb.stalls.byCause[c]));
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("occupancy");
+    w.beginObject();
+    for (const auto &s : res.stats.occupancy) {
+        w.key(s.name);
+        s.hist.writeJson(w);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeWmFaultDoc(obs::JsonWriter &w, const std::string &source,
+                const wmsim::SimResult &res)
+{
+    bool wedge = res.fault == wmsim::SimFault::Deadlock ||
+                 res.fault == wmsim::SimFault::Livelock;
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("source", source);
+    w.field("target", "wm");
+    w.field("error", res.error);
+    w.key("fault");
+    w.beginObject();
+    w.field("kind", wmsim::simFaultName(res.fault));
+    if (wedge) {
+        w.key("report");
+        res.faultReport.writeJson(w);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeScalarStatsDoc(obs::JsonWriter &w, const std::string &source,
+                    const std::string &modelName,
+                    const driver::CompileResult &compiled,
+                    const timing::ScalarRunResult &res)
+{
+    obs::CounterRegistry reg;
+    res.exportCounters(reg);
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("source", source);
+    w.field("target", "68020");
+    w.field("model", modelName);
+    w.field("exit_value", res.returnValue);
+    w.field("weighted_cycles", res.cycles);
+    writeCompileSection(w, compiled);
+    w.key("sim");
+    reg.writeJson(w);
+    w.endObject();
+}
+
+void
+RunManifest::writeJson(obs::JsonWriter &w) const
+{
+    WS_ASSERT(compiled != nullptr, "manifest needs a compile result");
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("kind", "run_manifest");
+    w.field("tool", "wmc");
+    w.field("tool_version", toolVersion);
+    w.field("source", source);
+    w.field("target", target);
+    w.key("host");
+    host.writeJson(w);
+    w.key("remarks");
+    compiled->remarks.writeJson(w, source);
+    if (target == "wm" && simResult && simConfig) {
+        w.key("stats");
+        if (simResult->fault != wmsim::SimFault::None)
+            writeWmFaultDoc(w, source, *simResult);
+        else
+            writeWmStatsDoc(w, source, *compiled, *simConfig,
+                            *simResult);
+    } else if (scalarResult) {
+        w.key("stats");
+        writeScalarStatsDoc(w, source, modelName, *compiled,
+                            *scalarResult);
+    }
+    if (timeseries) {
+        w.key("timeseries");
+        timeseries->writeJson(w);
+    }
+    w.endObject();
+}
+
+void
+exportRunMetrics(obs::MetricsRegistry &m, const RunManifest &man)
+{
+    WS_ASSERT(man.compiled != nullptr,
+              "metrics export needs a compile result");
+    m.gauge("run_info", 1.0,
+            {{"source", man.source},
+             {"target", man.target},
+             {"version", man.toolVersion}},
+            "Identity of the wmc run that produced this scrape.");
+    m.gauge("host_compile_wall_ms", man.host.compileWallMs, {},
+            "Compiler wall-clock time (machine-dependent).");
+    if (man.host.simWallMs > 0.0) {
+        m.gauge("host_sim_wall_ms", man.host.simWallMs, {},
+                "Simulator wall-clock time (machine-dependent).");
+        m.gauge("host_sim_cycles_per_sec", man.host.simCyclesPerSec(),
+                {},
+                "Simulated cycles per wall-clock second "
+                "(machine-dependent).");
+    }
+    m.counter("compile_recurrences_optimized",
+              static_cast<double>(man.compiled->totalRecurrences()));
+    m.counter("compile_streams",
+              static_cast<double>(man.compiled->totalStreams()));
+    m.counter("compile_loops_vectorized",
+              static_cast<double>(man.compiled->totalVectorized()));
+    obs::CounterRegistry reg;
+    if (man.simResult)
+        man.simResult->stats.exportCounters(reg);
+    else if (man.scalarResult)
+        man.scalarResult->exportCounters(reg);
+    m.fromCounters(reg, "sim.");
+}
+
+void
+addTimelineCounterTracks(obs::TraceWriter &tw, const obs::TimeSeries &ts)
+{
+    // The headline channels only: per-unit utilization and stall
+    // fractions, queue pressure, and live streams. Full-resolution
+    // per-cycle counters are already on the trace; these tracks show
+    // the same phases the wmreport heat-strips render.
+    static const char *const kTracks[] = {
+        "ieu.executed",      "feu.executed",
+        "ifu.executed",      "ieu.stall_cycles",
+        "feu.stall_cycles",  "ifu.stall_cycles",
+        "occ.inst_q.ieu",    "occ.inst_q.feu",
+        "scu.active",
+    };
+    for (const char *name : kTracks) {
+        int c = ts.channelIndex(name);
+        if (c < 0)
+            continue;
+        std::string track = std::string("win.") + name;
+        for (const obs::TimeSeries::Window &win : ts.windows()) {
+            if (win.cycles == 0)
+                continue;
+            tw.counter(track, win.start,
+                       static_cast<double>(
+                           win.counts[static_cast<size_t>(c)]) /
+                           static_cast<double>(win.cycles));
+        }
+    }
+}
+
+} // namespace wmstream::report

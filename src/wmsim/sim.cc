@@ -168,6 +168,73 @@ SimStats::exportCounters(obs::CounterRegistry &reg) const
     }
 }
 
+namespace {
+
+/**
+ * Occupancy series order (fixed, also the sample order):
+ * 0-3 in_fifo[side][f], 4-7 out_fifo[side][f], 8-9 cc_fifo[side],
+ * 10-11 inst_q (ieu, feu), 12-13 store_q[side].
+ */
+constexpr int kNumOcc = 14;
+const char *const kOccNames[kNumOcc] = {
+    "in_fifo.int0",  "in_fifo.int1",  "in_fifo.flt0",  "in_fifo.flt1",
+    "out_fifo.int0", "out_fifo.int1", "out_fifo.flt0", "out_fifo.flt1",
+    "cc_fifo.int",   "cc_fifo.flt",   "inst_q.ieu",    "inst_q.feu",
+    "store_q.int",   "store_q.flt",
+};
+
+/**
+ * Time-series channel layout. The cumulative block is sampled as
+ * end-of-cycle deltas against a previous-cycle snapshot, so window
+ * counts telescope to the final aggregates exactly; the level block
+ * (occupancies, live streams) is a per-cycle sum whose window mean is
+ * count / window cycles. simTimeSeriesChannels() and
+ * Impl::tsCumulative() must agree on this order.
+ */
+constexpr size_t kTsScalars = 17;
+constexpr size_t kTsStallCauses =
+    static_cast<size_t>(StallCause::kCount) - 1;
+constexpr size_t kTsCumulative = kTsScalars + 3 * kTsStallCauses;
+constexpr size_t kTsChannels =
+    kTsCumulative + static_cast<size_t>(kNumOcc) + 1;
+
+} // anonymous namespace
+
+std::vector<std::string>
+simTimeSeriesChannels()
+{
+    std::vector<std::string> names = {
+        "insts_dispatched",
+        "loads_issued",
+        "stores_committed",
+        "stream.elements_in",
+        "stream.elements_out",
+        "vector_elements",
+        "ieu.executed",
+        "ieu.stall_cycles",
+        "feu.executed",
+        "feu.stall_cycles",
+        "ifu.executed",
+        "ifu.stall_cycles",
+        "ieu.idle_empty_cycles",
+        "feu.idle_empty_cycles",
+        "scu.startup_wait_cycles",
+        "scu.port_contention_cycles",
+        "store.port_contention_cycles",
+    };
+    WS_ASSERT(names.size() == kTsScalars, "channel layout drift");
+    for (const char *u : {"ieu", "feu", "ifu"})
+        for (size_t c = 1; c < static_cast<size_t>(StallCause::kCount);
+             ++c)
+            names.push_back(std::string(u) + ".stall." +
+                            stallCauseName(static_cast<StallCause>(c)));
+    for (int i = 0; i < kNumOcc; ++i)
+        names.push_back(std::string("occ.") + kOccNames[i]);
+    names.push_back("scu.active");
+    WS_ASSERT(names.size() == kTsChannels, "channel layout drift");
+    return names;
+}
+
 struct Simulator::Impl
 {
     // ---- static program state ----
@@ -316,14 +383,13 @@ struct Simulator::Impl
     }
 
     // ---- observability state ----
-    /**
-     * Occupancy series order (fixed, also the sample order):
-     * 0-3 in_fifo[side][f], 4-7 out_fifo[side][f], 8-9 cc_fifo[side],
-     * 10-11 inst_q (ieu, feu), 12-13 store_q[side].
-     */
-    static constexpr int kNumOcc = 14;
-    static const char *const kOccNames[kNumOcc];
     obs::Histogram occ[kNumOcc];
+
+    /**
+     * Cumulative-counter snapshot from the previous tsSample() call;
+     * sized kTsCumulative when cfg.timeseries is set, else empty.
+     */
+    std::vector<uint64_t> tsPrev;
 
     /** Per-series last emitted trace counter value (dedup on change). */
     double traceLast[kNumOcc + 5];
@@ -351,6 +417,12 @@ struct Simulator::Impl
             for (size_t i = 0; i < scus.size(); ++i)
                 scuTid.push_back(
                     cfg.trace->track(strFormat("SCU %zu", i)));
+        }
+        if (cfg.timeseries) {
+            WS_ASSERT(cfg.timeseries->channels() == kTsChannels,
+                      "time series not built from "
+                      "simTimeSeriesChannels()");
+            tsPrev.assign(kTsCumulative, 0);
         }
     }
 
@@ -423,6 +495,74 @@ struct Simulator::Impl
             }
             scuWasActive[i] = s.active;
         }
+    }
+
+    /**
+     * Fill @p out with the cumulative counters in channel order (the
+     * first kTsCumulative entries of simTimeSeriesChannels()).
+     */
+    void
+    tsCumulative(uint64_t out[kTsCumulative]) const
+    {
+        size_t i = 0;
+        out[i++] = stats.instsDispatched;
+        out[i++] = stats.loadsIssued;
+        out[i++] = stats.storesCommitted;
+        out[i++] = stats.streamElementsIn;
+        out[i++] = stats.streamElementsOut;
+        out[i++] = stats.vectorElements;
+        out[i++] = stats.ieuExecuted;
+        out[i++] = stats.ieuStallCycles;
+        out[i++] = stats.feuExecuted;
+        out[i++] = stats.feuStallCycles;
+        out[i++] = stats.ifuExecuted;
+        out[i++] = stats.ifuStallCycles;
+        out[i++] = stats.ieuIdleCycles;
+        out[i++] = stats.feuIdleCycles;
+        out[i++] = stats.scuStartupWaitCycles;
+        out[i++] = stats.scuPortContentionCycles;
+        out[i++] = stats.storePortContentionCycles;
+        const UnitStallStats *units[3] = {&stats.ieuStalls,
+                                          &stats.feuStalls,
+                                          &stats.ifuStalls};
+        for (const UnitStallStats *u : units)
+            for (size_t c = 1;
+                 c < static_cast<size_t>(StallCause::kCount); ++c)
+                out[i++] = u->byCause[c];
+        WS_ASSERT(i == kTsCumulative, "channel layout drift");
+    }
+
+    /**
+     * Flight-recorder sample at the end of cycle `now`: cumulative
+     * deltas against the previous snapshot plus the level channels.
+     * Deltas telescope, so per-window sums equal the end-of-run
+     * aggregates exactly — the invariant wmreport --timeline checks.
+     */
+    void
+    tsSample()
+    {
+        obs::TimeSeries &ts = *cfg.timeseries;
+        ts.advanceTo(now);
+        uint64_t cum[kTsCumulative];
+        tsCumulative(cum);
+        for (size_t i = 0; i < kTsCumulative; ++i) {
+            uint64_t d = cum[i] - tsPrev[i];
+            if (d) {
+                ts.add(i, d);
+                tsPrev[i] = cum[i];
+            }
+        }
+        for (int i = 0; i < kNumOcc; ++i) {
+            size_t v = occValue(i);
+            if (v)
+                ts.add(kTsCumulative + static_cast<size_t>(i),
+                       static_cast<uint64_t>(v));
+        }
+        uint64_t active = 0;
+        for (const Stream &s : scus)
+            active += s.active ? 1 : 0;
+        if (active)
+            ts.add(kTsChannels - 1, active);
     }
 
     /** Close out duration events for streams still active at exit. */
@@ -1524,6 +1664,13 @@ struct Simulator::Impl
     void
     finalizeStats()
     {
+        // Close the flight recorder's final (possibly partial) window
+        // so its window cycles sum to stats.cycles. On a RuntimeError
+        // the partial faulting cycle was never sampled, so cumulative
+        // channel totals may undercount — consumers skip the sum
+        // check when the run faulted.
+        if (cfg.timeseries)
+            cfg.timeseries->finish(now);
         stats.cycles = now;
         stats.loops = loopBuckets;
         std::sort(stats.loops.begin(), stats.loops.end(),
@@ -2057,6 +2204,7 @@ struct Simulator::Impl
         // untaken branches.
         const bool sampleOcc = cfg.collectOccupancy;
         const bool tracing = cfg.trace != nullptr;
+        const bool sampling = cfg.timeseries != nullptr;
         try {
             while (now < cfg.maxCycles) {
                 portsUsed = 0;
@@ -2118,6 +2266,8 @@ struct Simulator::Impl
                                    stats.ifuExecuted - dispatched0,
                                stats.ieuExecuted - ieuExec0,
                                stats.feuExecuted - feuExec0);
+                if (sampling)
+                    tsSample();
                 ++now;
                 if (returned && drained())
                     break;
@@ -2169,13 +2319,6 @@ struct Simulator::Impl
         res.stats = stats;
         return res;
     }
-};
-
-const char *const Simulator::Impl::kOccNames[Simulator::Impl::kNumOcc] = {
-    "in_fifo.int0",  "in_fifo.int1",  "in_fifo.flt0",  "in_fifo.flt1",
-    "out_fifo.int0", "out_fifo.int1", "out_fifo.flt0", "out_fifo.flt1",
-    "cc_fifo.int",   "cc_fifo.flt",   "inst_q.ieu",    "inst_q.feu",
-    "store_q.int",   "store_q.flt",
 };
 
 Simulator::Simulator(const rtl::Program &prog, SimConfig config)

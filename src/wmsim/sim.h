@@ -43,6 +43,7 @@
 
 #include "obs/counters.h"
 #include "obs/histogram.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "rtl/program.h"
 #include "wmsim/fault.h"
@@ -100,8 +101,29 @@ struct SimConfig
      * lifetime must cover the run.
      */
     obs::TraceWriter *trace = nullptr;
+    /**
+     * Flight recorder: once per cycle, feed per-window counts (unit
+     * busy/stall-cause, FIFO occupancy sums, dispatch/retire rates,
+     * live streams) into this interval sampler. Construct it with
+     * simTimeSeriesChannels() — the simulator addresses channels by
+     * that fixed layout. The caller owns the series and calls
+     * nothing: the simulator advances and finishes it. Channel
+     * totals sum exactly to the SimStats aggregates.
+     */
+    obs::TimeSeries *timeseries = nullptr;
     /// @}
 };
+
+/**
+ * Channel layout for SimConfig::timeseries, in index order. The
+ * cumulative channels reuse the exact dotted names SimStats::
+ * exportCounters emits ("ieu.executed", "ifu.stall.cc_fifo_empty",
+ * ...), so a consumer can verify per-window sums against the stats
+ * document by name alone. Level channels ("occ.<series>" occupancy
+ * sums and "scu.active" live-stream count) are per-cycle samples
+ * whose window mean is count / window cycles.
+ */
+std::vector<std::string> simTimeSeriesChannels();
 
 // StallCause and its name table live in wmsim/fault.h (included
 // above) so the fault-forensics layer can label wait-for edges

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Flight-recorder time series: window bookkeeping, adaptive
+ * decimation exactness, JSON round-trip, and the end-to-end
+ * acceptance invariant — per-window samples sum EXACTLY to the
+ * end-of-run aggregate counters, for every unit and stall cause.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "obs/timeseries.h"
+#include "report/manifest.h"
+#include "wmsim/sim.h"
+
+using namespace wmstream;
+using obs::JsonValue;
+using obs::TimeSeries;
+
+namespace {
+
+std::vector<std::string>
+twoChannels()
+{
+    return {"a", "b"};
+}
+
+TEST(TimeSeries, EmptyRunProducesNoWindows)
+{
+    TimeSeries ts(twoChannels(), 16);
+    ts.finish(0);
+    EXPECT_TRUE(ts.windows().empty());
+    EXPECT_EQ(ts.totalCycles(), 0u);
+    EXPECT_EQ(ts.channelTotal(0), 0u);
+}
+
+TEST(TimeSeries, SinglePartialWindow)
+{
+    TimeSeries ts(twoChannels(), 16);
+    for (uint64_t cycle = 0; cycle < 5; ++cycle) {
+        ts.advanceTo(cycle);
+        ts.add(0);
+    }
+    ts.finish(5);
+    ASSERT_EQ(ts.windows().size(), 1u);
+    EXPECT_EQ(ts.windows()[0].start, 0u);
+    EXPECT_EQ(ts.windows()[0].cycles, 5u);
+    EXPECT_EQ(ts.windows()[0].counts[0], 5u);
+    EXPECT_EQ(ts.windows()[0].counts[1], 0u);
+    EXPECT_EQ(ts.totalCycles(), 5u);
+}
+
+TEST(TimeSeries, WindowLargerThanRun)
+{
+    TimeSeries ts(twoChannels(), 1u << 20);
+    ts.advanceTo(0);
+    ts.add(1, 7);
+    ts.finish(3);
+    ASSERT_EQ(ts.windows().size(), 1u);
+    EXPECT_EQ(ts.windows()[0].cycles, 3u);
+    EXPECT_EQ(ts.channelTotal(1), 7u);
+    EXPECT_EQ(ts.decimations(), 0);
+}
+
+TEST(TimeSeries, WindowsPartitionTheRun)
+{
+    TimeSeries ts(twoChannels(), 8);
+    for (uint64_t cycle = 0; cycle < 30; ++cycle) {
+        ts.advanceTo(cycle);
+        ts.add(0, cycle);
+    }
+    ts.finish(30);
+    ASSERT_EQ(ts.windows().size(), 4u); // 8+8+8+6
+    uint64_t next = 0;
+    for (const TimeSeries::Window &w : ts.windows()) {
+        EXPECT_EQ(w.start, next);
+        next += w.cycles;
+    }
+    EXPECT_EQ(next, 30u);
+    EXPECT_EQ(ts.channelTotal(0), 29u * 30u / 2u);
+}
+
+TEST(TimeSeries, DecimationPreservesMassAndAlignment)
+{
+    // Cap at 4 windows of 2 cycles; a 64-cycle run forces repeated
+    // decimation. Every count must survive, windows must stay
+    // contiguous, and the span must double per decimation.
+    TimeSeries ts(twoChannels(), 2, 4);
+    uint64_t expectA = 0, expectB = 0;
+    for (uint64_t cycle = 0; cycle < 64; ++cycle) {
+        ts.advanceTo(cycle);
+        ts.add(0, cycle % 3);
+        ts.add(1, 1);
+        expectA += cycle % 3;
+        expectB += 1;
+    }
+    ts.finish(64);
+    EXPECT_GT(ts.decimations(), 0);
+    EXPECT_EQ(ts.windowCycles(),
+              ts.initialWindowCycles() << ts.decimations());
+    EXPECT_LE(ts.windows().size(), 4u);
+    EXPECT_EQ(ts.channelTotal(0), expectA);
+    EXPECT_EQ(ts.channelTotal(1), expectB);
+    EXPECT_EQ(ts.totalCycles(), 64u);
+    uint64_t next = 0;
+    for (const TimeSeries::Window &w : ts.windows()) {
+        EXPECT_EQ(w.start, next);
+        next += w.cycles;
+    }
+    EXPECT_EQ(next, 64u);
+}
+
+TEST(TimeSeries, DecimatedWindowsSumToUnDecimatedWindows)
+{
+    // The same add() stream through a decimating and a non-decimating
+    // series: the decimated windows must be exact pair-merges.
+    TimeSeries fine(twoChannels(), 4, 1024);
+    TimeSeries coarse(twoChannels(), 4, 4);
+    for (uint64_t cycle = 0; cycle < 40; ++cycle) {
+        uint64_t v = (cycle * 7) % 5;
+        fine.advanceTo(cycle);
+        coarse.advanceTo(cycle);
+        fine.add(0, v);
+        coarse.add(0, v);
+    }
+    fine.finish(40);
+    coarse.finish(40);
+    // Each coarse window's count equals the sum of the fine windows
+    // it covers.
+    for (const TimeSeries::Window &cw : coarse.windows()) {
+        uint64_t sum = 0;
+        for (const TimeSeries::Window &fw : fine.windows())
+            if (fw.start >= cw.start &&
+                fw.start < cw.start + cw.cycles)
+                sum += fw.counts[0];
+        EXPECT_EQ(cw.counts[0], sum)
+            << "coarse window at " << cw.start;
+    }
+}
+
+TEST(TimeSeries, ChannelIndexLookup)
+{
+    TimeSeries ts({"x", "y.z"}, 4);
+    EXPECT_EQ(ts.channelIndex("x"), 0);
+    EXPECT_EQ(ts.channelIndex("y.z"), 1);
+    EXPECT_EQ(ts.channelIndex("nope"), -1);
+}
+
+TEST(TimeSeries, JsonRoundTrip)
+{
+    TimeSeries ts(twoChannels(), 4);
+    for (uint64_t cycle = 0; cycle < 10; ++cycle) {
+        ts.advanceTo(cycle);
+        ts.add(0, 2);
+        ts.add(1, cycle);
+    }
+    ts.finish(10);
+
+    obs::JsonWriter w;
+    ts.writeJson(w);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(w.str(), doc, err)) << err;
+    EXPECT_EQ(doc.getInt("schema_version"), 1);
+    EXPECT_EQ(doc.getStr("kind"), "timeseries");
+    EXPECT_EQ(doc.getInt("window_cycles"), 4);
+    EXPECT_EQ(doc.getInt("decimations"), 0);
+
+    const JsonValue *channels = doc.get("channels");
+    ASSERT_TRUE(channels && channels->isArray());
+    ASSERT_EQ(channels->arr.size(), 2u);
+    EXPECT_EQ(channels->arr[0].strVal, "a");
+
+    const JsonValue *samples = doc.get("samples");
+    ASSERT_TRUE(samples && samples->isArray());
+    ASSERT_EQ(samples->arr.size(), ts.windows().size());
+    uint64_t total1 = 0, cycles = 0;
+    for (size_t i = 0; i < samples->arr.size(); ++i) {
+        const JsonValue &s = samples->arr[i];
+        EXPECT_EQ(static_cast<uint64_t>(s.getInt("start")),
+                  ts.windows()[i].start);
+        cycles += static_cast<uint64_t>(s.getInt("cycles"));
+        const JsonValue *counts = s.get("counts");
+        ASSERT_TRUE(counts && counts->isArray());
+        ASSERT_EQ(counts->arr.size(), 2u);
+        total1 += static_cast<uint64_t>(counts->arr[1].intVal);
+    }
+    EXPECT_EQ(cycles, 10u);
+    EXPECT_EQ(total1, ts.channelTotal(1));
+}
+
+// ---- end-to-end: simulator feed and the exact-sum invariant ----
+
+const char kStreamProgram[] = R"(
+int n; double a[200]; double b[200]; double c[200];
+int main() {
+    int i;
+    n = 200;
+    for (i = 0; i < n; i = i + 1) {
+        a[i] = i * 1.5;
+        b[i] = i * 0.5;
+    }
+    for (i = 0; i < n; i = i + 1)
+        c[i] = a[i] * b[i] + 2.0;
+    return c[199];
+}
+)";
+
+/** Compile and run @p source with the flight recorder attached. */
+wmsim::SimResult
+runSampled(const std::string &source, TimeSeries &ts,
+           wmsim::SimConfig cfg = {})
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(source, opts);
+    EXPECT_TRUE(cr.ok) << cr.diagnostics;
+    cfg.timeseries = &ts;
+    return wmsim::simulate(*cr.program, cfg);
+}
+
+TEST(TimeSeriesSim, WindowSumsEqualAggregates)
+{
+    TimeSeries ts(wmsim::simTimeSeriesChannels(), 64);
+    auto res = runSampled(kStreamProgram, ts);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    obs::CounterRegistry reg;
+    res.stats.exportCounters(reg);
+    std::map<std::string, uint64_t> agg;
+    for (const auto &kv : reg.entries())
+        agg[kv.first] = kv.second;
+
+    // Every cumulative channel sums exactly to its aggregate counter
+    // (absent keys are zero: the exporter skips zero-valued causes).
+    const auto &names = ts.channelNames();
+    int checked = 0;
+    for (size_t c = 0; c < names.size(); ++c) {
+        if (names[c].rfind("occ.", 0) == 0 || names[c] == "scu.active")
+            continue;
+        auto it = agg.find(names[c]);
+        uint64_t want = it == agg.end() ? 0 : it->second;
+        EXPECT_EQ(ts.channelTotal(c), want) << names[c];
+        ++checked;
+    }
+    EXPECT_GT(checked, 50); // all units and stall causes covered
+    EXPECT_EQ(ts.totalCycles(), res.stats.cycles);
+    EXPECT_GT(ts.windows().size(), 1u);
+}
+
+TEST(TimeSeriesSim, SumsSurviveDecimation)
+{
+    // Tiny windows and a tiny cap force many decimations on the same
+    // run; totals must still match exactly.
+    TimeSeries ts(wmsim::simTimeSeriesChannels(), 2, 4);
+    auto res = runSampled(kStreamProgram, ts);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_GT(ts.decimations(), 3);
+
+    obs::CounterRegistry reg;
+    res.stats.exportCounters(reg);
+    for (const auto &kv : reg.entries()) {
+        int c = ts.channelIndex(kv.first);
+        if (c < 0)
+            continue; // occupancy.* / loop.* have no channel
+        EXPECT_EQ(ts.channelTotal(static_cast<size_t>(c)), kv.second)
+            << kv.first;
+    }
+    EXPECT_EQ(ts.totalCycles(), res.stats.cycles);
+}
+
+TEST(TimeSeriesSim, OccupancyLevelsMatchHistogramMass)
+{
+    // Level channels: the occ.* window sums must equal the occupancy
+    // histograms' total mass (both sample once per cycle).
+    TimeSeries ts(wmsim::simTimeSeriesChannels(), 32);
+    wmsim::SimConfig cfg;
+    cfg.collectOccupancy = true;
+    auto res = runSampled(kStreamProgram, ts, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_FALSE(res.stats.occupancy.empty());
+    for (const auto &series : res.stats.occupancy) {
+        int c = ts.channelIndex("occ." + series.name);
+        ASSERT_GE(c, 0) << series.name;
+        EXPECT_EQ(ts.channelTotal(static_cast<size_t>(c)),
+                  static_cast<uint64_t>(series.hist.sum()))
+            << series.name;
+    }
+}
+
+TEST(TimeSeriesSim, ManifestRoundTripThroughJsonParse)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(kStreamProgram, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    TimeSeries ts(wmsim::simTimeSeriesChannels(), 64);
+    wmsim::SimConfig cfg;
+    cfg.collectOccupancy = true;
+    cfg.timeseries = &ts;
+    auto res = wmsim::simulate(*cr.program, cfg);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    report::RunManifest man;
+    man.toolVersion = "test";
+    man.source = "stream.c";
+    man.target = "wm";
+    man.host.compileWallMs = 1.25;
+    man.host.simWallMs = 2.5;
+    man.host.simCycles = res.stats.cycles;
+    man.compiled = &cr;
+    man.simConfig = &cfg;
+    man.simResult = &res;
+    man.timeseries = &ts;
+
+    obs::JsonWriter w;
+    man.writeJson(w);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(w.str(), doc, err)) << err;
+
+    EXPECT_EQ(doc.getInt("schema_version"), 1);
+    EXPECT_EQ(doc.getStr("kind"), "run_manifest");
+    EXPECT_EQ(doc.getStr("tool"), "wmc");
+    EXPECT_EQ(doc.getStr("source"), "stream.c");
+
+    const JsonValue *host = doc.get("host");
+    ASSERT_TRUE(host && host->isObject());
+    EXPECT_DOUBLE_EQ(host->getNum("compile_wall_ms"), 1.25);
+    EXPECT_GT(host->getNum("sim_cycles_per_sec"), 0.0);
+
+    const JsonValue *remarks = doc.get("remarks");
+    ASSERT_TRUE(remarks && remarks->isObject());
+    EXPECT_EQ(remarks->getInt("schema_version"), 1);
+
+    const JsonValue *stats = doc.get("stats");
+    ASSERT_TRUE(stats && stats->isObject());
+    const JsonValue *sim = stats->get("sim");
+    ASSERT_TRUE(sim && sim->isObject());
+    EXPECT_EQ(static_cast<uint64_t>(sim->getInt("cycles")),
+              res.stats.cycles);
+
+    // The embedded time series round-trips: channel totals recomputed
+    // from the parsed samples equal the aggregates.
+    const JsonValue *tsDoc = doc.get("timeseries");
+    ASSERT_TRUE(tsDoc && tsDoc->isObject());
+    const JsonValue *channels = tsDoc->get("channels");
+    const JsonValue *samples = tsDoc->get("samples");
+    ASSERT_TRUE(channels && channels->isArray());
+    ASSERT_TRUE(samples && samples->isArray());
+    std::vector<uint64_t> totals(channels->arr.size(), 0);
+    uint64_t cycles = 0;
+    for (const JsonValue &s : samples->arr) {
+        cycles += static_cast<uint64_t>(s.getInt("cycles"));
+        const JsonValue *counts = s.get("counts");
+        ASSERT_TRUE(counts &&
+                    counts->arr.size() == channels->arr.size());
+        for (size_t i = 0; i < totals.size(); ++i)
+            totals[i] +=
+                static_cast<uint64_t>(counts->arr[i].intVal);
+    }
+    EXPECT_EQ(cycles, res.stats.cycles);
+    for (size_t i = 0; i < channels->arr.size(); ++i) {
+        const std::string &name = channels->arr[i].strVal;
+        if (name.rfind("occ.", 0) == 0 || name == "scu.active")
+            continue;
+        EXPECT_EQ(totals[i], static_cast<uint64_t>(
+                                 sim->getInt(name, 0)))
+            << name;
+    }
+}
+
+TEST(TimeSeriesSim, FaultedRunStillFinishesSeries)
+{
+    // An out-of-bounds access faults mid-run; the series must still
+    // be finished (windows partition [0, cycles)) even though the
+    // partial faulting cycle is unsampled.
+    // The stride walks the address past the simulator's memory image
+    // after a few iterations, well into the run.
+    const char *bad = R"(
+int a[4];
+int main() { int i; for (i = 0; i < 100000; i = i + 1)
+                 a[i * 1000000] = i;
+             return 0; }
+)";
+    TimeSeries ts(wmsim::simTimeSeriesChannels(), 16);
+    auto res = runSampled(bad, ts);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(ts.totalCycles(), res.stats.cycles);
+}
+
+} // namespace

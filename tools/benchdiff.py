@@ -30,6 +30,13 @@ starting with "cycles") are compared: other numbers (percentages,
 counts of streams) are descriptive, and the simulator is deterministic,
 so a >5% cycle growth is a real codegen or simulator regression, not
 noise.
+
+Host-dependent throughput metrics (wall-clock times, cycles/second —
+anything whose key mentions "wall" or "per_sec", as emitted by the
+simthroughput harness and wmc --manifest host sections) are NEVER
+compared, even when unknown keys are added later: they vary from
+machine to machine and would trip the gate with noise rather than
+regressions.
 """
 
 import argparse
@@ -58,7 +65,19 @@ def as_benches(doc, path):
     sys.exit(f"benchdiff: {path}: neither a bench report nor a baseline")
 
 
+# Markers of host-dependent (wall-clock) metrics: never compared, no
+# matter what other patterns the key matches.
+HOST_METRIC_MARKERS = ("wall", "per_sec")
+
+
+def is_host_metric(key):
+    k = key.lower()
+    return any(m in k for m in HOST_METRIC_MARKERS)
+
+
 def is_cycle_metric(key):
+    if is_host_metric(key):
+        return False
     return key == "cycles" or key.endswith("cycles") or \
         key.startswith("cycles")
 

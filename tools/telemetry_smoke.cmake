@@ -1,0 +1,72 @@
+# Telemetry smoke: run wmc with the full flight-recorder surface on
+# one example and validate every artifact it produces:
+#
+#   - the run manifest parses as JSON and carries schema_version 1 /
+#     kind "run_manifest";
+#   - the Prometheus exposition exists and contains the wm_run_info
+#     identity gauge and at least one wm_sim_ counter;
+#   - `wmreport --timeline MANIFEST` renders it, re-deriving the
+#     acceptance invariant (per-window samples sum EXACTLY to the
+#     end-of-run aggregates for every unit and stall cause) and
+#     exiting nonzero on any schema or attribution-sum violation.
+#
+# Invoked by the telemetry-smoke-* ctests; see tools/CMakeLists.txt.
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(MANIFEST ${OUT_DIR}/manifest.json)
+set(METRICS ${OUT_DIR}/metrics.prom)
+execute_process(
+    COMMAND ${WMC} --run --sample-window=64
+            --manifest=${MANIFEST} --metrics-out=${METRICS} ${SOURCE}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmc failed on ${SOURCE} (rc=${run_rc}):\n${run_out}${run_err}")
+endif()
+foreach(artifact ${MANIFEST} ${METRICS})
+    if(NOT EXISTS ${artifact})
+        message(FATAL_ERROR "wmc did not write ${artifact}")
+    endif()
+endforeach()
+
+if(PYTHON)
+    execute_process(
+        COMMAND ${PYTHON} -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+assert d.get('schema_version') == 1, 'manifest schema_version != 1'
+assert d.get('kind') == 'run_manifest', 'manifest kind mismatch'
+for section in ('host', 'remarks', 'stats', 'timeseries'):
+    assert section in d, 'manifest missing ' + section
+assert d['timeseries'].get('schema_version') == 1
+print('manifest ok:', len(d['timeseries']['samples']), 'windows')"
+                ${MANIFEST}
+        RESULT_VARIABLE json_rc
+        OUTPUT_VARIABLE json_out
+        ERROR_VARIABLE json_err)
+    if(NOT json_rc EQUAL 0)
+        message(FATAL_ERROR "bad manifest ${MANIFEST}:\n${json_err}")
+    endif()
+    message(STATUS "${json_out}")
+endif()
+
+file(READ ${METRICS} metrics_text)
+if(NOT metrics_text MATCHES "wm_run_info")
+    message(FATAL_ERROR "${METRICS} lacks the wm_run_info gauge")
+endif()
+if(NOT metrics_text MATCHES "wm_sim_")
+    message(FATAL_ERROR "${METRICS} lacks wm_sim_ counters")
+endif()
+
+execute_process(
+    COMMAND ${WMREPORT} --timeline ${MANIFEST}
+    RESULT_VARIABLE tl_rc
+    OUTPUT_VARIABLE tl_out
+    ERROR_VARIABLE tl_err)
+if(NOT tl_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmreport --timeline failed (rc=${tl_rc}) — schema or "
+            "attribution-sum violation:\n${tl_out}${tl_err}")
+endif()
+message(STATUS "timeline ok:\n${tl_out}")

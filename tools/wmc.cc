@@ -31,8 +31,19 @@
  *   --stats-json=FILE     with --run: write stats (stall causes, FIFO
  *                         occupancy, per-loop cycles, compile reports)
  *                         as JSON; "-" for stdout
+ *   --manifest=FILE       write the unified run manifest: tool
+ *                         identity, host throughput (wall-clock,
+ *                         simulated cycles/second), remarks, stats,
+ *                         and the flight-recorder time series as one
+ *                         JSON document; "-" for stdout
+ *   --metrics-out=FILE    write run counters and host throughput in
+ *                         Prometheus text exposition format
+ *   --sample-window=N     flight-recorder window span in simulated
+ *                         cycles (default 1024); sampling is on
+ *                         whenever --manifest or this flag is given
  *   --trace-out=FILE      with --run: write a Chrome trace-event
- *                         pipeline trace (WM target only)
+ *                         pipeline trace (WM target only); with
+ *                         sampling on, adds per-window counter tracks
  *   --profile-passes      print per-pass wall time and RTL
  *                         instruction-count deltas
  *   --mem-latency=N       simulator memory latency    (default 4)
@@ -85,7 +96,11 @@
 #include "m68k/printer.h"
 #include "obs/counters.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/pass_profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "report/manifest.h"
 #include "timing/scalar_sim.h"
 #include "wm/printer.h"
 #include "wmsim/sim.h"
@@ -94,7 +109,7 @@ using namespace wmstream;
 
 namespace {
 
-const char kVersion[] = "0.3.0";
+const char kVersion[] = "0.4.0";
 
 /**
  * Every flag wmc accepts, with its value shape. The table is the
@@ -119,6 +134,12 @@ const struct {
     {"--stats", "with --run: print cycle statistics"},
     {"--stats-json=FILE",
      "with --run: write stats as JSON (\"-\" for stdout)"},
+    {"--manifest=FILE",
+     "write the unified run manifest JSON (\"-\" for stdout)"},
+    {"--metrics-out=FILE",
+     "write Prometheus-format metrics (\"-\" for stdout)"},
+    {"--sample-window=N",
+     "flight-recorder window span in cycles (default 1024)"},
     {"--trace-out=FILE",
      "with --run: write a Chrome trace-event pipeline trace"},
     {"--profile-passes", "print per-pass wall time and size deltas"},
@@ -230,31 +251,16 @@ writeTextFile(const std::string &path, const std::string &text)
     return ok;
 }
 
-void
-writeCompileSection(obs::JsonWriter &w,
-                    const driver::CompileResult &compiled)
-{
-    w.key("compile");
-    w.beginObject();
-    w.field("recurrences_optimized",
-            static_cast<int64_t>(compiled.totalRecurrences()));
-    w.field("streams", static_cast<int64_t>(compiled.totalStreams()));
-    w.field("loops_vectorized",
-            static_cast<int64_t>(compiled.totalVectorized()));
-    if (!compiled.passProfiles.empty()) {
-        w.key("passes");
-        obs::writePassProfilesJson(w, compiled.passProfiles);
-    }
-    w.endObject();
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     driver::CompileOptions options;
-    std::string file, statsJsonPath, traceOutPath;
+    std::string file, statsJsonPath, traceOutPath, manifestPath,
+        metricsOutPath;
+    uint64_t sampleWindow = 1024;
+    bool sampleWindowSet = false;
     bool printAsm = false, tracePartitions = false, run = false,
          stats = false, profilePasses = false;
     enum class RemarkFormat { Off, Text, Json };
@@ -310,9 +316,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--profile-passes") == 0) {
             profilePasses = true;
         } else if (stringy("--stats-json", &statsJsonPath) ||
-                   stringy("--trace-out", &traceOutPath)) {
+                   stringy("--trace-out", &traceOutPath) ||
+                   stringy("--manifest", &manifestPath) ||
+                   stringy("--metrics-out", &metricsOutPath)) {
             if (m == FlagMatch::BadValue)
                 return usage();
+        } else if ((m = flagValue64(a, "--sample-window",
+                                    &sampleWindow)) !=
+                   FlagMatch::NoMatch) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+            if (sampleWindow == 0) {
+                std::fprintf(stderr,
+                             "wmc: --sample-window must be > 0\n");
+                return usage();
+            }
+            sampleWindowSet = true;
         } else if (numeric("--mem-latency", &v)) {
             if (m == FlagMatch::BadValue)
                 return usage();
@@ -379,7 +398,9 @@ main(int argc, char **argv)
     buf << in.rdbuf();
 
     options.profilePasses = profilePasses;
+    obs::PhaseTimer compileTimer;
     auto compiled = driver::compileSource(buf.str(), options);
+    const double compileWallMs = compileTimer.elapsedMs();
     if (!compiled.ok) {
         std::fprintf(stderr, "%s", compiled.diagnostics.c_str());
         return 1;
@@ -421,21 +442,66 @@ main(int argc, char **argv)
                         m68k::printProgram(*compiled.program).c_str());
     }
 
-    if (!run)
-        return 0;
+    // The run manifest bundles identity, host throughput, remarks,
+    // stats, and the flight-recorder time series; sections for work
+    // that did not happen are simply absent (a compile-only manifest
+    // has no "stats").
+    report::RunManifest man;
+    man.toolVersion = kVersion;
+    man.source = file;
+    man.target =
+        options.target == rtl::MachineKind::WM ? "wm" : "68020";
+    man.host.compileWallMs = compileWallMs;
+    man.compiled = &compiled;
+    auto emitManifestAndMetrics = [&]() -> bool {
+        if (!manifestPath.empty()) {
+            obs::JsonWriter w;
+            man.writeJson(w);
+            if (!writeTextFile(manifestPath, w.str()))
+                return false;
+        }
+        if (!metricsOutPath.empty()) {
+            obs::MetricsRegistry m;
+            report::exportRunMetrics(m, man);
+            if (!writeTextFile(metricsOutPath, m.renderText()))
+                return false;
+        }
+        return true;
+    };
 
-    // With --stats-json=- the JSON document owns stdout; the
-    // human-readable lines move to stderr so the output stays
-    // parseable.
-    std::FILE *human = statsJsonPath == "-" ? stderr : stdout;
+    if (!run)
+        return emitManifestAndMetrics() ? 0 : 1;
+
+    // With --stats-json=- or --manifest=- the JSON document owns
+    // stdout; the human-readable lines move to stderr so the output
+    // stays parseable.
+    std::FILE *human = statsJsonPath == "-" || manifestPath == "-"
+                           ? stderr
+                           : stdout;
 
     if (options.target == rtl::MachineKind::WM) {
         obs::TraceWriter trace;
         if (!traceOutPath.empty())
             simCfg.trace = &trace;
-        if (!statsJsonPath.empty())
+        if (!statsJsonPath.empty() || !manifestPath.empty())
             simCfg.collectOccupancy = true;
+        // Flight recorder: on whenever the manifest wants the time
+        // series or the window span was set explicitly.
+        const bool sampling = !manifestPath.empty() || sampleWindowSet;
+        obs::TimeSeries timeseries(wmsim::simTimeSeriesChannels(),
+                                   sampleWindow);
+        if (sampling)
+            simCfg.timeseries = &timeseries;
+        obs::PhaseTimer simTimer;
         auto res = wmsim::simulate(*compiled.program, simCfg);
+        man.host.simWallMs = simTimer.elapsedMs();
+        man.host.simCycles = res.stats.cycles;
+        man.simConfig = &simCfg;
+        man.simResult = &res;
+        if (sampling)
+            man.timeseries = &timeseries;
+        if (sampling && !traceOutPath.empty())
+            report::addTimelineCounterTracks(trace, timeseries);
         if (!traceOutPath.empty() && !trace.writeFile(traceOutPath)) {
             std::fprintf(stderr, "wmc: cannot write %s\n",
                          traceOutPath.c_str());
@@ -454,27 +520,18 @@ main(int argc, char **argv)
                 res.faultReport.writeJson(w);
                 std::printf("%s\n", w.str().c_str());
             }
-            // Even a faulted run leaves a machine-readable artifact
-            // for CI: kind, message, and the full forensic report.
+            // Even a faulted run leaves machine-readable artifacts
+            // for CI: kind, message, and the full forensic report;
+            // the manifest embeds the same fault document as its
+            // "stats" section.
             if (!statsJsonPath.empty()) {
                 obs::JsonWriter w;
-                w.beginObject();
-                w.field("schema_version", int64_t{1});
-                w.field("source", file);
-                w.field("target", "wm");
-                w.field("error", res.error);
-                w.key("fault");
-                w.beginObject();
-                w.field("kind", wmsim::simFaultName(res.fault));
-                if (wedge) {
-                    w.key("report");
-                    res.faultReport.writeJson(w);
-                }
-                w.endObject();
-                w.endObject();
+                report::writeWmFaultDoc(w, file, res);
                 if (!writeTextFile(statsJsonPath, w.str()))
                     return 1;
             }
+            if (!emitManifestAndMetrics())
+                return 1;
             return wedge ? 4 : 3;
         }
         std::fprintf(human, "exit value: %lld\n",
@@ -499,73 +556,23 @@ main(int argc, char **argv)
                     res.stats.vectorElements));
         }
         if (!statsJsonPath.empty()) {
-            obs::CounterRegistry reg;
-            res.stats.exportCounters(reg);
             obs::JsonWriter w;
-            w.beginObject();
-            w.field("schema_version", int64_t{1});
-            w.field("source", file);
-            w.field("target", "wm");
-            w.field("exit_value", res.returnValue);
-            w.key("config");
-            w.beginObject();
-            w.field("mem_latency",
-                    static_cast<int64_t>(simCfg.memLatency));
-            w.field("mem_ports", static_cast<int64_t>(simCfg.memPorts));
-            w.field("data_fifo_depth",
-                    static_cast<int64_t>(simCfg.dataFifoDepth));
-            w.field("veu_lanes", static_cast<int64_t>(simCfg.veuLanes));
-            w.endObject();
-            writeCompileSection(w, compiled);
-            w.key("sim");
-            reg.writeJson(w);
-            // Per-loop cycle attribution, keyed by the same loop ids
-            // the --remarks output uses; wmreport joins the two.
-            w.key("loops");
-            w.beginArray();
-            for (const auto &lb : res.stats.loops) {
-                w.beginObject();
-                w.field("loop", static_cast<int64_t>(lb.loopId));
-                w.field("cycles", static_cast<int64_t>(lb.cycles));
-                w.field("ieu_stall_cycles",
-                        static_cast<int64_t>(lb.ieuStallCycles));
-                w.field("feu_stall_cycles",
-                        static_cast<int64_t>(lb.feuStallCycles));
-                w.field("ifu_stall_cycles",
-                        static_cast<int64_t>(lb.ifuStallCycles));
-                w.field("dominant_stall",
-                        wmsim::stallCauseName(lb.dominantStall()));
-                w.key("stalls");
-                w.beginObject();
-                for (size_t c = 1;
-                     c < static_cast<size_t>(wmsim::StallCause::kCount);
-                     ++c)
-                    if (lb.stalls.byCause[c])
-                        w.field(wmsim::stallCauseName(
-                                    static_cast<wmsim::StallCause>(c)),
-                                static_cast<int64_t>(
-                                    lb.stalls.byCause[c]));
-                w.endObject();
-                w.endObject();
-            }
-            w.endArray();
-            w.key("occupancy");
-            w.beginObject();
-            for (const auto &s : res.stats.occupancy) {
-                w.key(s.name);
-                s.hist.writeJson(w);
-            }
-            w.endObject();
-            w.endObject();
+            report::writeWmStatsDoc(w, file, compiled, simCfg, res);
             if (!writeTextFile(statsJsonPath, w.str()))
                 return 1;
         }
+        if (!emitManifestAndMetrics())
+            return 1;
     } else {
         if (!traceOutPath.empty())
             std::fprintf(stderr, "wmc: --trace-out ignored for the "
                                  "68020 target\n");
         auto model = timing::sun3_280Model();
+        obs::PhaseTimer simTimer;
         auto res = timing::runScalar(*compiled.program, model);
+        man.host.simWallMs = simTimer.elapsedMs();
+        man.modelName = model.name;
+        man.scalarResult = &res;
         if (!res.ok) {
             std::fprintf(stderr, "wmc: runtime error: %s\n",
                          res.error.c_str());
@@ -581,23 +588,14 @@ main(int argc, char **argv)
                             res.instsExecuted),
                         static_cast<unsigned long long>(res.memoryRefs));
         if (!statsJsonPath.empty()) {
-            obs::CounterRegistry reg;
-            res.exportCounters(reg);
             obs::JsonWriter w;
-            w.beginObject();
-            w.field("schema_version", int64_t{1});
-            w.field("source", file);
-            w.field("target", "68020");
-            w.field("model", model.name);
-            w.field("exit_value", res.returnValue);
-            w.field("weighted_cycles", res.cycles);
-            writeCompileSection(w, compiled);
-            w.key("sim");
-            reg.writeJson(w);
-            w.endObject();
+            report::writeScalarStatsDoc(w, file, model.name, compiled,
+                                        res);
             if (!writeTextFile(statsJsonPath, w.str()))
                 return 1;
         }
+        if (!emitManifestAndMetrics())
+            return 1;
     }
     return 0;
 }

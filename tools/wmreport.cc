@@ -16,16 +16,32 @@
  * do (with reason codes), how many cycles the loop cost, and the
  * dominant stall cause inside it.
  *
- * wmreport also checks the attribution invariant — per-loop cycle
- * buckets must sum exactly to the total simulated cycles — and exits
- * nonzero when it does not hold, so the CI smoke test catches any
- * regression in the join.
+ * A single-file invocation reads the unified run manifest instead
+ * (`wmc --run --manifest=man.json`), which embeds the remarks and
+ * stats documents plus the flight-recorder time series:
+ *
+ *   wmreport man.json
+ *   wmreport --timeline man.json
+ *
+ * --timeline renders the time series as terminal heat-strips: one
+ * busy/stall pair per unit (IFU/IEU/FEU) plus a live-stream strip,
+ * one glyph per window, with a per-window dominant-stall-cause letter
+ * strip and legend. Ramp-up, steady-state, and drain phases of a
+ * streamed loop are visibly distinct.
+ *
+ * wmreport also checks the attribution invariants — per-loop cycle
+ * buckets must sum exactly to the total simulated cycles, and (with
+ * --timeline) every cumulative time-series channel must sum exactly
+ * to its end-of-run aggregate counter — and exits nonzero when they
+ * do not hold, so the CI smoke tests catch any regression.
  *
  * Exit status: 0 on success, 1 on I/O, parse, schema, or invariant
  * errors, 2 on usage errors.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -43,8 +59,14 @@ namespace {
 int
 usage()
 {
-    std::fprintf(stderr, "usage: wmreport remarks.json stats.json\n"
-                         "       (\"-\" reads that document from stdin)\n");
+    std::fprintf(
+        stderr,
+        "usage: wmreport [--timeline] remarks.json stats.json\n"
+        "       wmreport [--timeline] manifest.json\n"
+        "       (\"-\" reads that document from stdin)\n"
+        "  --timeline  render the flight-recorder time series as\n"
+        "              per-unit heat-strips (needs a manifest with a\n"
+        "              \"timeseries\" section)\n");
     return 2;
 }
 
@@ -137,17 +159,308 @@ percent(uint64_t part, uint64_t whole)
     return buf;
 }
 
+/** The flight-recorder time series, parsed out of a manifest. */
+struct TsData
+{
+    std::vector<std::string> channels;
+    struct Win
+    {
+        uint64_t start = 0;
+        uint64_t cycles = 0;
+        std::vector<uint64_t> counts;
+    };
+    std::vector<Win> wins;
+    uint64_t windowCycles = 0;
+    int64_t decimations = 0;
+
+    int
+    idx(const std::string &name) const
+    {
+        for (size_t i = 0; i < channels.size(); ++i)
+            if (channels[i] == name)
+                return static_cast<int>(i);
+        return -1;
+    }
+    uint64_t
+    total(size_t c) const
+    {
+        uint64_t sum = 0;
+        for (const Win &w : wins)
+            sum += w.counts[c];
+        return sum;
+    }
+    uint64_t
+    totalCycles() const
+    {
+        uint64_t sum = 0;
+        for (const Win &w : wins)
+            sum += w.cycles;
+        return sum;
+    }
+};
+
+bool
+parseTimeseries(const JsonValue &doc, TsData &ts)
+{
+    if (doc.getInt("schema_version", -1) != 1 ||
+        doc.getStr("kind") != "timeseries")
+        return false;
+    ts.windowCycles = static_cast<uint64_t>(doc.getInt("window_cycles"));
+    ts.decimations = doc.getInt("decimations");
+    const JsonValue *ch = doc.get("channels");
+    const JsonValue *samples = doc.get("samples");
+    if (!ch || !ch->isArray() || !samples || !samples->isArray())
+        return false;
+    for (const JsonValue &c : ch->arr)
+        ts.channels.push_back(c.strVal);
+    for (const JsonValue &s : samples->arr) {
+        TsData::Win w;
+        w.start = static_cast<uint64_t>(s.getInt("start"));
+        w.cycles = static_cast<uint64_t>(s.getInt("cycles"));
+        const JsonValue *counts = s.get("counts");
+        if (!counts || !counts->isArray() ||
+            counts->arr.size() != ts.channels.size())
+            return false;
+        for (const JsonValue &v : counts->arr)
+            w.counts.push_back(static_cast<uint64_t>(v.intVal));
+        ts.wins.push_back(std::move(w));
+    }
+    return true;
+}
+
+/** Heat glyph for @p v in [0,1]: '·' for zero, then eighth-blocks. */
+const char *
+heatGlyph(double v)
+{
+    static const char *const kGlyphs[] = {
+        "·", "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█"};
+    if (v <= 0.0)
+        return kGlyphs[0];
+    int level = 1 + static_cast<int>(v * 8.0);
+    if (level > 8)
+        level = 8;
+    return kGlyphs[level];
+}
+
+/**
+ * Verify that every cumulative channel sums exactly to its
+ * end-of-run aggregate in @p sim (absent keys are zero: the stats
+ * exporter skips zero-valued stall causes) and that window cycles
+ * sum to the total. Prints every violation; true when clean.
+ */
+bool
+checkTimeseriesSums(const TsData &ts, const JsonValue &sim)
+{
+    bool ok = true;
+    for (size_t c = 0; c < ts.channels.size(); ++c) {
+        const std::string &name = ts.channels[c];
+        if (name.rfind("occ.", 0) == 0 || name == "scu.active")
+            continue; // level channels have no aggregate counter
+        uint64_t want = static_cast<uint64_t>(sim.getInt(name, 0));
+        uint64_t got = ts.total(c);
+        if (got != want) {
+            std::fprintf(stderr,
+                         "wmreport: timeseries channel %s sums to "
+                         "%llu, aggregate counter is %llu\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(got),
+                         static_cast<unsigned long long>(want));
+            ok = false;
+        }
+    }
+    uint64_t wantCycles = static_cast<uint64_t>(sim.getInt("cycles"));
+    if (ts.totalCycles() != wantCycles) {
+        std::fprintf(stderr,
+                     "wmreport: timeseries windows cover %llu cycles, "
+                     "run took %llu\n",
+                     static_cast<unsigned long long>(ts.totalCycles()),
+                     static_cast<unsigned long long>(wantCycles));
+        ok = false;
+    }
+    return ok;
+}
+
+/**
+ * Render the per-unit heat-strips: for each unit a busy strip
+ * (executed per cycle, normalized to the strip's peak), a stall strip
+ * (stall fraction of the window, absolute), and a dominant-cause
+ * letter strip; then the live-stream strip. One glyph per window.
+ */
+void
+renderTimeline(const TsData &ts, const std::string &sourceFile)
+{
+    std::printf("flight-recorder timeline for %s: %zu windows x %llu "
+                "cycles (%lld decimation%s, %llu cycles total)\n\n",
+                sourceFile.c_str(), ts.wins.size(),
+                static_cast<unsigned long long>(ts.windowCycles),
+                static_cast<long long>(ts.decimations),
+                ts.decimations == 1 ? "" : "s",
+                static_cast<unsigned long long>(ts.totalCycles()));
+
+    // Dominant-stall letters are assigned in order of first
+    // appearance; the legend below decodes them.
+    std::vector<std::string> causeNames;
+    auto causeLetter = [&](const std::string &cause) {
+        for (size_t i = 0; i < causeNames.size(); ++i)
+            if (causeNames[i] == cause)
+                return static_cast<char>('a' + i);
+        causeNames.push_back(cause);
+        return static_cast<char>('a' + causeNames.size() - 1);
+    };
+
+    for (const char *unit : {"ifu", "ieu", "feu"}) {
+        std::string u(unit);
+        int busyC = ts.idx(u + ".executed");
+        int stallC = ts.idx(u + ".stall_cycles");
+        if (busyC < 0 || stallC < 0)
+            continue;
+        // The unit's per-cause channels, for the dominant letter.
+        std::vector<size_t> causeIdx;
+        std::string prefix = u + ".stall.";
+        for (size_t c = 0; c < ts.channels.size(); ++c)
+            if (ts.channels[c].rfind(prefix, 0) == 0)
+                causeIdx.push_back(c);
+
+        double peakBusy = 0.0;
+        for (const TsData::Win &w : ts.wins)
+            if (w.cycles)
+                peakBusy = std::max(
+                    peakBusy,
+                    static_cast<double>(
+                        w.counts[static_cast<size_t>(busyC)]) /
+                        static_cast<double>(w.cycles));
+
+        std::string busyStrip, stallStrip, causeStrip;
+        double peakStall = 0.0;
+        for (const TsData::Win &w : ts.wins) {
+            double cyc = static_cast<double>(w.cycles);
+            if (w.cycles == 0)
+                cyc = 1.0;
+            double busy = static_cast<double>(
+                              w.counts[static_cast<size_t>(busyC)]) /
+                          cyc;
+            double stall = static_cast<double>(
+                               w.counts[static_cast<size_t>(stallC)]) /
+                           cyc;
+            peakStall = std::max(peakStall, stall);
+            busyStrip +=
+                heatGlyph(peakBusy > 0.0 ? busy / peakBusy : 0.0);
+            stallStrip += heatGlyph(stall);
+            uint64_t best = 0;
+            size_t bestC = 0;
+            for (size_t c : causeIdx)
+                if (w.counts[c] > best) {
+                    best = w.counts[c];
+                    bestC = c;
+                }
+            causeStrip += best ? causeLetter(ts.channels[bestC].substr(
+                                     prefix.size()))
+                               : '.';
+        }
+        std::printf("  %s busy  |%s|  peak %.2f/cycle\n", unit,
+                    busyStrip.c_str(), peakBusy);
+        std::printf("  %s stall |%s|  peak %.0f%%  cause |%s|\n", unit,
+                    stallStrip.c_str(), peakStall * 100.0,
+                    causeStrip.c_str());
+    }
+
+    int liveC = ts.idx("scu.active");
+    if (liveC >= 0) {
+        double peak = 0.0;
+        for (const TsData::Win &w : ts.wins)
+            if (w.cycles)
+                peak = std::max(
+                    peak, static_cast<double>(
+                              w.counts[static_cast<size_t>(liveC)]) /
+                              static_cast<double>(w.cycles));
+        std::string strip;
+        for (const TsData::Win &w : ts.wins) {
+            double v = w.cycles
+                           ? static_cast<double>(
+                                 w.counts[static_cast<size_t>(liveC)]) /
+                                 static_cast<double>(w.cycles)
+                           : 0.0;
+            strip += heatGlyph(peak > 0.0 ? v / peak : 0.0);
+        }
+        std::printf("  streams   |%s|  peak %.1f live\n", strip.c_str(),
+                    peak);
+    }
+
+    if (!causeNames.empty()) {
+        std::printf("\n  cause legend:");
+        for (size_t i = 0; i < causeNames.size(); ++i)
+            std::printf(" %c=%s", static_cast<char>('a' + i),
+                        causeNames[i].c_str());
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 3)
+    bool timeline = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--timeline") == 0)
+            timeline = true;
+        else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+            std::fprintf(stderr, "wmreport: unknown option %s\n",
+                         argv[i]);
+            return usage();
+        } else
+            paths.push_back(argv[i]);
+    }
+
+    JsonValue doc1, doc2;
+    const JsonValue *remarksPtr = nullptr;
+    const JsonValue *statsPtr = nullptr;
+    const JsonValue *tsPtr = nullptr;
+    std::string statsPath;
+    if (paths.size() == 1) {
+        // Manifest mode: one document embedding all the sections.
+        if (!loadJson(paths[0], doc1))
+            return 1;
+        if (doc1.getStr("kind") != "run_manifest" ||
+            doc1.getInt("schema_version", -1) != 1) {
+            std::fprintf(stderr,
+                         "wmreport: %s is not a schema_version 1 "
+                         "run_manifest (wmc --manifest)\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        remarksPtr = doc1.get("remarks");
+        statsPtr = doc1.get("stats");
+        tsPtr = doc1.get("timeseries");
+        if (!remarksPtr || !remarksPtr->isObject()) {
+            std::fprintf(stderr,
+                         "wmreport: %s has no \"remarks\" section\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        if (!statsPtr || !statsPtr->isObject()) {
+            std::fprintf(stderr,
+                         "wmreport: %s has no \"stats\" section "
+                         "(compile-only manifest? rerun wmc with "
+                         "--run)\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        statsPath = paths[0];
+    } else if (paths.size() == 2) {
+        if (!loadJson(paths[0], doc1) || !loadJson(paths[1], doc2))
+            return 1;
+        remarksPtr = &doc1;
+        statsPtr = &doc2;
+        statsPath = paths[1];
+    } else
         return usage();
 
-    JsonValue remarksDoc, statsDoc;
-    if (!loadJson(argv[1], remarksDoc) || !loadJson(argv[2], statsDoc))
-        return 1;
+    const JsonValue &remarksDoc = *remarksPtr;
+    const JsonValue &statsDoc = *statsPtr;
 
     for (const auto *doc : {&remarksDoc, &statsDoc}) {
         int64_t v = doc->getInt("schema_version", -1);
@@ -213,6 +526,34 @@ main(int argc, char **argv)
             loops[id].remarks.push_back(std::move(row));
         }
 
+    if (timeline) {
+        if (!tsPtr || !tsPtr->isObject()) {
+            std::fprintf(stderr,
+                         "wmreport: --timeline needs a manifest with "
+                         "a \"timeseries\" section (wmc --run "
+                         "--manifest)\n");
+            return 1;
+        }
+        TsData ts;
+        if (!parseTimeseries(*tsPtr, ts)) {
+            std::fprintf(stderr,
+                         "wmreport: malformed \"timeseries\" section "
+                         "in %s\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        // The exact-sum invariant: every cumulative channel must sum
+        // to its aggregate counter. A faulted run's final partial
+        // cycle was never sampled, so the check only applies to
+        // clean runs.
+        const JsonValue *sim = statsDoc.get("sim");
+        bool faulted = statsDoc.get("fault") != nullptr;
+        if (!faulted && sim && sim->isObject() &&
+            !checkTimeseriesSums(ts, *sim))
+            return 1;
+        renderTimeline(ts, sourceFile);
+    }
+
     // A faulted run writes a "fault" section instead of stats;
     // surface the watchdog forensics instead of complaining about the
     // missing join key.
@@ -270,7 +611,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "wmreport: %s has no \"loops\" section (need "
                      "wmc --run --stats-json for the wm target)\n",
-                     argv[2]);
+                     statsPath.c_str());
         return 1;
     }
 
