@@ -13,6 +13,12 @@
  * the benchdiff regression gate; "wall_ms" and "sim_cycles_per_sec"
  * are host-dependent and explicitly excluded from it (see
  * tools/benchdiff.py).
+ *
+ * A second table measures the critical-path recorder's overhead: the
+ * same programs simulated with the scheduling-event DAG on. The
+ * deterministic columns there are the DAG size (events, deps) and the
+ * cycle count (which must not change — recording is passive);
+ * "critpath_wall_ms" is host-dependent and excluded.
  */
 
 #include <benchmark/benchmark.h>
@@ -87,6 +93,57 @@ printTable(wsbench::JsonReport &report)
         .num("sim_cycles_per_sec", totalRate);
 }
 
+/**
+ * Critical-path recorder overhead over the Table II programs: time
+ * each simulation with the DAG off and on. Cycle counts must match
+ * (recording never perturbs timing); events/deps are deterministic
+ * DAG sizes and gate regressions in recording coverage.
+ */
+void
+printCritPathOverhead(wsbench::JsonReport &report)
+{
+    std::printf("\nCritical-path recorder overhead (DAG on vs off).\n\n");
+    std::printf("%-14s %12s %10s %10s %12s %12s\n", "Program",
+                "cycles", "events", "deps", "base ms", "critpath ms");
+    for (const auto &prog : programs::tableIIPrograms()) {
+        auto cr = compileWm(prog.source);
+        wmsim::SimConfig base;
+        base.maxCycles = 4'000'000'000ull;
+        obs::PhaseTimer baseTimer;
+        auto baseRes = wmsim::simulate(*cr.program, base);
+        double baseMs = baseTimer.elapsedMs();
+        obs::CritPath cp;
+        wmsim::SimConfig cfg = base;
+        cfg.critpath = &cp;
+        obs::PhaseTimer cpTimer;
+        auto res = wmsim::simulate(*cr.program, cfg);
+        double cpMs = cpTimer.elapsedMs();
+        if (!baseRes.ok || !res.ok ||
+            baseRes.stats.cycles != res.stats.cycles) {
+            std::fprintf(stderr,
+                         "critpath recording perturbed %s: %llu vs "
+                         "%llu cycles\n",
+                         prog.name.c_str(),
+                         static_cast<unsigned long long>(
+                             baseRes.stats.cycles),
+                         static_cast<unsigned long long>(
+                             res.stats.cycles));
+            std::abort();
+        }
+        std::printf("%-14s %12llu %10zu %10zu %12.2f %12.2f\n",
+                    prog.name.c_str(),
+                    static_cast<unsigned long long>(res.stats.cycles),
+                    cp.eventCount(), cp.depCount(), baseMs, cpMs);
+        report.row("critpath." + prog.name)
+            .num("cycles", static_cast<double>(res.stats.cycles))
+            .num("events", static_cast<double>(cp.eventCount()))
+            .num("deps", static_cast<double>(cp.depCount()))
+            .num("base_wall_ms", baseMs)
+            .num("critpath_wall_ms", cpMs);
+    }
+    std::printf("\n");
+}
+
 /** Simulator-only throughput on a streamed kernel (no compile). */
 void
 BM_SimulateDotProduct(benchmark::State &state)
@@ -121,6 +178,22 @@ BM_SimulateDotProductSampled(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateDotProductSampled)->Arg(512)->Arg(4096);
 
+/** Critical-path recorder overhead: the same kernel with the DAG on. */
+void
+BM_SimulateDotProductCritPath(benchmark::State &state)
+{
+    auto cr = compileWm(programs::dotProductSource(
+        static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        obs::CritPath cp;
+        wmsim::SimConfig cfg;
+        cfg.critpath = &cp;
+        auto res = wmsim::simulate(*cr.program, cfg);
+        benchmark::DoNotOptimize(res.returnValue);
+    }
+}
+BENCHMARK(BM_SimulateDotProductCritPath)->Arg(512)->Arg(4096);
+
 } // namespace
 
 int
@@ -129,6 +202,7 @@ main(int argc, char **argv)
     std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
     wsbench::JsonReport report;
     printTable(report);
+    printCritPathOverhead(report);
     if (!wsbench::emitJson(jsonOut, "simthroughput", report))
         return 1;
     benchmark::Initialize(&argc, argv);

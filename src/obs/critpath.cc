@@ -1,0 +1,240 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/diag.h"
+
+namespace wmstream::obs {
+
+CritPath::CritPath(size_t maxEvents) : maxEvents_(maxEvents)
+{
+    causes_.push_back("start"); // reserved id kCauseStart
+    events_.reserve(1u << 12);
+    deps_.reserve(1u << 13);
+}
+
+uint8_t
+CritPath::unit(const std::string &name)
+{
+    for (size_t i = 0; i < units_.size(); ++i)
+        if (units_[i] == name)
+            return static_cast<uint8_t>(i);
+    WS_ASSERT(units_.size() < 255, "too many critpath units");
+    units_.push_back(name);
+    return static_cast<uint8_t>(units_.size() - 1);
+}
+
+uint8_t
+CritPath::cause(const std::string &name)
+{
+    for (size_t i = 0; i < causes_.size(); ++i)
+        if (causes_[i] == name)
+            return static_cast<uint8_t>(i);
+    WS_ASSERT(causes_.size() < 255, "too many critpath causes");
+    causes_.push_back(name);
+    return static_cast<uint8_t>(causes_.size() - 1);
+}
+
+int
+CritPath::queue(const std::string &name, int depth, bool dataFifo)
+{
+    for (size_t i = 0; i < queues_.size(); ++i)
+        if (queues_[i].name == name)
+            return static_cast<int>(i);
+    queues_.push_back(Queue{name, depth, dataFifo, 0, {}});
+    return static_cast<int>(queues_.size() - 1);
+}
+
+int32_t
+CritPath::event(uint64_t cycle, uint8_t u, int32_t loop, uint8_t waitCause)
+{
+    if (!recording_)
+        return -1;
+    if (events_.size() >= maxEvents_) {
+        truncated_ = true;
+        recording_ = false;
+        return -1;
+    }
+    Event e;
+    e.cycle = cycle;
+    e.firstDep = static_cast<uint32_t>(deps_.size());
+    e.nDeps = 0;
+    e.unit = u;
+    e.waitCause = waitCause;
+    e.loop = loop;
+    events_.push_back(e);
+    return static_cast<int32_t>(events_.size() - 1);
+}
+
+void
+CritPath::dep(int32_t pred, uint8_t c, float latency)
+{
+    if (!recording_ || events_.empty() || pred < 0)
+        return;
+    WS_ASSERT(pred < static_cast<int32_t>(events_.size()) - 1,
+              "critpath dep must name an older event");
+    Dep d;
+    d.pred = pred;
+    d.ordinal = 0;
+    d.latency = latency;
+    d.queue = -1;
+    d.cause = c;
+    deps_.push_back(d);
+    ++events_.back().nDeps;
+}
+
+void
+CritPath::pushDep(int q, uint8_t c, float latency)
+{
+    if (!recording_ || events_.empty())
+        return;
+    Dep d;
+    d.pred = -1;
+    d.ordinal = queues_[static_cast<size_t>(q)].pushes++;
+    d.latency = latency;
+    d.queue = static_cast<int16_t>(q);
+    d.cause = c;
+    deps_.push_back(d);
+    ++events_.back().nDeps;
+}
+
+void
+CritPath::pop(int q, int32_t consumer)
+{
+    if (!recording_)
+        return;
+    queues_[static_cast<size_t>(q)].pops.push_back(consumer);
+}
+
+uint64_t
+CritPath::eventCycle(int32_t ev) const
+{
+    WS_ASSERT(ev >= 0 && static_cast<size_t>(ev) < events_.size(),
+              "critpath event id out of range");
+    return events_[static_cast<size_t>(ev)].cycle;
+}
+
+int32_t
+CritPath::resolveCapacity(const Dep &d, int extraDataDepth) const
+{
+    const Queue &q = queues_[static_cast<size_t>(d.queue)];
+    uint32_t eff = static_cast<uint32_t>(
+        q.depth + (q.dataFifo ? extraDataDepth : 0));
+    if (d.ordinal < eff)
+        return -1; // the queue had never been full when this pushed
+    uint32_t k = d.ordinal - eff;
+    if (k >= q.pops.size())
+        return -1; // freeing pop lost (e.g. recording truncated)
+    return q.pops[k];
+}
+
+CritAnalysis
+CritPath::analyze() const
+{
+    CritAnalysis out;
+    if (truncated_ || end_ < 0 ||
+        static_cast<size_t>(end_) >= events_.size())
+        return out;
+    out.valid = true;
+    out.totalCycles = events_[static_cast<size_t>(end_)].cycle;
+
+    // (unit, cause, loop) -> (cycles, edges)
+    std::map<std::tuple<uint8_t, uint8_t, int32_t>,
+             std::pair<uint64_t, uint64_t>>
+        buckets;
+
+    int32_t cur = end_;
+    while (true) {
+        const Event &e = events_[static_cast<size_t>(cur)];
+        int32_t best = -1;
+        uint64_t bestCycle = 0;
+        uint8_t bestCause = kCauseStart;
+        for (uint32_t i = 0; i < e.nDeps; ++i) {
+            const Dep &d = deps_[e.firstDep + i];
+            int32_t pred =
+                d.queue >= 0 ? resolveCapacity(d, 0) : d.pred;
+            if (pred < 0)
+                continue;
+            uint64_t pc = events_[static_cast<size_t>(pred)].cycle;
+            if (best < 0 || pc > bestCycle) {
+                best = pred;
+                bestCycle = pc;
+                bestCause = d.cause;
+            }
+        }
+        if (best < 0) {
+            // Root: its whole start-up interval (0, cycle] plus the
+            // degenerate cycle-0 case lands on the "start" cause.
+            auto &b = buckets[{e.unit, kCauseStart, e.loop}];
+            b.first += e.cycle;
+            b.second += 1;
+            out.attributed += e.cycle;
+            break;
+        }
+        WS_ASSERT(best < cur, "critpath binding dep not older");
+        WS_ASSERT(bestCycle <= e.cycle,
+                  "critpath binding dep completes in the future");
+        uint64_t gap = e.cycle - bestCycle;
+        uint8_t cause = e.waitCause ? e.waitCause : bestCause;
+        auto &b = buckets[{e.unit, cause, e.loop}];
+        b.first += gap;
+        b.second += 1;
+        out.attributed += gap;
+        ++out.pathLength;
+        cur = best;
+    }
+
+    out.rows.reserve(buckets.size());
+    for (const auto &kv : buckets) {
+        CritAttrRow r;
+        r.unit = std::get<0>(kv.first);
+        r.cause = std::get<1>(kv.first);
+        r.loop = std::get<2>(kv.first);
+        r.cycles = kv.second.first;
+        r.edges = kv.second.second;
+        out.rows.push_back(r);
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const CritAttrRow &a, const CritAttrRow &b) {
+                         return a.cycles > b.cycles;
+                     });
+    return out;
+}
+
+double
+CritPath::replay(const CritScenario &s) const
+{
+    if (truncated_ || end_ < 0 ||
+        static_cast<size_t>(end_) >= events_.size())
+        return 0.0;
+    std::vector<double> scale(causes_.size(), 1.0);
+    for (const auto &cs : s.causeScales)
+        for (size_t i = 0; i < causes_.size(); ++i)
+            if (causes_[i] == cs.first)
+                scale[i] = cs.second;
+    std::vector<double> t(events_.size(), 0.0);
+    for (size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        double ti = 0.0;
+        for (uint32_t j = 0; j < e.nDeps; ++j) {
+            const Dep &d = deps_[e.firstDep + j];
+            int32_t pred = d.queue >= 0
+                               ? resolveCapacity(d, s.extraDataFifoDepth)
+                               : d.pred;
+            if (pred < 0)
+                continue;
+            WS_ASSERT(static_cast<size_t>(pred) < i,
+                      "critpath replay dep not older");
+            double c = t[static_cast<size_t>(pred)] +
+                       static_cast<double>(d.latency) * scale[d.cause];
+            if (c > ti)
+                ti = c;
+        }
+        t[i] = ti;
+    }
+    return t[static_cast<size_t>(end_)];
+}
+
+} // namespace wmstream::obs

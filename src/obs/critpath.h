@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Causal critical-path recorder over scheduling events.
+ *
+ * A simulator records a compact dependency DAG while it runs: one
+ * *event* per unit of forward progress (an instruction dispatched or
+ * executed, a FIFO value produced or consumed, a stream started or
+ * retired), and one *dep* per reason the event could not have
+ * happened earlier. Events are appended in simulation order, so the
+ * arena index order is already a topological order and both analyses
+ * below are single linear passes.
+ *
+ * Deps come in two kinds. A *direct* dep names its predecessor event
+ * outright (value produced by X, dispatched by Y). A *capacity* dep
+ * models back-pressure through a bounded queue without naming an
+ * event at record time: push number `o` into a queue of depth `d` is
+ * enabled by pop number `o - d`, so the recorder keeps the pop event
+ * list per queue and resolves the predecessor lazily. That lazy
+ * resolution is what makes what-if replay honest about FIFO depth: a
+ * replay with `extraDataFifoDepth = k` re-resolves every capacity dep
+ * against pop `o - d - k` instead of rewriting the DAG.
+ *
+ * The recorder is deliberately generic: units, edge causes, and
+ * queues are small registered ids with names supplied by the client
+ * (wmsim registers its stall-cause taxonomy), so this layer has no
+ * dependency on the simulator.
+ *
+ * Two analyses run over a finished recording:
+ *
+ *  - analyze(): walk backward from the end event, at each step
+ *    following the *binding* dep (the predecessor with the latest
+ *    completion cycle). Each step covers the half-open cycle interval
+ *    (pred, cur], which is attributed to the (unit, cause, loop) of
+ *    the waiting event; the root's own cycle is attributed to the
+ *    reserved "start" cause. The intervals partition (0, total], so
+ *    attributed cycles sum *exactly* to total cycles — the same
+ *    exact-sum contract the time-series telemetry keeps.
+ *
+ *  - replay(): forward longest-path pass with model latencies,
+ *    optionally scaling the latency of whole edge-cause classes
+ *    and/or deepening data FIFOs, to predict the cycle count of a
+ *    hypothetical machine. Speedup predictions divide two replays
+ *    (baseline model / scenario model) so first-order model error
+ *    cancels.
+ */
+
+#ifndef WMSTREAM_OBS_CRITPATH_H
+#define WMSTREAM_OBS_CRITPATH_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wmstream::obs {
+
+/** One (unit, cause, loop) attribution bucket of the critical path. */
+struct CritAttrRow
+{
+    uint8_t unit = 0;
+    uint8_t cause = 0;
+    int32_t loop = -1;     ///< remarks loop id; -1 = outside any loop
+    uint64_t cycles = 0;   ///< critical cycles attributed to this class
+    uint64_t edges = 0;    ///< critical edges in this class
+};
+
+/** Result of the backward critical-path walk. */
+struct CritAnalysis
+{
+    bool valid = false;        ///< false: truncated or no end event
+    uint64_t totalCycles = 0;  ///< cycle of the end event
+    uint64_t attributed = 0;   ///< sum of rows[].cycles (== totalCycles)
+    uint64_t pathLength = 0;   ///< critical edges walked
+    std::vector<CritAttrRow> rows;  ///< sorted by cycles, descending
+};
+
+/** A hypothetical machine change, expressed on the DAG. */
+struct CritScenario
+{
+    std::string name;
+    /** Extra slots added to every queue registered as a data FIFO. */
+    int extraDataFifoDepth = 0;
+    /** Latency multiplier per edge-cause name (unlisted causes: 1). */
+    std::vector<std::pair<std::string, double>> causeScales;
+};
+
+/** Event-DAG recorder plus the two analyses. */
+class CritPath
+{
+  public:
+    /** Cause id 0 is reserved; root cycles are attributed to it. */
+    static constexpr uint8_t kCauseStart = 0;
+
+    explicit CritPath(size_t maxEvents = kDefaultMaxEvents);
+
+    /** @name Registration (before recording) */
+    /// @{
+    /** Id for @p name, registering it on first use. */
+    uint8_t unit(const std::string &name);
+    uint8_t cause(const std::string &name);
+    /**
+     * Register a bounded queue of @p depth slots. @p dataFifo marks
+     * queues that scenarios with extraDataFifoDepth should deepen.
+     */
+    int queue(const std::string &name, int depth, bool dataFifo);
+    /// @}
+
+    /** @name Recording */
+    /// @{
+    /**
+     * Append an event at @p cycle; subsequent dep()/pushDep() calls
+     * attach to it. @p waitCause labels the stall the actor last
+     * reported before making this progress (0 = none; the binding
+     * dep's edge cause is used instead). Returns -1 once the event
+     * cap is hit, after which the recording is marked truncated and
+     * all further calls are no-ops.
+     */
+    int32_t event(uint64_t cycle, uint8_t unit, int32_t loop,
+                  uint8_t waitCause = 0);
+    /** Direct dep of the latest event on @p pred (-1 is ignored). */
+    void dep(int32_t pred, uint8_t cause, float latency);
+    /**
+     * Capacity dep: the latest event pushes into queue @p q. The
+     * push ordinal is assigned automatically; the predecessor is the
+     * pop that freed the slot, resolved at analysis time.
+     */
+    void pushDep(int q, uint8_t cause, float latency);
+    /** Record that @p consumer popped one value from queue @p q. */
+    void pop(int q, int32_t consumer);
+    /** Designate the final event the analyses walk back from. */
+    void setEnd(int32_t ev) { end_ = ev; }
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    bool truncated() const { return truncated_; }
+    int32_t end() const { return end_; }
+    size_t eventCount() const { return events_.size(); }
+    size_t depCount() const { return deps_.size(); }
+    uint64_t eventCycle(int32_t ev) const;
+    const std::string &unitName(uint8_t u) const { return units_[u]; }
+    const std::string &causeName(uint8_t c) const { return causes_[c]; }
+    size_t unitCount() const { return units_.size(); }
+    size_t causeCount() const { return causes_.size(); }
+    /// @}
+
+    /** Backward walk; see file comment for the exact-sum contract. */
+    CritAnalysis analyze() const;
+
+    /**
+     * Forward longest-path replay under @p s; returns the predicted
+     * end-event completion time in cycles (0 if invalid). Call with a
+     * default CritScenario for the model baseline.
+     */
+    double replay(const CritScenario &s) const;
+
+  private:
+    static constexpr size_t kDefaultMaxEvents = size_t{1} << 22;
+
+    struct Event
+    {
+        uint64_t cycle;
+        uint32_t firstDep;
+        uint16_t nDeps;
+        uint8_t unit;
+        uint8_t waitCause;
+        int32_t loop;
+    };
+    struct Dep
+    {
+        int32_t pred;      ///< direct predecessor; -1 for capacity deps
+        uint32_t ordinal;  ///< push ordinal (capacity deps)
+        float latency;     ///< model cycles pred -> event
+        int16_t queue;     ///< queue id for capacity deps; -1 direct
+        uint8_t cause;
+    };
+    struct Queue
+    {
+        std::string name;
+        int depth;
+        bool dataFifo;
+        uint32_t pushes = 0;
+        std::vector<int32_t> pops;
+    };
+
+    /** Freeing pop for a capacity dep, or -1 if never blocked. */
+    int32_t resolveCapacity(const Dep &d, int extraDataDepth) const;
+
+    std::vector<Event> events_;
+    std::vector<Dep> deps_;
+    std::vector<std::string> units_;
+    std::vector<std::string> causes_;
+    std::vector<Queue> queues_;
+    size_t maxEvents_;
+    int32_t end_ = -1;
+    bool truncated_ = false;
+    bool recording_ = true;
+};
+
+} // namespace wmstream::obs
+
+#endif // WMSTREAM_OBS_CRITPATH_H

@@ -61,6 +61,9 @@ Histogram::writeJson(JsonWriter &w) const
     w.field("min", min());
     w.field("max", max());
     w.field("mean", mean());
+    w.field("p50", p50());
+    w.field("p95", p95());
+    w.field("p99", p99());
     w.key("buckets");
     w.beginArray();
     for (uint64_t b : buckets_)

@@ -45,6 +45,13 @@ class Histogram
      */
     int64_t percentile(double p) const;
 
+    /** @name Conventional percentile shorthands */
+    /// @{
+    int64_t p50() const { return percentile(0.50); }
+    int64_t p95() const { return percentile(0.95); }
+    int64_t p99() const { return percentile(0.99); }
+    /// @}
+
     /** Buckets, index = value; trailing zero buckets trimmed. */
     const std::vector<uint64_t> &buckets() const { return buckets_; }
 

@@ -1,0 +1,151 @@
+#include "report/critpath_report.h"
+
+#include "support/str.h"
+
+namespace wmstream::report {
+
+namespace {
+
+double
+share(uint64_t cycles, uint64_t total)
+{
+    return total ? static_cast<double>(cycles) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace
+
+void
+writeCritPathDoc(obs::JsonWriter &w, const CritPathReport &rep)
+{
+    const obs::CritPath &dag = *rep.dag;
+    const obs::CritAnalysis &an = rep.analysis;
+    w.beginObject();
+    w.field("schema_version", int64_t{1});
+    w.field("kind", "critical_path");
+    w.field("valid", an.valid);
+    w.field("total_cycles", static_cast<int64_t>(an.totalCycles));
+    w.field("attributed_cycles", static_cast<int64_t>(an.attributed));
+    w.field("path_length", static_cast<int64_t>(an.pathLength));
+    w.field("events", static_cast<int64_t>(dag.eventCount()));
+    w.field("deps", static_cast<int64_t>(dag.depCount()));
+    w.field("truncated", dag.truncated());
+    w.key("rows");
+    w.beginArray();
+    for (const auto &r : an.rows) {
+        w.beginObject();
+        w.field("unit", dag.unitName(r.unit));
+        w.field("cause", dag.causeName(r.cause));
+        w.field("loop", static_cast<int64_t>(r.loop));
+        w.field("cycles", static_cast<int64_t>(r.cycles));
+        w.field("edges", static_cast<int64_t>(r.edges));
+        w.field("share", share(r.cycles, an.totalCycles));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("what_if");
+    w.beginArray();
+    for (const auto &wi : rep.whatIf) {
+        w.beginObject();
+        w.field("name", wi.name);
+        w.field("description", wi.description);
+        w.field("predicted_cycles", wi.predictedCycles);
+        w.field("predicted_speedup", wi.predictedSpeedup);
+        w.field("validated", wi.validated);
+        if (wi.validated) {
+            w.field("measured_cycles", wi.measuredCycles);
+            w.field("measured_speedup", wi.measuredSpeedup);
+            w.field("error_pct", wi.errorPct);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+renderCritPathText(const CritPathReport &rep)
+{
+    const obs::CritPath &dag = *rep.dag;
+    const obs::CritAnalysis &an = rep.analysis;
+    std::string out;
+    if (!an.valid) {
+        out += dag.truncated()
+                   ? "critical path: recording truncated (event cap "
+                     "hit); attribution unavailable\n"
+                   : "critical path: no recording\n";
+        return out;
+    }
+    out += strFormat("critical path: %llu cycles attributed over %llu "
+                     "critical edges (%zu events, %zu deps)\n",
+                     static_cast<unsigned long long>(an.attributed),
+                     static_cast<unsigned long long>(an.pathLength),
+                     dag.eventCount(), dag.depCount());
+    out += strFormat("  %-6s %-20s %6s %12s %8s\n", "unit", "cause",
+                     "loop", "cycles", "share");
+    for (const auto &r : an.rows) {
+        std::string loop =
+            r.loop < 0 ? std::string("-")
+                       : strFormat("%d", static_cast<int>(r.loop));
+        out += strFormat("  %-6s %-20s %6s %12llu %7.1f%%\n",
+                         dag.unitName(r.unit).c_str(),
+                         dag.causeName(r.cause).c_str(), loop.c_str(),
+                         static_cast<unsigned long long>(r.cycles),
+                         100.0 * share(r.cycles, an.totalCycles));
+    }
+    if (!rep.whatIf.empty()) {
+        out += "what-if (DAG replay; measured rows re-simulated):\n";
+        for (const auto &wi : rep.whatIf) {
+            out += strFormat("  %-18s %-36s predicted %.2fx",
+                             wi.name.c_str(), wi.description.c_str(),
+                             wi.predictedSpeedup);
+            if (wi.validated)
+                out += strFormat("  measured %.2fx  error %.1f%%",
+                                 wi.measuredSpeedup, wi.errorPct);
+            else
+                out += "  (not validated)";
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+void
+exportCritPathMetrics(obs::MetricsRegistry &m, const CritPathReport &rep)
+{
+    const obs::CritPath &dag = *rep.dag;
+    const obs::CritAnalysis &an = rep.analysis;
+    m.gauge("critpath_valid", an.valid ? 1.0 : 0.0, {},
+            "1 when the recording completed and attribution ran.");
+    m.gauge("critpath_events", static_cast<double>(dag.eventCount()),
+            {}, "Events recorded in the scheduling DAG.");
+    if (!an.valid)
+        return;
+    m.gauge("critpath_total_cycles",
+            static_cast<double>(an.totalCycles), {},
+            "Cycle of the end event (== simulated cycles).");
+    m.gauge("critpath_attributed_cycles",
+            static_cast<double>(an.attributed), {},
+            "Critical cycles attributed (sums exactly to total).");
+    m.gauge("critpath_path_length",
+            static_cast<double>(an.pathLength), {},
+            "Critical edges walked end to root.");
+    for (const auto &r : an.rows)
+        m.gauge("critpath_cycles", static_cast<double>(r.cycles),
+                {{"unit", dag.unitName(r.unit)},
+                 {"cause", dag.causeName(r.cause)},
+                 {"loop", strFormat("%d", static_cast<int>(r.loop))}},
+                "Critical cycles per (unit, cause, loop) class.");
+    for (const auto &wi : rep.whatIf) {
+        m.gauge("critpath_predicted_speedup", wi.predictedSpeedup,
+                {{"scenario", wi.name}},
+                "What-if speedup predicted by DAG replay.");
+        if (wi.validated)
+            m.gauge("critpath_measured_speedup", wi.measuredSpeedup,
+                    {{"scenario", wi.name}},
+                    "What-if speedup measured by re-simulation.");
+    }
+}
+
+} // namespace wmstream::report

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Critical-path report assembly: the JSON document, text rendering,
+ * and Prometheus export for one run's causal critical-path analysis
+ * (`wmc --critpath`, the manifest's "critical_path" section, and the
+ * wm_critpath_* metric families).
+ *
+ * The report is built once by the caller (wmc) from a finished
+ * obs::CritPath recording — the backward attribution, the model
+ * baseline replay, and one WhatIfRow per scenario, optionally
+ * validated by re-simulating the program on the changed machine — and
+ * every surface below renders the same struct, so the JSON, the text
+ * table, and the metrics can never disagree.
+ */
+
+#ifndef WMSTREAM_REPORT_CRITPATH_REPORT_H
+#define WMSTREAM_REPORT_CRITPATH_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/critpath.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace wmstream::report {
+
+/** One what-if scenario: the prediction and (optionally) the truth. */
+struct WhatIfRow
+{
+    std::string name;
+    std::string description;
+    double predictedCycles = 0.0;  ///< scenario DAG replay (model time)
+    double predictedSpeedup = 0.0; ///< baseline replay / scenario replay
+    bool validated = false;        ///< re-simulation ran
+    double measuredCycles = 0.0;   ///< re-simulated cycles
+    double measuredSpeedup = 0.0;  ///< recorded cycles / measuredCycles
+    double errorPct = 0.0;         ///< |predicted-measured|/measured*100
+};
+
+/** Everything `--critpath` reports, in one renderable struct. */
+struct CritPathReport
+{
+    /** The recording, for unit/cause names; must outlive the report. */
+    const obs::CritPath *dag = nullptr;
+    obs::CritAnalysis analysis;
+    double replayBaselineCycles = 0.0; ///< model-time baseline replay
+    std::vector<WhatIfRow> whatIf;
+};
+
+/**
+ * {"schema_version":1,"kind":"critical_path","valid":..,
+ *  "total_cycles":..,"attributed_cycles":..,"path_length":..,
+ *  "events":..,"deps":..,"truncated":..,
+ *  "rows":[{"unit":..,"cause":..,"loop":..,"cycles":..,"edges":..,
+ *           "share":..}],
+ *  "what_if":[{"name":..,"description":..,"predicted_cycles":..,
+ *              "predicted_speedup":..,"validated":..,
+ *              "measured_cycles":..,"measured_speedup":..,
+ *              "error_pct":..}]}
+ * Rows are ordered by critical cycles, descending. When the recording
+ * was truncated, valid is false and rows/what_if are empty.
+ */
+void writeCritPathDoc(obs::JsonWriter &w, const CritPathReport &rep);
+
+/** Human-readable bottleneck table plus the what-if predictions. */
+std::string renderCritPathText(const CritPathReport &rep);
+
+/**
+ * wm_critpath_total_cycles / _attributed_cycles / _path_length /
+ * _events gauges, one wm_critpath_cycles{unit,cause,loop} sample per
+ * attribution row, and wm_critpath_predicted_speedup{scenario} (plus
+ * _measured_speedup for validated scenarios).
+ */
+void exportCritPathMetrics(obs::MetricsRegistry &m,
+                           const CritPathReport &rep);
+
+} // namespace wmstream::report
+
+#endif // WMSTREAM_REPORT_CRITPATH_REPORT_H

@@ -138,7 +138,19 @@ writeScalarStatsDoc(obs::JsonWriter &w, const std::string &source,
     w.field("source", source);
     w.field("target", "68020");
     w.field("model", modelName);
-    w.field("exit_value", res.returnValue);
+    if (res.ok) {
+        w.field("exit_value", res.returnValue);
+    } else {
+        // Faulted scalar runs keep the compile/sim sections (partial
+        // counters are still useful forensics) and add the same
+        // "fault" shape the WM fault doc uses, so consumers key on
+        // the presence of "fault" for both targets.
+        w.field("error", res.error);
+        w.key("fault");
+        w.beginObject();
+        w.field("kind", "runtime_error");
+        w.endObject();
+    }
     w.field("weighted_cycles", res.cycles);
     writeCompileSection(w, compiled);
     w.key("sim");
@@ -177,6 +189,10 @@ RunManifest::writeJson(obs::JsonWriter &w) const
         w.key("timeseries");
         timeseries->writeJson(w);
     }
+    if (critpath) {
+        w.key("critical_path");
+        writeCritPathDoc(w, *critpath);
+    }
     w.endObject();
 }
 
@@ -206,12 +222,39 @@ exportRunMetrics(obs::MetricsRegistry &m, const RunManifest &man)
               static_cast<double>(man.compiled->totalStreams()));
     m.counter("compile_loops_vectorized",
               static_cast<double>(man.compiled->totalVectorized()));
+    // Fault disposition: 0 on clean runs, 1 with the kind (and for
+    // wedges the forensic signature) as labels, so a dashboard can
+    // alert on faulted runs without parsing the stats document.
+    if (man.simResult) {
+        const wmsim::SimResult &r = *man.simResult;
+        if (r.fault == wmsim::SimFault::None) {
+            m.gauge("sim_fault", 0.0, {{"kind", "none"}},
+                    "1 when the run faulted; labels carry the kind.");
+        } else {
+            bool wedge = r.fault == wmsim::SimFault::Deadlock ||
+                         r.fault == wmsim::SimFault::Livelock;
+            std::vector<obs::MetricLabel> labels = {
+                {"kind", wmsim::simFaultName(r.fault)}};
+            if (wedge)
+                labels.push_back(
+                    {"signature", r.faultReport.signature()});
+            m.gauge("sim_fault", 1.0, labels,
+                    "1 when the run faulted; labels carry the kind.");
+        }
+    } else if (man.scalarResult) {
+        m.gauge("sim_fault", man.scalarResult->ok ? 0.0 : 1.0,
+                {{"kind",
+                  man.scalarResult->ok ? "none" : "runtime_error"}},
+                "1 when the run faulted; labels carry the kind.");
+    }
     obs::CounterRegistry reg;
     if (man.simResult)
         man.simResult->stats.exportCounters(reg);
     else if (man.scalarResult)
         man.scalarResult->exportCounters(reg);
     m.fromCounters(reg, "sim.");
+    if (man.critpath)
+        exportCritPathMetrics(m, *man.critpath);
 }
 
 void

@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "report/critpath_report.h"
 #include "timing/scalar_sim.h"
 #include "wmsim/sim.h"
 
@@ -102,6 +103,7 @@ struct RunManifest
     const wmsim::SimConfig *simConfig = nullptr;
     const wmsim::SimResult *simResult = nullptr;
     const obs::TimeSeries *timeseries = nullptr;
+    const CritPathReport *critpath = nullptr;
 
     // Scalar timing-model results.
     std::string modelName;
@@ -110,7 +112,8 @@ struct RunManifest
     /**
      * {"schema_version":1,"kind":"run_manifest","tool":"wmc",
      *  "tool_version":..,"source":..,"target":..,"host":{..},
-     *  "remarks":{..},"stats":{..},"timeseries":{..}}
+     *  "remarks":{..},"stats":{..},"timeseries":{..},
+     *  "critical_path":{..}}
      * The embedded sections are the exact sub-documents their
      * standalone flags emit, so one parser serves both shapes.
      */

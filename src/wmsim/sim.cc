@@ -143,6 +143,12 @@ SimStats::exportCounters(obs::CounterRegistry &reg) const
         reg.set("occupancy." + s.name + ".samples", s.hist.count());
         reg.set("occupancy." + s.name + ".max",
                 static_cast<uint64_t>(s.hist.max()));
+        reg.set("occupancy." + s.name + ".p50",
+                static_cast<uint64_t>(s.hist.p50()));
+        reg.set("occupancy." + s.name + ".p95",
+                static_cast<uint64_t>(s.hist.p95()));
+        reg.set("occupancy." + s.name + ".p99",
+                static_cast<uint64_t>(s.hist.p99()));
     }
 
     // Per-loop buckets, "loop.<id>.*" ("loop.-1" = outside every loop).
@@ -265,6 +271,7 @@ struct Simulator::Impl
         int64_t seq;
         /** Enqueue attributed to an active output stream at dispatch. */
         bool streamEnq = false;
+        int32_t ev = -1; ///< critpath dispatch event
     };
     std::deque<QEntry> unitQ[2]; // 0 = IEU, 1 = FEU
     uint64_t unitBusyUntil[2] = {0, 0};
@@ -277,6 +284,9 @@ struct Simulator::Impl
         bool isFloat;
         int64_t seq;
         int scu = -1; // owning stream, or -1 for a scalar load
+        int32_t ev = -1;   ///< critpath issue event
+        int loop = -1;     ///< loop id of the issuing instruction
+        bool ordered = false; ///< was ever held behind an older store
     };
     std::deque<ReadReq> inflight[2][2];
 
@@ -285,6 +295,8 @@ struct Simulator::Impl
         int64_t addr;
         int size;
         int64_t seq;
+        int32_t ev = -1; ///< critpath address-generation event
+        int loop = -1;
     };
     std::deque<StoreReq> storeQ[2];
 
@@ -314,6 +326,16 @@ struct Simulator::Impl
         std::deque<int64_t> enqSeqs;
         int64_t dispatchedEnqueues = 0;
         uint64_t readyAt = 0; ///< SCU startup latency gate
+
+        /** @name Critpath bookkeeping (unused when recording is off) */
+        /// @{
+        int loopId = -1;        ///< loop of the starting instruction
+        int32_t startEv = -1;   ///< stream-start dispatch event
+        int32_t lastIssueEv = -1; ///< serial chain through this SCU
+        int32_t lastElemEv = -1;  ///< last delivery/write event
+        /** Retire event of this *slot's* previous occupant. */
+        int32_t slotRetireEv = -1;
+        /// @}
     };
     std::vector<Stream> scus;
 
@@ -399,6 +421,193 @@ struct Simulator::Impl
     std::vector<std::string> scuEventName;
     std::vector<bool> scuWasActive;
 
+    // ---- critical-path DAG recording ----
+    /**
+     * Alias of cfg.critpath; null when recording is off, which keeps
+     * every instrumentation site behind one predictable branch.
+     *
+     * Mapping of machine actions to DAG events (one per unit of
+     * forward progress, created in phase order so arena order is
+     * topological):
+     *  - IFU: one event per instruction the IFU processes (control
+     *    transfer, sync conversion, stream start/stop, vec-op, or a
+     *    dispatch into a unit queue), serially chained with latency
+     *    1/fetchWidth.
+     *  - IEU/FEU: one event per executed instruction, with deps on
+     *    its dispatch (latency 1: dispatch is the last phase), the
+     *    unit's previous exec (1, or divLatency after a divide), and
+     *    every FIFO operand it pops.
+     *  - mem: one event per delivered read (dep on the issue event
+     *    with memLatency) and per committed store.
+     *  - scu: one event per issued stream read / written element,
+     *    chained at 1/scuBurst with a scu_startup dep on the start.
+     *  - veu: one event per vector element, chained at 1/veuLanes.
+     * Queue back-pressure is recorded as capacity deps against the 14
+     * occupancy queues (kOccNames order); pops are recorded at the
+     * consuming event so depth-changing what-ifs re-resolve honestly.
+     */
+    obs::CritPath *cp = nullptr;
+    /** Unit ids (registered in the ctor). */
+    uint8_t cpuIfu = 0, cpuIeu = 0, cpuFeu = 0, cpuScu = 0,
+            cpuVeu = 0, cpuMem = 0, cpuEnd = 0;
+    /** StallCause -> recorder cause id ([0] = reserved start). */
+    uint8_t cpCause[static_cast<size_t>(StallCause::kCount)] = {};
+    /** Model-edge causes outside the stall taxonomy. */
+    uint8_t cpcExec = 0, cpcFetch = 0, cpcMemLat = 0, cpcMemOrder = 0,
+            cpcScuStartup = 0, cpcScuIssue = 0, cpcVeuLane = 0,
+            cpcStoreAddr = 0, cpcDrain = 0;
+    /** Queue ids, kOccNames index order. */
+    int cpQ[kNumOcc] = {};
+
+    /** Producer event per buffered value, parallel to the FIFOs. */
+    std::deque<int32_t> inFifoEv[2][2];
+    std::deque<int32_t> outFifoEv[2][2];
+    std::deque<int32_t> ccFifoEv[2];
+
+    int32_t cpCurEv = -1;      ///< latest event (deps attach to it)
+    int32_t lastIfuEv = -1;
+    int32_t lastExecEv[2] = {-1, -1};
+    float nextSerialLat[2] = {1.0f, 1.0f}; ///< divLatency after a div
+    int32_t lastStoreCommitEv = -1;
+    int32_t lastDeliveryEv = -1;
+    int32_t lastVeuEv = -1;
+    int32_t veuOpEv = -1;      ///< VecOp dispatch event
+    int32_t veuPrevElemEv = -1;
+    int veuLoop = -1;
+    /** Retire event of the last retired stream per [side][fifo][in]. */
+    int32_t lastRetire[2][2][2] = {{{-1, -1}, {-1, -1}},
+                                   {{-1, -1}, {-1, -1}}};
+    /** Last stall observed per unit since its previous exec. */
+    StallCause unitWaitCause[2] = {StallCause::None, StallCause::None};
+    /** Last IFU stall observed before the next IFU event. */
+    StallCause ifuWaitCauseCp = StallCause::None;
+
+    int cpQIn(int s, int f) const { return cpQ[s * 2 + f]; }
+    int cpQOut(int s, int f) const { return cpQ[4 + s * 2 + f]; }
+    int cpQCc(int s) const { return cpQ[8 + s]; }
+    int cpQInst(int u) const { return cpQ[10 + u]; }
+    int cpQStore(int s) const { return cpQ[12 + s]; }
+
+    uint8_t
+    cpWait(StallCause c) const
+    {
+        return c == StallCause::None ? 0
+                                     : cpCause[static_cast<size_t>(c)];
+    }
+
+    int32_t
+    cpEvent(uint8_t unit, int loop, uint8_t wait)
+    {
+        cpCurEv = cp->event(now, unit, loop, wait);
+        return cpCurEv;
+    }
+
+    /**
+     * Record the latest event popping one value from inFifo[s][f]:
+     * a data dep on the producer plus the capacity pop that frees the
+     * slot. Called right where the simulator pops the value deque.
+     */
+    void
+    cpPopIn(int s, int f)
+    {
+        int32_t prod = -1;
+        if (!inFifoEv[s][f].empty()) {
+            prod = inFifoEv[s][f].front();
+            inFifoEv[s][f].pop_front();
+        }
+        cp->dep(prod,
+                cpCause[static_cast<size_t>(StallCause::DataFifoEmpty)],
+                0.0f);
+        cp->pop(cpQIn(s, f), cpCurEv);
+    }
+
+    /** Same for outFifo[s][f] (store commit, out-stream write). */
+    void
+    cpPopOut(int s, int f)
+    {
+        int32_t prod = -1;
+        if (!outFifoEv[s][f].empty()) {
+            prod = outFifoEv[s][f].front();
+            outFifoEv[s][f].pop_front();
+        }
+        cp->dep(prod,
+                cpCause[static_cast<size_t>(StallCause::DataFifoEmpty)],
+                0.0f);
+        cp->pop(cpQOut(s, f), cpCurEv);
+    }
+
+    /**
+     * Note a register write by event @p ev that lands in a CC or
+     * output FIFO: capacity dep plus producer bookkeeping. Pops for
+     * these queues happen in *later* phases of the cycle, so a pop at
+     * cycle t frees the slot for a push at t+1 (latency 1).
+     */
+    void
+    cpNoteWrite(const ExprPtr &dst, int32_t ev)
+    {
+        RegFile f = dst->regFile();
+        int idx = dst->regIndex();
+        if (f == RegFile::CC) {
+            int s = idx == 1 ? 1 : 0;
+            cp->pushDep(
+                cpQCc(s),
+                cpCause[static_cast<size_t>(StallCause::CcFifoFull)],
+                1.0f);
+            ccFifoEv[s].push_back(ev);
+            return;
+        }
+        if (idx > 1 || (f != RegFile::Int && f != RegFile::Flt))
+            return;
+        int s = f == RegFile::Flt ? 1 : 0;
+        cp->pushDep(
+            cpQOut(s, idx),
+            cpCause[static_cast<size_t>(StallCause::DataFifoFull)],
+            1.0f);
+        outFifoEv[s][idx].push_back(ev);
+    }
+
+    /** Exec event for the head of unit queue @p u (IEU/FEU). */
+    int32_t
+    cpUnitExecEvent(int u, const Inst &inst)
+    {
+        uint8_t wait = cpWait(unitWaitCause[u]);
+        unitWaitCause[u] = StallCause::None;
+        int32_t ev = cpEvent(u ? cpuFeu : cpuIeu, inst.loopId, wait);
+        // Dispatch happens in the cycle's *last* phase, so the
+        // earliest exec is the next cycle (latency 1).
+        cp->dep(unitQ[u].front().ev,
+                cpCause[static_cast<size_t>(
+                    StallCause::InstQueueEmpty)],
+                1.0f);
+        cp->dep(lastExecEv[u], cpcExec, nextSerialLat[u]);
+        nextSerialLat[u] = 1.0f;
+        lastExecEv[u] = ev;
+        cp->pop(cpQInst(u), ev);
+        return ev;
+    }
+
+    /** IFU event for the instruction at pc (serial fetch chain). */
+    int32_t
+    cpIfuEvent(const Inst &inst)
+    {
+        uint8_t wait = cpWait(ifuWaitCauseCp);
+        ifuWaitCauseCp = StallCause::None;
+        int32_t ev = cpEvent(cpuIfu, inst.loopId, wait);
+        cp->dep(lastIfuEv, cpcFetch,
+                1.0f / static_cast<float>(cfg.fetchWidth));
+        lastIfuEv = ev;
+        return ev;
+    }
+
+    /** Mark stream @p s retired by @p ev (slot and FIFO ownership). */
+    void
+    cpRetire(Stream &s, int32_t ev)
+    {
+        int32_t r = ev >= 0 ? ev : s.startEv;
+        lastRetire[s.side][s.fifo][s.input ? 1 : 0] = r;
+        s.slotRetireEv = r;
+    }
+
     Impl(const rtl::Program &p, SimConfig c)
         : prog(p), cfg(c), chaos(c.chaosSeed != 0),
           chaosRng(c.chaosSeed)
@@ -423,6 +632,37 @@ struct Simulator::Impl
                       "time series not built from "
                       "simTimeSeriesChannels()");
             tsPrev.assign(kTsCumulative, 0);
+        }
+        if (cfg.critpath) {
+            cp = cfg.critpath;
+            cpuIfu = cp->unit("ifu");
+            cpuIeu = cp->unit("ieu");
+            cpuFeu = cp->unit("feu");
+            cpuScu = cp->unit("scu");
+            cpuVeu = cp->unit("veu");
+            cpuMem = cp->unit("mem");
+            cpuEnd = cp->unit("end");
+            cpCause[0] = obs::CritPath::kCauseStart;
+            for (size_t c2 = 1;
+                 c2 < static_cast<size_t>(StallCause::kCount); ++c2)
+                cpCause[c2] = cp->cause(
+                    stallCauseName(static_cast<StallCause>(c2)));
+            cpcExec = cp->cause("execute");
+            cpcFetch = cp->cause("fetch");
+            cpcMemLat = cp->cause("mem_latency");
+            cpcMemOrder = cp->cause("mem_order");
+            cpcScuStartup = cp->cause("scu_startup");
+            cpcScuIssue = cp->cause("scu_issue");
+            cpcVeuLane = cp->cause("veu_lane");
+            cpcStoreAddr = cp->cause("store_addr");
+            cpcDrain = cp->cause("drain");
+            for (int i = 0; i < kNumOcc; ++i) {
+                int depth = i < 8    ? cfg.dataFifoDepth
+                            : i < 10 ? cfg.ccFifoDepth
+                            : i < 12 ? cfg.instQueueDepth
+                                     : cfg.storeQueueDepth;
+                cpQ[i] = cp->queue(kOccNames[i], depth, i < 8);
+            }
         }
     }
 
@@ -722,6 +962,8 @@ struct Simulator::Impl
                               "FIFO underflow (availability pre-checked)");
                     v = inFifo[1][idx].front();
                     inFifo[1][idx].pop_front();
+                    if (cp)
+                        cpPopIn(1, idx);
                     v.isFloat = true;
                 } else {
                     v.f = freg[idx];
@@ -734,6 +976,8 @@ struct Simulator::Impl
                               "FIFO underflow (availability pre-checked)");
                     v = inFifo[0][idx].front();
                     inFifo[0][idx].pop_front();
+                    if (cp)
+                        cpPopIn(0, idx);
                     v.isFloat = false;
                 } else {
                     v.i = rreg[idx];
@@ -953,6 +1197,22 @@ struct Simulator::Impl
         if (input) {
             // Cancel: discard prefetched and in-flight data.
             s->active = false;
+            if (cp) {
+                // The discarded values (buffered and still in flight)
+                // were all capacity pushes; record the stop event as
+                // their freeing pop so ordinal bookkeeping matches
+                // the machine's occupancy.
+                // Scalar loads reserve no slot until delivery, so
+                // only stream requests count as outstanding pushes.
+                size_t discarded = inFifo[side][inst.fifo].size();
+                for (const ReadReq &rq : inflight[side][inst.fifo])
+                    if (rq.scu >= 0)
+                        ++discarded;
+                for (size_t k = 0; k < discarded; ++k)
+                    cp->pop(cpQIn(side, inst.fifo), cpCurEv);
+                inFifoEv[side][inst.fifo].clear();
+                cpRetire(*s, cpCurEv);
+            }
             inFifo[side][inst.fifo].clear();
             inflight[side][inst.fifo].clear();
         } else {
@@ -974,11 +1234,24 @@ struct Simulator::Impl
                     if (req.deliverAt > now)
                         break;
                     if (req.scu >= 0 && !scus[req.scu].active) {
+                        // Stream cancelled after retiring via the
+                        // out-of-bounds clamp: free the reserved slot.
+                        if (cp) {
+                            int32_t ev = cpEvent(
+                                cpuMem, scus[req.scu].loopId, 0);
+                            cp->dep(ev >= 0 ? req.ev : -1, cpcMemLat,
+                                    static_cast<float>(
+                                        cfg.memLatency));
+                            cp->pop(cpQIn(side, f), ev);
+                        }
                         q.pop_front(); // stream cancelled: discard
                         continue;
                     }
-                    if (olderStorePending(req.addr, req.size, req.seq))
+                    if (olderStorePending(req.addr, req.size,
+                                          req.seq)) {
+                        req.ordered = true;
                         break;
+                    }
                     if (static_cast<int>(inFifo[side][f].size()) >=
                             cfg.dataFifoDepth) {
                         break;
@@ -991,6 +1264,34 @@ struct Simulator::Impl
                                                ? DataType::I8
                                                : DataType::I32));
                     inFifo[side][f].push_back(v);
+                    if (cp) {
+                        int32_t ev = cpEvent(
+                            cpuMem,
+                            req.scu >= 0 ? scus[req.scu].loopId
+                                         : req.loop,
+                            0);
+                        cp->dep(req.ev, cpcMemLat,
+                                static_cast<float>(cfg.memLatency));
+                        if (req.ordered)
+                            // Held behind an older overlapping store;
+                            // the most recent commit bounds the wait.
+                            cp->dep(lastStoreCommitEv, cpcMemOrder,
+                                    1.0f);
+                        if (req.scu < 0)
+                            // Scalar loads reserve their FIFO slot at
+                            // delivery; the freeing pop (stepUnit, a
+                            // later phase) enables delivery next
+                            // cycle.
+                            cp->pushDep(
+                                cpQIn(side, f),
+                                cpCause[static_cast<size_t>(
+                                    StallCause::DataFifoFull)],
+                                1.0f);
+                        inFifoEv[side][f].push_back(ev);
+                        lastDeliveryEv = ev;
+                        if (req.scu >= 0)
+                            scus[req.scu].lastElemEv = ev;
+                    }
                     ++deliveredValues;
                     if (trace)
                         std::fprintf(stderr,
@@ -1034,6 +1335,16 @@ struct Simulator::Impl
                                 : st.size == 1 ? DataType::I8
                                                : DataType::I32);
             memWrite(st.addr, t, v);
+            if (cp) {
+                // Commit runs after stepUnit in the same cycle, so
+                // both the address generation and the data enqueue
+                // can commit the cycle they execute (latency 0).
+                int32_t ev = cpEvent(cpuMem, st.loop, 0);
+                cp->dep(st.ev, cpcStoreAddr, 0.0f);
+                cpPopOut(side, 0);
+                cp->pop(cpQStore(side), ev);
+                lastStoreCommitEv = ev;
+            }
             storeQ[side].pop_front();
             outFifo[side][0].pop_front();
             ++portsUsed;
@@ -1059,6 +1370,8 @@ struct Simulator::Impl
             if (s.input) {
                 if (s.closed) {
                     s.active = false;
+                    if (cp)
+                        cpRetire(s, s.lastElemEv);
                     continue;
                 }
                 int64_t limit = s.count >= 0 ? s.count
@@ -1091,13 +1404,37 @@ struct Simulator::Impl
                         s.closed = true; // stop prefetching
                         break;
                     }
+                    if (cp) {
+                        int32_t ev = cpEvent(cpuScu, s.loopId, 0);
+                        if (s.lastIssueEv >= 0)
+                            cp->dep(s.lastIssueEv, cpcScuIssue,
+                                    1.0f / static_cast<float>(
+                                               cfg.scuBurst));
+                        else
+                            cp->dep(s.startEv, cpcScuStartup,
+                                    static_cast<float>(
+                                        cfg.scuStartupCycles));
+                        // Issue reserves the FIFO slot; the freeing
+                        // pop (stepUnit, an earlier phase) enables
+                        // issue the same cycle.
+                        cp->pushDep(
+                            cpQIn(s.side, s.fifo),
+                            cpCause[static_cast<size_t>(
+                                StallCause::DataFifoFull)],
+                            0.0f);
+                        req.ev = ev;
+                        s.lastIssueEv = ev;
+                    }
                     inflight[s.side][s.fifo].push_back(req);
                     ++s.issued;
                     ++scuReadsIssued;
                     ++portsUsed;
                 }
-                if (s.issued >= limit && s.done >= limit)
+                if (s.issued >= limit && s.done >= limit) {
                     s.active = false; // retires when fully delivered
+                    if (cp)
+                        cpRetire(s, s.lastElemEv);
+                }
             } else {
                 auto &q = outFifo[s.side][s.fifo];
                 for (int burst = 0; burst < cfg.scuBurst; ++burst) {
@@ -1109,6 +1446,20 @@ struct Simulator::Impl
                         break;
                     Val v = q.front();
                     q.pop_front();
+                    if (cp) {
+                        int32_t ev = cpEvent(cpuScu, s.loopId, 0);
+                        if (s.lastIssueEv >= 0)
+                            cp->dep(s.lastIssueEv, cpcScuIssue,
+                                    1.0f / static_cast<float>(
+                                               cfg.scuBurst));
+                        else
+                            cp->dep(s.startEv, cpcScuStartup,
+                                    static_cast<float>(
+                                        cfg.scuStartupCycles));
+                        cpPopOut(s.side, s.fifo);
+                        s.lastIssueEv = ev;
+                        s.lastElemEv = ev;
+                    }
                     memWrite(s.base + s.done * s.stride, s.type, v);
                     ++s.done;
                     if (!s.enqSeqs.empty())
@@ -1119,6 +1470,8 @@ struct Simulator::Impl
                 if ((s.count >= 0 && s.done >= s.count) ||
                         (s.closed && q.empty())) {
                     s.active = false;
+                    if (cp)
+                        cpRetire(s, s.lastElemEv);
                 }
             }
         }
@@ -1190,8 +1543,28 @@ struct Simulator::Impl
             auto &out = outFifo[veu.dstSide][veu.dstFifo];
             if (static_cast<int>(out.size()) >= cfg.dataFifoDepth)
                 break;
+            int32_t vev = -1;
+            if (cp) {
+                vev = cpEvent(cpuVeu, veuLoop, 0);
+                if (veuPrevElemEv >= 0)
+                    cp->dep(veuPrevElemEv, cpcVeuLane,
+                            1.0f / static_cast<float>(cfg.veuLanes));
+                else
+                    // Dispatch is the cycle's last phase; the first
+                    // element runs the next cycle at the earliest.
+                    cp->dep(veuOpEv, cpcExec, 1.0f);
+                veuPrevElemEv = vev;
+                lastVeuEv = vev;
+                cp->pushDep(
+                    cpQOut(veu.dstSide, veu.dstFifo),
+                    cpCause[static_cast<size_t>(
+                        StallCause::DataFifoFull)],
+                    1.0f);
+            }
             Val a = in1.front();
             in1.pop_front();
+            if (cp)
+                cpPopIn(veu.s1Side, veu.s1Fifo);
             Val r;
             if (veu.copy) {
                 r = a;
@@ -1199,8 +1572,11 @@ struct Simulator::Impl
                 Val b = veu.src2IsFifo
                             ? inFifo[veu.s2Side][veu.s2Fifo].front()
                             : veu.src2Val;
-                if (veu.src2IsFifo)
+                if (veu.src2IsFifo) {
                     inFifo[veu.s2Side][veu.s2Fifo].pop_front();
+                    if (cp)
+                        cpPopIn(veu.s2Side, veu.s2Fifo);
+                }
                 r = vecApply(veu.op, a, b);
             }
             if (veu.dstSide == 1 && !r.isFloat) {
@@ -1208,6 +1584,8 @@ struct Simulator::Impl
                 r.isFloat = true;
             }
             out.push_back(r);
+            if (cp)
+                outFifoEv[veu.dstSide][veu.dstFifo].push_back(vev);
             --veu.remaining;
             ++stats.vectorElements;
         }
@@ -1276,10 +1654,34 @@ struct Simulator::Impl
                     divides = true;
                 }
             });
+            int32_t ev = -1;
+            if (cp) {
+                ev = cpUnitExecEvent(u, inst);
+                // An ordinary enqueue had to wait for any prior
+                // out-stream on its FIFO to retire (retire is a later
+                // phase: latency 1). Stale retires are never binding.
+                if (!streamEnq && inst.dst->isReg() &&
+                        inst.dst->regIndex() <= 1 &&
+                        (inst.dst->regFile() == RegFile::Int ||
+                         inst.dst->regFile() == RegFile::Flt)) {
+                    int side =
+                        inst.dst->regFile() == RegFile::Flt ? 1 : 0;
+                    cp->dep(
+                        lastRetire[side][inst.dst->regIndex()][0],
+                        cpCause[static_cast<size_t>(
+                            StallCause::StreamOwnership)],
+                        1.0f);
+                }
+            }
             Val v = eval(inst.src);
             writeReg(inst.dst, v);
-            if (divides)
+            if (cp)
+                cpNoteWrite(inst.dst, ev);
+            if (divides) {
                 unitBusyUntil[u] = now + cfg.divLatency;
+                nextSerialLat[u] =
+                    static_cast<float>(cfg.divLatency);
+            }
             break;
           }
           case InstKind::Load: {
@@ -1292,6 +1694,14 @@ struct Simulator::Impl
             // the two data sources cannot interleave.
             if (findStream(side, 0, /*input=*/true))
                 return StallCause::StreamOwnership;
+            int32_t ev = -1;
+            if (cp) {
+                ev = cpUnitExecEvent(u, inst);
+                cp->dep(lastRetire[side][0][1],
+                        cpCause[static_cast<size_t>(
+                            StallCause::StreamOwnership)],
+                        1.0f);
+            }
             Val a = eval(inst.addr);
             ReadReq req;
             req.deliverAt = now + cfg.memLatency + chaosLatency();
@@ -1299,6 +1709,8 @@ struct Simulator::Impl
             req.size = rtl::dataTypeSize(inst.memType);
             req.isFloat = flt;
             req.seq = seq;
+            req.ev = ev;
+            req.loop = inst.loopId;
             checkAddr(req.addr, req.size);
             inflight[side][0].push_back(req);
             ++portsUsed;
@@ -1312,10 +1724,22 @@ struct Simulator::Impl
                     cfg.storeQueueDepth) {
                 return StallCause::StoreQueueFull;
             }
+            int32_t ev = -1;
+            if (cp)
+                ev = cpUnitExecEvent(u, inst);
             Val a = eval(inst.addr);
             checkAddr(a.i, rtl::dataTypeSize(inst.memType));
-            storeQ[side].push_back(
-                {a.i, rtl::dataTypeSize(inst.memType), seq});
+            storeQ[side].push_back({a.i,
+                                    rtl::dataTypeSize(inst.memType),
+                                    seq, ev, inst.loopId});
+            if (cp)
+                // Commit (the freeing pop) is a later phase: a pop at
+                // cycle t admits the next store address at t+1.
+                cp->pushDep(
+                    cpQStore(side),
+                    cpCause[static_cast<size_t>(
+                        StallCause::StoreQueueFull)],
+                    1.0f);
             break;
           }
           default:
@@ -1341,6 +1765,7 @@ struct Simulator::Impl
     ifuStall(StallCause c)
     {
         lastIfuCause = c;
+        ifuWaitCauseCp = c;
         ++stats.ifuStallCycles;
         ++stats.ifuStalls[c];
         if (curBucket) {
@@ -1398,6 +1823,8 @@ struct Simulator::Impl
               case Engine::IFU: {
                 switch (inst.kind) {
                   case InstKind::Jump:
+                    if (cp)
+                        cpIfuEvent(inst);
                     pc = resolveLabel(fi.func, inst.target);
                     break;
                   case InstKind::CondJump: {
@@ -1408,6 +1835,21 @@ struct Simulator::Impl
                     }
                     bool cc = ccFifo[side].front();
                     ccFifo[side].pop_front();
+                    if (cp) {
+                        int32_t ev = cpIfuEvent(inst);
+                        int32_t prod = -1;
+                        if (!ccFifoEv[side].empty()) {
+                            prod = ccFifoEv[side].front();
+                            ccFifoEv[side].pop_front();
+                        }
+                        // The compare executes in an earlier phase:
+                        // same-cycle consumption is possible.
+                        cp->dep(prod,
+                                cpCause[static_cast<size_t>(
+                                    StallCause::CcFifoEmpty)],
+                                0.0f);
+                        cp->pop(cpQCc(side), ev);
+                    }
                     if (cc == inst.when)
                         pc = resolveLabel(fi.func, inst.target);
                     else
@@ -1415,6 +1857,8 @@ struct Simulator::Impl
                     break;
                   }
                   case InstKind::JumpStream: {
+                    if (cp)
+                        cpIfuEvent(inst);
                     int side = inst.side == UnitSide::Flt ? 1 : 0;
                     int64_t &m = mirror[side][inst.fifo];
                     if (m < 0)
@@ -1433,11 +1877,15 @@ struct Simulator::Impl
                     if (it == funcEntry.end())
                         throw RunError("call to unknown function " +
                                        inst.target);
+                    if (cp)
+                        cpIfuEvent(inst);
                     raStack.push_back(pc + 1);
                     pc = it->second;
                     break;
                   }
                   case InstKind::Return:
+                    if (cp)
+                        cpIfuEvent(inst);
                     if (raStack.empty()) {
                         returned = true;
                     } else {
@@ -1455,6 +1903,22 @@ struct Simulator::Impl
                     if (inst.when && !unitsIdle()) {
                         ifuStall(StallCause::SyncWait);
                         return;
+                    }
+                    if (cp) {
+                        int32_t ev = cpIfuEvent(inst);
+                        if (inst.when) {
+                            // Cancelling waited for the units to
+                            // drain (same cycle: exec is earlier).
+                            cp->dep(lastExecEv[0],
+                                    cpCause[static_cast<size_t>(
+                                        StallCause::SyncWait)],
+                                    0.0f);
+                            cp->dep(lastExecEv[1],
+                                    cpCause[static_cast<size_t>(
+                                        StallCause::SyncWait)],
+                                    0.0f);
+                        }
+                        (void)ev; // applyStreamStop uses cpCurEv
                     }
                     applyStreamStop(inst);
                     ++pc;
@@ -1476,8 +1940,22 @@ struct Simulator::Impl
                                 ifuStall(StallCause::DataFifoEmpty);
                                 return;
                             }
+                    int32_t ev = -1;
+                    if (cp) {
+                        ev = cpIfuEvent(inst);
+                        cp->dep(lastExecEv[0],
+                                cpCause[static_cast<size_t>(
+                                    StallCause::SyncWait)],
+                                0.0f);
+                        cp->dep(lastExecEv[1],
+                                cpCause[static_cast<size_t>(
+                                    StallCause::SyncWait)],
+                                0.0f);
+                    }
                     Val v = eval(inst.src);
                     writeReg(inst.dst, v);
+                    if (cp)
+                        cpNoteWrite(inst.dst, ev);
                     ++pc;
                     break;
                   }
@@ -1496,6 +1974,26 @@ struct Simulator::Impl
                         ifuStall(veu.active ? StallCause::VeuBusy
                                             : StallCause::SyncWait);
                         return;
+                    }
+                    if (cp) {
+                        int32_t ev = cpIfuEvent(inst);
+                        cp->dep(lastExecEv[0],
+                                cpCause[static_cast<size_t>(
+                                    StallCause::SyncWait)],
+                                0.0f);
+                        cp->dep(lastExecEv[1],
+                                cpCause[static_cast<size_t>(
+                                    StallCause::SyncWait)],
+                                0.0f);
+                        // The previous vector op's last element ran
+                        // in an earlier phase this cycle.
+                        cp->dep(lastVeuEv,
+                                cpCause[static_cast<size_t>(
+                                    StallCause::VeuBusy)],
+                                0.0f);
+                        veuOpEv = ev;
+                        veuPrevElemEv = -1;
+                        veuLoop = inst.loopId;
                     }
                     VeuState v;
                     v.active = true;
@@ -1561,6 +2059,28 @@ struct Simulator::Impl
                     ifuStall(StallCause::ScuFifoBusy);
                     return; // previous stream still draining
                 }
+                int32_t startEv = -1;
+                if (cp) {
+                    startEv = cpIfuEvent(inst);
+                    // Start gated on the IEU drain, a free SCU slot,
+                    // and the FIFO's previous stream having retired —
+                    // all resolved in earlier phases of this cycle.
+                    cp->dep(lastExecEv[0],
+                            cpCause[static_cast<size_t>(
+                                StallCause::ScuDrainWait)],
+                            0.0f);
+                    cp->dep(free->slotRetireEv,
+                            cpCause[static_cast<size_t>(
+                                StallCause::ScuUnavailable)],
+                            0.0f);
+                    cp->dep(lastRetire[side][inst.fifo]
+                                      [inst.kind == InstKind::StreamIn
+                                           ? 1
+                                           : 0],
+                            cpCause[static_cast<size_t>(
+                                StallCause::ScuFifoBusy)],
+                            0.0f);
+                }
                 Stream s;
                 s.active = true;
                 s.input = inst.kind == InstKind::StreamIn;
@@ -1573,6 +2093,9 @@ struct Simulator::Impl
                 s.seq = seqCounter++;
                 s.readyAt = now + cfg.scuStartupCycles +
                             (chaos ? chaosRng.nextBelow(4) : 0);
+                s.loopId = inst.loopId;
+                s.startEv = startEv;
+                s.slotRetireEv = free->slotRetireEv;
                 if (s.count == 0) {
                     // Empty stream: nothing to do, but the mirror must
                     // still say "exhausted".
@@ -1589,6 +2112,9 @@ struct Simulator::Impl
                                  (long long)s.base, (long long)s.count,
                                  (long long)s.stride);
                 *free = s;
+                if (cp && !s.active)
+                    // Empty stream: retires the cycle it starts.
+                    cpRetire(*free, startEv);
                 // Starting a stream program re-arms the IFU's count
                 // mirror unconditionally. The mirror may still hold a
                 // positive leftover from an earlier multi-stream loop
@@ -1632,7 +2158,18 @@ struct Simulator::Impl
                         streamEnq = true;
                     }
                 }
-                unitQ[u].push_back({&inst, mySeq, streamEnq});
+                int32_t dev = -1;
+                if (cp) {
+                    dev = cpIfuEvent(inst);
+                    // Exec (the freeing pop) is an earlier phase, so
+                    // a pop at cycle t admits a dispatch at t.
+                    cp->pushDep(
+                        cpQInst(u),
+                        cpCause[static_cast<size_t>(
+                            StallCause::InstQueueFull)],
+                        0.0f);
+                }
+                unitQ[u].push_back({&inst, mySeq, streamEnq, dev});
                 ++pc;
                 ++stats.instsDispatched;
                 break;
@@ -1671,6 +2208,22 @@ struct Simulator::Impl
         // check when the run faulted.
         if (cfg.timeseries)
             cfg.timeseries->finish(now);
+        if (cp) {
+            // Terminal event: the run ends when the last of every
+            // unit's final activity has drained. The backward walk
+            // starts here; the binding drain edge names the unit that
+            // finished last.
+            int32_t ev = cp->event(now, cpuEnd, -1, 0);
+            cp->dep(lastIfuEv, cpcDrain, 0.0f);
+            cp->dep(lastExecEv[0], cpcDrain, 0.0f);
+            cp->dep(lastExecEv[1], cpcDrain, 0.0f);
+            cp->dep(lastStoreCommitEv, cpcDrain, 0.0f);
+            cp->dep(lastDeliveryEv, cpcDrain, 0.0f);
+            cp->dep(lastVeuEv, cpcDrain, 0.0f);
+            for (auto &s : scus)
+                cp->dep(s.lastElemEv, cpcDrain, 0.0f);
+            cp->setEnd(ev);
+        }
         stats.cycles = now;
         stats.loops = loopBuckets;
         std::sort(stats.loops.begin(), stats.loops.end(),
@@ -2235,6 +2788,14 @@ struct Simulator::Impl
                 StallCause c1 = stepUnit(1);
                 lastUnitCause[0] = c0;
                 lastUnitCause[1] = c1;
+                if (cp) {
+                    // Remember the most recent stall per unit; the
+                    // next exec event consumes it as its wait cause.
+                    if (c0 != StallCause::None)
+                        unitWaitCause[0] = c0;
+                    if (c1 != StallCause::None)
+                        unitWaitCause[1] = c1;
+                }
                 if (c0 != StallCause::None) {
                     if (c0 == StallCause::InstQueueEmpty)
                         ++stats.ieuIdleCycles;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/critpath.h"
 #include "obs/histogram.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -111,6 +112,18 @@ struct SimConfig
      * totals sum exactly to the SimStats aggregates.
      */
     obs::TimeSeries *timeseries = nullptr;
+    /**
+     * Causal critical-path recorder: when set, the simulator appends
+     * one DAG event per unit of forward progress (dispatch, execute,
+     * FIFO push/pop, CC produce/consume, stream start/element/stop,
+     * store commit, memory delivery), with edges typed by the stall
+     * taxonomy and tagged with the remarks loop id. Pass a
+     * freshly-constructed recorder; the simulator registers its
+     * unit/cause/queue taxonomy and marks the end event when the run
+     * finishes (also on faults, up to the last progress). The caller
+     * owns the recorder and runs the analyses after the run.
+     */
+    obs::CritPath *critpath = nullptr;
     /// @}
 };
 

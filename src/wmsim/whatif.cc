@@ -1,0 +1,75 @@
+#include "wmsim/whatif.h"
+
+namespace wmstream::wmsim {
+
+namespace {
+
+/** @p base minus its observability hooks: a clean measurement run. */
+SimConfig
+measurementConfig(const SimConfig &base)
+{
+    SimConfig c = base;
+    c.collectOccupancy = false;
+    c.trace = nullptr;
+    c.timeseries = nullptr;
+    c.critpath = nullptr;
+    return c;
+}
+
+} // namespace
+
+std::vector<CritWhatIf>
+critPathWhatIfs(const SimConfig &baseIn)
+{
+    const SimConfig base = measurementConfig(baseIn);
+    std::vector<CritWhatIf> out;
+
+    {
+        CritWhatIf w;
+        w.name = "fifo_depth_plus_8";
+        w.description = "data FIFOs 8 entries deeper";
+        w.replay.name = w.name;
+        w.replay.extraDataFifoDepth = 8;
+        w.resim = base;
+        w.resim.dataFifoDepth = base.dataFifoDepth + 8;
+        out.push_back(std::move(w));
+    }
+    {
+        CritWhatIf w;
+        w.name = "zero_latency_scu";
+        w.description = "SCU first address on the start cycle";
+        w.replay.name = w.name;
+        w.replay.causeScales.push_back({"scu_startup", 0.0});
+        w.resim = base;
+        w.resim.scuStartupCycles = 0;
+        out.push_back(std::move(w));
+    }
+    {
+        CritWhatIf w;
+        w.name = "faster_eu_2x";
+        w.description = "execution units at twice the clock";
+        w.replay.name = w.name;
+        w.replay.causeScales.push_back({"execute", 0.5});
+        w.resim = base;
+        // No half-cycle ALU knob exists; prediction only.
+        w.validatable = false;
+        out.push_back(std::move(w));
+    }
+    {
+        CritWhatIf w;
+        w.name = "mem_latency_half";
+        w.description = "memory latency halved";
+        w.replay.name = w.name;
+        w.replay.causeScales.push_back({"mem_latency", 0.5});
+        w.resim = base;
+        w.resim.memLatency = base.memLatency > 1 ? base.memLatency / 2 : 1;
+        // Replay scales edges by exactly 0.5; only validate when the
+        // integer config knob can express the same machine.
+        w.validatable = base.memLatency % 2 == 0 && base.memLatency >= 2;
+        out.push_back(std::move(w));
+    }
+
+    return out;
+}
+
+} // namespace wmstream::wmsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * What-if scenarios for the critical-path profiler.
+ *
+ * Each scenario pairs two descriptions of the same hypothetical
+ * machine change: a CritScenario that replays the recorded event DAG
+ * with an edge class shrunk (the *prediction*), and a SimConfig edit
+ * that re-simulates the program on the changed machine (the
+ * *measurement*). Predicted speedup is the ratio of two DAG replays
+ * (baseline model / scenario model) so first-order model error
+ * cancels; the validation protocol (DESIGN.md §14) compares it
+ * against the re-simulated speedup and reports the error.
+ *
+ * Scenarios without a faithful SimConfig edit (e.g. "every execute
+ * edge at half latency" — there is no half-cycle ALU knob) are marked
+ * non-validatable: they are still predicted and reported, but the
+ * harness does not re-simulate them.
+ */
+
+#ifndef WMSTREAM_WMSIM_WHATIF_H
+#define WMSTREAM_WMSIM_WHATIF_H
+
+#include <string>
+#include <vector>
+
+#include "obs/critpath.h"
+#include "wmsim/sim.h"
+
+namespace wmstream::wmsim {
+
+/** One hypothetical machine change, in both vocabularies. */
+struct CritWhatIf
+{
+    std::string name;         ///< stable id, e.g. "fifo_depth_plus_8"
+    std::string description;  ///< one line for reports
+    obs::CritScenario replay; ///< DAG-replay form (prediction)
+    SimConfig resim;          ///< re-simulation form (measurement)
+    bool validatable = true;  ///< false: no faithful SimConfig edit
+};
+
+/**
+ * The standard scenario set, derived from @p base (the configuration
+ * the recording was made under): deeper data FIFOs, a zero-latency
+ * SCU, a 2x-faster execute stage, and halved memory latency.
+ */
+std::vector<CritWhatIf> critPathWhatIfs(const SimConfig &base);
+
+} // namespace wmstream::wmsim
+
+#endif // WMSTREAM_WMSIM_WHATIF_H

@@ -1,0 +1,82 @@
+# Critical-path smoke: run wmc with the critical-path profiler on one
+# example and enforce the acceptance invariants on the artifacts:
+#
+#   - the manifest carries a "critical_path" section whose rows sum
+#     EXACTLY to the total simulated cycle count (the attribution
+#     partitions (0, cycles] — no cycle unaccounted, none counted
+#     twice);
+#   - the what-if array carries the standard scenarios, and every
+#     validated row's predicted speedup is within 10% of the
+#     re-simulated speedup (the paper-facing acceptance criterion);
+#   - `wmreport --critpath MANIFEST` renders the bottleneck tree,
+#     re-deriving the same sum from the document and exiting nonzero
+#     on any mismatch.
+#
+# Invoked by the critpath-smoke-* ctests; see tools/CMakeLists.txt.
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(MANIFEST ${OUT_DIR}/manifest.json)
+execute_process(
+    COMMAND ${WMC} --run --critpath --critpath-validate
+            --manifest=${MANIFEST} ${SOURCE}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmc failed on ${SOURCE} (rc=${run_rc}):\n${run_out}${run_err}")
+endif()
+if(NOT EXISTS ${MANIFEST})
+    message(FATAL_ERROR "wmc did not write ${MANIFEST}")
+endif()
+
+if(PYTHON)
+    execute_process(
+        COMMAND ${PYTHON} -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+cp = d['critical_path']
+assert cp.get('schema_version') == 1, 'critical_path schema_version != 1'
+assert cp.get('kind') == 'critical_path', 'critical_path kind mismatch'
+assert cp['valid'], 'recording truncated or unanalyzable'
+total = cp['total_cycles']
+sim_cycles = d['stats']['sim']['cycles']
+assert total == sim_cycles, 'end event at %d, run took %d' % (total, sim_cycles)
+row_sum = sum(r['cycles'] for r in cp['rows'])
+assert cp['attributed_cycles'] == total, \
+    'attributed %d != total %d' % (cp['attributed_cycles'], total)
+assert row_sum == total, 'rows sum to %d, total is %d' % (row_sum, total)
+names = [w['name'] for w in cp['what_if']]
+for want in ('fifo_depth_plus_8', 'zero_latency_scu'):
+    assert want in names, 'missing what-if scenario ' + want
+validated = 0
+for w in cp['what_if']:
+    if not w.get('validated'):
+        continue
+    validated += 1
+    assert w['error_pct'] <= 10.0, \
+        '%s: predicted %.3fx vs measured %.3fx (%.1f%% err)' % (
+            w['name'], w['predicted_speedup'], w['measured_speedup'],
+            w['error_pct'])
+print('critpath ok: %d cycles over %d classes, %d scenarios validated'
+      % (total, len(cp['rows']), validated))"
+                ${MANIFEST}
+        RESULT_VARIABLE json_rc
+        OUTPUT_VARIABLE json_out
+        ERROR_VARIABLE json_err)
+    if(NOT json_rc EQUAL 0)
+        message(FATAL_ERROR "bad critical_path in ${MANIFEST}:\n${json_err}")
+    endif()
+    message(STATUS "${json_out}")
+endif()
+
+execute_process(
+    COMMAND ${WMREPORT} --critpath ${MANIFEST}
+    RESULT_VARIABLE cp_rc
+    OUTPUT_VARIABLE cp_out
+    ERROR_VARIABLE cp_err)
+if(NOT cp_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmreport --critpath failed (rc=${cp_rc}) — schema or "
+            "attribution-sum violation:\n${cp_out}${cp_err}")
+endif()
+message(STATUS "critpath view ok:\n${cp_out}")

@@ -1,0 +1,63 @@
+# Golden-output test for one wmreport view. Runs wmc from inside the
+# source's directory with a relative path (so every source location in
+# the output is path-independent), renders the requested view, and
+# byte-compares stdout against the checked-in golden.
+#
+# The simulator is deterministic, wmreport prints no wall-clock data,
+# and the relative-path trick keeps build-tree paths out — so the
+# golden is stable across machines. Regenerate after an intentional
+# output change with -DUPDATE=1, then review the diff like any other
+# source change.
+#
+# Arguments: WMC, WMREPORT, SOURCE (absolute), VIEW (e.g. --timeline),
+# GOLDEN (checked-in file), OUT_DIR, optional UPDATE.
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(MANIFEST ${OUT_DIR}/manifest.json)
+get_filename_component(src_dir ${SOURCE} DIRECTORY)
+get_filename_component(src_name ${SOURCE} NAME)
+execute_process(
+    COMMAND ${WMC} --run --sample-window=64 --critpath
+            --critpath-validate --manifest=${MANIFEST} ${src_name}
+    WORKING_DIRECTORY ${src_dir}
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmc failed on ${src_name} (rc=${run_rc}):\n${run_out}${run_err}")
+endif()
+
+execute_process(
+    COMMAND ${WMREPORT} ${VIEW} ${MANIFEST}
+    RESULT_VARIABLE view_rc
+    OUTPUT_VARIABLE view_out
+    ERROR_VARIABLE view_err)
+if(NOT view_rc EQUAL 0)
+    message(FATAL_ERROR
+            "wmreport ${VIEW} failed (rc=${view_rc}):\n${view_err}")
+endif()
+
+if(UPDATE)
+    file(WRITE ${GOLDEN} "${view_out}")
+    message(STATUS "updated ${GOLDEN}")
+    return()
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+    message(FATAL_ERROR
+            "golden file ${GOLDEN} missing; regenerate with "
+            "-DUPDATE=1")
+endif()
+file(READ ${GOLDEN} want)
+if(NOT view_out STREQUAL want)
+    set(GOT ${OUT_DIR}/got.txt)
+    file(WRITE ${GOT} "${view_out}")
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${GOLDEN} ${GOT})
+    message(FATAL_ERROR
+            "wmreport ${VIEW} output differs from ${GOLDEN}\n"
+            "--- got (${GOT}):\n${view_out}\n"
+            "--- want:\n${want}\n"
+            "If the change is intentional, regenerate with -DUPDATE=1.")
+endif()
+message(STATUS "golden ok: wmreport ${VIEW} matches ${GOLDEN}")

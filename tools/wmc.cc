@@ -61,6 +61,22 @@
  *                         watchdog's forensic report (blocked units,
  *                         stall causes, wait-for graph, FIFO/stream
  *                         state); text goes to stderr, json to stdout
+ *   --critpath[=text|json]
+ *                         with --run (WM target): record the causal
+ *                         scheduling DAG, attribute every simulated
+ *                         cycle to one (unit, stall-cause, loop)
+ *                         critical edge (exact sum), predict what-if
+ *                         speedups by DAG replay, and print the
+ *                         bottleneck table (default: text). The
+ *                         manifest gains a "critical_path" section
+ *                         and the metrics wm_critpath_* families;
+ *                         per-loop "critical-edge" remarks name each
+ *                         loop's dominant critical edge; with json
+ *                         the document owns stdout (human lines move
+ *                         to stderr)
+ *   --critpath-validate   with --critpath: re-simulate each
+ *                         validatable what-if scenario on the changed
+ *                         machine and report prediction error
  *   --verify[=each|final] run the IR verifier (structural validity,
  *                         FIFO discipline, recurrence legality):
  *                         `each` re-checks after expansion and after
@@ -85,10 +101,12 @@
  *       or --verify violations)
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -104,12 +122,13 @@
 #include "timing/scalar_sim.h"
 #include "wm/printer.h"
 #include "wmsim/sim.h"
+#include "wmsim/whatif.h"
 
 using namespace wmstream;
 
 namespace {
 
-const char kVersion[] = "0.4.0";
+const char kVersion[] = "0.5.0";
 
 /**
  * Every flag wmc accepts, with its value shape. The table is the
@@ -153,6 +172,10 @@ const struct {
      "perturb simulator timing from seed N (0 = off)"},
     {"--fault-report[=text|json]",
      "with --run: print deadlock/livelock forensics"},
+    {"--critpath[=text|json]",
+     "with --run: critical-path attribution and what-if predictions"},
+    {"--critpath-validate",
+     "with --critpath: re-simulate what-if scenarios for validation"},
     {"--verify[=each|final]",
      "run the IR verifier; any violation exits 70 (default: each)"},
     {"--inject-deadlock-bug",
@@ -267,6 +290,9 @@ main(int argc, char **argv)
     RemarkFormat remarkFormat = RemarkFormat::Off;
     enum class FaultFormat { Off, Text, Json };
     FaultFormat faultFormat = FaultFormat::Off;
+    enum class CritFormat { Off, Text, Json };
+    CritFormat critFormat = CritFormat::Off;
+    bool critValidate = false;
     wmsim::SimConfig simCfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -364,6 +390,13 @@ main(int argc, char **argv)
             faultFormat = FaultFormat::Text;
         } else if (std::strcmp(a, "--fault-report=json") == 0) {
             faultFormat = FaultFormat::Json;
+        } else if (std::strcmp(a, "--critpath") == 0 ||
+                   std::strcmp(a, "--critpath=text") == 0) {
+            critFormat = CritFormat::Text;
+        } else if (std::strcmp(a, "--critpath=json") == 0) {
+            critFormat = CritFormat::Json;
+        } else if (std::strcmp(a, "--critpath-validate") == 0) {
+            critValidate = true;
         } else if (std::strcmp(a, "--verify") == 0 ||
                    std::strcmp(a, "--verify=each") == 0) {
             options.verify = driver::VerifyMode::Each;
@@ -472,10 +505,11 @@ main(int argc, char **argv)
     if (!run)
         return emitManifestAndMetrics() ? 0 : 1;
 
-    // With --stats-json=- or --manifest=- the JSON document owns
-    // stdout; the human-readable lines move to stderr so the output
-    // stays parseable.
-    std::FILE *human = statsJsonPath == "-" || manifestPath == "-"
+    // With --stats-json=-, --manifest=- or --critpath=json a JSON
+    // document owns stdout; the human-readable lines move to stderr
+    // so the output stays parseable.
+    std::FILE *human = statsJsonPath == "-" || manifestPath == "-" ||
+                               critFormat == CritFormat::Json
                            ? stderr
                            : stdout;
 
@@ -492,6 +526,11 @@ main(int argc, char **argv)
                                    sampleWindow);
         if (sampling)
             simCfg.timeseries = &timeseries;
+        const bool critEnabled =
+            critFormat != CritFormat::Off || critValidate;
+        obs::CritPath critRec;
+        if (critEnabled)
+            simCfg.critpath = &critRec;
         obs::PhaseTimer simTimer;
         auto res = wmsim::simulate(*compiled.program, simCfg);
         man.host.simWallMs = simTimer.elapsedMs();
@@ -500,6 +539,76 @@ main(int argc, char **argv)
         man.simResult = &res;
         if (sampling)
             man.timeseries = &timeseries;
+        // Critical-path attribution + what-if predictions. Built
+        // before the fault branch below: a faulted run still has an
+        // end event at its last cycle, so the partial DAG attributes
+        // and lands in the manifest; only the what-if re-simulations
+        // are skipped (a speedup over a faulted run means nothing).
+        report::CritPathReport critReport;
+        if (critEnabled) {
+            critReport.dag = &critRec;
+            critReport.analysis = critRec.analyze();
+            if (critReport.analysis.valid) {
+                critReport.replayBaselineCycles = critRec.replay({});
+                for (const auto &wi :
+                     wmsim::critPathWhatIfs(simCfg)) {
+                    report::WhatIfRow row;
+                    row.name = wi.name;
+                    row.description = wi.description;
+                    row.predictedCycles = critRec.replay(wi.replay);
+                    if (row.predictedCycles > 0.0)
+                        row.predictedSpeedup =
+                            critReport.replayBaselineCycles /
+                            row.predictedCycles;
+                    if (critValidate && wi.validatable && res.ok) {
+                        auto re = wmsim::simulate(*compiled.program,
+                                                  wi.resim);
+                        if (re.ok && re.stats.cycles > 0) {
+                            row.validated = true;
+                            row.measuredCycles = static_cast<double>(
+                                re.stats.cycles);
+                            row.measuredSpeedup =
+                                static_cast<double>(
+                                    res.stats.cycles) /
+                                row.measuredCycles;
+                            row.errorPct =
+                                std::fabs(row.predictedSpeedup -
+                                          row.measuredSpeedup) /
+                                row.measuredSpeedup * 100.0;
+                        }
+                    }
+                    critReport.whatIf.push_back(row);
+                }
+            }
+            man.critpath = &critReport;
+            // Why-not-faster: one remark per source loop on the
+            // critical path, naming its dominant critical edge (rows
+            // are sorted by cycles, so the first row per loop wins).
+            std::set<int> remarked;
+            for (const auto &r : critReport.analysis.rows) {
+                if (r.loop < 0 || !remarked.insert(r.loop).second)
+                    continue;
+                const obs::LoopRecord *lr =
+                    compiled.remarks.findLoop(r.loop);
+                obs::Remark rem;
+                rem.pass = "critpath";
+                rem.function = lr ? lr->function : "";
+                rem.loopId = r.loop;
+                if (lr)
+                    rem.loc = lr->loc;
+                rem.verdict = obs::RemarkVerdict::Missed;
+                rem.reason = "critical-edge";
+                obs::Remark &added =
+                    compiled.remarks.add(std::move(rem));
+                added.arg("unit", critRec.unitName(r.unit))
+                    .arg("cause", critRec.causeName(r.cause))
+                    .arg("critical_cycles",
+                         static_cast<int64_t>(r.cycles));
+                if (remarkFormat == RemarkFormat::Text)
+                    std::fprintf(human, "%s:%s\n", file.c_str(),
+                                 added.str().c_str());
+            }
+        }
         if (sampling && !traceOutPath.empty())
             report::addTimelineCounterTracks(trace, timeseries);
         if (!traceOutPath.empty() && !trace.writeFile(traceOutPath)) {
@@ -530,6 +639,15 @@ main(int argc, char **argv)
                 if (!writeTextFile(statsJsonPath, w.str()))
                     return 1;
             }
+            if (critFormat == CritFormat::Text)
+                std::fprintf(
+                    stderr, "%s",
+                    report::renderCritPathText(critReport).c_str());
+            if (critFormat == CritFormat::Json) {
+                obs::JsonWriter w;
+                report::writeCritPathDoc(w, critReport);
+                std::printf("%s\n", w.str().c_str());
+            }
             if (!emitManifestAndMetrics())
                 return 1;
             return wedge ? 4 : 3;
@@ -555,6 +673,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     res.stats.vectorElements));
         }
+        if (critFormat == CritFormat::Text)
+            std::fprintf(human, "%s",
+                         report::renderCritPathText(critReport).c_str());
+        if (critFormat == CritFormat::Json) {
+            obs::JsonWriter w;
+            report::writeCritPathDoc(w, critReport);
+            std::printf("%s\n", w.str().c_str());
+        }
         if (!statsJsonPath.empty()) {
             obs::JsonWriter w;
             report::writeWmStatsDoc(w, file, compiled, simCfg, res);
@@ -576,6 +702,19 @@ main(int argc, char **argv)
         if (!res.ok) {
             std::fprintf(stderr, "wmc: runtime error: %s\n",
                          res.error.c_str());
+            // Faulted scalar runs leave the same machine-readable
+            // artifacts as faulted WM runs: the stats document gains
+            // a "fault" section and the metrics a wm_sim_fault=1
+            // gauge, so CI collects forensics from every exit path.
+            if (!statsJsonPath.empty()) {
+                obs::JsonWriter w;
+                report::writeScalarStatsDoc(w, file, model.name,
+                                            compiled, res);
+                if (!writeTextFile(statsJsonPath, w.str()))
+                    return 1;
+            }
+            if (!emitManifestAndMetrics())
+                return 1;
             return 3;
         }
         std::fprintf(human, "exit value: %lld\n",

@@ -29,11 +29,19 @@
  * strip and legend. Ramp-up, steady-state, and drain phases of a
  * streamed loop are visibly distinct.
  *
+ * --critpath renders the critical-path profiler's bottleneck tree
+ * from the manifest's "critical_path" section (`wmc --run
+ * --critpath --manifest=...`): critical cycles grouped unit → stall
+ * cause → source loop, plus the what-if speedup predictions with
+ * their validation errors where the run measured them.
+ *
  * wmreport also checks the attribution invariants — per-loop cycle
- * buckets must sum exactly to the total simulated cycles, and (with
+ * buckets must sum exactly to the total simulated cycles, (with
  * --timeline) every cumulative time-series channel must sum exactly
- * to its end-of-run aggregate counter — and exits nonzero when they
- * do not hold, so the CI smoke tests catch any regression.
+ * to its end-of-run aggregate counter, and (with --critpath) the
+ * critical-path rows must sum exactly to the simulated cycle count —
+ * and exits nonzero when they do not hold, so the CI smoke tests
+ * catch any regression.
  *
  * Exit status: 0 on success, 1 on I/O, parse, schema, or invariant
  * errors, 2 on usage errors.
@@ -61,12 +69,16 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wmreport [--timeline] remarks.json stats.json\n"
-        "       wmreport [--timeline] manifest.json\n"
+        "usage: wmreport [--timeline] [--critpath] remarks.json "
+        "stats.json\n"
+        "       wmreport [--timeline] [--critpath] manifest.json\n"
         "       (\"-\" reads that document from stdin)\n"
         "  --timeline  render the flight-recorder time series as\n"
         "              per-unit heat-strips (needs a manifest with a\n"
-        "              \"timeseries\" section)\n");
+        "              \"timeseries\" section)\n"
+        "  --critpath  render the critical-path bottleneck tree and\n"
+        "              what-if predictions (needs a manifest with a\n"
+        "              \"critical_path\" section)\n");
     return 2;
 }
 
@@ -397,16 +409,172 @@ renderTimeline(const TsData &ts, const std::string &sourceFile)
     std::printf("\n");
 }
 
+/**
+ * Render the critical-path bottleneck tree (unit -> cause -> loop)
+ * and the what-if prediction table from a manifest's "critical_path"
+ * section, verifying the exact-sum invariant along the way. Returns
+ * false when the invariant is broken (rows must sum to the total).
+ */
+bool
+renderCritPath(const JsonValue &cp,
+               const std::map<int, LoopRow> &loops,
+               const std::string &sourceFile)
+{
+    const JsonValue *valid = cp.get("valid");
+    if (!valid || valid->kind != JsonValue::Kind::Bool ||
+        !valid->boolVal) {
+        const JsonValue *tr = cp.get("truncated");
+        std::printf("critical path for %s: %s\n", sourceFile.c_str(),
+                    tr && tr->boolVal
+                        ? "recording truncated (event cap hit); "
+                          "attribution unavailable"
+                        : "no attribution recorded");
+        return true;
+    }
+    uint64_t total = static_cast<uint64_t>(cp.getInt("total_cycles"));
+    uint64_t attributed =
+        static_cast<uint64_t>(cp.getInt("attributed_cycles"));
+    const JsonValue *rows = cp.get("rows");
+    if (!rows || !rows->isArray()) {
+        std::fprintf(stderr, "wmreport: critical_path section has no "
+                             "\"rows\" array\n");
+        return false;
+    }
+
+    // Nested aggregation, first-seen order (the rows arrive sorted
+    // by cycles descending, so groups come out hottest-first).
+    struct LoopLeaf
+    {
+        int loop;
+        uint64_t cycles, edges;
+    };
+    struct CauseNode
+    {
+        std::string cause;
+        uint64_t cycles = 0;
+        std::vector<LoopLeaf> leaves;
+    };
+    struct UnitNode
+    {
+        std::string unit;
+        uint64_t cycles = 0;
+        std::vector<CauseNode> causes;
+    };
+    std::vector<UnitNode> units;
+    uint64_t rowSum = 0;
+    for (const JsonValue &r : rows->arr) {
+        std::string unit = r.getStr("unit");
+        std::string cause = r.getStr("cause");
+        int loop = static_cast<int>(r.getInt("loop", -1));
+        uint64_t cycles = static_cast<uint64_t>(r.getInt("cycles"));
+        uint64_t edges = static_cast<uint64_t>(r.getInt("edges"));
+        rowSum += cycles;
+        UnitNode *un = nullptr;
+        for (UnitNode &u : units)
+            if (u.unit == unit)
+                un = &u;
+        if (!un) {
+            units.push_back({unit, 0, {}});
+            un = &units.back();
+        }
+        un->cycles += cycles;
+        CauseNode *cn = nullptr;
+        for (CauseNode &c : un->causes)
+            if (c.cause == cause)
+                cn = &c;
+        if (!cn) {
+            un->causes.push_back({cause, 0, {}});
+            cn = &un->causes.back();
+        }
+        cn->cycles += cycles;
+        cn->leaves.push_back({loop, cycles, edges});
+    }
+    std::stable_sort(units.begin(), units.end(),
+                     [](const UnitNode &a, const UnitNode &b) {
+                         return a.cycles > b.cycles;
+                     });
+
+    std::printf("critical-path bottleneck tree for %s (%llu cycles, "
+                "%lld critical edges, %lld events)\n",
+                sourceFile.c_str(),
+                static_cast<unsigned long long>(total),
+                static_cast<long long>(cp.getInt("path_length")),
+                static_cast<long long>(cp.getInt("events")));
+    for (const UnitNode &u : units) {
+        std::printf("  %-22s %10llu  %s\n", u.unit.c_str(),
+                    static_cast<unsigned long long>(u.cycles),
+                    percent(u.cycles, total).c_str());
+        for (const CauseNode &c : u.causes) {
+            std::printf("    %-20s %10llu  %s\n", c.cause.c_str(),
+                        static_cast<unsigned long long>(c.cycles),
+                        percent(c.cycles, total).c_str());
+            for (const LoopLeaf &l : c.leaves) {
+                std::string where = "(outside loops)";
+                if (l.loop >= 0) {
+                    where = "loop " + std::to_string(l.loop);
+                    auto it = loops.find(l.loop);
+                    if (it != loops.end() && it->second.line > 0)
+                        where += " " + loc(sourceFile,
+                                           it->second.line,
+                                           it->second.column);
+                }
+                std::printf("      %-18s %10llu  %s  (%llu edges)\n",
+                            where.c_str(),
+                            static_cast<unsigned long long>(l.cycles),
+                            percent(l.cycles, total).c_str(),
+                            static_cast<unsigned long long>(l.edges));
+            }
+        }
+    }
+
+    if (const JsonValue *wi = cp.get("what_if");
+        wi && wi->isArray() && !wi->arr.empty()) {
+        std::printf("\n  what-if predictions:\n");
+        for (const JsonValue &w : wi->arr) {
+            std::printf("    %-18s %-38s predicted %.2fx",
+                        w.getStr("name").c_str(),
+                        w.getStr("description").c_str(),
+                        w.getNum("predicted_speedup"));
+            const JsonValue *v = w.get("validated");
+            if (v && v->boolVal)
+                std::printf("  measured %.2fx  error %.1f%%",
+                            w.getNum("measured_speedup"),
+                            w.getNum("error_pct"));
+            else
+                std::printf("  (not validated)");
+            std::printf("\n");
+        }
+    }
+    std::printf("\n  attributed %llu of %llu cycles\n\n",
+                static_cast<unsigned long long>(rowSum),
+                static_cast<unsigned long long>(total));
+
+    if (rowSum != total || attributed != total) {
+        std::fprintf(stderr,
+                     "wmreport: critical-path attribution broken: "
+                     "rows sum to %llu (document says %llu), total "
+                     "is %llu\n",
+                     static_cast<unsigned long long>(rowSum),
+                     static_cast<unsigned long long>(attributed),
+                     static_cast<unsigned long long>(total));
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool timeline = false;
+    bool critpath = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--timeline") == 0)
             timeline = true;
+        else if (std::strcmp(argv[i], "--critpath") == 0)
+            critpath = true;
         else if (argv[i][0] == '-' && argv[i][1] != '\0') {
             std::fprintf(stderr, "wmreport: unknown option %s\n",
                          argv[i]);
@@ -419,6 +587,7 @@ main(int argc, char **argv)
     const JsonValue *remarksPtr = nullptr;
     const JsonValue *statsPtr = nullptr;
     const JsonValue *tsPtr = nullptr;
+    const JsonValue *cpPtr = nullptr;
     std::string statsPath;
     if (paths.size() == 1) {
         // Manifest mode: one document embedding all the sections.
@@ -435,6 +604,7 @@ main(int argc, char **argv)
         remarksPtr = doc1.get("remarks");
         statsPtr = doc1.get("stats");
         tsPtr = doc1.get("timeseries");
+        cpPtr = doc1.get("critical_path");
         if (!remarksPtr || !remarksPtr->isObject()) {
             std::fprintf(stderr,
                          "wmreport: %s has no \"remarks\" section\n",
@@ -552,6 +722,18 @@ main(int argc, char **argv)
             !checkTimeseriesSums(ts, *sim))
             return 1;
         renderTimeline(ts, sourceFile);
+    }
+
+    if (critpath) {
+        if (!cpPtr || !cpPtr->isObject()) {
+            std::fprintf(stderr,
+                         "wmreport: --critpath needs a manifest with "
+                         "a \"critical_path\" section (wmc --run "
+                         "--critpath --manifest)\n");
+            return 1;
+        }
+        if (!renderCritPath(*cpPtr, loops, sourceFile))
+            return 1;
     }
 
     // A faulted run writes a "fault" section instead of stats;
