@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Batch compile-service throughput: TUs per wall-clock second through
+ * serve::runBatch, plus the overhead of fault isolation.
+ *
+ * Not a paper table — a harness health metric for the batch service
+ * (`wmc --batch`). Two tables:
+ *
+ *  - batch_cold: a healthy all-streamable batch compiled at several
+ *    worker counts. The deterministic columns (tus, ok, attempts)
+ *    participate in the benchdiff regression gate; "wall_ms" and
+ *    "compiles_per_sec" are host-dependent and excluded (see
+ *    tools/benchdiff.py's HOST_METRIC_MARKERS).
+ *
+ *  - batch_degraded: the same batch with every fourth TU poisoned
+ *    (alternating injected panics and verifier bugs), pinning the
+ *    ladder's deterministic work: attempts, demotions, quarantined.
+ *    A regression here means the retry/demotion policy changed
+ *    silently.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "obs/pass_profiler.h"
+#include "programs/programs.h"
+#include "serve/batch.h"
+
+using namespace wmstream;
+
+namespace {
+
+constexpr int kTus = 24;
+
+/** The benched batch: kTus streamable kernels of varying size. */
+std::vector<serve::TuJob>
+healthyJobs()
+{
+    std::vector<serve::TuJob> jobs;
+    for (int i = 0; i < kTus; ++i) {
+        serve::TuJob j;
+        j.id = "tu-" + std::to_string(i) + ".c";
+        j.source = programs::dotProductSource(16 + 16 * (i % 8));
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+/** healthyJobs() with every fourth TU poisoned. */
+std::vector<serve::TuJob>
+poisonedJobs()
+{
+    auto jobs = healthyJobs();
+    for (size_t i = 3; i < jobs.size(); i += 4) {
+        if ((i / 4) % 2 == 0)
+            jobs[i].injectPanic = true;
+        else
+            jobs[i].injectVerifierBug = true;
+    }
+    return jobs;
+}
+
+serve::BatchOptions
+batchOptions(int workers)
+{
+    serve::BatchOptions bo;
+    bo.base.verify = driver::VerifyMode::Each;
+    bo.jobs = workers;
+    bo.backoffBaseMs = 0;
+    return bo;
+}
+
+void
+printTable(wsbench::JsonReport &report)
+{
+    std::printf("Batch compile service throughput (%d TUs, verify "
+                "each).\n\n",
+                kTus);
+    std::printf("%-20s %6s %6s %10s %10s %10s %12s\n", "Batch", "ok",
+                "quar", "attempts", "demotions", "wall ms",
+                "compiles/sec");
+    for (int workers : {1, 4}) {
+        for (bool degraded : {false, true}) {
+            auto jobs = degraded ? poisonedJobs() : healthyJobs();
+            obs::PhaseTimer timer;
+            auto rep = serve::runBatch(jobs, batchOptions(workers));
+            double ms = timer.elapsedMs();
+            double rate =
+                ms > 0.0 ? static_cast<double>(rep.attempts) /
+                               (ms / 1000.0)
+                         : 0.0;
+            std::string label =
+                std::string(degraded ? "batch_degraded" : "batch_cold") +
+                ".j" + std::to_string(workers);
+            std::printf("%-20s %6d %6d %10lld %10d %10.2f %12.0f\n",
+                        label.c_str(), rep.ok, rep.quarantined(),
+                        static_cast<long long>(rep.attempts),
+                        rep.demotions, ms, rate);
+            report.row(label)
+                .num("tus", static_cast<double>(rep.total))
+                .num("ok", static_cast<double>(rep.ok))
+                .num("ok_degraded", static_cast<double>(rep.okDegraded))
+                .num("failed", static_cast<double>(rep.failed))
+                .num("quarantined",
+                     static_cast<double>(rep.quarantined()))
+                .num("attempts", static_cast<double>(rep.attempts))
+                .num("demotions", static_cast<double>(rep.demotions))
+                .num("wall_ms", ms)
+                .num("compiles_per_sec", rate);
+        }
+    }
+    std::printf("\n");
+}
+
+/** Throughput of the batch runner proper (healthy TUs). */
+void
+BM_BatchCompileHealthy(benchmark::State &state)
+{
+    auto jobs = healthyJobs();
+    auto bo = batchOptions(static_cast<int>(state.range(0)));
+    int64_t compiles = 0;
+    for (auto _ : state) {
+        auto rep = serve::runBatch(jobs, bo);
+        compiles += rep.attempts;
+        benchmark::DoNotOptimize(rep.ok);
+    }
+    state.counters["compiles_per_sec"] = benchmark::Counter(
+        static_cast<double>(compiles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchCompileHealthy)->Arg(1)->Arg(4);
+
+/** The fault-isolation overhead: same batch, every fourth TU bad. */
+void
+BM_BatchCompilePoisoned(benchmark::State &state)
+{
+    auto jobs = poisonedJobs();
+    auto bo = batchOptions(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto rep = serve::runBatch(jobs, bo);
+        benchmark::DoNotOptimize(rep.quarantined());
+    }
+}
+BENCHMARK(BM_BatchCompilePoisoned)->Arg(1)->Arg(4);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonOut = wsbench::extractJsonOutFlag(&argc, argv);
+    wsbench::JsonReport report;
+    printTable(report);
+    if (!wsbench::emitJson(jsonOut, "batchthroughput", report))
+        return 1;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -42,7 +42,7 @@ LoopInfo::LoopInfo(rtl::Function &fn, const DominatorTree &dt)
                 loop->blocks.insert(head);
             }
             std::vector<Block *> work;
-            if (loop->blocks.insert(tail).second)
+            if (loop->blocks.insert(tail))
                 work.push_back(tail);
             else if (tail != head)
                 work.push_back(tail); // revisit preds anyway
@@ -50,7 +50,7 @@ LoopInfo::LoopInfo(rtl::Function &fn, const DominatorTree &dt)
                 Block *b = work.back();
                 work.pop_back();
                 for (Block *p : b->preds)
-                    if (loop->blocks.insert(p).second)
+                    if (loop->blocks.insert(p))
                         work.push_back(p);
             }
         }

@@ -21,12 +21,53 @@
 
 namespace wmstream::cfg {
 
+/**
+ * Set of blocks with deterministic (insertion-order) iteration.
+ *
+ * Passes iterate loop blocks and emit code in that order; a plain
+ * unordered_set of pointers would make the iteration order depend on
+ * heap addresses, so two compiles of the same source in one process
+ * could produce differently-ordered (but equivalent) output. The
+ * vector preserves the discovery order, which is a pure function of
+ * the CFG; the hash set keeps membership tests O(1).
+ */
+class BlockSet
+{
+  public:
+    /** Insert @p b; returns true when it was not already present. */
+    bool insert(rtl::Block *b)
+    {
+        if (!set_.insert(b).second)
+            return false;
+        vec_.push_back(b);
+        return true;
+    }
+    size_t count(const rtl::Block *b) const
+    {
+        return set_.count(const_cast<rtl::Block *>(b));
+    }
+    size_t size() const { return vec_.size(); }
+    bool empty() const { return vec_.empty(); }
+    std::vector<rtl::Block *>::const_iterator begin() const
+    {
+        return vec_.begin();
+    }
+    std::vector<rtl::Block *>::const_iterator end() const
+    {
+        return vec_.end();
+    }
+
+  private:
+    std::vector<rtl::Block *> vec_;
+    std::unordered_set<rtl::Block *> set_;
+};
+
 /** One natural loop. */
 struct Loop
 {
     rtl::Block *header = nullptr;
-    /** Blocks in the loop, header included. */
-    std::unordered_set<rtl::Block *> blocks;
+    /** Blocks in the loop, header included; iterates in discovery order. */
+    BlockSet blocks;
     /** In-loop predecessors of the header (sources of back edges). */
     std::vector<rtl::Block *> latches;
     /** In-loop blocks with a successor outside the loop. */

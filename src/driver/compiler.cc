@@ -1,6 +1,8 @@
 #include "driver/compiler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "cfg/dominators.h"
 #include "cfg/loops.h"
@@ -139,8 +141,9 @@ tagLoops(rtl::Program &program, obs::RemarkCollector &rc)
 } // anonymous namespace
 
 CompileResult
-compileSource(const std::string &source, const CompileOptions &options)
+compile(const CompileRequest &req)
 {
+    const CompileOptions &options = req.options;
     CompileResult res;
     res.traits = options.target == rtl::MachineKind::WM
                      ? rtl::wmTraits()
@@ -148,11 +151,35 @@ compileSource(const std::string &source, const CompileOptions &options)
 
     obs::PassProfiler prof(options.profilePasses);
 
+    // Pipeline checkpoint: the cooperative cancellation point and the
+    // RTL-budget fuse. Called between passes only, so a cancelled
+    // compile always unwinds from a consistent boundary.
+    auto checkpoint = [&] {
+        if (options.cancel && options.cancel->load())
+            throw CancelledError("deadline",
+                                 "per-TU deadline expired");
+        if (options.maxRtlInsts > 0 && res.program &&
+            countInsts(*res.program) > options.maxRtlInsts)
+            throw CancelledError("rtl-budget",
+                                 "RTL instruction budget exceeded");
+    };
+
     DiagEngine diag;
     std::unique_ptr<frontend::TranslationUnit> unit;
     prof.measure(
         "frontend", [] { return int64_t{0}; },
-        [&] { unit = frontend::parseAndCheck(source, diag); });
+        [&] { unit = frontend::parseAndCheck(req.source, diag); });
+    if (options.testStallMs > 0) {
+        // serve_test hook: a deterministically slow compile that
+        // stays responsive to cancellation (checked every 1ms).
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options.testStallMs);
+        while (std::chrono::steady_clock::now() < until) {
+            checkpoint();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+    checkpoint();
     if (!unit) {
         res.diagnostics = diag.str();
         res.passProfiles = prof.profiles();
@@ -166,6 +193,9 @@ compileSource(const std::string &source, const CompileOptions &options)
             expand::expandUnit(*unit, res.traits, *res.program,
                                &res.remarks);
         });
+    checkpoint();
+    if (options.injectPanicTu)
+        WS_PANIC("injected panic (batch-isolation self-test)");
 
     // Verifier checkpoints (CompileOptions::verify). Violations are
     // compiler bugs: they are kept verbatim in res.verifyReports and
@@ -197,6 +227,9 @@ compileSource(const std::string &source, const CompileOptions &options)
     // depths not yet meaningful); regalloc checks at PostRegalloc.
     auto verifyAfter = [&](rtl::Function &fn, const char *passName,
                            verify::Stage stage) {
+        // Every pass boundary is also a cancellation/budget
+        // checkpoint, in every verify mode.
+        checkpoint();
         if (options.verify != VerifyMode::Each)
             return;
         verify::VerifyOptions vo;
@@ -335,10 +368,12 @@ compileSource(const std::string &source, const CompileOptions &options)
         verifyAfter(*fn, "regalloc", verify::Stage::PostRegalloc);
     }
 
-    if (res.traits.isWM() && options.lowerFifo)
+    if (res.traits.isWM() && options.lowerFifo) {
         prof.measure(
             "lower-fifo", [&] { return countInsts(*res.program); },
             [&] { wm::lowerProgram(*res.program, res.traits); });
+        checkpoint();
+    }
 
     // End-of-pipeline checkpoint: the only one in Final mode, and the
     // one place data-FIFO depths are tracked (PostLower) in Each mode.
@@ -359,6 +394,15 @@ compileSource(const std::string &source, const CompileOptions &options)
     res.diagnostics = diag.str();
     res.passProfiles = prof.profiles();
     return res;
+}
+
+CompileResult
+compileSource(const std::string &source, const CompileOptions &options)
+{
+    CompileRequest req;
+    req.source = source;
+    req.options = options;
+    return compile(req);
 }
 
 } // namespace wmstream::driver

@@ -14,6 +14,7 @@
 #ifndef WMSTREAM_DRIVER_COMPILER_H
 #define WMSTREAM_DRIVER_COMPILER_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +87,39 @@ struct CompileOptions
      */
     VerifyMode verify = VerifyMode::Off;
     /**
+     * Cooperative cancellation: when non-null, the driver polls this
+     * flag at every pipeline checkpoint (after the front end, after
+     * expansion, and after each pass) and raises CancelledError
+     * ("deadline") once it reads true. This is how the serve batch
+     * watchdog enforces per-TU deadlines without killing threads: the
+     * watchdog sets the flag, the compile unwinds at the next
+     * checkpoint. The pointee must outlive the compile.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Per-TU RTL growth budget: when nonzero, a checkpoint at which
+     * the program holds more than this many RTL instructions raises
+     * CancelledError ("rtl-budget"). A deterministic resource fuse
+     * for batch service mode; 0 disables.
+     */
+    int64_t maxRtlInsts = 0;
+    /**
+     * Fault injection for the batch runner's self-test ONLY: panic
+     * (WS_PANIC, i.e. throw InternalError) right after expansion, at
+     * every degradation level, so the serve ladder cannot rescue the
+     * TU and must quarantine it with a typed panic record. Hidden
+     * behind `wmc --inject-panic-tu` / `wmfuzz --batch-campaign
+     * --inject-panic-tu`; nothing else may set it.
+     */
+    bool injectPanicTu = false;
+    /**
+     * Test hook (serve_test ONLY): block this many milliseconds at
+     * the first pipeline checkpoint, polling `cancel` every
+     * millisecond, so a per-TU deadline reliably expires while the
+     * compile is provably still responsive to cancellation.
+     */
+    int testStallMs = 0;
+    /**
      * Fault injection for the IR verifier's self-test ONLY: after
      * streaming, drop the FIFO dequeue of one non-steering input
      * stream (its single use reads the zero register instead), so
@@ -136,7 +170,37 @@ struct CompileResult
     int totalVectorized() const;
 };
 
-/** Compile mini-C @p source with @p options. Lays the program out. */
+/**
+ * One compilation request for the library API: everything a compile
+ * needs, as a value. The driver keeps no global or static mutable
+ * state (see DESIGN.md §9's reentrancy audit), so any number of
+ * compile() calls may run concurrently on different requests — the
+ * serve batch runner compiles thousands of TUs across a ThreadPool
+ * this way.
+ */
+struct CompileRequest
+{
+    /** Caller's identity for the TU (manifest path, synthetic id);
+     *  carried through for reports, never interpreted. */
+    std::string id;
+    std::string source;
+    CompileOptions options;
+};
+
+/**
+ * Compile @p req. Lays the program out.
+ *
+ * Failure contract: user errors (diagnostics) return ok == false;
+ * internal invariant violations throw InternalError; a tripped
+ * CompileOptions::cancel flag or maxRtlInsts budget throws
+ * CancelledError. Library embedders catch both exception types per
+ * TU; the tools translate InternalError to exit 70 at the process
+ * boundary.
+ */
+CompileResult compile(const CompileRequest &req);
+
+/** Compile mini-C @p source with @p options. Lays the program out.
+ *  Convenience shim over compile() for single-TU callers. */
 CompileResult compileSource(const std::string &source,
                             const CompileOptions &options);
 

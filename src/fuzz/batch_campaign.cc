@@ -1,0 +1,289 @@
+#include "fuzz/batch_campaign.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "driver/compiler.h"
+#include "fuzz/generator.h"
+#include "m68k/printer.h"
+#include "wm/printer.h"
+#include "support/diag.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace wmstream::fuzz {
+
+namespace {
+
+/** What the batch run must report for one TU, derived from solo
+ *  sequential compiles so the audit is independent of serve's pool,
+ *  watchdog, and retry machinery. */
+struct Expectation
+{
+    serve::TuStatus status = serve::TuStatus::Ok;
+    uint64_t hash = 0;        ///< expected artifact hash (ok statuses)
+    std::string degradation;  ///< expected demotion reason code
+    bool panicSignature = false; ///< failure must carry "panic@..."
+};
+
+driver::CompileOptions
+campaignBase()
+{
+    driver::CompileOptions base;
+    base.verify = driver::VerifyMode::Each;
+    return base;
+}
+
+/** Replay the degradation ladder with plain sequential compiles. */
+Expectation
+soloExpect(const std::string &source, bool injectPanic,
+           bool injectVerifierBug)
+{
+    Expectation exp;
+    serve::LadderLevel level = serve::LadderLevel::Full;
+    for (;;) {
+        driver::CompileOptions co =
+            serve::applyLadder(campaignBase(), level);
+        co.injectPanicTu = injectPanic;
+        co.injectVerifierBug = injectVerifierBug;
+
+        bool failed = false;
+        driver::CompileResult cr;
+        try {
+            cr = driver::compileSource(source, co);
+            if (!cr.ok) {
+                exp.status = serve::TuStatus::UserError;
+                return exp;
+            }
+            failed = !cr.verifyClean();
+        } catch (const InternalError &) {
+            failed = true;
+            exp.panicSignature = true;
+        }
+
+        if (!failed) {
+            exp.status = level == serve::LadderLevel::Full
+                             ? serve::TuStatus::Ok
+                             : serve::TuStatus::OkDegraded;
+            std::string text =
+                co.target == rtl::MachineKind::WM
+                    ? wm::printProgram(*cr.program)
+                    : m68k::printProgram(*cr.program);
+            exp.hash = serve::artifactHash(text);
+            return exp;
+        }
+        if (level == serve::LadderLevel::ScalarOnly) {
+            exp.status = serve::TuStatus::Failed;
+            return exp;
+        }
+        level = level == serve::LadderLevel::Full
+                    ? serve::LadderLevel::NoStreaming
+                    : serve::LadderLevel::ScalarOnly;
+        exp.degradation =
+            level == serve::LadderLevel::NoStreaming
+                ? "degraded-no-streaming"
+                : "degraded-scalar-only";
+    }
+}
+
+} // namespace
+
+BatchCampaignResult
+runBatchCampaign(const BatchCampaignOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    BatchCampaignResult res;
+
+    // 1. Generate the TU set: one split PRNG stream per index, like
+    // the differential campaign, so the set is reproducible for any
+    // job count.
+    support::Rng root(opts.seed);
+    std::vector<serve::TuJob> jobs(
+        static_cast<size_t>(opts.numTus < 0 ? 0 : opts.numTus));
+    for (size_t i = 0; i < jobs.size(); i++) {
+        support::Rng rng = root.split(i);
+        jobs[i].id = strFormat("%04zu.c", i);
+        jobs[i].source = renderProgram(generateSpec(rng));
+    }
+    res.tusGenerated = static_cast<int>(jobs.size());
+
+    // 2. Deterministic poison assignment by index. Panic poison
+    // always bites (the injection fires at every ladder level);
+    // verifier poison only bites programs that stream, so candidates
+    // where the solo compile shows no bite stay healthy — keeping
+    // "quarantined == poisoned" an exact equality for CI.
+    bool anyPoison =
+        opts.faultRatePct > 0 &&
+        (opts.injectPanicTu || opts.injectVerifierBug);
+    int stride = anyPoison
+                     ? (opts.faultRatePct >= 100
+                            ? 1
+                            : 100 / opts.faultRatePct)
+                     : 0;
+    int verifyNoBite = 0;
+    bool nextIsPanic = opts.injectPanicTu;
+    for (size_t i = 0; anyPoison && i < jobs.size(); i++) {
+        if (static_cast<int>(i % stride) != stride - 1)
+            continue;
+        if (nextIsPanic) {
+            jobs[i].injectPanic = true;
+            res.poisonedPanic++;
+        } else {
+            Expectation probe = soloExpect(jobs[i].source, false, true);
+            if (probe.status == serve::TuStatus::OkDegraded ||
+                probe.status == serve::TuStatus::Failed) {
+                jobs[i].injectVerifierBug = true;
+                res.poisonedVerify++;
+                if (probe.status == serve::TuStatus::OkDegraded)
+                    res.verifyBit++;
+            } else {
+                verifyNoBite++;
+            }
+        }
+        if (opts.injectPanicTu && opts.injectVerifierBug)
+            nextIsPanic = !nextIsPanic;
+    }
+    res.healthy = res.tusGenerated - res.poisonedPanic -
+                  res.poisonedVerify;
+
+    // 3. Solo expectations for every TU (sequential, no pool).
+    std::vector<Expectation> expect(jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        expect[i] = soloExpect(jobs[i].source, jobs[i].injectPanic,
+                               jobs[i].injectVerifierBug);
+        if (opts.progress && (i + 1) % 50 == 0)
+            std::fprintf(stderr,
+                         "wmfuzz: batch-campaign solo %zu/%zu\n",
+                         i + 1, jobs.size());
+    }
+
+    // 4. Optionally materialize the TU set for `wmc --batch`.
+    if (!opts.batchDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.batchDir, ec);
+        std::string manifest;
+        for (const serve::TuJob &j : jobs) {
+            std::ofstream f(opts.batchDir + "/" + j.id);
+            f << j.source;
+            manifest += j.id;
+            if (j.injectPanic)
+                manifest += " inject-panic";
+            if (j.injectVerifierBug)
+                manifest += " inject-verifier-bug";
+            manifest += "\n";
+        }
+        res.manifestPath = opts.batchDir + "/MANIFEST";
+        std::ofstream mf(res.manifestPath);
+        mf << "# wmfuzz --batch-campaign seed=" << opts.seed << "\n"
+           << manifest;
+    }
+
+    // 5. The audited run: the whole set through the batch runner.
+    serve::BatchOptions bo;
+    bo.base = campaignBase();
+    bo.jobs = opts.jobs;
+    bo.tuTimeoutMs = opts.tuTimeoutMs;
+    bo.maxRetries = opts.maxRetries;
+    res.report = serve::runBatch(jobs, bo);
+
+    // 6. Audit every TU against its solo expectation.
+    auto problem = [&res](std::string p) {
+        res.problems.push_back(std::move(p));
+    };
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const serve::TuRecord &r = res.report.tus[i];
+        const Expectation &e = expect[i];
+        if (r.id != jobs[i].id) {
+            problem(strFormat("record %zu out of order: got %s", i,
+                              r.id.c_str()));
+            continue;
+        }
+        if (r.status != e.status) {
+            problem(strFormat(
+                "%s: expected %s, batch reported %s (%s)",
+                r.id.c_str(), serve::tuStatusName(e.status),
+                serve::tuStatusName(r.status),
+                r.failure.signature.c_str()));
+            continue;
+        }
+        if ((e.status == serve::TuStatus::Ok ||
+             e.status == serve::TuStatus::OkDegraded) &&
+            r.artifactHash != e.hash)
+            problem(strFormat(
+                "%s: artifact differs from solo compile "
+                "(batch %016llx vs solo %016llx)",
+                r.id.c_str(),
+                static_cast<unsigned long long>(r.artifactHash),
+                static_cast<unsigned long long>(e.hash)));
+        if (r.degradation != e.degradation)
+            problem(strFormat(
+                "%s: expected degradation '%s', got '%s'",
+                r.id.c_str(), e.degradation.c_str(),
+                r.degradation.c_str()));
+        if (e.panicSignature &&
+            r.failure.signature.rfind("panic@", 0) != 0)
+            problem(strFormat(
+                "%s: expected a panic@ signature, got '%s'",
+                r.id.c_str(), r.failure.signature.c_str()));
+    }
+    int expectedQuarantined = res.poisonedPanic + res.poisonedVerify;
+    if (res.report.quarantined() != expectedQuarantined)
+        problem(strFormat(
+            "quarantine drift: batch quarantined %d, poisoned %d",
+            res.report.quarantined(), expectedQuarantined));
+    if (verifyNoBite > 0 && opts.progress)
+        std::fprintf(stderr,
+                     "wmfuzz: %d verifier-poison candidates did not "
+                     "bite (left healthy)\n",
+                     verifyNoBite);
+
+    res.elapsedSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return res;
+}
+
+void
+writeBatchCampaignJson(obs::JsonWriter &w,
+                       const BatchCampaignOptions &opts,
+                       const BatchCampaignResult &res)
+{
+    w.beginObject();
+    w.field("schema_version", 1);
+    w.field("kind", "wmfuzz-batch-campaign");
+    w.key("options");
+    w.beginObject();
+    w.field("seed", static_cast<uint64_t>(opts.seed));
+    w.field("num_tus", opts.numTus);
+    w.field("jobs", opts.jobs);
+    w.field("fault_rate_pct", opts.faultRatePct);
+    w.field("inject_panic_tu", opts.injectPanicTu);
+    w.field("inject_verifier_bug", opts.injectVerifierBug);
+    w.field("tu_timeout_ms", opts.tuTimeoutMs);
+    w.field("max_retries", opts.maxRetries);
+    w.endObject();
+    w.field("tus_generated", res.tusGenerated);
+    w.field("poisoned_panic", res.poisonedPanic);
+    w.field("poisoned_verify", res.poisonedVerify);
+    w.field("verify_bit", res.verifyBit);
+    w.field("healthy", res.healthy);
+    w.field("expected_quarantined",
+            res.poisonedPanic + res.poisonedVerify);
+    w.field("clean", res.clean());
+    w.field("elapsed_seconds", res.elapsedSeconds);
+    if (!res.manifestPath.empty())
+        w.field("manifest", res.manifestPath);
+    w.key("problems");
+    w.beginArray();
+    for (const std::string &p : res.problems)
+        w.value(p);
+    w.endArray();
+    w.key("batch_report");
+    res.report.writeJson(w);
+    w.endObject();
+}
+
+} // namespace wmstream::fuzz

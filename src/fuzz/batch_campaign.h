@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fault-injection campaign for the serve batch runner — wmfuzz's
+ * fourth mode (`wmfuzz --batch-campaign`).
+ *
+ * Where the differential campaign asks "does the compiler miscompile
+ * any generated program?", the batch campaign asks "does one broken
+ * TU ever hurt its neighbours?". It generates N loop programs from a
+ * seed, deterministically poisons a fixed fraction with the hidden
+ * fault-injection flags (`--inject-panic-tu` plants an InternalError
+ * mid-pipeline at every degradation level; `--inject-verifier-bug`
+ * plants a dropped stream dequeue the verify-each oracle catches and
+ * the ladder rescues by disabling streaming), then compiles the whole
+ * set through serve::runBatch and checks three properties:
+ *
+ *  - isolation: every healthy TU compiles ok, with an artifact
+ *    bit-identical (FNV-1a 64 over the printed assembly) to a solo
+ *    driver::compile of the same source;
+ *  - quarantine: every panic-poisoned TU lands in a typed `failed`
+ *    record with a "panic@file:line" signature — and nothing else
+ *    does;
+ *  - rescue: every verifier-poisoned TU where the planted bug bites
+ *    ends `ok_degraded` at the no-streaming rung, bit-identical to a
+ *    solo no-streaming compile; where the bug cannot bite (the
+ *    program never streamed) the TU stays plain `ok`.
+ *
+ * Expectations come from sequential solo compiles, so the check is
+ * independent of the batch machinery it is auditing. Any violated
+ * property becomes a line in `problems`; CI fails the campaign when
+ * problems is non-empty or the quarantine count drifts from the
+ * poison count.
+ */
+
+#ifndef WMSTREAM_FUZZ_BATCH_CAMPAIGN_H
+#define WMSTREAM_FUZZ_BATCH_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/batch.h"
+
+namespace wmstream::fuzz {
+
+struct BatchCampaignOptions
+{
+    uint64_t seed = 1;
+    int numTus = 300;
+    int jobs = 1;
+    /** Percentage of TUs to poison (deterministic by index); 0
+     *  disables poisoning even when the inject flags are set. */
+    int faultRatePct = 5;
+    /** Arm `--inject-panic-tu` poisoning (unrescuable panics). */
+    bool injectPanicTu = false;
+    /** Arm `--inject-verifier-bug` poisoning (ladder-rescuable). */
+    bool injectVerifierBug = false;
+    int tuTimeoutMs = 0; ///< per-TU deadline forwarded to the batch
+    int maxRetries = 2;
+    /** When set, write each TU as NNNN.c plus a MANIFEST file (with
+     *  poison tokens) into this directory, so `wmc --batch` can be
+     *  pointed at exactly the campaign's input. */
+    std::string batchDir;
+    bool progress = false;
+};
+
+struct BatchCampaignResult
+{
+    int tusGenerated = 0;
+    int poisonedPanic = 0;
+    int poisonedVerify = 0;
+    /** Verifier-poisoned TUs where the planted bug actually bit in
+     *  the solo compile (the program streamed something). */
+    int verifyBit = 0;
+    int healthy = 0;
+    serve::BatchReport report;          ///< the audited batch run
+    std::vector<std::string> problems;  ///< violated properties
+    double elapsedSeconds = 0;
+    std::string manifestPath;           ///< written when batchDir set
+
+    bool clean() const { return problems.empty(); }
+};
+
+/** Run the campaign: generate, poison, solo-compile expectations,
+ *  batch, audit. Blocks until complete. */
+BatchCampaignResult runBatchCampaign(const BatchCampaignOptions &opts);
+
+/** Serialize the campaign report (options + audit + batch report). */
+void writeBatchCampaignJson(obs::JsonWriter &w,
+                            const BatchCampaignOptions &opts,
+                            const BatchCampaignResult &res);
+
+} // namespace wmstream::fuzz
+
+#endif // WMSTREAM_FUZZ_BATCH_CAMPAIGN_H

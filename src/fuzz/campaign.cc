@@ -85,7 +85,21 @@ checkAgainstOracle(const std::string &source, int64_t expect,
 {
     CheckOutcome out;
     out.expected = expect;
-    auto cr = driver::compileSource(source, cfg.opts);
+    // Panic containment: a compiler panic (InternalError) during a
+    // fuzz check is itself a finding, deduplicated by its
+    // panic@file:line signature — it must not kill the campaign's
+    // worker thread (exceptions escaping a pool job terminate the
+    // process per the ThreadPool contract).
+    driver::CompileResult cr;
+    try {
+        cr = driver::compileSource(source, cfg.opts);
+    } catch (const InternalError &e) {
+        out.diverged = true;
+        out.kind = DivergenceKind::CompileError;
+        out.detail = e.what();
+        out.faultSignature = e.signature();
+        return out;
+    }
     if (!cr.ok) {
         out.diverged = true;
         out.kind = DivergenceKind::CompileError;
@@ -102,17 +116,7 @@ checkAgainstOracle(const std::string &source, int64_t expect,
         out.diverged = true;
         out.kind = DivergenceKind::VerifyError;
         out.detail = cr.verifyText();
-        std::vector<std::string> sigs;
-        for (const auto &rep : cr.verifyReports)
-            for (const auto &v : rep.violations)
-                sigs.push_back(v.signature());
-        std::sort(sigs.begin(), sigs.end());
-        sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
-        for (size_t i = 0; i < sigs.size(); ++i) {
-            if (i)
-                out.faultSignature += ',';
-            out.faultSignature += sigs[i];
-        }
+        out.faultSignature = verify::joinedSignature(cr.verifyReports);
         return out;
     }
     if (cfg.opts.target == rtl::MachineKind::WM) {

@@ -332,10 +332,14 @@ optimizePartition(rtl::Function &fn, cfg::Loop &loop,
 
     // Step 4b (read side): replace the loads with chain registers.
     // Process per block in descending index order so erases stay valid.
+    // Label order, not pointer order: pointer values depend on the
+    // process's allocation history, which must not influence the
+    // emitted code (see the matching comment in streaming.cc).
     std::sort(pairs.begin(), pairs.end(),
               [](const PairInfo &a, const PairInfo &b) {
                   if (a.read->block != b.read->block)
-                      return a.read->block < b.read->block;
+                      return a.read->block->label() <
+                             b.read->block->label();
                   return a.read->index > b.read->index;
               });
     for (PairInfo &p : pairs) {

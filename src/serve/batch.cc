@@ -1,0 +1,510 @@
+#include "serve/batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "m68k/printer.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+#include "verify/verify.h"
+#include "wm/printer.h"
+
+namespace wmstream::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/**
+ * The watchdog's view of one in-flight compile attempt: set `cancel`
+ * once `deadline` passes; the compile unwinds at its next pipeline
+ * checkpoint. Entries are owned by the registry (shared_ptr) so a
+ * late watchdog scan can never touch a flag whose attempt already
+ * finished and unregistered.
+ */
+struct DeadlineEntry
+{
+    std::shared_ptr<std::atomic<bool>> cancel;
+    Clock::time_point deadline;
+};
+
+class DeadlineRegistry
+{
+  public:
+    std::list<DeadlineEntry>::iterator
+    add(std::shared_ptr<std::atomic<bool>> cancel, Clock::time_point at)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return entries_.insert(entries_.end(),
+                               DeadlineEntry{std::move(cancel), at});
+    }
+
+    void remove(std::list<DeadlineEntry>::iterator it)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.erase(it);
+    }
+
+    void fireExpired(Clock::time_point now)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (DeadlineEntry &e : entries_)
+            if (now >= e.deadline)
+                e.cancel->store(true);
+    }
+
+  private:
+    std::mutex mu_;
+    std::list<DeadlineEntry> entries_;
+};
+
+/**
+ * Everything the worker closures and the watchdog share. Held by
+ * shared_ptr from every closure per the ThreadPool contract: a worker
+ * may outlive runBatch's interest in an individual slot, but never
+ * the state itself.
+ */
+struct BatchState
+{
+    const std::vector<TuJob> *jobs = nullptr;
+    BatchOptions opts;
+    std::vector<TuRecord> records;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> watchdogStop{false};
+    DeadlineRegistry deadlines;
+    support::ThreadPool *pool = nullptr;
+    std::mutex mu; ///< guards records during the parallel phase
+};
+
+std::string
+printArtifact(const driver::CompileOptions &opts,
+              const rtl::Program &prog)
+{
+    if (opts.target == rtl::MachineKind::WM)
+        return wm::printProgram(prog);
+    return m68k::printProgram(prog);
+}
+
+const char *
+degradationReason(LadderLevel l)
+{
+    switch (l) {
+      case LadderLevel::Full: return "";
+      case LadderLevel::NoStreaming: return "degraded-no-streaming";
+      case LadderLevel::ScalarOnly: return "degraded-scalar-only";
+    }
+    return "";
+}
+
+/** Classified outcome of one compile attempt. */
+struct AttemptOutcome
+{
+    TuFailure failure; ///< kind None on success
+    std::string artifact;
+    uint64_t artifactHash = 0;
+};
+
+AttemptOutcome
+runAttempt(const TuJob &job, const driver::CompileOptions &opts)
+{
+    AttemptOutcome out;
+    driver::CompileResult cr;
+    try {
+        cr = driver::compile({job.id, job.source, opts});
+    } catch (const InternalError &e) {
+        out.failure = {FailureKind::Panic, e.signature(), e.what()};
+        return out;
+    } catch (const CancelledError &e) {
+        FailureKind k = e.reason() == "rtl-budget" ? FailureKind::RtlBudget
+                                                   : FailureKind::Timeout;
+        out.failure = {k, e.reason(), e.what()};
+        return out;
+    }
+    if (!cr.ok) {
+        out.failure = {FailureKind::UserError, "diagnostics",
+                       cr.diagnostics};
+        return out;
+    }
+    if (!cr.verifyClean()) {
+        out.failure = {FailureKind::VerifyError,
+                       verify::joinedSignature(cr.verifyReports),
+                       cr.verifyText()};
+        return out;
+    }
+    out.artifact = printArtifact(opts, *cr.program);
+    out.artifactHash = artifactHash(out.artifact);
+    return out;
+}
+
+/** Run one TU through the retry/degradation ladder. */
+void
+runTu(BatchState &st, size_t index)
+{
+    const TuJob &job = (*st.jobs)[index];
+    const BatchOptions &bo = st.opts;
+    TuRecord rec;
+    rec.id = job.id;
+
+    Clock::time_point tuStart = Clock::now();
+    if (!job.loadError.empty()) {
+        rec.status = TuStatus::UserError;
+        rec.failure = {FailureKind::UserError, "load-error",
+                       job.loadError};
+    } else {
+        support::Rng jitter =
+            support::Rng(bo.backoffSeed).split(index);
+        LadderLevel level = LadderLevel::Full;
+        int retriesAtLevel = 0;
+        bool done = false;
+        while (!done) {
+            driver::CompileOptions co = applyLadder(bo.base, level);
+            co.injectPanicTu = job.injectPanic;
+            co.injectVerifierBug = job.injectVerifierBug;
+            auto cancel = std::make_shared<std::atomic<bool>>(false);
+            co.cancel = cancel.get();
+
+            bool armed = bo.tuTimeoutMs > 0;
+            std::list<DeadlineEntry>::iterator deadlineIt;
+            if (armed)
+                deadlineIt = st.deadlines.add(
+                    cancel, Clock::now() + std::chrono::milliseconds(
+                                               bo.tuTimeoutMs));
+            Clock::time_point t0 = Clock::now();
+            AttemptOutcome att = runAttempt(job, co);
+            double wall = msSince(t0);
+            if (armed)
+                st.deadlines.remove(deadlineIt);
+
+            rec.attempts++;
+            rec.trail.push_back({level, att.failure.kind,
+                                 att.failure.signature, wall});
+            rec.level = level;
+            rec.failure = att.failure;
+
+            if (att.failure.ok()) {
+                rec.status = level == LadderLevel::Full
+                                 ? TuStatus::Ok
+                                 : TuStatus::OkDegraded;
+                rec.artifactHash = att.artifactHash;
+                if (bo.keepArtifacts)
+                    rec.artifact = std::move(att.artifact);
+                done = true;
+            } else if (failureIsTransient(att.failure.kind)) {
+                if (retriesAtLevel < bo.maxRetries) {
+                    retriesAtLevel++;
+                    if (bo.backoffBaseMs > 0) {
+                        int64_t base = static_cast<int64_t>(
+                            bo.backoffBaseMs)
+                            << (retriesAtLevel - 1);
+                        int64_t sleepMs =
+                            base + static_cast<int64_t>(
+                                       jitter.nextBelow(
+                                           static_cast<uint64_t>(
+                                               bo.backoffBaseMs) +
+                                           1));
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(sleepMs));
+                    }
+                } else {
+                    rec.status = TuStatus::Timeout;
+                    done = true;
+                }
+            } else if (failureIsDegradable(att.failure.kind)) {
+                if (level != LadderLevel::ScalarOnly) {
+                    level = level == LadderLevel::Full
+                                ? LadderLevel::NoStreaming
+                                : LadderLevel::ScalarOnly;
+                    rec.degradation = degradationReason(level);
+                    retriesAtLevel = 0;
+                } else {
+                    rec.status = TuStatus::Failed;
+                    done = true;
+                }
+            } else {
+                rec.status = TuStatus::UserError;
+                done = true;
+            }
+        }
+    }
+    rec.wallMs = msSince(tuStart);
+
+    bool hardFailure = rec.status != TuStatus::Ok &&
+                       rec.status != TuStatus::OkDegraded;
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.records[index] = std::move(rec);
+    }
+    if (hardFailure && bo.failFast &&
+        !st.stop.exchange(true))
+        st.pool->cancelPending();
+}
+
+} // namespace
+
+const char *
+ladderLevelName(LadderLevel l)
+{
+    switch (l) {
+      case LadderLevel::Full: return "full";
+      case LadderLevel::NoStreaming: return "no-streaming";
+      case LadderLevel::ScalarOnly: return "scalar-only";
+    }
+    return "unknown";
+}
+
+driver::CompileOptions
+applyLadder(driver::CompileOptions base, LadderLevel l)
+{
+    if (l >= LadderLevel::NoStreaming) {
+        base.streaming = false;
+        base.vectorize = false;
+    }
+    if (l >= LadderLevel::ScalarOnly)
+        base.recurrence = false;
+    return base;
+}
+
+uint64_t
+artifactHash(const std::string &s)
+{
+    uint64_t h = 14695981039346656037ull; // FNV offset basis
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull; // FNV prime
+    }
+    return h;
+}
+
+BatchReport
+runBatch(const std::vector<TuJob> &jobs, const BatchOptions &opts)
+{
+    Clock::time_point batchStart = Clock::now();
+
+    auto st = std::make_shared<BatchState>();
+    st->jobs = &jobs;
+    st->opts = opts;
+    if (st->opts.jobs < 1)
+        st->opts.jobs = 1;
+    // Verify-each violations are the degradation ladder's trigger:
+    // without them a streaming-pass miscompile would sail through to
+    // the artifact. Respect an explicit Final, upgrade Off.
+    if (st->opts.base.verify == driver::VerifyMode::Off)
+        st->opts.base.verify = driver::VerifyMode::Each;
+    st->records.resize(jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        st->records[i].id = jobs[i].id;
+        st->records[i].status = TuStatus::Skipped;
+    }
+
+    support::ThreadPool pool(st->opts.jobs);
+    st->pool = &pool;
+
+    std::thread watchdog([st] {
+        while (!st->watchdogStop.load()) {
+            st->deadlines.fireExpired(Clock::now());
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                st->opts.watchdogPollMs > 0 ? st->opts.watchdogPollMs
+                                            : 1));
+        }
+    });
+
+    for (size_t i = 0; i < jobs.size(); i++)
+        pool.submit([st, i] {
+            if (st->stop.load())
+                return; // record stays Skipped
+            runTu(*st, i);
+        });
+    pool.wait();
+
+    st->watchdogStop.store(true);
+    watchdog.join();
+
+    BatchReport report;
+    report.tus = std::move(st->records);
+    report.total = static_cast<int>(report.tus.size());
+    report.aborted = st->stop.load();
+    for (const TuRecord &r : report.tus) {
+        switch (r.status) {
+          case TuStatus::Ok: report.ok++; break;
+          case TuStatus::OkDegraded: report.okDegraded++; break;
+          case TuStatus::UserError: report.userErrors++; break;
+          case TuStatus::Timeout: report.timeouts++; break;
+          case TuStatus::Failed: report.failed++; break;
+          case TuStatus::Skipped: report.skipped++; break;
+        }
+        report.attempts += r.attempts;
+        if (!r.degradation.empty())
+            report.demotions +=
+                static_cast<int>(r.level) - static_cast<int>(
+                                                LadderLevel::Full);
+        for (const TuAttempt &a : r.trail)
+            if (a.outcome == FailureKind::Timeout)
+                report.retries++;
+    }
+    // Final-timeout attempts were deadline expiries, not retries.
+    report.retries -= report.timeouts;
+    if (report.retries < 0)
+        report.retries = 0;
+    report.wallMs = msSince(batchStart);
+    return report;
+}
+
+void
+BatchReport::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("schema_version", kSchemaVersion);
+    w.field("kind", "wmc-batch-report");
+    w.field("total", total);
+    w.field("ok", ok);
+    w.field("ok_degraded", okDegraded);
+    w.field("user_errors", userErrors);
+    w.field("timeouts", timeouts);
+    w.field("failed", failed);
+    w.field("skipped", skipped);
+    w.field("quarantined", quarantined());
+    w.field("attempts", attempts);
+    w.field("demotions", demotions);
+    w.field("retries", retries);
+    w.field("aborted", aborted);
+    w.field("wall_ms", wallMs);
+    w.key("tus");
+    w.beginArray();
+    for (const TuRecord &r : tus) {
+        w.beginObject();
+        w.field("id", r.id);
+        w.field("status", tuStatusName(r.status));
+        w.field("attempts", r.attempts);
+        w.field("level", ladderLevelName(r.level));
+        w.field("degradation", r.degradation);
+        w.field("wall_ms", r.wallMs);
+        w.field("artifact_hash", r.artifactHash);
+        if (!r.failure.ok()) {
+            w.key("failure");
+            w.beginObject();
+            w.field("kind", failureKindName(r.failure.kind));
+            w.field("signature", r.failure.signature);
+            w.field("detail", r.failure.detail);
+            w.endObject();
+        }
+        w.key("trail");
+        w.beginArray();
+        for (const TuAttempt &a : r.trail) {
+            w.beginObject();
+            w.field("level", ladderLevelName(a.level));
+            w.field("outcome", failureKindName(a.outcome));
+            w.field("signature", a.signature);
+            w.field("wall_ms", a.wallMs);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+BatchReport::summaryText() const
+{
+    std::ostringstream os;
+    os << strFormat(
+        "batch: %d TUs: %d ok, %d ok_degraded, %d user_error, "
+        "%d timeout, %d failed, %d skipped (%d quarantined, "
+        "%lld attempts, %d demotions, %d retries)%s\n",
+        total, ok, okDegraded, userErrors, timeouts, failed, skipped,
+        quarantined(), static_cast<long long>(attempts), demotions,
+        retries, aborted ? " [aborted]" : "");
+    for (const TuRecord &r : tus) {
+        if (r.status == TuStatus::Ok)
+            continue;
+        if (r.status == TuStatus::OkDegraded) {
+            os << strFormat(
+                "serve remark: %s: %s (recovered at level %s "
+                "after %d attempts)\n",
+                r.id.c_str(), r.degradation.c_str(),
+                ladderLevelName(r.level), r.attempts);
+            continue;
+        }
+        os << strFormat(
+            "serve: %s: %s%s%s (%d attempts, final level %s)\n",
+            r.id.c_str(), tuStatusName(r.status),
+            r.failure.signature.empty() ? "" : ": ",
+            r.failure.signature.c_str(), r.attempts,
+            ladderLevelName(r.level));
+    }
+    return os.str();
+}
+
+bool
+loadManifest(const std::string &path, std::vector<TuJob> &out,
+             std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open manifest " + path;
+        return false;
+    }
+    std::string dir;
+    size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos)
+        dir = path.substr(0, slash + 1);
+
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        lineNo++;
+        std::string trimmed = trimString(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        std::istringstream tokens(trimmed);
+        std::string tuPath;
+        tokens >> tuPath;
+        TuJob job;
+        job.id = tuPath;
+        std::string token;
+        while (tokens >> token) {
+            if (token == "inject-panic") {
+                job.injectPanic = true;
+            } else if (token == "inject-verifier-bug") {
+                job.injectVerifierBug = true;
+            } else {
+                error = strFormat(
+                    "%s:%d: unknown manifest token '%s'",
+                    path.c_str(), lineNo, token.c_str());
+                return false;
+            }
+        }
+        std::string resolved =
+            (!tuPath.empty() && tuPath[0] == '/') ? tuPath
+                                                  : dir + tuPath;
+        std::ifstream tu(resolved);
+        if (!tu) {
+            job.loadError = "cannot open " + resolved;
+        } else {
+            std::ostringstream src;
+            src << tu.rdbuf();
+            job.source = src.str();
+        }
+        out.push_back(std::move(job));
+    }
+    return true;
+}
+
+} // namespace wmstream::serve

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The fault-isolated batch compile runner (`wmc --batch`).
+ *
+ * Compiles a manifest of translation units across the shared
+ * support::ThreadPool with per-TU fault isolation: a panicking,
+ * verifier-rejected, over-budget, or deadline-blown TU yields a typed
+ * failure record (serve/failure.h) while the rest of the batch
+ * completes. Three mechanisms compose:
+ *
+ *  - panic containment: driver::compile() throws InternalError
+ *    instead of exiting; the worker catches it per attempt, so one
+ *    poisoned TU cannot kill thousands of in-flight compiles;
+ *
+ *  - a watchdog thread enforcing per-TU deadlines: each attempt
+ *    registers (cancel flag, deadline); the watchdog sets the flag
+ *    when the deadline passes and the compile unwinds cooperatively
+ *    at its next pipeline checkpoint (CancelledError). Deadline
+ *    expiry is classified transient and retried with jittered,
+ *    seeded backoff up to maxRetries times;
+ *
+ *  - the graceful-degradation ladder, mirroring the paper's fallback
+ *    from streamed to scalar code: full pipeline -> streaming
+ *    disabled -> scalar-only codegen. A deterministic, degradable
+ *    failure demotes the TU one rung and recompiles; success at a
+ *    demoted rung is reported as ok_degraded and surfaced as a
+ *    `serve` remark with a stable reason code
+ *    ("degraded-no-streaming" / "degraded-scalar-only"). A TU that
+ *    fails deterministically at the bottom rung becomes a typed hard
+ *    failure.
+ *
+ * Reports are deterministic: records sit in manifest order for any
+ * worker count, and every counter except wall times is a pure
+ * function of (TU sources, options).
+ */
+
+#ifndef WMSTREAM_SERVE_BATCH_H
+#define WMSTREAM_SERVE_BATCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "obs/json.h"
+#include "serve/failure.h"
+
+namespace wmstream::serve {
+
+/** Rungs of the degradation ladder, most aggressive first. */
+enum class LadderLevel : uint8_t {
+    Full = 0,       ///< the requested configuration, unmodified
+    NoStreaming = 1,///< streaming + vectorization disabled
+    ScalarOnly = 2, ///< recurrence optimization disabled too
+};
+
+/** Stable kebab-case name of @p l ("full", "no-streaming",
+ *  "scalar-only"); report JSON and remark reason codes build on it. */
+const char *ladderLevelName(LadderLevel l);
+
+/** @p base with the demotions of ladder rung @p l applied. */
+driver::CompileOptions applyLadder(driver::CompileOptions base,
+                                   LadderLevel l);
+
+/** One translation unit of a batch. */
+struct TuJob
+{
+    std::string id;     ///< manifest path or synthetic name
+    std::string source; ///< TU contents (already loaded)
+    /** Non-empty when the manifest named an unreadable file: the TU
+     *  becomes a user_error record without compiling. */
+    std::string loadError;
+    /** Poison for the isolation self-test: WS_PANIC during compile
+     *  (every ladder level; the TU must be quarantined). */
+    bool injectPanic = false;
+    /** Poison for the ladder self-test: the dropped stream dequeue
+     *  the verifier catches; biting TUs must demote to no-streaming
+     *  and finish ok_degraded. */
+    bool injectVerifierBug = false;
+};
+
+struct BatchOptions
+{
+    /** Compile configuration at LadderLevel::Full. The runner forces
+     *  verify to Each when Off: verify-each violations are what arms
+     *  the degradation ladder. */
+    driver::CompileOptions base;
+    int jobs = 1;           ///< worker threads (clamped to >= 1)
+    int tuTimeoutMs = 0;    ///< per-attempt deadline (0 = none)
+    int maxRetries = 2;     ///< transient retries per ladder rung
+    bool failFast = false;  ///< abort the batch on the first hard failure
+    /** Base of the exponential backoff after a transient failure, in
+     *  milliseconds (attempt k sleeps base * 2^k plus seeded jitter
+     *  in [0, base]); 0 disables sleeping (tests). */
+    int backoffBaseMs = 1;
+    uint64_t backoffSeed = 1; ///< jitter determinism
+    /** Keep the printed artifact text in each ok record (tests and
+     *  the bit-identity self-check); hashes are always kept. */
+    bool keepArtifacts = false;
+    int watchdogPollMs = 1; ///< deadline scan period
+};
+
+/** One compile attempt in a record's trail. */
+struct TuAttempt
+{
+    LadderLevel level = LadderLevel::Full;
+    FailureKind outcome = FailureKind::None; ///< None = success
+    std::string signature; ///< failure signature ("" on success)
+    double wallMs = 0;
+};
+
+/** The per-TU row of the batch report. */
+struct TuRecord
+{
+    std::string id;
+    TuStatus status = TuStatus::Skipped;
+    int attempts = 0;             ///< compile attempts actually run
+    LadderLevel level = LadderLevel::Full; ///< final rung reached
+    /** Demotion remark reason code ("" when never demoted):
+     *  "degraded-no-streaming" or "degraded-scalar-only". */
+    std::string degradation;
+    double wallMs = 0;            ///< total across attempts
+    /** FNV-1a 64 over the printed target assembly; 0 when no
+     *  artifact was produced. Healthy TUs must hash identically to a
+     *  solo wmc compile — the batch-isolation acceptance criterion. */
+    uint64_t artifactHash = 0;
+    std::string artifact;         ///< kept when keepArtifacts
+    TuFailure failure;            ///< final failure (kind None if ok)
+    std::vector<TuAttempt> trail; ///< every attempt, in order
+};
+
+/** The schema-versioned batch report (`wmc --batch-report=FILE`). */
+struct BatchReport
+{
+    /** Bump when the JSON layout changes incompatibly. */
+    static constexpr int kSchemaVersion = 1;
+
+    std::vector<TuRecord> tus; ///< manifest order, all TUs, always
+    int total = 0;
+    int ok = 0;
+    int okDegraded = 0;
+    int userErrors = 0;
+    int timeouts = 0;
+    int failed = 0;
+    int skipped = 0;
+    int64_t attempts = 0; ///< compile attempts across the batch
+    int demotions = 0;    ///< ladder demotions across the batch
+    int retries = 0;      ///< transient same-rung retries
+    bool aborted = false; ///< --fail-fast tripped
+    double wallMs = 0;    ///< batch wall clock (host-dependent)
+
+    /**
+     * TUs isolated from the normal full-pipeline path: hard failures
+     * and timeouts (typed failure record, no artifact) plus degraded
+     * successes (typed demotion record, fallback artifact). This is
+     * the count the fault-injection campaign pins to the number of
+     * poisoned TUs.
+     */
+    int quarantined() const { return failed + timeouts + okDegraded; }
+
+    /** Emit as one JSON object value. */
+    void writeJson(obs::JsonWriter &w) const;
+
+    /** Multi-line human summary (aggregates + non-ok TU lines). */
+    std::string summaryText() const;
+};
+
+/** Compile @p jobs under @p opts. Blocks until the batch completes
+ *  (or aborts under failFast). Never throws for per-TU failures. */
+BatchReport runBatch(const std::vector<TuJob> &jobs,
+                     const BatchOptions &opts);
+
+/**
+ * Load a batch manifest: one TU path per line, relative paths
+ * resolved against the manifest's directory, `#` comments and blank
+ * lines skipped. A path may be followed by whitespace-separated
+ * poison tokens `inject-panic` / `inject-verifier-bug` (written by
+ * `wmfuzz --batch-campaign --batch-dir`). Unreadable TU files become
+ * jobs with loadError set (per-TU user_error records), preserving
+ * fault isolation; only an unreadable manifest itself fails the
+ * load. Returns false and sets @p error on failure.
+ */
+bool loadManifest(const std::string &path, std::vector<TuJob> &out,
+                  std::string &error);
+
+/** FNV-1a 64 of @p s (artifact hashing; shared with the fuzz dedup
+ *  digests' spirit). */
+uint64_t artifactHash(const std::string &s);
+
+} // namespace wmstream::serve
+
+#endif // WMSTREAM_SERVE_BATCH_H

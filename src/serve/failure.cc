@@ -1,0 +1,46 @@
+#include "serve/failure.h"
+
+namespace wmstream::serve {
+
+const char *
+tuStatusName(TuStatus s)
+{
+    switch (s) {
+      case TuStatus::Ok: return "ok";
+      case TuStatus::OkDegraded: return "ok_degraded";
+      case TuStatus::UserError: return "user_error";
+      case TuStatus::Timeout: return "timeout";
+      case TuStatus::Failed: return "failed";
+      case TuStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+const char *
+failureKindName(FailureKind k)
+{
+    switch (k) {
+      case FailureKind::None: return "none";
+      case FailureKind::UserError: return "user_error";
+      case FailureKind::Panic: return "panic";
+      case FailureKind::VerifyError: return "verify_error";
+      case FailureKind::Timeout: return "timeout";
+      case FailureKind::RtlBudget: return "rtl_budget";
+    }
+    return "unknown";
+}
+
+bool
+failureIsTransient(FailureKind k)
+{
+    return k == FailureKind::Timeout;
+}
+
+bool
+failureIsDegradable(FailureKind k)
+{
+    return k == FailureKind::Panic || k == FailureKind::VerifyError ||
+           k == FailureKind::RtlBudget;
+}
+
+} // namespace wmstream::serve

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The per-TU failure taxonomy for the batch compile service.
+ *
+ * Every way one translation unit can fail inside a batch gets a typed
+ * kind, a stable signature (the dedup key, in the spirit of
+ * wmsim::FaultReport::signature() and verify::Violation::signature()),
+ * and a classification the retry policy keys on:
+ *
+ *  - transient failures (deadline expiry) are retried at the same
+ *    degradation level with jittered backoff — the machine may simply
+ *    have been loaded;
+ *  - deterministic, degradable failures (panic, verifier violation,
+ *    RTL-budget trip) re-run one rung down the degradation ladder —
+ *    exactly the paper's posture of falling back from streamed to
+ *    scalar code when the aggressive form cannot be trusted;
+ *  - deterministic, non-degradable failures (user diagnostics) stop
+ *    immediately: no pipeline change fixes a source error.
+ *
+ * See DESIGN.md §15 for the full taxonomy table.
+ */
+
+#ifndef WMSTREAM_SERVE_FAILURE_H
+#define WMSTREAM_SERVE_FAILURE_H
+
+#include <cstdint>
+#include <string>
+
+namespace wmstream::serve {
+
+/** Final status of one TU in the batch report. */
+enum class TuStatus : uint8_t {
+    Ok,         ///< compiled clean at the requested (full) level
+    OkDegraded, ///< compiled clean after >= 1 ladder demotion
+    UserError,  ///< source diagnostics: the user's bug, not ours
+    Timeout,    ///< deadline expired on every retry
+    Failed,     ///< deterministic internal failure at every level
+    Skipped,    ///< batch aborted (--fail-fast) before this TU ran
+};
+
+/** Stable lower_snake_case name of @p s (batch report JSON). */
+const char *tuStatusName(TuStatus s);
+
+/** What kind of failure one compile attempt produced. */
+enum class FailureKind : uint8_t {
+    None,        ///< the attempt succeeded
+    UserError,   ///< DiagEngine errors (deterministic, not degradable)
+    Panic,       ///< InternalError escaped a pass (compiler bug)
+    VerifyError, ///< IR verifier violations (compiler bug)
+    Timeout,     ///< per-TU deadline expired (transient)
+    RtlBudget,   ///< RTL instruction budget exceeded (deterministic)
+};
+
+/** Stable lower_snake_case name of @p k (report JSON, reason codes). */
+const char *failureKindName(FailureKind k);
+
+/** Retry-at-same-level failures: may succeed on a quieter machine. */
+bool failureIsTransient(FailureKind k);
+
+/** Ladder-demotion failures: a less aggressive pipeline may avoid
+ *  the failing transform entirely. */
+bool failureIsDegradable(FailureKind k);
+
+/** One typed failure record: kind + dedup signature + human detail. */
+struct TuFailure
+{
+    FailureKind kind = FailureKind::None;
+    /**
+     * Program-independent dedup key: "panic@file:line" for panics,
+     * the joined verify::Violation signatures for verifier findings,
+     * "deadline" / "rtl-budget" for budget trips, "diagnostics" for
+     * user errors. Two TUs poisoned by the same compiler bug fold to
+     * one signature.
+     */
+    std::string signature;
+    std::string detail; ///< diagnostics / what() text
+
+    bool ok() const { return kind == FailureKind::None; }
+};
+
+} // namespace wmstream::serve
+
+#endif // WMSTREAM_SERVE_FAILURE_H

@@ -724,10 +724,17 @@ streamLoop(rtl::Function &fn, cfg::Loop &loop,
     std::vector<const PlannedStream *> order;
     for (const PlannedStream &ps : chosen)
         order.push_back(&ps);
+    // Order blocks by label, not by pointer: heap addresses vary
+    // with the process's allocation history, and the rewrite order
+    // names fresh registers — pointer order made two compiles of the
+    // same source in one process produce differently-numbered (if
+    // semantically identical) code, breaking batch-vs-solo
+    // bit-identity.
     std::sort(order.begin(), order.end(),
               [](const PlannedStream *a, const PlannedStream *b) {
                   if (a->ref.block != b->ref.block)
-                      return a->ref.block < b->ref.block;
+                      return a->ref.block->label() <
+                             b->ref.block->label();
                   return a->ref.index > b->ref.index;
               });
     for (const PlannedStream *ps : order) {

@@ -1,8 +1,8 @@
 #include "support/diag.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <utility>
 
 namespace wmstream {
 
@@ -57,15 +57,50 @@ DiagEngine::str() const
     return os.str();
 }
 
+namespace {
+
+/** Basename of a __FILE__ path (stable across build directories). */
+const char *
+fileBasename(const char *file)
+{
+    const char *slash = std::strrchr(file, '/');
+    return slash ? slash + 1 : file;
+}
+
+} // anonymous namespace
+
+InternalError::InternalError(const char *file, int line, std::string msg)
+    : msg_(std::move(msg)), file_(fileBasename(file)), line_(line)
+{
+    std::ostringstream os;
+    os << "wmstream panic at " << file_ << ":" << line_ << ": " << msg_;
+    what_ = os.str();
+}
+
+std::string
+InternalError::signature() const
+{
+    std::ostringstream os;
+    os << "panic@" << file_ << ":" << line_;
+    return os.str();
+}
+
+CancelledError::CancelledError(std::string reason, std::string detail)
+    : reason_(std::move(reason))
+{
+    what_ = "compile cancelled (" + reason_ + ")";
+    if (!detail.empty())
+        what_ += ": " + detail;
+}
+
 void
 wsPanic(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "wmstream panic at %s:%d: %s\n", file, line,
-                 msg.c_str());
-    // Exit with a recognizable "internal error" status instead of
-    // SIGABRT so drivers and CI can tell a compiler bug apart from a
-    // crash and from user-error exits (see wmc exit-code table).
-    std::exit(70);
+    // Throw instead of exiting: library code must stay embeddable in
+    // long-lived services. The recognizable "internal error" exit
+    // status 70 (vs SIGABRT, vs user-error exits) is applied by the
+    // tool mains that catch this (see wmc exit-code table).
+    throw InternalError(file, line, msg);
 }
 
 } // namespace wmstream

@@ -12,6 +12,7 @@
 #define WMSTREAM_SUPPORT_DIAG_H
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -67,10 +68,69 @@ class DiagEngine
 };
 
 /**
- * Abort with a message on an internal invariant violation.
+ * An internal invariant violation: always a compiler bug, never a
+ * user error.
  *
- * Equivalent to gem5's panic(): this is a compiler bug, never a user
- * error, so it terminates the process.
+ * Thrown by wsPanic()/WS_PANIC/WS_ASSERT. Library code never calls
+ * std::exit or abort; the process-exit policy (exit code 70, see the
+ * wmc exit-code table) lives only at the tool boundaries in tools/,
+ * which catch this type in main(). Service-style embedders (the
+ * src/serve batch runner) instead catch it per translation unit and
+ * convert it into a typed failure record, so one panicking TU cannot
+ * kill a batch of thousands.
+ */
+class InternalError : public std::exception
+{
+  public:
+    InternalError(const char *file, int line, std::string msg);
+
+    /** Full one-line rendering: "wmstream panic at FILE:LINE: MSG". */
+    const char *what() const noexcept override { return what_.c_str(); }
+
+    const std::string &message() const { return msg_; }
+    const std::string &file() const { return file_; }
+    int line() const { return line_; }
+
+    /**
+     * Stable dedup key "panic@FILE:LINE" (basename only), in the
+     * spirit of wmsim::FaultReport::signature(): two panics from the
+     * same assertion collapse to one signature regardless of the
+     * formatted message contents.
+     */
+    std::string signature() const;
+
+  private:
+    std::string msg_;
+    std::string file_; ///< basename of the throwing source file
+    int line_;
+    std::string what_;
+};
+
+/**
+ * Cooperative cancellation of a compilation in flight (per-TU
+ * deadline or resource budget; see driver::CompileOptions::cancel and
+ * maxRtlInsts). Thrown by the driver at a pass boundary; `reason` is
+ * a stable code: "deadline" or "rtl-budget".
+ */
+class CancelledError : public std::exception
+{
+  public:
+    explicit CancelledError(std::string reason, std::string detail);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+    const std::string &reason() const { return reason_; }
+
+  private:
+    std::string reason_;
+    std::string what_;
+};
+
+/**
+ * Report an internal invariant violation.
+ *
+ * Equivalent to gem5's panic() in intent — this is a compiler bug,
+ * never a user error — but implemented as a throw of InternalError so
+ * embedders can contain it; tools/ turn it into exit(70).
  */
 [[noreturn]] void wsPanic(const char *file, int line, const std::string &msg);
 

@@ -35,6 +35,24 @@ ThreadPool::submit(std::function<void()> job)
     workCv_.notify_one();
 }
 
+size_t
+ThreadPool::cancelPending()
+{
+    std::deque<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dropped.swap(queue_);
+        // wait() may already be blocked on "queue empty and all
+        // idle"; an empty queue with no active workers is now final.
+        if (active_ == 0)
+            idleCv_.notify_all();
+    }
+    // Destroy the dropped closures (and whatever shared state they
+    // captured) outside the lock: a captured shared_ptr's destructor
+    // may itself take locks or submit follow-up work.
+    return dropped.size();
+}
+
 void
 ThreadPool::wait()
 {

@@ -7,11 +7,22 @@
  * pool is deliberately minimal — no futures, no priorities — because
  * every present use is "run N independent closures, then join".
  *
- * Thread-safety contract: submit() and wait() may be called from any
- * thread; jobs must synchronize their own access to shared state.
- * Jobs may submit further jobs. Exceptions escaping a job terminate
- * the process (the repo's compiler and simulators report failure
- * through result structs, never exceptions, so an escape is a bug).
+ * Thread-safety contract: submit(), cancelPending(), and wait() may
+ * be called from any thread, including from inside a job. Jobs must
+ * synchronize their own access to shared state. Jobs may submit
+ * further jobs. Exceptions escaping a job terminate the process:
+ * callers that run throwing code (the serve batch runner compiles
+ * TUs that may raise InternalError) must catch inside the job and
+ * report through their result slots.
+ *
+ * Early-abort discipline (serve --fail-fast): cancelPending() drops
+ * every queued-but-unstarted job and returns how many were dropped,
+ * so an aborting batch can account for the jobs that will never run
+ * and then wait() deterministically for the in-flight ones to
+ * drain. Jobs must own their shared state via shared_ptr (as
+ * parallelFor does): a worker can still be inside a job after the
+ * submitting frame returned, and must never touch a result slot the
+ * caller has destroyed.
  */
 
 #ifndef WMSTREAM_SUPPORT_THREAD_POOL_H
@@ -41,6 +52,14 @@ class ThreadPool
 
     /** Enqueue @p job; returns immediately. */
     void submit(std::function<void()> job);
+
+    /**
+     * Drop every queued-but-unstarted job; jobs already executing
+     * finish normally. Returns the number of jobs dropped. Dropped
+     * closures are destroyed under no lock held by workers, so a
+     * batch abort can release per-job state deterministically.
+     */
+    size_t cancelPending();
 
     /** Block until the queue is empty and every worker is idle. */
     void wait();

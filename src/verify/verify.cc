@@ -47,6 +47,24 @@ Violation::signature() const
 }
 
 std::string
+joinedSignature(const std::vector<VerifyReport> &reports)
+{
+    std::vector<std::string> sigs;
+    for (const VerifyReport &rep : reports)
+        for (const Violation &v : rep.violations)
+            sigs.push_back(v.signature());
+    std::sort(sigs.begin(), sigs.end());
+    sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+    std::string joined;
+    for (size_t i = 0; i < sigs.size(); ++i) {
+        if (i)
+            joined += ',';
+        joined += sigs[i];
+    }
+    return joined;
+}
+
+std::string
 Violation::str() const
 {
     std::string s = reason;

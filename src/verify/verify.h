@@ -105,6 +105,15 @@ struct VerifyOptions
 };
 
 /**
+ * The sorted, deduplicated, comma-joined Violation::signature() set
+ * across @p reports ("" when all are clean): a program-independent
+ * dedup key, shared by the wmfuzz verify oracle and the serve batch
+ * runner's typed failure records, so one compiler bug folds into one
+ * finding across any number of translation units.
+ */
+std::string joinedSignature(const std::vector<VerifyReport> &reports);
+
+/**
  * Verify one function. Recomputes the CFG (checking branch targets
  * first, so malformed IR yields a diagnostic rather than a panic).
  * FIFO-discipline checks run only when @p traits is the WM machine.

@@ -15,7 +15,9 @@
 
 #include "bench/common.h"
 #include "driver/compiler.h"
+#include "fuzz/batch_campaign.h"
 #include "fuzz/campaign.h"
+#include "serve/batch.h"
 #include "obs/json.h"
 #include "obs/json_parse.h"
 #include "obs/timeseries.h"
@@ -142,6 +144,25 @@ allDocuments()
                                 fuzz::CampaignResult{});
     });
 
+    // Batch compile report (wmc --batch-report).
+    serve::TuJob tu;
+    tu.id = "schema.c";
+    tu.source = kProgram;
+    serve::BatchOptions batchOpts;
+    batchOpts.base.verify = driver::VerifyMode::Each;
+    batchOpts.backoffBaseMs = 0;
+    serve::BatchReport batchReport = serve::runBatch({tu}, batchOpts);
+    emit("batch_report",
+         [&](obs::JsonWriter &w) { batchReport.writeJson(w); });
+
+    // Batch-campaign summary (embeds a batch report).
+    emit("batch_campaign", [&](obs::JsonWriter &w) {
+        fuzz::BatchCampaignResult empty;
+        empty.report = batchReport;
+        fuzz::writeBatchCampaignJson(w, fuzz::BatchCampaignOptions{},
+                                     empty);
+    });
+
     // Bench harness report (bench/common.h).
     {
         wsbench::JsonReport report;
@@ -178,7 +199,7 @@ INSTANTIATE_TEST_SUITE_P(
 // so silently dropping an emitter from the list is caught too.
 TEST(SchemaAuditCoverage, CoversAllKnownEmitters)
 {
-    EXPECT_EQ(allDocuments().size(), 9u);
+    EXPECT_EQ(allDocuments().size(), 11u);
 }
 
 } // namespace

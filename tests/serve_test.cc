@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the fault-isolated batch compile runner (src/serve).
+ *
+ * The contract under test is the acceptance criterion of the batch
+ * service: one poisoned TU must never leak into its neighbours.
+ * Healthy TUs compiled in a batch must be bit-identical to solo
+ * compiles, poisoned TUs must be quarantined with typed records, the
+ * degradation ladder must demote exactly as far as needed and no
+ * further, and the report must be deterministic for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "obs/json.h"
+#include "programs/programs.h"
+#include "serve/batch.h"
+#include "wm/printer.h"
+
+using namespace wmstream;
+using serve::BatchOptions;
+using serve::BatchReport;
+using serve::FailureKind;
+using serve::LadderLevel;
+using serve::TuJob;
+using serve::TuStatus;
+
+namespace {
+
+/** A healthy, streamable TU (two input streams, one reduction). */
+std::string
+healthySource(int n)
+{
+    return programs::dotProductSource(n);
+}
+
+TuJob
+job(const std::string &id, const std::string &source)
+{
+    TuJob j;
+    j.id = id;
+    j.source = source;
+    return j;
+}
+
+/** Batch options tuned for tests: verify each, no backoff sleeps. */
+BatchOptions
+testOptions()
+{
+    BatchOptions bo;
+    bo.base.verify = driver::VerifyMode::Each;
+    bo.backoffBaseMs = 0;
+    return bo;
+}
+
+/** Hash of a solo compile, via the same printer the batch uses. */
+uint64_t
+soloHash(const std::string &source)
+{
+    driver::CompileOptions opts;
+    opts.verify = driver::VerifyMode::Each;
+    auto cr = driver::compileSource(source, opts);
+    EXPECT_TRUE(cr.ok);
+    return serve::artifactHash(wm::printProgram(*cr.program));
+}
+
+} // anonymous namespace
+
+TEST(ServeLadder, NamesAndOptionDemotions)
+{
+    EXPECT_STREQ(serve::ladderLevelName(LadderLevel::Full), "full");
+    EXPECT_STREQ(serve::ladderLevelName(LadderLevel::NoStreaming),
+                 "no-streaming");
+    EXPECT_STREQ(serve::ladderLevelName(LadderLevel::ScalarOnly),
+                 "scalar-only");
+
+    driver::CompileOptions base;
+    base.vectorize = true;
+    auto full = serve::applyLadder(base, LadderLevel::Full);
+    EXPECT_TRUE(full.streaming);
+    EXPECT_TRUE(full.recurrence);
+
+    auto noStream = serve::applyLadder(base, LadderLevel::NoStreaming);
+    EXPECT_FALSE(noStream.streaming);
+    EXPECT_FALSE(noStream.vectorize);
+    EXPECT_TRUE(noStream.recurrence);
+
+    auto scalar = serve::applyLadder(base, LadderLevel::ScalarOnly);
+    EXPECT_FALSE(scalar.streaming);
+    EXPECT_FALSE(scalar.vectorize);
+    EXPECT_FALSE(scalar.recurrence);
+}
+
+TEST(ServeFailure, TaxonomyClassification)
+{
+    // Transient: retried at the same rung.
+    EXPECT_TRUE(serve::failureIsTransient(FailureKind::Timeout));
+    EXPECT_FALSE(serve::failureIsTransient(FailureKind::Panic));
+
+    // Degradable: demoted one rung.
+    EXPECT_TRUE(serve::failureIsDegradable(FailureKind::Panic));
+    EXPECT_TRUE(serve::failureIsDegradable(FailureKind::VerifyError));
+    EXPECT_TRUE(serve::failureIsDegradable(FailureKind::RtlBudget));
+
+    // Non-degradable: the user's bug; no pipeline change helps.
+    EXPECT_FALSE(serve::failureIsDegradable(FailureKind::UserError));
+    EXPECT_FALSE(serve::failureIsTransient(FailureKind::UserError));
+
+    EXPECT_STREQ(serve::failureKindName(FailureKind::VerifyError),
+                 "verify_error");
+    EXPECT_STREQ(serve::tuStatusName(TuStatus::OkDegraded), "ok_degraded");
+}
+
+TEST(ServeHash, Fnv1a64KnownValues)
+{
+    // FNV-1a 64 reference vectors.
+    EXPECT_EQ(serve::artifactHash(""), 14695981039346656037ull);
+    EXPECT_EQ(serve::artifactHash("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_NE(serve::artifactHash("move r1"), serve::artifactHash("move r2"));
+}
+
+TEST(ServeBatch, IsolatesPanicTuAndKeepsNeighboursBitIdentical)
+{
+    std::vector<TuJob> jobs;
+    jobs.push_back(job("healthy-a.c", healthySource(16)));
+    TuJob poisoned = job("poisoned.c", healthySource(16));
+    poisoned.injectPanic = true;
+    jobs.push_back(poisoned);
+    jobs.push_back(job("healthy-b.c", healthySource(32)));
+
+    BatchOptions bo = testOptions();
+    bo.jobs = 3;
+    bo.keepArtifacts = true;
+    BatchReport report = serve::runBatch(jobs, bo);
+
+    ASSERT_EQ(report.tus.size(), 3u);
+    EXPECT_EQ(report.total, 3);
+    EXPECT_EQ(report.ok, 2);
+    EXPECT_EQ(report.failed, 1);
+    EXPECT_EQ(report.quarantined(), 1);
+    EXPECT_FALSE(report.aborted);
+
+    // Records sit in manifest order regardless of completion order.
+    EXPECT_EQ(report.tus[0].id, "healthy-a.c");
+    EXPECT_EQ(report.tus[1].id, "poisoned.c");
+    EXPECT_EQ(report.tus[2].id, "healthy-b.c");
+
+    // The poisoned TU is quarantined with a typed panic record; the
+    // ladder tried every rung (the injected panic fires at all of
+    // them) before giving up.
+    const auto &bad = report.tus[1];
+    EXPECT_EQ(bad.status, TuStatus::Failed);
+    EXPECT_EQ(bad.failure.kind, FailureKind::Panic);
+    EXPECT_EQ(bad.failure.signature.rfind("panic@", 0), 0u)
+        << bad.failure.signature;
+    EXPECT_EQ(bad.level, LadderLevel::ScalarOnly);
+    EXPECT_EQ(bad.attempts, 3);
+    EXPECT_EQ(bad.artifactHash, 0u);
+
+    // The acceptance criterion: healthy neighbours are bit-identical
+    // to solo compiles of the same source.
+    EXPECT_EQ(report.tus[0].status, TuStatus::Ok);
+    EXPECT_EQ(report.tus[2].status, TuStatus::Ok);
+    EXPECT_EQ(report.tus[0].artifactHash, soloHash(healthySource(16)));
+    EXPECT_EQ(report.tus[2].artifactHash, soloHash(healthySource(32)));
+    EXPECT_EQ(serve::artifactHash(report.tus[0].artifact),
+              report.tus[0].artifactHash);
+}
+
+TEST(ServeBatch, DeadlineExpiryYieldsTimeoutRecord)
+{
+    TuJob j = job("stall.c", healthySource(16));
+    BatchOptions bo = testOptions();
+    bo.base.testStallMs = 5000; // stalls at the first checkpoint...
+    bo.tuTimeoutMs = 30;        // ...far past the deadline
+    bo.maxRetries = 1;
+    bo.watchdogPollMs = 1;
+    BatchReport report = serve::runBatch({j}, bo);
+
+    ASSERT_EQ(report.tus.size(), 1u);
+    const auto &rec = report.tus[0];
+    EXPECT_EQ(rec.status, TuStatus::Timeout);
+    EXPECT_EQ(rec.failure.kind, FailureKind::Timeout);
+    EXPECT_EQ(rec.failure.signature, "deadline");
+    // Transient: retried at the same rung, never demoted.
+    EXPECT_EQ(rec.level, LadderLevel::Full);
+    EXPECT_EQ(rec.attempts, 2); // initial + maxRetries
+    EXPECT_EQ(rec.degradation, "");
+    ASSERT_EQ(rec.trail.size(), 2u);
+    for (const auto &a : rec.trail) {
+        EXPECT_EQ(a.outcome, FailureKind::Timeout);
+        EXPECT_EQ(a.level, LadderLevel::Full);
+    }
+    EXPECT_EQ(report.timeouts, 1);
+    EXPECT_EQ(report.retries, 1);
+    EXPECT_EQ(report.quarantined(), 1);
+}
+
+TEST(ServeBatch, LadderDemotesStreamingExactlyOnce)
+{
+    // The injected verifier bug drops a non-steering stream dequeue,
+    // so the TU fails verify at the full level but compiles clean one
+    // rung down where no streams exist. The ladder must demote once
+    // and stop, not fall through to scalar-only.
+    TuJob j = job("verify-poisoned.c", healthySource(16));
+    j.injectVerifierBug = true;
+    BatchReport report = serve::runBatch({j}, testOptions());
+
+    ASSERT_EQ(report.tus.size(), 1u);
+    const auto &rec = report.tus[0];
+    ASSERT_EQ(rec.status, TuStatus::OkDegraded);
+    EXPECT_EQ(rec.level, LadderLevel::NoStreaming);
+    EXPECT_EQ(rec.degradation, "degraded-no-streaming");
+    EXPECT_EQ(rec.attempts, 2);
+    ASSERT_EQ(rec.trail.size(), 2u);
+    EXPECT_EQ(rec.trail[0].outcome, FailureKind::VerifyError);
+    EXPECT_EQ(rec.trail[0].level, LadderLevel::Full);
+    EXPECT_EQ(rec.trail[1].outcome, FailureKind::None);
+    EXPECT_EQ(rec.trail[1].level, LadderLevel::NoStreaming);
+    EXPECT_NE(rec.artifactHash, 0u);
+    EXPECT_EQ(report.okDegraded, 1);
+    EXPECT_EQ(report.demotions, 1);
+    EXPECT_EQ(report.quarantined(), 1);
+
+    // The demoted artifact matches a solo compile at the same rung.
+    driver::CompileOptions demoted =
+        serve::applyLadder(testOptions().base, LadderLevel::NoStreaming);
+    auto cr = driver::compileSource(healthySource(16), demoted);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_EQ(rec.artifactHash,
+              serve::artifactHash(wm::printProgram(*cr.program)));
+}
+
+TEST(ServeBatch, RtlBudgetTripFailsDeterministically)
+{
+    TuJob j = job("over-budget.c", healthySource(16));
+    BatchOptions bo = testOptions();
+    bo.base.maxRtlInsts = 1; // trips at the first checkpoint, every rung
+    BatchReport report = serve::runBatch({j}, bo);
+
+    ASSERT_EQ(report.tus.size(), 1u);
+    const auto &rec = report.tus[0];
+    EXPECT_EQ(rec.status, TuStatus::Failed);
+    EXPECT_EQ(rec.failure.kind, FailureKind::RtlBudget);
+    EXPECT_EQ(rec.failure.signature, "rtl-budget");
+    // Degradable: walked the whole ladder before failing hard.
+    EXPECT_EQ(rec.level, LadderLevel::ScalarOnly);
+    EXPECT_EQ(rec.attempts, 3);
+}
+
+TEST(ServeBatch, UserErrorIsNotRetriedOrDemoted)
+{
+    TuJob j = job("broken.c", "int main() { return undeclared; }");
+    BatchReport report = serve::runBatch({j}, testOptions());
+
+    ASSERT_EQ(report.tus.size(), 1u);
+    const auto &rec = report.tus[0];
+    EXPECT_EQ(rec.status, TuStatus::UserError);
+    EXPECT_EQ(rec.failure.kind, FailureKind::UserError);
+    EXPECT_EQ(rec.attempts, 1); // deterministic, non-degradable: one shot
+    EXPECT_EQ(rec.level, LadderLevel::Full);
+    EXPECT_EQ(report.userErrors, 1);
+    // User errors are the user's fault, not quarantine material.
+    EXPECT_EQ(report.quarantined(), 0);
+}
+
+TEST(ServeBatch, LoadErrorBecomesUserErrorRecord)
+{
+    TuJob j;
+    j.id = "missing.c";
+    j.loadError = "open failed";
+    BatchReport report = serve::runBatch({j}, testOptions());
+    ASSERT_EQ(report.tus.size(), 1u);
+    EXPECT_EQ(report.tus[0].status, TuStatus::UserError);
+    EXPECT_EQ(report.tus[0].failure.signature, "load-error");
+    EXPECT_EQ(report.tus[0].attempts, 0);
+}
+
+TEST(ServeBatch, ReportDeterministicAcrossWorkerCounts)
+{
+    std::vector<TuJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(job("tu-" + std::to_string(i) + ".c",
+                           healthySource(8 + 8 * i)));
+    TuJob poisoned = job("tu-poisoned.c", healthySource(16));
+    poisoned.injectPanic = true;
+    jobs.insert(jobs.begin() + 3, poisoned);
+
+    BatchOptions solo = testOptions();
+    solo.jobs = 1;
+    BatchOptions wide = testOptions();
+    wide.jobs = 8;
+    BatchReport a = serve::runBatch(jobs, solo);
+    BatchReport b = serve::runBatch(jobs, wide);
+
+    ASSERT_EQ(a.tus.size(), jobs.size());
+    ASSERT_EQ(b.tus.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(a.tus[i].id, jobs[i].id);
+        EXPECT_EQ(b.tus[i].id, a.tus[i].id);
+        EXPECT_EQ(b.tus[i].status, a.tus[i].status);
+        EXPECT_EQ(b.tus[i].attempts, a.tus[i].attempts);
+        EXPECT_EQ(b.tus[i].level, a.tus[i].level);
+        EXPECT_EQ(b.tus[i].degradation, a.tus[i].degradation);
+        EXPECT_EQ(b.tus[i].artifactHash, a.tus[i].artifactHash);
+        EXPECT_EQ(b.tus[i].failure.signature, a.tus[i].failure.signature);
+    }
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.demotions, b.demotions);
+    EXPECT_EQ(a.quarantined(), b.quarantined());
+}
+
+TEST(ServeBatch, FailFastAbortsAndMarksRemainderSkipped)
+{
+    std::vector<TuJob> jobs;
+    TuJob poisoned = job("poisoned.c", healthySource(16));
+    poisoned.injectPanic = true;
+    jobs.push_back(poisoned);
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(job("tu-" + std::to_string(i) + ".c",
+                           healthySource(16)));
+
+    BatchOptions bo = testOptions();
+    bo.jobs = 1; // deterministic: the poisoned TU fails before any other runs
+    bo.failFast = true;
+    BatchReport report = serve::runBatch(jobs, bo);
+
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.failed, 1);
+    EXPECT_GT(report.skipped, 0);
+    EXPECT_EQ(report.tus[0].status, TuStatus::Failed);
+    int skipped = 0;
+    for (const auto &rec : report.tus)
+        if (rec.status == TuStatus::Skipped) {
+            ++skipped;
+            EXPECT_EQ(rec.attempts, 0);
+        }
+    EXPECT_EQ(skipped, report.skipped);
+    EXPECT_EQ(report.ok + report.failed + report.skipped, report.total);
+}
+
+TEST(ServeBatch, ManifestParsingResolvesPathsAndPoisonTokens)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+                   ("ws_serve_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    std::ofstream(dir / "one.c") << healthySource(8);
+    std::ofstream(dir / "two.c") << healthySource(16);
+    std::ofstream(dir / "MANIFEST")
+        << "# comment line\n"
+        << "\n"
+        << "one.c\n"
+        << "two.c inject-panic\n"
+        << "missing.c\n";
+
+    std::vector<TuJob> jobs;
+    std::string error;
+    ASSERT_TRUE(serve::loadManifest((dir / "MANIFEST").string(), jobs, error))
+        << error;
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].source, healthySource(8));
+    EXPECT_TRUE(jobs[0].loadError.empty());
+    EXPECT_FALSE(jobs[0].injectPanic);
+    EXPECT_TRUE(jobs[1].injectPanic);
+    EXPECT_FALSE(jobs[2].loadError.empty()); // per-TU record, not a load fail
+
+    std::vector<TuJob> none;
+    EXPECT_FALSE(serve::loadManifest((dir / "ABSENT").string(), none, error));
+    EXPECT_FALSE(error.empty());
+    fs::remove_all(dir);
+}
+
+TEST(ServeBatch, ReportJsonCarriesSchemaAndCounters)
+{
+    TuJob poisoned = job("poisoned.c", healthySource(16));
+    poisoned.injectPanic = true;
+    BatchReport report =
+        serve::runBatch({job("ok.c", healthySource(8)), poisoned},
+                        testOptions());
+
+    obs::JsonWriter w;
+    report.writeJson(w);
+    const std::string &json = w.str();
+    EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"wmc-batch-report\""), std::string::npos);
+    EXPECT_NE(json.find("\"quarantined\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"panic@"), std::string::npos);
+    EXPECT_NE(json.find("\"tus\""), std::string::npos);
+
+    std::string summary = report.summaryText();
+    EXPECT_NE(summary.find("2 TUs"), std::string::npos);
+    EXPECT_NE(summary.find("poisoned.c"), std::string::npos);
+}

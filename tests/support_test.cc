@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "support/diag.h"
@@ -166,4 +170,63 @@ TEST(ThreadPool, ParallelForHandlesZeroAndSingleThread)
     EXPECT_EQ(count.load(), 0);
     support::parallelFor(pool, 7, [&](int64_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 7);
+}
+
+TEST(ThreadPool, CancelPendingDropsOnlyUnstartedJobs)
+{
+    // The serve --fail-fast abort path: occupy every worker with a
+    // gated job, queue more work behind them, cancel, then release
+    // the gates. The cancelled jobs must never run, the in-flight
+    // ones must finish normally, and accounting must be exact:
+    // executed + dropped == submitted.
+    constexpr int kWorkers = 2;
+    constexpr int kQueued = 40;
+    support::ThreadPool pool(kWorkers);
+
+    auto state = std::make_shared<std::atomic<int>>(0);
+    std::mutex gateMu;
+    std::condition_variable gateCv;
+    bool gateOpen = false;
+    std::atomic<int> parked{0};
+
+    for (int i = 0; i < kWorkers; ++i)
+        pool.submit([&, state] {
+            parked.fetch_add(1);
+            std::unique_lock<std::mutex> lock(gateMu);
+            gateCv.wait(lock, [&] { return gateOpen; });
+            state->fetch_add(1);
+        });
+    // Wait until both workers are provably inside the gated jobs, so
+    // every job below is queued-but-unstarted when we cancel.
+    while (parked.load() < kWorkers)
+        std::this_thread::yield();
+    for (int i = 0; i < kQueued; ++i)
+        pool.submit([state] { state->fetch_add(1); });
+
+    size_t dropped = pool.cancelPending();
+    {
+        std::lock_guard<std::mutex> lock(gateMu);
+        gateOpen = true;
+    }
+    gateCv.notify_all();
+    pool.wait();
+
+    EXPECT_EQ(dropped, static_cast<size_t>(kQueued));
+    EXPECT_EQ(state->load(), kWorkers);
+
+    // The pool stays usable after an abort: drain-or-cancel, not
+    // poison.
+    pool.submit([state] { state->fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(state->load(), kWorkers + 1);
+}
+
+TEST(ThreadPool, CancelPendingOnIdlePoolIsANoOp)
+{
+    support::ThreadPool pool(2);
+    EXPECT_EQ(pool.cancelPending(), 0u);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
 }

@@ -20,16 +20,18 @@ Two modes:
     benchdiff.py diff BENCH_baseline.json current1.json ... \
             [--threshold-pct 5]
         Compare current documents (single reports or merged files)
-        against the baseline. Exits 1 when any cycle metric regressed
+        against the baseline. Exits 1 when any gated metric regressed
         by more than the threshold, or when a baseline row/metric
         disappeared (coverage loss); improvements and new rows are
         reported but pass.
 
-Only cycle-like metrics (key equal to or ending in "cycles", or
-starting with "cycles") are compared: other numbers (percentages,
-counts of streams) are descriptive, and the simulator is deterministic,
-so a >5% cycle growth is a real codegen or simulator regression, not
-noise.
+Only deterministic metrics are compared: cycle-like keys (equal to or
+ending in "cycles", or starting with "cycles") plus the explicit
+batch-service counters below (TU outcomes, compile attempts, ladder
+demotions — pure functions of sources and options). Other numbers
+(percentages, counts of streams) are descriptive, and the simulator
+is deterministic, so a >5% growth in a gated metric is a real codegen,
+simulator, or retry-policy regression, not noise.
 
 Host-dependent throughput metrics (wall-clock times, cycles/second —
 anything whose key mentions "wall" or "per_sec", as emitted by the
@@ -75,9 +77,20 @@ def is_host_metric(key):
     return any(m in k for m in HOST_METRIC_MARKERS)
 
 
-def is_cycle_metric(key):
+# Deterministic batch-service counters (bench/batchthroughput.cc):
+# pure functions of (TU sources, options), so any drift is a real
+# retry/demotion-policy change and gates exactly like a cycle count.
+DETERMINISTIC_COUNTERS = frozenset({
+    "tus", "ok", "ok_degraded", "failed", "quarantined", "attempts",
+    "demotions",
+})
+
+
+def is_gated_metric(key):
     if is_host_metric(key):
         return False
+    if key in DETERMINISTIC_COUNTERS:
+        return True
     return key == "cycles" or key.endswith("cycles") or \
         key.startswith("cycles")
 
@@ -85,7 +98,7 @@ def is_cycle_metric(key):
 def row_metrics(row):
     metrics = {k: v for k, v in row.items()
                if isinstance(v, (int, float)) and not isinstance(v, bool)
-               and is_cycle_metric(k)}
+               and is_gated_metric(k)}
     # Attached simulator counters: total cycles is the headline number.
     sim = row.get("sim")
     if isinstance(sim, dict) and isinstance(sim.get("cycles"), int):
@@ -154,7 +167,7 @@ def diff(args):
         for label in cur_rows.keys() - base_rows.keys():
             print(f"  new row {name}/{label} (not in baseline)")
 
-    print(f"benchdiff: compared {compared} cycle metrics across "
+    print(f"benchdiff: compared {compared} gated metrics across "
           f"{len(current)} bench(es)")
     if failures:
         print("benchdiff: FAIL", file=sys.stderr)

@@ -88,17 +88,41 @@
  *   --inject-verifier-bug (self-test) miscompile: drop one input
  *                         stream's FIFO dequeue after streaming, for
  *                         the static linter to catch at compile time
+ *   --inject-panic-tu     (self-test) panic (InternalError) after
+ *                         expansion — solo: exit 70; batch: the TU is
+ *                         quarantined while its neighbours complete
  *   --version             print the version and exit
  *
+ * Batch service mode (instead of a single input file):
+ *   --batch=MANIFEST      compile every TU listed in MANIFEST (one
+ *                         path per line, # comments) with per-TU
+ *                         fault isolation: a panicking, verifier-
+ *                         rejected, or deadline-blown TU yields a
+ *                         typed failure record while the rest of the
+ *                         batch completes. Streaming-pass verifier
+ *                         violations demote the TU down the
+ *                         degradation ladder (full -> no-streaming ->
+ *                         scalar-only) instead of failing it.
+ *   --jobs=N              worker threads               (default 1)
+ *   --tu-timeout-ms=N     per-TU attempt deadline      (0 = none)
+ *   --max-retries=N       transient (timeout) retries  (default 2)
+ *   --fail-fast           abort the batch on the first hard failure
+ *   --batch-report=FILE   write the schema-versioned per-TU report
+ *                         (status, attempts, degradation level, wall
+ *                         time, aggregates) as JSON; "-" for stdout
+ *
  * Exit status:
- *   0   success
+ *   0   success; a completed batch also exits 0 even when individual
+ *       TUs were quarantined (the report carries per-TU status)
  *   1   user error (unreadable input, compile diagnostics, unwritable
- *       output file)
+ *       output file, unreadable manifest, aborted --fail-fast batch)
  *   2   usage error (unknown flag, bad value, no input)
  *   3   simulation runtime fault (out-of-bounds access, bad PC, ...)
  *   4   deadlock or livelock (watchdog / cycle-limit classification)
  *   70  internal compiler error (panic/assert — see support/diag.h —
- *       or --verify violations)
+ *       or --verify violations). Panics unwind as InternalError and
+ *       are translated to this exit only here, at the tool boundary;
+ *       in batch mode they are contained per TU and never exit.
  */
 
 #include <cmath>
@@ -112,6 +136,7 @@
 
 #include "driver/compiler.h"
 #include "m68k/printer.h"
+#include "serve/batch.h"
 #include "obs/counters.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -182,6 +207,16 @@ const struct {
      "(self-test) under-count input streams to force a deadlock"},
     {"--inject-verifier-bug",
      "(self-test) drop one stream dequeue for --verify to catch"},
+    {"--inject-panic-tu",
+     "(self-test) panic mid-pipeline; batch mode must quarantine"},
+    {"--batch=MANIFEST",
+     "compile every TU in MANIFEST with per-TU fault isolation"},
+    {"--jobs=N", "batch worker threads (default 1)"},
+    {"--tu-timeout-ms=N", "batch per-TU attempt deadline (0 = none)"},
+    {"--max-retries=N", "batch transient retries (default 2)"},
+    {"--fail-fast", "abort the batch on the first hard failure"},
+    {"--batch-report=FILE",
+     "write the per-TU batch report JSON (\"-\" for stdout)"},
     {"--version", "print the version and exit"},
 };
 
@@ -196,7 +231,8 @@ printFlagList(std::FILE *out)
 int
 usage()
 {
-    std::fprintf(stderr, "usage: wmc [options] file.c\n");
+    std::fprintf(stderr, "usage: wmc [options] file.c\n"
+                         "       wmc --batch=MANIFEST [options]\n");
     printFlagList(stderr);
     return 2;
 }
@@ -274,14 +310,45 @@ writeTextFile(const std::string &path, const std::string &text)
     return ok;
 }
 
+/**
+ * `wmc --batch=MANIFEST`: the fault-isolated batch service mode.
+ * Exit 0 when the batch completes (quarantined TUs are data in the
+ * report, not a process failure), 1 on an unreadable manifest, an
+ * unwritable report, or a --fail-fast abort.
+ */
+int
+runBatchMode(const std::string &manifestPath,
+             const std::string &reportPath,
+             const serve::BatchOptions &opts)
+{
+    std::vector<serve::TuJob> jobs;
+    std::string error;
+    if (!serve::loadManifest(manifestPath, jobs, error)) {
+        std::fprintf(stderr, "wmc: %s\n", error.c_str());
+        return 1;
+    }
+    serve::BatchReport report = serve::runBatch(jobs, opts);
+    std::FILE *human = reportPath == "-" ? stderr : stdout;
+    std::fprintf(human, "%s", report.summaryText().c_str());
+    if (!reportPath.empty()) {
+        obs::JsonWriter w;
+        report.writeJson(w);
+        if (!writeTextFile(reportPath, w.str()))
+            return 1;
+    }
+    return report.aborted ? 1 : 0;
+}
+
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+wmcMain(int argc, char **argv)
 {
     driver::CompileOptions options;
     std::string file, statsJsonPath, traceOutPath, manifestPath,
         metricsOutPath;
+    serve::BatchOptions batch;
+    std::string batchManifest, batchReportPath;
     uint64_t sampleWindow = 1024;
     bool sampleWindowSet = false;
     bool printAsm = false, tracePartitions = false, run = false,
@@ -406,6 +473,19 @@ main(int argc, char **argv)
             options.injectStreamCountBug = true;
         } else if (std::strcmp(a, "--inject-verifier-bug") == 0) {
             options.injectVerifierBug = true;
+        } else if (std::strcmp(a, "--inject-panic-tu") == 0) {
+            options.injectPanicTu = true;
+        } else if (stringy("--batch", &batchManifest) ||
+                   stringy("--batch-report", &batchReportPath)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if (numeric("--jobs", &batch.jobs) ||
+                   numeric("--tu-timeout-ms", &batch.tuTimeoutMs) ||
+                   numeric("--max-retries", &batch.maxRetries)) {
+            if (m == FlagMatch::BadValue)
+                return usage();
+        } else if (std::strcmp(a, "--fail-fast") == 0) {
+            batch.failFast = true;
         } else if (a[0] == '-') {
             std::fprintf(stderr, "wmc: unknown option %s\n", a);
             printFlagList(stderr);
@@ -418,6 +498,20 @@ main(int argc, char **argv)
                          file.c_str(), a);
             return usage();
         }
+    }
+    if (!batchManifest.empty()) {
+        if (!file.empty()) {
+            std::fprintf(stderr, "wmc: --batch does not take an "
+                                 "input file (got %s)\n",
+                         file.c_str());
+            return usage();
+        }
+        // The compile flags above (--target, --no-streaming, the
+        // inject self-tests, ...) form the batch's full-level base
+        // configuration; runBatch arms --verify=each itself unless a
+        // mode was chosen explicitly.
+        batch.base = options;
+        return runBatchMode(batchManifest, batchReportPath, batch);
     }
     if (file.empty())
         return usage();
@@ -737,4 +831,21 @@ main(int argc, char **argv)
             return 1;
     }
     return 0;
+}
+
+/**
+ * The process boundary is the only place a panic becomes an exit
+ * code: library code raises InternalError (support/diag.h) and stays
+ * reentrant; embedders like the batch runner catch it per TU; the
+ * solo tool translates it to the historical exit 70 here.
+ */
+int
+main(int argc, char **argv)
+{
+    try {
+        return wmcMain(argc, argv);
+    } catch (const InternalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 70;
+    }
 }

@@ -49,6 +49,26 @@
  *                             compile time (verify_error) and the
  *                             campaign must dedup it by violation
  *                             signature
+ *
+ * Batch-campaign mode (`--batch-campaign`), the fourth fuzzing mode:
+ * generate --max-programs TUs, deterministically poison
+ * --fault-rate-pct percent of them with the hidden fault-injection
+ * flags, compile the whole set through the serve batch runner, and
+ * audit fault isolation: healthy TUs must compile bit-identically to
+ * solo compiles, panic-poisoned TUs must be quarantined with typed
+ * records, verifier-poisoned TUs must be rescued by the degradation
+ * ladder (ok_degraded at the no-streaming rung). Exit 0 when every
+ * property holds, 1 otherwise.
+ *
+ *   --batch-campaign          run the batch fault-isolation campaign
+ *   --fault-rate-pct=N        percent of TUs to poison (default 5)
+ *   --inject-panic-tu         arm unrescuable panic poisoning
+ *   --inject-verifier-bug     (with --batch-campaign) arm rescuable
+ *                             verifier-bug poisoning
+ *   --tu-timeout-ms=N         per-TU deadline forwarded to the batch
+ *   --max-retries=N           transient retries (default 2)
+ *   --batch-dir=DIR           write the TU set + MANIFEST here so
+ *                             `wmc --batch` can replay the campaign
  */
 
 #include <cstdio>
@@ -56,8 +76,10 @@
 #include <string>
 #include <thread>
 
+#include "fuzz/batch_campaign.h"
 #include "fuzz/campaign.h"
 #include "obs/json.h"
+#include "support/diag.h"
 
 using namespace wmstream;
 
@@ -71,7 +93,12 @@ usage()
                  "[--jobs=N]\n"
                  "              [--report-json=FILE] [--repro-dir=DIR] "
                  "[--no-minimize]\n"
-                 "              [--quiet] [--chaos-seeds=N]\n");
+                 "              [--quiet] [--chaos-seeds=N]\n"
+                 "       wmfuzz --batch-campaign [--fault-rate-pct=N]\n"
+                 "              [--inject-panic-tu] "
+                 "[--inject-verifier-bug]\n"
+                 "              [--tu-timeout-ms=N] [--max-retries=N] "
+                 "[--batch-dir=DIR]\n");
     return 2;
 }
 
@@ -125,10 +152,51 @@ writeTextFile(const std::string &path, const std::string &text)
     return ok;
 }
 
+/** The `--batch-campaign` mode: fault-isolation audit of the serve
+ *  batch runner. */
+int
+runBatchCampaignMode(const fuzz::BatchCampaignOptions &opts,
+                     const std::string &reportJsonPath)
+{
+    fuzz::BatchCampaignResult res = fuzz::runBatchCampaign(opts);
+
+    if (!reportJsonPath.empty()) {
+        obs::JsonWriter w;
+        fuzz::writeBatchCampaignJson(w, opts, res);
+        if (!writeTextFile(reportJsonPath, w.str()))
+            return 1;
+    }
+
+    std::FILE *human = reportJsonPath == "-" ? stderr : stdout;
+    std::fprintf(
+        human,
+        "wmfuzz: batch campaign: %d TUs (%d healthy, %d panic-"
+        "poisoned, %d verifier-poisoned) in %.1fs (%d jobs, seed "
+        "%llu)\n",
+        res.tusGenerated, res.healthy, res.poisonedPanic,
+        res.poisonedVerify, res.elapsedSeconds, opts.jobs,
+        static_cast<unsigned long long>(opts.seed));
+    std::fprintf(human, "%s", res.report.summaryText().c_str());
+    if (res.clean()) {
+        std::fprintf(human,
+                     "wmfuzz: batch campaign clean: %d quarantined == "
+                     "%d poisoned, healthy TUs bit-identical to solo "
+                     "compiles\n",
+                     res.report.quarantined(),
+                     res.poisonedPanic + res.poisonedVerify);
+        return 0;
+    }
+    std::fprintf(human, "wmfuzz: %d isolation problems:\n",
+                 static_cast<int>(res.problems.size()));
+    for (const std::string &p : res.problems)
+        std::fprintf(human, "  %s\n", p.c_str());
+    return 1;
+}
+
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+fuzzMain(int argc, char **argv)
 {
     fuzz::CampaignOptions opts;
     opts.jobs =
@@ -137,6 +205,8 @@ main(int argc, char **argv)
         opts.jobs = 1;
     opts.progress = true;
     std::string reportJsonPath;
+    bool batchCampaign = false;
+    fuzz::BatchCampaignOptions batchOpts;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -169,6 +239,23 @@ main(int argc, char **argv)
             opts.injectStreamCountBug = true;
         } else if (std::strcmp(a, "--inject-verifier-bug") == 0) {
             opts.injectVerifierBug = true;
+            batchOpts.injectVerifierBug = true;
+        } else if (std::strcmp(a, "--batch-campaign") == 0) {
+            batchCampaign = true;
+        } else if (std::strcmp(a, "--inject-panic-tu") == 0) {
+            batchOpts.injectPanicTu = true;
+        } else if (parseUint(a, "--fault-rate-pct", &v)) {
+            if (v > 100) {
+                std::fprintf(stderr,
+                             "wmfuzz: bad --fault-rate-pct value\n");
+                return usage();
+            }
+            batchOpts.faultRatePct = static_cast<int>(v);
+        } else if (parseUint(a, "--tu-timeout-ms", &v)) {
+            batchOpts.tuTimeoutMs = static_cast<int>(v);
+        } else if (parseUint(a, "--max-retries", &v)) {
+            batchOpts.maxRetries = static_cast<int>(v);
+        } else if (parseString(a, "--batch-dir", &batchOpts.batchDir)) {
         } else {
             std::fprintf(stderr, "wmfuzz: unknown option %s\n", a);
             return usage();
@@ -177,6 +264,13 @@ main(int argc, char **argv)
     if (opts.maxPrograms < 1) {
         std::fprintf(stderr, "wmfuzz: --max-programs must be >= 1\n");
         return usage();
+    }
+    if (batchCampaign) {
+        batchOpts.seed = opts.seed;
+        batchOpts.numTus = opts.maxPrograms;
+        batchOpts.jobs = opts.jobs;
+        batchOpts.progress = opts.progress;
+        return runBatchCampaignMode(batchOpts, reportJsonPath);
     }
 
     auto res = fuzz::runCampaign(opts);
@@ -220,4 +314,19 @@ main(int argc, char **argv)
         std::fprintf(human, "\n");
     }
     return 1;
+}
+
+/** Translate an escaped InternalError to the historical exit 70 at
+ *  the process boundary (see support/diag.h). Campaign workers catch
+ *  panics per program; this shim only fires for bugs in the harness
+ *  itself. */
+int
+main(int argc, char **argv)
+{
+    try {
+        return fuzzMain(argc, argv);
+    } catch (const InternalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 70;
+    }
 }

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "obs/json_parse.h"
+#include "support/diag.h"
 
 using wmstream::obs::JsonValue;
 using wmstream::obs::parseJson;
@@ -564,8 +565,8 @@ renderCritPath(const JsonValue &cp,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+reportMain(int argc, char **argv)
 {
     bool timeline = false;
     bool critpath = false;
@@ -850,4 +851,17 @@ main(int argc, char **argv)
         return 1;
     }
     return 0;
+}
+
+/** Translate an escaped InternalError (support/diag.h) to exit 70 at
+ *  the process boundary, like wmc and wmfuzz. */
+int
+main(int argc, char **argv)
+{
+    try {
+        return reportMain(argc, argv);
+    } catch (const wmstream::InternalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 70;
+    }
 }
