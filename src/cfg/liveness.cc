@@ -48,41 +48,67 @@ isZeroReg(const RegKey &key, const rtl::MachineTraits &traits)
 Liveness::Liveness(rtl::Function &fn, const rtl::MachineTraits &traits)
     : traits_(traits)
 {
-    for (auto &b : fn.blocks()) {
-        in_[b.get()];
-        out_[b.get()];
-    }
+    // Number every register key in first-encounter order (a pure
+    // function of the RTL, so results are deterministic).
+    auto intern = [&](const RegKey &k) {
+        auto [it, inserted] =
+            keyIndex_.emplace(k, static_cast<int>(keys_.size()));
+        if (inserted)
+            keys_.push_back(k);
+        return static_cast<size_t>(it->second);
+    };
+    for (auto &b : fn.blocks())
+        for (const Inst &inst : b->insts) {
+            for (const RegKey &k : instUseKeys(inst))
+                if (!isZeroReg(k, traits_))
+                    intern(k);
+            for (const RegKey &k : instDefKeys(inst, traits_))
+                intern(k);
+        }
 
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        // Backward over layout order (order only affects iteration
-        // count, not the fixed point).
-        auto &blocks = fn.blocks();
-        for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
-            rtl::Block *b = it->get();
-            RegSet out;
-            for (rtl::Block *s : b->succs)
-                for (const RegKey &k : in_[s])
-                    out.insert(k);
-            RegSet live = out;
-            for (auto ii = b->insts.rbegin(); ii != b->insts.rend(); ++ii) {
-                for (const RegKey &k : instDefKeys(*ii, traits_))
-                    live.erase(k);
-                for (const RegKey &k : instUseKeys(*ii))
-                    if (!isZeroReg(k, traits_))
-                        live.insert(k);
+    cfg_ = std::make_unique<dataflow::CfgIndex>(fn);
+    solver_ = std::make_unique<dataflow::BitsetSolver>(
+        pool_, *cfg_, keys_.size(), dataflow::Direction::Backward,
+        dataflow::Join::Union);
+
+    // gen = upward-exposed uses, kill = defs; a forward scan adding
+    // uses not yet killed gives exactly the backward-transfer gen set.
+    for (size_t bi = 0; bi < cfg_->size(); ++bi) {
+        rtl::Block *b = cfg_->block(bi);
+        dataflow::BitsetWord *gen = solver_->gen(bi);
+        dataflow::BitsetWord *kill = solver_->kill(bi);
+        for (const Inst &inst : b->insts) {
+            for (const RegKey &k : instUseKeys(inst)) {
+                if (isZeroReg(k, traits_))
+                    continue;
+                size_t i = intern(k);
+                if (!dataflow::bitsetTest(kill, i))
+                    dataflow::bitsetSet(gen, i);
             }
-            if (out != out_[b]) {
-                out_[b] = std::move(out);
-                changed = true;
-            }
-            if (live != in_[b]) {
-                in_[b] = std::move(live);
-                changed = true;
-            }
+            for (const RegKey &k : instDefKeys(inst, traits_))
+                dataflow::bitsetSet(kill, intern(k));
         }
     }
+
+    solver_->solve();
+}
+
+const RegSet &
+Liveness::materialize(
+    std::unordered_map<const rtl::Block *, RegSet> &cache,
+    const rtl::Block *b, bool wantIn) const
+{
+    auto it = cache.find(b);
+    if (it != cache.end())
+        return it->second;
+    RegSet &set = cache[b];
+    size_t bi = cfg_->indexOf(b);
+    const dataflow::BitsetWord *bits =
+        wantIn ? solver_->in(bi) : solver_->out(bi);
+    dataflow::bitsetForEach(solver_->words(), bits, [&](size_t i) {
+        set.insert(keys_[i]);
+    });
+    return set;
 }
 
 bool
@@ -98,7 +124,11 @@ Liveness::liveAfter(const rtl::Block *b, size_t idx, const RegKey &key) const
             if (k == key)
                 return false;
     }
-    return out_.at(b).count(key) != 0;
+    int ki = keyIndex(key);
+    if (ki < 0)
+        return false;
+    return dataflow::bitsetTest(solver_->out(cfg_->indexOf(b)),
+                                static_cast<size_t>(ki));
 }
 
 } // namespace wmstream::cfg

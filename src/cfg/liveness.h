@@ -5,16 +5,27 @@
  * The classic backward may-analysis. Used by dead-code elimination,
  * the streaming pass's dead-induction-variable deletion (paper Step 2j),
  * and register assignment.
+ *
+ * Internally this runs on the pooled-bitset worklist engine
+ * (src/dataflow): registers are numbered densely per function, block
+ * gen/kill sets are bit vectors, and the backward union solve is
+ * word-parallel. The RegSet accessors materialize lazily so existing
+ * clients keep their set-based view while the hot fixpoint never
+ * touches a hash table.
  */
 
 #ifndef WMSTREAM_CFG_LIVENESS_H
 #define WMSTREAM_CFG_LIVENESS_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "dataflow/cfg_index.h"
+#include "dataflow/pool.h"
+#include "dataflow/solver.h"
 #include "rtl/inst.h"
 #include "rtl/machine.h"
 
@@ -64,11 +75,11 @@ class Liveness
 
     const RegSet &liveIn(const rtl::Block *b) const
     {
-        return in_.at(b);
+        return materialize(inCache_, b, /*wantIn=*/true);
     }
     const RegSet &liveOut(const rtl::Block *b) const
     {
-        return out_.at(b);
+        return materialize(outCache_, b, /*wantIn=*/false);
     }
 
     /**
@@ -77,10 +88,40 @@ class Liveness
      */
     bool liveAfter(const rtl::Block *b, size_t idx, const RegKey &key) const;
 
+    /** Dense index of @p key, or -1 when the key never appears in the
+     *  function (such a key is trivially dead everywhere). */
+    int keyIndex(const RegKey &key) const
+    {
+        auto it = keyIndex_.find(key);
+        return it == keyIndex_.end() ? -1 : it->second;
+    }
+    size_t numKeys() const { return keys_.size(); }
+    const RegKey &key(size_t i) const { return keys_[i]; }
+
+    /** Raw live-out bit vector of @p b (numKeys() bits). */
+    const dataflow::BitsetWord *liveOutBits(const rtl::Block *b) const
+    {
+        return solver_->out(cfg_->indexOf(b));
+    }
+    const dataflow::BitsetWord *liveInBits(const rtl::Block *b) const
+    {
+        return solver_->in(cfg_->indexOf(b));
+    }
+    size_t bitsetWords() const { return solver_->words(); }
+
   private:
+    const RegSet &materialize(
+        std::unordered_map<const rtl::Block *, RegSet> &cache,
+        const rtl::Block *b, bool wantIn) const;
+
     const rtl::MachineTraits traits_;
-    std::unordered_map<const rtl::Block *, RegSet> in_;
-    std::unordered_map<const rtl::Block *, RegSet> out_;
+    std::vector<RegKey> keys_;
+    std::unordered_map<RegKey, int, RegKeyHash> keyIndex_;
+    dataflow::BitsetPool pool_;
+    std::unique_ptr<dataflow::CfgIndex> cfg_;
+    std::unique_ptr<dataflow::BitsetSolver> solver_;
+    mutable std::unordered_map<const rtl::Block *, RegSet> inCache_;
+    mutable std::unordered_map<const rtl::Block *, RegSet> outCache_;
 };
 
 } // namespace wmstream::cfg

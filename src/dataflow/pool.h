@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bump-allocation arena for dataflow bitsets.
+ *
+ * Mirrors the nesfab `bitset_pool` idiom: one analysis run clears the
+ * pool, allocates all of its in/out/gen/kill sets from it, and the
+ * backing memory is reused verbatim by the next run — repeated solves
+ * over the same function (DCE rebuilds liveness many times per
+ * cleanup pipeline) touch the allocator once and then recycle.
+ *
+ * Allocation hands out word-aligned spans from chunked slabs; spans
+ * are never freed individually. clear() rewinds every slab cursor but
+ * keeps the slabs, so steady-state alloc() is a pointer bump.
+ */
+
+#ifndef WMSTREAM_DATAFLOW_POOL_H
+#define WMSTREAM_DATAFLOW_POOL_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dataflow/bitset.h"
+
+namespace wmstream::dataflow {
+
+class BitsetPool
+{
+  public:
+    /** Allocate a zeroed span of @p words words. */
+    BitsetWord *alloc(size_t words)
+    {
+        if (words == 0)
+            return nullptr;
+        ++allocCount_;
+        while (chunkIndex_ < chunks_.size()) {
+            Chunk &c = chunks_[chunkIndex_];
+            if (c.used + words <= c.size) {
+                BitsetWord *p = c.data.get() + c.used;
+                c.used += words;
+                bitsetClearAll(words, p);
+                return p;
+            }
+            // Current chunk is full; move on (its tail is wasted
+            // until the next clear(), which is fine for our sizes).
+            ++chunkIndex_;
+        }
+        size_t size = chunks_.empty() ? kMinChunkWords
+                                      : chunks_.back().size * 2;
+        if (size < words)
+            size = words;
+        Chunk c;
+        c.data = std::make_unique<BitsetWord[]>(size);
+        c.size = size;
+        c.used = words;
+        chunks_.push_back(std::move(c));
+        chunkIndex_ = chunks_.size() - 1;
+        BitsetWord *p = chunks_.back().data.get();
+        bitsetClearAll(words, p);
+        return p;
+    }
+
+    /** Rewind all cursors; capacity (slabs) is retained for reuse. */
+    void clear()
+    {
+        for (Chunk &c : chunks_)
+            c.used = 0;
+        chunkIndex_ = 0;
+    }
+
+    /** Total words of slab capacity currently held. */
+    size_t capacityWords() const
+    {
+        size_t n = 0;
+        for (const Chunk &c : chunks_)
+            n += c.size;
+        return n;
+    }
+    /** Number of slabs held (stable across clear(); grows only when
+     *  a run outgrows existing capacity — the reuse test keys on it). */
+    size_t chunkCount() const { return chunks_.size(); }
+    /** Lifetime alloc() calls (diagnostics only). */
+    size_t allocCount() const { return allocCount_; }
+
+  private:
+    static constexpr size_t kMinChunkWords = 1024;
+
+    struct Chunk
+    {
+        std::unique_ptr<BitsetWord[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    std::vector<Chunk> chunks_;
+    size_t chunkIndex_ = 0;
+    size_t allocCount_ = 0;
+};
+
+} // namespace wmstream::dataflow
+
+#endif // WMSTREAM_DATAFLOW_POOL_H

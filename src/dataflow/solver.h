@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Worklist dataflow solvers over CfgIndex + BitsetPool.
+ *
+ * Two modes:
+ *
+ *  - BitsetSolver: the classic gen/kill bit-vector form
+ *    (out = gen | (in & ~kill), join by union or intersection),
+ *    iterated with a round-robin worklist in the direction's natural
+ *    order (RPO forward, post-order backward). This is the engine
+ *    under liveness and reaching copies.
+ *
+ *  - solveGeneral: arbitrary per-block states with client transfer
+ *    and join closures, for lattices that do not fit bit vectors
+ *    (the FIFO occupancy intervals and depth counters in
+ *    src/verify). Same worklist scheduling, dirty-flag driven.
+ *
+ * Both run until a fixpoint; termination is the client's obligation
+ * (monotone transfer over a finite lattice; the FIFO analyses
+ * saturate their counters to bound the lattice height).
+ */
+
+#ifndef WMSTREAM_DATAFLOW_SOLVER_H
+#define WMSTREAM_DATAFLOW_SOLVER_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "dataflow/bitset.h"
+#include "dataflow/cfg_index.h"
+#include "dataflow/pool.h"
+
+namespace wmstream::dataflow {
+
+enum class Direction : uint8_t { Forward, Backward };
+enum class Join : uint8_t { Union, Intersect };
+
+/**
+ * Gen/kill bit-vector dataflow.
+ *
+ * Usage: construct, fill gen()/kill() per block, call solve(); then
+ * read in()/out(). For Backward problems "in" is still the state at
+ * block entry and "out" at block exit: liveness reads live-in from
+ * in() and live-out from out(), with transfer in = gen | (out & ~kill).
+ *
+ * Intersect joins initialize interior blocks to TOP (all bits); the
+ * boundary block (entry for forward, every exit for backward) starts
+ * at the empty set.
+ */
+class BitsetSolver
+{
+  public:
+    BitsetSolver(BitsetPool &pool, const CfgIndex &cfg, size_t bits,
+                 Direction dir, Join join)
+        : pool_(pool), cfg_(cfg), bits_(bits),
+          words_(bitsetWords(bits)), dir_(dir), join_(join)
+    {
+        size_t n = cfg.size();
+        gen_.resize(n);
+        kill_.resize(n);
+        in_.resize(n);
+        out_.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            gen_[i] = pool_.alloc(words_);
+            kill_[i] = pool_.alloc(words_);
+            in_[i] = pool_.alloc(words_);
+            out_[i] = pool_.alloc(words_);
+        }
+    }
+
+    size_t bits() const { return bits_; }
+    size_t words() const { return words_; }
+
+    BitsetWord *gen(size_t b) { return gen_[b]; }
+    BitsetWord *kill(size_t b) { return kill_[b]; }
+    BitsetWord *in(size_t b) { return in_[b]; }
+    BitsetWord *out(size_t b) { return out_[b]; }
+    const BitsetWord *in(size_t b) const { return in_[b]; }
+    const BitsetWord *out(size_t b) const { return out_[b]; }
+
+    /** Iterate to fixpoint. Returns the number of sweeps taken. */
+    size_t solve()
+    {
+        size_t n = cfg_.size();
+        if (!n || !words_)
+            return 0;
+        if (join_ == Join::Intersect)
+            initIntersectTop();
+        const std::vector<size_t> &order =
+            dir_ == Direction::Forward ? cfg_.rpo() : cfg_.postOrder();
+        std::vector<BitsetWord> temp(words_);
+        size_t sweeps = 0;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            ++sweeps;
+            for (size_t b : order)
+                if (step(b, temp.data()))
+                    changed = true;
+        }
+        iterations_ = sweeps;
+        return sweeps;
+    }
+
+    /** Sweeps taken by the last solve() (convergence tests). */
+    size_t iterations() const { return iterations_; }
+
+  private:
+    // Join predecessors' outs into in (forward) or successors' ins
+    // into out (backward), apply transfer, report change.
+    bool step(size_t b, BitsetWord *temp)
+    {
+        const std::vector<size_t> &edges = dir_ == Direction::Forward
+                                               ? cfg_.preds(b)
+                                               : cfg_.succs(b);
+        BitsetWord *joined =
+            dir_ == Direction::Forward ? in_[b] : out_[b];
+        bool changed = false;
+        if (!edges.empty()) {
+            bool first = true;
+            for (size_t e : edges) {
+                const BitsetWord *src = dir_ == Direction::Forward
+                                            ? out_[e]
+                                            : in_[e];
+                if (join_ == Join::Union) {
+                    changed |= bitsetOr(words_, joined, src);
+                } else if (first) {
+                    bitsetCopy(words_, temp, src);
+                    first = false;
+                } else {
+                    bitsetAnd(words_, temp, src);
+                }
+            }
+            if (join_ == Join::Intersect && !first) {
+                if (!bitsetEqual(words_, joined, temp)) {
+                    bitsetCopy(words_, joined, temp);
+                    changed = true;
+                }
+            }
+        }
+        // transfer: result = gen | (joined & ~kill)
+        bitsetCopy(words_, temp, joined);
+        bitsetAndNot(words_, temp, kill_[b]);
+        bitsetOr(words_, temp, gen_[b]);
+        BitsetWord *result =
+            dir_ == Direction::Forward ? out_[b] : in_[b];
+        if (!bitsetEqual(words_, result, temp)) {
+            bitsetCopy(words_, result, temp);
+            changed = true;
+        }
+        return changed;
+    }
+
+    void initIntersectTop()
+    {
+        // Boundary blocks keep the empty set; interior blocks start
+        // at TOP so the first real join lowers them.
+        size_t n = cfg_.size();
+        for (size_t i = 0; i < n; ++i) {
+            bool boundary = dir_ == Direction::Forward
+                                ? cfg_.preds(i).empty()
+                                : cfg_.succs(i).empty();
+            if (!boundary) {
+                BitsetWord *joined =
+                    dir_ == Direction::Forward ? in_[i] : out_[i];
+                bitsetSetAll(words_, joined, bits_);
+            }
+        }
+    }
+
+    BitsetPool &pool_;
+    const CfgIndex &cfg_;
+    size_t bits_;
+    size_t words_;
+    Direction dir_;
+    Join join_;
+    size_t iterations_ = 0;
+    std::vector<BitsetWord *> gen_, kill_, in_, out_;
+};
+
+/**
+ * General-transfer forward/backward solver.
+ *
+ * State is any copyable value type; unreached blocks hold no state
+ * (tracked with a reached flag), which models TOP for arbitrary
+ * lattices. The client supplies:
+ *
+ *   transfer(block, in) -> out              (applied on every visit)
+ *   join(accum, incoming, block) -> changed (in-place meet into
+ *       accum at `block`; the index lets clients attribute join
+ *       mismatches to the program point)
+ *
+ * Returns the per-block input states (index-aligned with cfg);
+ * outputs can be recomputed by the caller via transfer where needed.
+ * `reached[b]` distinguishes "never executed" from "empty state".
+ */
+template <typename State>
+struct GeneralResult
+{
+    std::vector<State> in;
+    std::vector<uint8_t> reached;
+    size_t iterations = 0;
+};
+
+/**
+ * Core seeded form: explicit seed states and an edge predicate.
+ * `seeds` pairs (block index, initial state); `edgeOk(from, to)`
+ * gates propagation — a false return prunes the edge, which is how
+ * the FIFO region walks restrict themselves to one loop and exclude
+ * back edges. Seed order matters only when seeds collide (later
+ * seeds join into earlier ones).
+ */
+template <typename State, typename TransferFn, typename JoinFn,
+          typename EdgeFn>
+GeneralResult<State>
+solveGeneralSeeded(const CfgIndex &cfg, Direction dir,
+                   const std::vector<std::pair<size_t, State>> &seeds,
+                   TransferFn transfer, JoinFn join, EdgeFn edgeOk)
+{
+    size_t n = cfg.size();
+    GeneralResult<State> r;
+    r.in.resize(n);
+    r.reached.assign(n, 0);
+    if (!n)
+        return r;
+    const std::vector<size_t> &order =
+        dir == Direction::Forward ? cfg.rpo() : cfg.postOrder();
+    for (const auto &[b, state] : seeds) {
+        if (!r.reached[b]) {
+            r.in[b] = state;
+            r.reached[b] = 1;
+        } else {
+            join(r.in[b], state, b);
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++r.iterations;
+        for (size_t b : order) {
+            if (!r.reached[b])
+                continue;
+            State out = transfer(b, r.in[b]);
+            const std::vector<size_t> &edges =
+                dir == Direction::Forward ? cfg.succs(b)
+                                          : cfg.preds(b);
+            for (size_t e : edges) {
+                size_t from = dir == Direction::Forward ? b : e;
+                size_t to = dir == Direction::Forward ? e : b;
+                if (!edgeOk(from, to))
+                    continue;
+                if (!r.reached[e]) {
+                    r.in[e] = out;
+                    r.reached[e] = 1;
+                    changed = true;
+                } else if (join(r.in[e], out, e)) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    return r;
+}
+
+template <typename State, typename TransferFn, typename JoinFn>
+GeneralResult<State>
+solveGeneral(const CfgIndex &cfg, Direction dir, const State &boundary,
+             TransferFn transfer, JoinFn join)
+{
+    size_t n = cfg.size();
+    // Seed every boundary block: the entry (no preds) for forward,
+    // each exit (no succs) for backward. Other blocks start
+    // unreached (TOP) and acquire state on first join.
+    std::vector<std::pair<size_t, State>> seeds;
+    for (size_t b = 0; b < n; ++b) {
+        bool isBoundary = dir == Direction::Forward
+                              ? cfg.preds(b).empty()
+                              : cfg.succs(b).empty();
+        if (isBoundary)
+            seeds.emplace_back(b, boundary);
+    }
+    if (seeds.empty() && n) {
+        // Degenerate CFG (e.g. single infinite loop with no exit):
+        // seed the traversal start so the solve still progresses.
+        const std::vector<size_t> &order =
+            dir == Direction::Forward ? cfg.rpo() : cfg.postOrder();
+        seeds.emplace_back(order.front(), boundary);
+    }
+    return solveGeneralSeeded(cfg, dir, seeds, transfer, join,
+                              [](size_t, size_t) { return true; });
+}
+
+} // namespace wmstream::dataflow
+
+#endif // WMSTREAM_DATAFLOW_SOLVER_H

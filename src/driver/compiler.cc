@@ -388,6 +388,38 @@ compile(const CompileRequest &req)
             verify::verifyProgram(*res.program, res.traits, vo));
     }
 
+    // Whole-program FIFO deadlock/depth analysis over the final
+    // code. Compiler-bug findings (starved pop, unprovable
+    // discipline) flow into the verifier stream; a depth-exceeded
+    // finding is a configuration error left to the caller, so it
+    // stays out of verifyReports (wmc reports it against
+    // --fifo-depth and exits 1, not 70).
+    if (options.inferFifoDepth && res.traits.isWM() &&
+            options.lowerFifo) {
+        prof.measure(
+            "fifo-depth", [&] { return countInsts(*res.program); },
+            [&] {
+                res.fifoRequirements = verify::analyzeFifoRequirements(
+                    *res.program, res.traits,
+                    options.configuredFifoDepth);
+            });
+        prof.addCounter("fifo-depth", "queues_analyzed",
+                        static_cast<int64_t>(
+                            res.fifoRequirements.queues.size()));
+        prof.addCounter("fifo-depth", "min_depth",
+                        res.fifoRequirements.minDepth);
+        verify::VerifyReport bugs;
+        bugs.pass = res.fifoRequirements.findings.pass;
+        bugs.stage = res.fifoRequirements.findings.stage;
+        for (const verify::Violation &v :
+             res.fifoRequirements.findings.violations)
+            if (v.reason != "fifo-depth-exceeded")
+                bugs.violations.push_back(v);
+        if (!bugs.ok())
+            recordVerify(std::move(bugs));
+        checkpoint();
+    }
+
     tagLoops(*res.program, res.remarks);
     res.program->layout();
     res.ok = true;

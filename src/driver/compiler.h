@@ -87,6 +87,24 @@ struct CompileOptions
      */
     VerifyMode verify = VerifyMode::Off;
     /**
+     * Run the whole-program static FIFO deadlock/depth-requirement
+     * analysis (verify/fifodepth.cc) over the final lowered WM code.
+     * Results land in CompileResult::fifoRequirements; compiler-bug
+     * findings (static-starved-pop, static-unproven) additionally
+     * flow into verifyReports/remarks like any verifier violation,
+     * while a fifo-depth-exceeded finding is a *configuration* error
+     * the caller (wmc) reports against --fifo-depth. No effect on
+     * scalar targets or when lowerFifo is off.
+     */
+    bool inferFifoDepth = false;
+    /**
+     * The data-FIFO depth the hardware model will run with; the
+     * inferred per-queue minima are checked against it. Matches
+     * wmsim::SimConfig::dataFifoDepth (wmc keeps them in sync via
+     * --fifo-depth).
+     */
+    int configuredFifoDepth = 8;
+    /**
      * Cooperative cancellation: when non-null, the driver polls this
      * flag at every pipeline checkpoint (after the front end, after
      * expansion, and after each pass) and raises CancelledError
@@ -160,6 +178,13 @@ struct CompileResult
      */
     std::vector<verify::VerifyReport> verifyReports;
     int verifyCheckpoints = 0; ///< checkpoints run (clean included)
+    /**
+     * Whole-program FIFO verdict (CompileOptions::inferFifoDepth):
+     * deadlock-freedom and per-queue minimal depths. `analyzed` is
+     * false when the analysis did not run (option off, scalar
+     * target, or lowering disabled).
+     */
+    verify::FifoRequirements fifoRequirements;
 
     bool verifyClean() const { return verifyReports.empty(); }
     /** Every verifier violation as diagnostic lines ("" if clean). */

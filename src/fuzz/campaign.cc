@@ -120,6 +120,16 @@ checkAgainstOracle(const std::string &source, int64_t expect,
         return out;
     }
     if (cfg.opts.target == rtl::MachineKind::WM) {
+        // Static half of the agreement oracle: the whole-program FIFO
+        // analysis renders its verdict before the simulator runs. It
+        // is self-contained (reruns discipline checks itself), so it
+        // works even in configurations that disable --verify, e.g.
+        // the --inject-deadlock-bug self-test.
+        verify::FifoRequirements fifoReq =
+            verify::analyzeFifoRequirements(*cr.program, cr.traits,
+                                            cfg.simCfg.dataFifoDepth);
+        out.staticAnalyzed = fifoReq.analyzed;
+        out.staticDeadlockFree = fifoReq.deadlockFree;
         auto res = wmsim::simulate(*cr.program, cfg.simCfg);
         if (!res.ok) {
             out.diverged = true;
@@ -127,6 +137,19 @@ checkAgainstOracle(const std::string &source, int64_t expect,
                 res.fault == wmsim::SimFault::Livelock) {
                 out.kind = DivergenceKind::Deadlock;
                 out.faultSignature = res.faultReport.signature();
+                // Statically proven deadlock-free yet the watchdog
+                // found a true deadlock (livelocks make no FIFO
+                // claim): the analysis was unsound or the simulator
+                // is wrong — escalate.
+                if (fifoReq.deadlockFree &&
+                    res.fault == wmsim::SimFault::Deadlock) {
+                    out.kind = DivergenceKind::StaticFifoBreak;
+                    out.detail = strFormat(
+                        "static verdict was deadlock-free but the "
+                        "watchdog fired: %s",
+                        res.error.c_str());
+                    return out;
+                }
             } else {
                 out.kind = DivergenceKind::RunError;
             }
@@ -228,6 +251,7 @@ divergenceKindName(DivergenceKind k)
       case DivergenceKind::Deadlock: return "deadlock";
       case DivergenceKind::ChaosBreak: return "chaos_break";
       case DivergenceKind::VerifyError: return "verify_error";
+      case DivergenceKind::StaticFifoBreak: return "static_fifo_break";
     }
     return "unknown";
 }
@@ -394,6 +418,8 @@ runCampaign(const CampaignOptions &opts)
     std::atomic<int64_t> checks{0};
     std::atomic<int64_t> programsDone{0};
     std::atomic<int> divergenceCount{0};
+    std::atomic<int64_t> staticFree{0};
+    std::atomic<int64_t> staticFlagged{0};
 
     support::parallelFor(
         pool, opts.maxPrograms, [&](int64_t p) {
@@ -421,6 +447,12 @@ runCampaign(const CampaignOptions &opts)
                     out = checkAgainstOracle(source, oracle.value, cfg);
                 }
                 checks.fetch_add(1, std::memory_order_relaxed);
+                if (out.staticAnalyzed) {
+                    auto &tally =
+                        out.staticDeadlockFree ? staticFree
+                                               : staticFlagged;
+                    tally.fetch_add(1, std::memory_order_relaxed);
+                }
                 if (out.diverged) {
                     RawDivergence d{idx, spec, cfg, out,
                                     divergenceSignature(spec, cfg, out)};
@@ -443,6 +475,8 @@ runCampaign(const CampaignOptions &opts)
     res.checksRun = checks.load();
     res.streamDigest = digest.load();
     res.rawDivergences = static_cast<int>(raw.size());
+    res.staticDeadlockFree = staticFree.load();
+    res.staticFlagged = staticFlagged.load();
 
     // Deduplicate by signature; the exemplar is the lowest program
     // index so the report is deterministic for any worker count.
@@ -595,6 +629,8 @@ writeCampaignJson(obs::JsonWriter &w, const CampaignOptions &opts,
     w.field("stream_digest",
             strFormat("%016llx", static_cast<unsigned long long>(
                                      res.streamDigest)));
+    w.field("static_deadlock_free", res.staticDeadlockFree);
+    w.field("static_flagged", res.staticFlagged);
     w.field("raw_divergences", res.rawDivergences);
     w.field("unique_divergences",
             static_cast<int64_t>(res.divergences.size()));

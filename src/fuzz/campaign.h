@@ -91,6 +91,17 @@ enum class DivergenceKind : uint8_t {
     Deadlock,     ///< watchdog fault (deadlock or livelock) in wmsim
     ChaosBreak,   ///< chaos-perturbed run changed the result
     VerifyError,  ///< IR verifier violation (compile-time oracle)
+    /**
+     * Agreement oracle: the static FIFO analysis proved the program
+     * deadlock-free, yet the simulator watchdog reported a deadlock.
+     * One of the two is wrong — an unsoundness in the static
+     * analysis or a simulator bug — so this outranks a plain
+     * Deadlock. Deduplicated by the watchdog's wait-for-graph
+     * signature, like Deadlock. (The converse — statically
+     * not-proven but a clean run — is expected incompleteness, not
+     * a divergence.)
+     */
+    StaticFifoBreak,
 };
 
 const char *divergenceKindName(DivergenceKind k);
@@ -112,6 +123,15 @@ struct CheckOutcome
      * purpose.
      */
     std::string faultSignature;
+    /**
+     * Static FIFO agreement oracle (WM configurations): whether
+     * analyzeFifoRequirements ran on the compiled program, and its
+     * verdict. Aggregated into CampaignResult so CI can assert the
+     * sweep really exercised both verdicts (e.g. that every
+     * --inject-deadlock-bug compile was flagged statically).
+     */
+    bool staticAnalyzed = false;
+    bool staticDeadlockFree = false;
 };
 
 /**
@@ -179,6 +199,14 @@ struct CampaignResult
      */
     uint64_t streamDigest = 0;
     double elapsedSeconds = 0;
+    /**
+     * Static-FIFO agreement tallies over every WM check: verdicts of
+     * "deadlock-free" vs flagged ("not-proven"). A disagreement in
+     * the dangerous direction (proven free, then the watchdog fired)
+     * is a StaticFifoBreak divergence, not just a count.
+     */
+    int64_t staticDeadlockFree = 0;
+    int64_t staticFlagged = 0;
 
     bool clean() const { return divergences.empty(); }
 };

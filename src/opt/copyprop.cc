@@ -1,6 +1,9 @@
 #include <unordered_map>
 
 #include "cfg/liveness.h"
+#include "dataflow/cfg_index.h"
+#include "dataflow/pool.h"
+#include "dataflow/solver.h"
 #include "opt/legal.h"
 #include "opt/passes.h"
 
@@ -24,7 +27,9 @@ isFifoReg(const ExprPtr &e)
            (e->regIndex() == 0 || e->regIndex() == 1);
 }
 
-/** A forward, block-local map from register to an equivalent leaf. */
+/** A forward map from register to an equivalent leaf. Seeded per
+ *  block from the reaching-copies solve, then updated in-place while
+ *  walking the block. */
 class CopyTable
 {
   public:
@@ -83,6 +88,133 @@ class CopyTable
     std::unordered_map<RegKey, ExprPtr, RegKeyHash> map_;
 };
 
+/** True when an Assign qualifies as a propagatable copy: non-CC,
+ *  non-FIFO destination; leaf source that is a same-file plain
+ *  register or a non-float constant. */
+bool
+isCopyInst(const Inst &inst)
+{
+    if (inst.kind != InstKind::Assign ||
+            inst.dst->regFile() == RegFile::CC || isFifoReg(inst.dst))
+        return false;
+    const ExprPtr &s = inst.src;
+    bool leaf = (s->isReg() && !isFifoReg(s) &&
+                 s->regFile() != RegFile::CC) ||
+                (s->isConst() && !rtl::isFloatType(s->type()));
+    if (!leaf)
+        return false;
+    // Only same-file copies propagate (no int<->float).
+    return !s->isReg() ||
+           rtl::isFloatType(s->type()) ==
+               rtl::isFloatType(inst.dst->type());
+}
+
+/** One copy site in the universe of the reaching-copies solve. */
+struct CopyRecord
+{
+    RegKey dst;
+    ExprPtr src;   // leaf expression at analysis time
+    bool srcIsReg = false;
+    RegKey srcKey{RegFile::Int, -1};
+};
+
+/**
+ * Whole-function must-reaching-copies: forward, intersect join, one
+ * bit per copy site. A record is killed by any redefinition of its
+ * destination or its source register (calls clobber per traits).
+ */
+class ReachingCopies
+{
+  public:
+    ReachingCopies(rtl::Function &fn, const rtl::MachineTraits &traits)
+        : cfg_(fn)
+    {
+        // Collect the universe in program order.
+        for (size_t bi = 0; bi < cfg_.size(); ++bi)
+            for (const Inst &inst : cfg_.block(bi)->insts)
+                if (isCopyInst(inst)) {
+                    CopyRecord r;
+                    r.dst = RegKey{inst.dst->regFile(),
+                                   inst.dst->regIndex()};
+                    r.src = inst.src;
+                    if (inst.src->isReg()) {
+                        r.srcIsReg = true;
+                        r.srcKey = RegKey{inst.src->regFile(),
+                                          inst.src->regIndex()};
+                    }
+                    records_.push_back(r);
+                }
+        solver_ = std::make_unique<dataflow::BitsetSolver>(
+            pool_, cfg_, records_.size(),
+            dataflow::Direction::Forward,
+            dataflow::Join::Intersect);
+        if (records_.empty())
+            return;
+
+        // Key -> records mentioning it (as dst or src).
+        std::unordered_map<RegKey, std::vector<size_t>, RegKeyHash>
+            byKey;
+        for (size_t i = 0; i < records_.size(); ++i) {
+            byKey[records_[i].dst].push_back(i);
+            if (records_[i].srcIsReg)
+                byKey[records_[i].srcKey].push_back(i);
+        }
+
+        // gen/kill by forward simulation of each block.
+        size_t nextRecord = 0;
+        for (size_t bi = 0; bi < cfg_.size(); ++bi) {
+            auto *gen = solver_->gen(bi);
+            auto *kill = solver_->kill(bi);
+            for (const Inst &inst : cfg_.block(bi)->insts) {
+                for (const RegKey &k :
+                     cfg::instDefKeys(inst, traits))
+                    if (auto it = byKey.find(k); it != byKey.end())
+                        for (size_t r : it->second) {
+                            dataflow::bitsetReset(gen, r);
+                            dataflow::bitsetSet(kill, r);
+                        }
+                if (isCopyInst(inst)) {
+                    dataflow::bitsetSet(gen, nextRecord);
+                    dataflow::bitsetReset(kill, nextRecord);
+                    ++nextRecord;
+                }
+            }
+        }
+        solver_->solve();
+    }
+
+    /** Seed @p table with the copies that must reach @p bi 's entry. */
+    void seed(size_t bi, CopyTable &table) const
+    {
+        table.clear();
+        if (records_.empty())
+            return;
+        dataflow::bitsetForEach(
+            solver_->words(), solver_->in(bi), [&](size_t r) {
+                // Intersection semantics guarantee at most one
+                // reaching record per destination key.
+                table.record(recordDstExpr(r), records_[r].src);
+            });
+    }
+
+    const dataflow::CfgIndex &cfg() const { return cfg_; }
+
+  private:
+    ExprPtr recordDstExpr(size_t r) const
+    {
+        const CopyRecord &rec = records_[r];
+        // Reconstruct a Reg expr for the table key; type taken from
+        // the source leaf (same file by construction).
+        return rtl::makeReg(rec.dst.file, rec.dst.index,
+                            rec.src->type());
+    }
+
+    dataflow::BitsetPool pool_;
+    dataflow::CfgIndex cfg_;
+    std::unique_ptr<dataflow::BitsetSolver> solver_;
+    std::vector<CopyRecord> records_;
+};
+
 } // anonymous namespace
 
 int
@@ -90,9 +222,12 @@ runCopyPropagate(rtl::Function &fn, const rtl::MachineTraits &traits)
 {
     int changes = 0;
     CopyTable table;
+    ReachingCopies reaching(fn, traits);
+    const dataflow::CfgIndex &cfg = reaching.cfg();
 
-    for (auto &bp : fn.blocks()) {
-        table.clear();
+    for (size_t bi = 0; bi < cfg.size(); ++bi) {
+        rtl::Block *bp = cfg.block(bi);
+        reaching.seed(bi, table);
         for (Inst &inst : bp->insts) {
             // Substitute into operand positions when still legal.
             switch (inst.kind) {
@@ -151,21 +286,8 @@ runCopyPropagate(rtl::Function &fn, const rtl::MachineTraits &traits)
             // Update the table with this instruction's effect.
             for (const RegKey &k : cfg::instDefKeys(inst, traits))
                 table.invalidate(k);
-            if (inst.kind == InstKind::Assign &&
-                    inst.dst->regFile() != RegFile::CC &&
-                    !isFifoReg(inst.dst)) {
-                const ExprPtr &s = inst.src;
-                bool leaf = (s->isReg() && !isFifoReg(s) &&
-                             s->regFile() != RegFile::CC) ||
-                            (s->isConst() && !rtl::isFloatType(s->type()));
-                // Only same-file copies propagate (no int<->float).
-                if (leaf &&
-                        (!s->isReg() ||
-                         rtl::isFloatType(s->type()) ==
-                             rtl::isFloatType(inst.dst->type()))) {
-                    table.record(inst.dst, s);
-                }
-            }
+            if (isCopyInst(inst))
+                table.record(inst.dst, inst.src);
         }
     }
     return changes;

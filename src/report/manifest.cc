@@ -39,6 +39,30 @@ writeCompileSection(obs::JsonWriter &w,
         w.key("passes");
         obs::writePassProfilesJson(w, compiled.passProfiles);
     }
+    // Static FIFO verdict (--infer-fifo-depth); absent when the
+    // analysis did not run, like every other optional section.
+    if (compiled.fifoRequirements.analyzed) {
+        const verify::FifoRequirements &fr = compiled.fifoRequirements;
+        w.key("fifo_requirements");
+        w.beginObject();
+        w.field("verdict", fr.verdict);
+        w.field("deadlock_free", fr.deadlockFree);
+        w.field("configured_depth",
+                static_cast<int64_t>(fr.configuredDepth));
+        w.field("min_depth", static_cast<int64_t>(fr.minDepth));
+        w.key("queues");
+        w.beginArray();
+        for (const auto &q : fr.queues) {
+            w.beginObject();
+            w.field("queue", q.name);
+            w.field("min_depth", static_cast<int64_t>(q.minDepth));
+            w.field("streamed", q.streamed);
+            w.field("bounded", q.bounded);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -184,6 +208,13 @@ RunManifest::writeJson(obs::JsonWriter &w) const
         w.key("stats");
         writeScalarStatsDoc(w, source, modelName, *compiled,
                             *scalarResult);
+    }
+    else if (compiled->fifoRequirements.analyzed) {
+        // Compile-only manifest: no stats section to host the compile
+        // report, but the static FIFO verdict was computed and is the
+        // very point of an --infer-fifo-depth compile — surface the
+        // compile section (which carries fifo_requirements) directly.
+        writeCompileSection(w, *compiled);
     }
     if (timeseries) {
         w.key("timeseries");

@@ -2,44 +2,29 @@
  * @file
  * The WM FIFO-discipline linter: abstract queue-depth dataflow.
  *
- * WM has ten architecturally visible queues: per execution unit
- * (integer, float) an input data FIFO pair (registers r0/r1, f0/f1
- * read side), an output data FIFO pair (same registers, write side —
- * input and output queues on one register index are DISTINCT pieces
- * of hardware), and one condition-code FIFO per unit (CC cells 0 and
- * 1). The FIFO-balance lattice is a vector of abstract depths, one
- * per queue; the transfer function of an instruction is derived from
- * its operand shape:
+ * The queue model (identities, per-instruction push/pop shapes,
+ * streamed-region discovery, count resolution) lives in fifo_model.h
+ * and is shared with the whole-program depth analysis (fifodepth.cc).
+ * This file holds the per-pass checks:
  *
- *   pop  in(side,i):  any read of FIFO register i inside an operand
- *                     expression (Assign/Store sources, Load/Store
- *                     addresses, implicit uses);
- *   push in(side,i):  a scalar Load whose destination is FIFO reg i;
- *   push out(side,i): an Assign whose destination is FIFO reg i
- *                     (the lowered enqueue);
- *   pop  out(side,i): a Store whose source is EXACTLY FIFO reg i
- *                     (the lowered dequeue-to-memory);
- *   push cc(side):    an Assign whose destination is CC cell `side`
- *                     (a compare);
- *   pop  cc(side):    a CondJump on that unit.
+ *  - streamed-region balance: every iteration of a streamed loop pops
+ *    exactly one element from each claimed input queue and pushes
+ *    exactly one to each claimed output queue — so a loop running
+ *    `count` iterations consumes exactly the `count` elements its
+ *    preheader SinX primes — and all stream counts feeding one region
+ *    agree (resolved through preheader copies, which is how the
+ *    deliberately injected under-count miscompile is caught
+ *    statically);
+ *  - the global depth walk: joins require exact depth equality (a
+ *    queue cannot hold a path-dependent number of elements), calls
+ *    and returns require all depths zero, and no instruction may pop
+ *    the same queue twice (the relative order of two dequeues inside
+ *    one instruction is unspecified, so FIFO reads must never be
+ *    reordered across a pop on the same unit).
  *
- * Stream instructions (StreamIn/StreamOut/StreamStop/JumpStream/
- * VecOp) move elements on the SCU/VEU side and are inert in this
- * lattice; their balance is checked per streamed region instead: the
- * region analysis proves every iteration of a streamed loop pops
- * exactly one element from each claimed input queue and pushes
- * exactly one to each claimed output queue — so a loop running
- * `count` iterations consumes exactly the `count` elements its
- * preheader SinX primes — and that all stream counts feeding one
- * region agree (resolved through preheader copies, which is how the
- * deliberately injected under-count miscompile is caught statically).
- *
- * Joins require exact depth equality (a queue cannot hold a
- * path-dependent number of elements), calls and returns require all
- * depths zero, and no instruction may pop the same queue twice (the
- * relative order of two dequeues inside one instruction is
- * unspecified, so FIFO reads must never be reordered across a pop on
- * the same unit).
+ * Both fixpoints run on the pooled-bitset dataflow engine's general
+ * solver (src/dataflow): the old hand-rolled "grew" full-rescan loops
+ * are gone.
  */
 
 #include "verify/verify.h"
@@ -52,8 +37,11 @@
 
 #include "cfg/dominators.h"
 #include "cfg/loops.h"
+#include "dataflow/cfg_index.h"
+#include "dataflow/solver.h"
 #include "rtl/inst.h"
 #include "support/str.h"
+#include "verify/fifo_model.h"
 
 namespace wmstream::verify {
 
@@ -68,211 +56,7 @@ using rtl::UnitSide;
 
 using detail::addViolation;
 
-// ---- queue identities ----------------------------------------------
-
-constexpr int kDataQueues = 8; ///< {in,out} x {int,flt} x {fifo 0,1}
-constexpr int kQueues = kDataQueues + 2; ///< + cc0, cc1
-
-int
-dataQ(bool output, int side, int fifo)
-{
-    return (output ? 4 : 0) + side * 2 + fifo;
-}
-
-int
-ccQ(int side)
-{
-    return kDataQueues + side;
-}
-
-std::string
-queueName(int q)
-{
-    if (q >= kDataQueues)
-        return strFormat("cc%d", q - kDataQueues);
-    bool output = q >= 4;
-    int side = (q / 2) % 2;
-    int fifo = q % 2;
-    return strFormat("%s:%c%d", output ? "out" : "in",
-                     side ? 'f' : 'r', fifo);
-}
-
-bool
-isDataFifoReg(const Expr &e)
-{
-    return e.kind() == Expr::Kind::Reg &&
-           (e.regFile() == RegFile::Int ||
-            e.regFile() == RegFile::Flt) &&
-           (e.regIndex() == 0 || e.regIndex() == 1);
-}
-
-int
-fifoSide(const Expr &e)
-{
-    return e.regFile() == RegFile::Flt ? 1 : 0;
-}
-
-// ---- per-instruction transfer shape --------------------------------
-
-enum class Field : uint8_t { Src, Addr, Extra };
-
-const char *
-fieldName(Field f)
-{
-    switch (f) {
-      case Field::Src: return "source";
-      case Field::Addr: return "address";
-      case Field::Extra: return "implicit-use";
-    }
-    return "?";
-}
-
-struct QueueUse
-{
-    int q;
-    Field field;
-};
-
-struct InstQueueOps
-{
-    std::vector<QueueUse> pops;
-    std::vector<int> pushes;
-};
-
-void
-collectInputPops(const ExprPtr &e, Field field, InstQueueOps &ops)
-{
-    if (!e)
-        return;
-    rtl::forEachNode(e, [&](const Expr &n) {
-        if (isDataFifoReg(n))
-            ops.pops.push_back(
-                {dataQ(false, fifoSide(n), n.regIndex()), field});
-    });
-}
-
-/** Queue pushes/pops performed by @p inst (file comment, bullet
- *  list). Stream machinery is inert here. */
-InstQueueOps
-queueOps(const Inst &inst)
-{
-    InstQueueOps ops;
-    switch (inst.kind) {
-      case InstKind::StreamIn:
-      case InstKind::StreamOut:
-      case InstKind::StreamStop:
-      case InstKind::JumpStream:
-      case InstKind::VecOp:
-        return ops; // SCU/VEU side: checked per streamed region
-      case InstKind::Load:
-        collectInputPops(inst.addr, Field::Addr, ops);
-        if (inst.dst && inst.dst->isReg() && isDataFifoReg(*inst.dst))
-            ops.pushes.push_back(
-                dataQ(false, fifoSide(*inst.dst),
-                      inst.dst->regIndex()));
-        break;
-      case InstKind::Assign:
-        collectInputPops(inst.src, Field::Src, ops);
-        if (inst.dst && inst.dst->isReg()) {
-            if (isDataFifoReg(*inst.dst))
-                ops.pushes.push_back(
-                    dataQ(true, fifoSide(*inst.dst),
-                          inst.dst->regIndex()));
-            else if (inst.dst->regFile() == RegFile::CC)
-                ops.pushes.push_back(
-                    ccQ(inst.dst->regIndex() == 1 ? 1 : 0));
-        }
-        break;
-      case InstKind::Store:
-        collectInputPops(inst.addr, Field::Addr, ops);
-        if (inst.src && inst.src->isReg() && isDataFifoReg(*inst.src))
-            ops.pops.push_back(
-                {dataQ(true, fifoSide(*inst.src),
-                       inst.src->regIndex()),
-                 Field::Src});
-        else
-            collectInputPops(inst.src, Field::Src, ops);
-        break;
-      case InstKind::CondJump:
-        ops.pops.push_back(
-            {ccQ(inst.side == UnitSide::Int ? 0 : 1), Field::Src});
-        break;
-      default:
-        break;
-    }
-    for (const ExprPtr &e : inst.extraUses)
-        collectInputPops(e, Field::Extra, ops);
-    return ops;
-}
-
-// ---- local backward value resolution -------------------------------
-
-/**
- * Resolve @p e to the value it holds just before instruction @p idx
- * of @p b, by substituting straight-line Assign definitions backward
- * through the block. Registers defined by loads or clobbered by calls
- * freeze (stay symbolic, and earlier definitions of them must not
- * leak forward past the freeze point). Used to compare stream counts
- * that differ syntactically but were materialized from the same
- * preheader computation.
- */
-ExprPtr
-resolveAt(const rtl::Block *b, size_t idx, ExprPtr e,
-          const rtl::MachineTraits &traits)
-{
-    if (!e)
-        return e;
-    std::set<std::pair<int, int>> frozen;
-    for (size_t i = idx; i-- > 0;) {
-        const Inst &inst = b->insts[i];
-        if (inst.kind == InstKind::Call)
-            break; // clobbers caller-saved state: stop resolving
-        ExprPtr d = rtl::instDef(inst);
-        if (!d || !d->isReg())
-            continue;
-        RegFile f = d->regFile();
-        int ri = d->regIndex();
-        if ((f == RegFile::Int || f == RegFile::Flt) &&
-                ri == traits.zeroReg)
-            continue; // writes to the zero register are discarded
-        if (!rtl::usesReg(e, f, ri))
-            continue;
-        auto key = std::make_pair(static_cast<int>(f), ri);
-        if (frozen.count(key))
-            continue;
-        if (inst.kind == InstKind::Assign && inst.src &&
-                !rtl::containsMem(inst.src))
-            e = rtl::substReg(e, f, ri, inst.src);
-        else
-            frozen.insert(key); // load or non-copyable def
-    }
-    return e;
-}
-
-// ---- streamed regions ----------------------------------------------
-
-struct StreamSite
-{
-    const Inst *inst = nullptr;
-    const rtl::Block *block = nullptr;
-    size_t index = 0;
-
-    bool output() const { return inst->kind == InstKind::StreamOut; }
-    int q() const
-    {
-        return dataQ(output(), inst->side == UnitSide::Int ? 0 : 1,
-                     inst->fifo);
-    }
-};
-
-struct StreamRegion
-{
-    cfg::Loop *loop = nullptr;
-    std::string header;
-    std::vector<StreamSite> streams;
-    bool finite = false;
-    std::map<int, size_t> slotOf; ///< claimed queue -> streams index
-};
+using namespace fifomodel;
 
 /** Fill the violation's loop context fields. */
 void
@@ -281,32 +65,10 @@ inLoop(Violation &v, const StreamRegion &r)
     v.loopHeader = r.header;
 }
 
-/**
- * Compare two count expressions: structurally equal as written, or
- * equal after resolving both backward through their blocks. Returns
- * the rendered resolved pair on mismatch.
- */
-bool
-countsAgree(const StreamSite &a, const rtl::Block *bBlock,
-            size_t bIndex, const ExprPtr &bCount,
-            const rtl::MachineTraits &traits, std::string *why)
-{
-    if (rtl::exprEqual(a.inst->count, bCount))
-        return true;
-    ExprPtr ra = resolveAt(a.block, a.index, a.inst->count, traits);
-    ExprPtr rb = resolveAt(bBlock, bIndex, bCount, traits);
-    if (rtl::exprEqual(ra, rb))
-        return true;
-    *why = strFormat("counts resolve to %s vs %s",
-                     ra ? ra->str().c_str() : "<null>",
-                     rb ? rb->str().c_str() : "<null>");
-    return false;
-}
-
 /** Per-iteration pop/push balance inside one streamed loop. */
 void
 checkRegionBalance(const StreamRegion &r, const rtl::Function &fn,
-                   VerifyReport &out)
+                   const dataflow::CfgIndex &cfg, VerifyReport &out)
 {
     const cfg::Loop &loop = *r.loop;
     size_t n = r.streams.size();
@@ -317,8 +79,8 @@ checkRegionBalance(const StreamRegion &r, const rtl::Function &fn,
     using State = std::vector<int8_t>;
     State zero(2 * n, 0);
 
-    auto transfer = [&](const rtl::Block *b, State s) {
-        for (const Inst &inst : b->insts) {
+    auto transfer = [&](size_t bi, State s) {
+        for (const Inst &inst : cfg.block(bi)->insts) {
             InstQueueOps ops = queueOps(inst);
             for (const QueueUse &p : ops.pops) {
                 auto it = r.slotOf.find(p.q);
@@ -335,38 +97,30 @@ checkRegionBalance(const StreamRegion &r, const rtl::Function &fn,
         return s;
     };
 
-    // Forward walk from the header, join = must-be-equal, keep-first.
-    std::map<const rtl::Block *, State> inState;
-    inState[loop.header] = zero;
+    // Forward walk from the header over loop blocks only, back edges
+    // excluded; join = must-be-equal, keep-first, mismatches noted.
     std::map<const rtl::Block *, std::set<size_t>> joinBad;
-    bool grew = true;
-    while (grew) {
-        grew = false;
-        for (const auto &bp : fn.blocks()) {
-            rtl::Block *b = bp.get();
-            auto it = inState.find(b);
-            if (it == inState.end() || !loop.contains(b))
-                continue;
-            State s = transfer(b, it->second);
-            for (rtl::Block *succ : b->succs) {
-                if (!loop.contains(succ) || succ == loop.header)
-                    continue;
-                auto jt = inState.find(succ);
-                if (jt == inState.end()) {
-                    inState.emplace(succ, s);
-                    grew = true;
-                } else if (jt->second != s) {
-                    for (size_t k = 0; k < n; ++k)
-                        if (jt->second[2 * k] != s[2 * k] ||
-                                jt->second[2 * k + 1] != s[2 * k + 1])
-                            joinBad[succ].insert(k);
-                }
-            }
-        }
-    }
+    auto join = [&](State &accum, const State &incoming, size_t to) {
+        if (accum != incoming)
+            for (size_t k = 0; k < n; ++k)
+                if (accum[2 * k] != incoming[2 * k] ||
+                        accum[2 * k + 1] != incoming[2 * k + 1])
+                    joinBad[cfg.block(to)].insert(k);
+        return false; // keep-first: state never widens
+    };
+    auto edgeOk = [&](size_t from, size_t to) {
+        (void)from;
+        rtl::Block *tb = cfg.block(to);
+        return loop.contains(tb) && tb != loop.header;
+    };
+    std::vector<std::pair<size_t, State>> seeds{
+        {cfg.indexOf(loop.header), zero}};
+    auto solved = dataflow::solveGeneralSeeded(
+        cfg, dataflow::Direction::Forward, seeds, transfer, join,
+        edgeOk);
 
     for (const auto &bp : fn.blocks()) {
-        rtl::Block *b = bp.get();
+        const rtl::Block *b = bp.get();
         auto jb = joinBad.find(b);
         if (jb == joinBad.end())
             continue;
@@ -386,10 +140,10 @@ checkRegionBalance(const StreamRegion &r, const rtl::Function &fn,
     // moves exactly one element per queue per iteration, so `count`
     // iterations consume exactly the `count` elements primed.
     for (rtl::Block *latch : loop.latches) {
-        auto it = inState.find(latch);
-        if (it == inState.end())
+        size_t li = cfg.indexOf(latch);
+        if (!solved.reached[li])
             continue; // unreachable from header without back edges
-        State s = transfer(latch, it->second);
+        State s = transfer(li, solved.in[li]);
         for (size_t k = 0; k < n; ++k) {
             bool output = r.streams[k].output();
             int pops = s[2 * k];
@@ -536,44 +290,37 @@ depthTransfer(const rtl::Block *b, DepthState s, const WalkCtx &ctx,
 }
 
 void
-depthWalk(rtl::Function &fn, const std::vector<rtl::Block *> &rpo,
+depthWalk(rtl::Function &fn, const dataflow::CfgIndex &cfg,
           const WalkCtx &ctx, VerifyReport &out)
 {
-    std::map<const rtl::Block *, DepthState> inState;
     if (!fn.entry())
         return;
     DepthState zero{};
-    inState[fn.entry()] = zero;
     std::map<const rtl::Block *, std::set<int>> joinBad;
-    bool grew = true;
-    while (grew) {
-        grew = false;
-        for (rtl::Block *b : rpo) {
-            auto it = inState.find(b);
-            if (it == inState.end())
-                continue;
-            DepthState s =
-                depthTransfer(b, it->second, ctx, fn, nullptr);
-            for (rtl::Block *succ : b->succs) {
-                auto jt = inState.find(succ);
-                if (jt == inState.end()) {
-                    inState.emplace(succ, s);
-                    grew = true;
-                } else if (jt->second != s) {
-                    for (int q = 0; q < kQueues; ++q)
-                        if (jt->second[q] != s[q])
-                            joinBad[succ].insert(q);
-                }
-            }
-        }
-    }
+    auto transfer = [&](size_t bi, const DepthState &s) {
+        return depthTransfer(cfg.block(bi), s, ctx, fn, nullptr);
+    };
+    auto join = [&](DepthState &accum, const DepthState &incoming,
+                    size_t to) {
+        if (accum != incoming)
+            for (int q = 0; q < kQueues; ++q)
+                if (accum[q] != incoming[q])
+                    joinBad[cfg.block(to)].insert(q);
+        return false; // keep-first: depths never widen
+    };
+    std::vector<std::pair<size_t, DepthState>> seeds{
+        {cfg.indexOf(fn.entry()), zero}};
+    auto solved = dataflow::solveGeneralSeeded(
+        cfg, dataflow::Direction::Forward, seeds, transfer, join,
+        [](size_t, size_t) { return true; });
+
     // Emission pass: every reachable block once, from its (stable)
     // in-state, in reverse post-order for deterministic output.
-    for (rtl::Block *b : rpo) {
-        auto it = inState.find(b);
-        if (it == inState.end())
+    for (size_t bi : cfg.rpo()) {
+        if (!solved.reached[bi])
             continue;
-        (void)depthTransfer(b, it->second, ctx, fn, &out);
+        rtl::Block *b = cfg.block(bi);
+        (void)depthTransfer(b, solved.in[bi], ctx, fn, &out);
         auto jb = joinBad.find(b);
         if (jb == joinBad.end())
             continue;
@@ -602,6 +349,7 @@ checkQueueDiscipline(rtl::Function &fn,
 {
     cfg::DominatorTree dt(fn);
     cfg::LoopInfo li(fn, dt);
+    dataflow::CfgIndex cfg(fn);
 
     // ---- per-instruction: no double pop of one queue ----
     // Two dequeues of the same queue inside one instruction have an
@@ -631,42 +379,20 @@ checkQueueDiscipline(rtl::Function &fn,
     }
 
     // ---- streamed regions ----
-    std::vector<StreamRegion> regions;
+    std::vector<StreamRegion> regions = collectStreamRegions(li);
     std::set<const Inst *> matchedSteering;
-    for (cfg::Loop &loop : li.loops()) {
-        StreamRegion r;
-        r.loop = &loop;
-        r.header = loop.header->label();
-        for (rtl::Block *p : loop.header->preds) {
-            if (loop.contains(p))
-                continue;
-            for (size_t i = 0; i < p->insts.size(); ++i) {
-                const Inst &inst = p->insts[i];
-                if (inst.kind == InstKind::StreamIn ||
-                        inst.kind == InstKind::StreamOut)
-                    r.streams.push_back({&inst, p, i});
-            }
-        }
-        bool jsLatch = false;
-        for (rtl::Block *l : loop.latches)
-            if (const Inst *t = l->terminator())
-                if (t->kind == InstKind::JumpStream)
-                    jsLatch = true;
-        if (r.streams.empty() && !jsLatch)
-            continue;
+    for (StreamRegion &r : regions) {
+        cfg::Loop &loop = *r.loop;
 
-        // Claim queues; two streams on one queue cannot coexist.
-        for (size_t i = 0; i < r.streams.size(); ++i) {
-            int q = r.streams[i].q();
-            if (!r.slotOf.emplace(q, i).second) {
-                Violation &v =
-                    addViolation(out, "stream-fifo-conflict", fn);
-                v.block = r.streams[i].block->label();
-                inLoop(v, r);
-                v.invariant = queueName(q);
-                v.detail = "two streams feeding one loop claim the "
-                           "same queue";
-            }
+        // Two streams on one queue cannot coexist.
+        for (size_t i : r.claimConflicts) {
+            Violation &v =
+                addViolation(out, "stream-fifo-conflict", fn);
+            v.block = r.streams[i].block->label();
+            inLoop(v, r);
+            v.invariant = queueName(r.streams[i].q());
+            v.detail = "two streams feeding one loop claim the "
+                       "same queue";
         }
 
         // All counts null (data-dependent, "infinite") or all
@@ -684,11 +410,10 @@ checkQueueDiscipline(rtl::Function &fn,
             v.detail = "counted and uncounted streams feed the same "
                        "loop";
         }
-        r.finite = !r.streams.empty() && counted == r.streams.size();
 
         // Counted loops iterate under a JumpStream latch; uncounted
         // ones exit on a data-dependent CondJump.
-        if (!r.streams.empty() && r.finite != jsLatch) {
+        if (!r.streams.empty() && r.finite != r.jumpStreamLatch) {
             Violation &v =
                 addViolation(out, "stream-loop-shape", fn);
             inLoop(v, r);
@@ -805,8 +530,7 @@ checkQueueDiscipline(rtl::Function &fn,
             }
         }
 
-        checkRegionBalance(r, fn, out);
-        regions.push_back(std::move(r));
+        checkRegionBalance(r, fn, cfg, out);
     }
 
     // A JumpStream that is not the steering latch of any streamed
@@ -916,7 +640,7 @@ checkQueueDiscipline(rtl::Function &fn,
     WalkCtx ctx;
     ctx.trackData = opts.stage == Stage::PostLower;
     ctx.exempt = &exempt;
-    depthWalk(fn, dt.reversePostOrder(), ctx, out);
+    depthWalk(fn, cfg, ctx, out);
 }
 
 } // namespace detail

@@ -129,6 +129,56 @@ VerifyReport verifyProgram(rtl::Program &prog,
                            const rtl::MachineTraits &traits,
                            const VerifyOptions &opts);
 
+/** Per-queue result of the whole-program FIFO analysis. */
+struct QueueRequirement
+{
+    int queue = 0;         ///< fifomodel queue id
+    std::string name;      ///< "in:f0", "out:r1", "cc0", ...
+    int minDepth = 0;      ///< inferred minimal depth for this queue
+    bool streamed = false; ///< SCU-claimed somewhere (HW-throttled)
+    bool bounded = true;   ///< false when occupancy hit the cap
+};
+
+/**
+ * Whole-program static FIFO deadlock/depth verdict (fifodepth.cc).
+ *
+ * Produced by propagating per-queue occupancy intervals across the
+ * full CFG — loop boundaries included — on top of a clean
+ * queue-discipline report. `verdict` is "deadlock-free" only when
+ * the structure and discipline checks pass, no pop targets a queue
+ * that is provably never fed, and every inferred minimal depth fits
+ * the configured depth; otherwise "not-proven" with the blocking
+ * findings (reason codes static-starved-pop, fifo-depth-exceeded,
+ * static-unproven) in `findings`.
+ */
+struct FifoRequirements
+{
+    bool analyzed = false;
+    bool deadlockFree = false;
+    std::string verdict = "not-analyzed";
+    int configuredDepth = 0; ///< data FIFO depth checked against
+    int minDepth = 0;        ///< max over data queues of minDepth
+    std::vector<QueueRequirement> queues; ///< queues with traffic
+    VerifyReport findings;   ///< pass "fifo-depth", stage PostLower
+
+    bool depthSatisfied() const
+    {
+        return minDepth <= configuredDepth;
+    }
+};
+
+/**
+ * Run the whole-program FIFO analysis over lowered WM code. Performs
+ * its own structure + queue-discipline checks (so it is safe on
+ * arbitrary programs, e.g. straight from the fuzzer with verification
+ * off) and then the occupancy-interval walk. @p configuredDepth is
+ * the data-FIFO depth the hardware model will run with.
+ */
+FifoRequirements
+analyzeFifoRequirements(rtl::Program &prog,
+                        const rtl::MachineTraits &traits,
+                        int configuredDepth);
+
 /**
  * Check the chains the recurrence pass reports having built: shifts
  * present at the loop header in oldest-first (cycle-free) order, one

@@ -67,7 +67,10 @@ allDocuments()
     };
 
     // WM pipeline: compile + sample + simulate once, reuse everywhere.
+    // FIFO-depth inference on, so the fifo_requirements section of
+    // the stats/manifest documents is part of the audit.
     driver::CompileOptions wmOpts;
+    wmOpts.inferFifoDepth = true;
     auto wm = driver::compileSource(kProgram, wmOpts);
     if (!wm.ok) {
         ADD_FAILURE() << "WM compile failed:\n" << wm.diagnostics;

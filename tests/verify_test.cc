@@ -410,3 +410,262 @@ TEST(VerifyFuzz, CampaignFlagsInjectedBugAsVerifyError)
     }
     EXPECT_TRUE(sawVerify);
 }
+
+// ---- whole-program static FIFO analysis (fifodepth.cc) ----
+
+namespace {
+
+/** The paper's Figure 7 kernel, embedded so the test needs no file
+ *  access: all three arrays stream, every queue's inferred minimum
+ *  must fit the default depth. */
+const char kFig7[] = R"(
+int n = 100;
+double a[100];
+double b[100];
+double c[100];
+
+int main(void)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = 1.0 + i * 0.5;
+        b[i] = 2.0 + i * 0.25;
+    }
+    for (i = 0; i < n; i++)
+        c[i] = a[i] + b[i];
+    return c[99];
+}
+)";
+
+bool
+findingsHaveReason(const verify::FifoRequirements &fr,
+                   const std::string &reason)
+{
+    return hasReason(fr.findings, reason);
+}
+
+} // namespace
+
+TEST(FifoDepth, Fig7IsDeadlockFreeWithinDefaultDepth)
+{
+    driver::CompileOptions opts;
+    auto cr = driver::compileSource(kFig7, opts);
+    ASSERT_TRUE(cr.ok) << cr.diagnostics;
+    auto fr = verify::analyzeFifoRequirements(*cr.program,
+                                              cr.traits, 8);
+    ASSERT_TRUE(fr.analyzed);
+    EXPECT_TRUE(fr.deadlockFree) << fr.findings.str();
+    EXPECT_EQ(fr.verdict, "deadlock-free");
+    EXPECT_TRUE(fr.depthSatisfied());
+    EXPECT_LE(fr.minDepth, 8);
+    EXPECT_GE(fr.minDepth, 1);
+    // The three streamed arrays claim queues; every claimed queue is
+    // SCU-throttled and needs exactly depth 1.
+    bool sawStreamed = false;
+    for (const auto &q : fr.queues)
+        if (q.streamed) {
+            sawStreamed = true;
+            EXPECT_EQ(q.minDepth, 1) << q.name;
+        }
+    EXPECT_TRUE(sawStreamed);
+}
+
+TEST(FifoDepth, DriverWiresResultAndScalarIsNotAnalyzed)
+{
+    driver::CompileOptions opts;
+    opts.inferFifoDepth = true;
+    opts.configuredFifoDepth = 8;
+    auto cr = driver::compileSource(kFig7, opts);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_TRUE(cr.fifoRequirements.analyzed);
+    EXPECT_EQ(cr.fifoRequirements.verdict, "deadlock-free");
+    EXPECT_TRUE(cr.verifyClean()); // clean verdict adds no reports
+
+    driver::CompileOptions scalar;
+    scalar.target = rtl::MachineKind::Scalar;
+    scalar.inferFifoDepth = true;
+    auto sr = driver::compileSource(kFig7, scalar);
+    ASSERT_TRUE(sr.ok);
+    EXPECT_FALSE(sr.fifoRequirements.analyzed);
+    EXPECT_EQ(sr.fifoRequirements.verdict, "not-analyzed");
+}
+
+TEST(FifoDepth, StarvedPopAcrossLoopIsNotDeadlockFree)
+{
+    // Cross-loop deadlock, invariant class static-starved-pop: the
+    // consumer loop pops in:r0 every iteration but no load or stream
+    // ever feeds that queue — the IEU blocks forever on the first
+    // dequeue. Occupancy is provably [0,0] at the pop on every path
+    // around the loop.
+    Program prog;
+    Function *fn = prog.addFunction("f");
+    Block *entry = fn->addBlock("entry");
+    Block *header = fn->addBlock("header");
+    Block *exitB = fn->addBlock("exit");
+    ExprPtr fifo = makeReg(RegFile::Int, 0, DataType::I64);
+
+    entry->insts.push_back(makeJump("header"));
+    header->insts.push_back(makeAssign(makeReg(RegFile::Int, 2, DataType::I64), fifo)); // starved pop
+    header->insts.push_back(
+        makeAssign(cc0(), makeBin(Op::Lt, makeReg(RegFile::Int, 2, DataType::I64), makeConst(8))));
+    header->insts.push_back(
+        makeCondJump(UnitSide::Int, true, "header"));
+    exitB->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+
+    auto fr = verify::analyzeFifoRequirements(prog, wmTraits(), 8);
+    ASSERT_TRUE(fr.analyzed);
+    EXPECT_FALSE(fr.deadlockFree);
+    EXPECT_EQ(fr.verdict, "not-proven");
+    EXPECT_TRUE(findingsHaveReason(fr, "static-starved-pop"))
+        << fr.findings.str();
+}
+
+TEST(FifoDepth, DisciplineViolationYieldsStaticUnproven)
+{
+    // Invariant class static-unproven: a streamed loop that claims
+    // in:r0 but never pops it breaks queue discipline, so
+    // deadlock-freedom cannot be proven (this exact shape wedges the
+    // SCU against a full FIFO at runtime).
+    Program prog;
+    Function *fn = prog.addFunction("f");
+    Block *pre = fn->addBlock("pre");
+    Block *loop = fn->addBlock("loop");
+    Block *exitB = fn->addBlock("exit");
+
+    pre->insts.push_back(makeAssign(makeReg(RegFile::Int, 2, DataType::I64), makeConst(0)));
+    pre->insts.push_back(
+        makeStreamIn(UnitSide::Int, 0, makeConst(4096),
+                     makeConst(10), 8, DataType::I64));
+    loop->insts.push_back(
+        makeAssign(makeReg(RegFile::Int, 2, DataType::I64), makeBin(Op::Add, makeReg(RegFile::Int, 2, DataType::I64), makeConst(1))));
+    loop->insts.push_back(makeJumpStream(UnitSide::Int, 0, "loop"));
+    exitB->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+
+    auto fr = verify::analyzeFifoRequirements(prog, wmTraits(), 8);
+    ASSERT_TRUE(fr.analyzed);
+    EXPECT_FALSE(fr.deadlockFree);
+    EXPECT_TRUE(findingsHaveReason(fr, "static-unproven"))
+        << fr.findings.str();
+    // The dedup key carries the underlying discipline signature so
+    // wmfuzz folds identical bugs across programs.
+    bool carried = false;
+    for (const auto &v : fr.findings.violations)
+        if (v.reason == "static-unproven" &&
+            v.invariant.find("fifo-pop-imbalance") != std::string::npos)
+            carried = true;
+    EXPECT_TRUE(carried) << fr.findings.str();
+}
+
+TEST(FifoDepth, PushBurstBeyondConfiguredDepthIsFlagged)
+{
+    // Invariant class fifo-depth-exceeded: five values queued on
+    // out:r0 before the first store drains them. Discipline is clean
+    // (balanced, nothing leaks), but a depth-2 FIFO provably blocks
+    // the producer on the third push.
+    Program prog;
+    Function *fn = prog.addFunction("f");
+    Block *b = fn->addBlock("entry");
+    ExprPtr outFifo = makeReg(RegFile::Int, 0, DataType::I64);
+    const int kPushes = 5;
+    for (int i = 0; i < kPushes; ++i)
+        b->insts.push_back(makeAssign(outFifo, makeConst(i)));
+    for (int i = 0; i < kPushes; ++i)
+        b->insts.push_back(makeStore(makeConst(0x2000 + 8 * i),
+                                     outFifo, DataType::I64));
+    b->insts.push_back(makeReturn());
+    fn->recomputeCfg();
+
+    auto shallow = verify::analyzeFifoRequirements(prog, wmTraits(), 2);
+    ASSERT_TRUE(shallow.analyzed);
+    EXPECT_EQ(shallow.minDepth, kPushes);
+    EXPECT_FALSE(shallow.depthSatisfied());
+    EXPECT_FALSE(shallow.deadlockFree);
+    EXPECT_TRUE(findingsHaveReason(shallow, "fifo-depth-exceeded"))
+        << shallow.findings.str();
+
+    // The same program is provably fine once the FIFO is deep enough.
+    auto deep = verify::analyzeFifoRequirements(prog, wmTraits(), 8);
+    EXPECT_TRUE(deep.deadlockFree) << deep.findings.str();
+    EXPECT_EQ(deep.minDepth, kPushes);
+}
+
+TEST(FifoDepth, InjectedStreamUnderCountIsStaticallyNotProven)
+{
+    // The wmfuzz agreement oracle's static half: the planted
+    // stream-count miscompile must be flagged without any verifier
+    // checkpoint (fuzz configs compile it with verify off).
+    driver::CompileOptions opts;
+    opts.injectStreamCountBug = true;
+    auto cr = driver::compileSource(kDotProduct, opts);
+    ASSERT_TRUE(cr.ok);
+    EXPECT_TRUE(cr.verifyClean()); // nobody ran the verifier...
+    auto fr = verify::analyzeFifoRequirements(*cr.program,
+                                              cr.traits, 8);
+    ASSERT_TRUE(fr.analyzed);
+    EXPECT_FALSE(fr.deadlockFree); // ...yet the analysis objects
+    EXPECT_TRUE(findingsHaveReason(fr, "static-unproven"))
+        << fr.findings.str();
+}
+
+TEST(FifoDepth, DepthExceededIsConfigErrorNotVerifierReport)
+{
+    // fifo-depth-exceeded stays out of verifyReports (wmc reports it
+    // against --fifo-depth and exits 1, not 70); the verdict and the
+    // finding itself remain in fifoRequirements.
+    driver::CompileOptions opts;
+    opts.inferFifoDepth = true;
+    opts.configuredFifoDepth = 1;
+    auto cr = driver::compileSource(kDotProduct, opts);
+    ASSERT_TRUE(cr.ok);
+    ASSERT_TRUE(cr.fifoRequirements.analyzed);
+    if (!cr.fifoRequirements.depthSatisfied()) {
+        EXPECT_TRUE(cr.verifyClean()) << cr.verifyText();
+        EXPECT_TRUE(findingsHaveReason(cr.fifoRequirements,
+                                       "fifo-depth-exceeded"));
+    }
+}
+
+TEST(FifoDepthFuzz, CampaignAgreesWithWatchdogAndCountsVerdicts)
+{
+    // 60-program agreement sweep: no static_fifo_break may surface
+    // (a statically-proven-free program that still deadlocked), and
+    // the static verdict tallies must cover every WM check.
+    fuzz::CampaignOptions opts;
+    opts.seed = 11;
+    opts.maxPrograms = 60;
+    opts.jobs = 4;
+    opts.minimize = false;
+    auto res = fuzz::runCampaign(opts);
+    for (const auto &d : res.divergences)
+        EXPECT_NE(d.kind, fuzz::DivergenceKind::StaticFifoBreak)
+            << d.signature << "\n" << d.detail;
+    EXPECT_GT(res.staticDeadlockFree, 0);
+    EXPECT_EQ(res.staticFlagged, 0);
+}
+
+TEST(FifoDepthFuzz, InjectedDeadlockBugIsFlaggedStatically)
+{
+    // The planted under-count must be caught by the static analysis
+    // on every configuration where it bites — the deduped deadlock
+    // divergences stay (the watchdog self-test needs them), but none
+    // may carry a clean static verdict (that would be the
+    // static_fifo_break agreement failure).
+    fuzz::CampaignOptions opts;
+    opts.seed = 7;
+    opts.maxPrograms = 10;
+    opts.jobs = 4;
+    opts.injectStreamCountBug = true;
+    opts.minimize = false;
+    auto res = fuzz::runCampaign(opts);
+    EXPECT_GT(res.staticFlagged, 0);
+    bool sawDeadlock = false;
+    for (const auto &d : res.divergences) {
+        EXPECT_NE(d.kind, fuzz::DivergenceKind::StaticFifoBreak)
+            << d.signature << "\n" << d.detail;
+        if (d.kind == fuzz::DivergenceKind::Deadlock)
+            sawDeadlock = true;
+    }
+    EXPECT_TRUE(sawDeadlock);
+}

@@ -83,6 +83,17 @@
  *                         every pass, `final` once at the end
  *                         (default: each). Any violation is an
  *                         internal compiler error: exit 70
+ *   --infer-fifo-depth    whole-program static FIFO analysis over the
+ *                         lowered WM code: prove deadlock-freedom and
+ *                         infer the minimal data-FIFO depth per queue.
+ *                         Prints the per-queue requirements table,
+ *                         adds a "fifo_requirements" section to
+ *                         --stats-json/--manifest, and exits 1 when
+ *                         --fifo-depth is below the inferred minimum
+ *                         (a configuration error). Compiler-bug
+ *                         findings (static-starved-pop,
+ *                         static-unproven) exit 70 like any verifier
+ *                         violation
  *   --inject-deadlock-bug (self-test) miscompile: start every
  *                         non-steering input stream one element short
  *   --inject-verifier-bug (self-test) miscompile: drop one input
@@ -115,7 +126,8 @@
  *   0   success; a completed batch also exits 0 even when individual
  *       TUs were quarantined (the report carries per-TU status)
  *   1   user error (unreadable input, compile diagnostics, unwritable
- *       output file, unreadable manifest, aborted --fail-fast batch)
+ *       output file, unreadable manifest, aborted --fail-fast batch,
+ *       --fifo-depth below the --infer-fifo-depth inferred minimum)
  *   2   usage error (unknown flag, bad value, no input)
  *   3   simulation runtime fault (out-of-bounds access, bad PC, ...)
  *   4   deadlock or livelock (watchdog / cycle-limit classification)
@@ -203,6 +215,9 @@ const struct {
      "with --critpath: re-simulate what-if scenarios for validation"},
     {"--verify[=each|final]",
      "run the IR verifier; any violation exits 70 (default: each)"},
+    {"--infer-fifo-depth",
+     "static FIFO deadlock/depth analysis; exit 1 when --fifo-depth "
+     "is below the inferred minimum"},
     {"--inject-deadlock-bug",
      "(self-test) under-count input streams to force a deadlock"},
     {"--inject-verifier-bug",
@@ -432,6 +447,16 @@ wmcMain(int argc, char **argv)
         } else if (numeric("--fifo-depth", &v)) {
             if (m == FlagMatch::BadValue)
                 return usage();
+            // The hardware model cannot have empty or absurd FIFOs;
+            // reject here so every downstream consumer (simulator,
+            // depth inference, manifest) sees a sane value.
+            if (v < 1 || v > 4096) {
+                std::fprintf(stderr,
+                             "wmc: --fifo-depth must be between 1 "
+                             "and 4096 (got %d)\n",
+                             v);
+                return usage();
+            }
             simCfg.dataFifoDepth = v;
         } else if (numeric("--lanes", &v)) {
             if (m == FlagMatch::BadValue)
@@ -469,6 +494,8 @@ wmcMain(int argc, char **argv)
             options.verify = driver::VerifyMode::Each;
         } else if (std::strcmp(a, "--verify=final") == 0) {
             options.verify = driver::VerifyMode::Final;
+        } else if (std::strcmp(a, "--infer-fifo-depth") == 0) {
+            options.inferFifoDepth = true;
         } else if (std::strcmp(a, "--inject-deadlock-bug") == 0) {
             options.injectStreamCountBug = true;
         } else if (std::strcmp(a, "--inject-verifier-bug") == 0) {
@@ -499,6 +526,9 @@ wmcMain(int argc, char **argv)
             return usage();
         }
     }
+    // The depth inference checks against the depth the hardware model
+    // will actually run with, whatever order the flags came in.
+    options.configuredFifoDepth = simCfg.dataFifoDepth;
     if (!batchManifest.empty()) {
         if (!file.empty()) {
             std::fprintf(stderr, "wmc: --batch does not take an "
@@ -541,6 +571,42 @@ wmcMain(int argc, char **argv)
                      compiled.verifyCheckpoints);
         std::fprintf(stderr, "%s", compiled.verifyText().c_str());
         return 70;
+    }
+
+    if (options.inferFifoDepth && compiled.fifoRequirements.analyzed) {
+        const verify::FifoRequirements &fr = compiled.fifoRequirements;
+        // When a JSON document owns stdout the table moves to stderr,
+        // mirroring the --run human/JSON split below.
+        std::FILE *fout = statsJsonPath == "-" || manifestPath == "-" ||
+                                  critFormat == CritFormat::Json
+                              ? stderr
+                              : stdout;
+        std::fprintf(fout,
+                     "fifo requirements: %s (configured depth %d, "
+                     "required %d)\n",
+                     fr.verdict.c_str(), fr.configuredDepth,
+                     fr.minDepth);
+        for (const auto &q : fr.queues)
+            std::fprintf(fout, "  %-6s min-depth %d%s%s\n",
+                         q.name.c_str(), q.minDepth,
+                         q.streamed ? "  (streamed)" : "",
+                         q.bounded ? "" : "  (unbounded)");
+        // A depth shortfall is a configuration error against
+        // --fifo-depth, not a compiler bug: report and exit 1. (The
+        // compiler-bug findings took the exit-70 path above.)
+        bool depthErr = false;
+        for (const auto &viol : fr.findings.violations)
+            if (viol.reason == "fifo-depth-exceeded") {
+                std::fprintf(stderr, "wmc: %s\n", viol.str().c_str());
+                depthErr = true;
+            }
+        if (depthErr) {
+            std::fprintf(stderr,
+                         "wmc: --fifo-depth=%d is below the inferred "
+                         "minimum of %d\n",
+                         fr.configuredDepth, fr.minDepth);
+            return 1;
+        }
     }
 
     if (profilePasses)

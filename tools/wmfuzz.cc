@@ -297,6 +297,12 @@ fuzzMain(int argc, char **argv)
                      : 0.0,
                  opts.jobs,
                  static_cast<unsigned long long>(opts.seed));
+    if (res.staticDeadlockFree + res.staticFlagged > 0)
+        std::fprintf(human,
+                     "wmfuzz: static FIFO verdicts: %lld "
+                     "deadlock-free, %lld flagged\n",
+                     static_cast<long long>(res.staticDeadlockFree),
+                     static_cast<long long>(res.staticFlagged));
     if (res.clean()) {
         std::fprintf(human, "wmfuzz: campaign clean, no divergences\n");
         return 0;
